@@ -1,0 +1,9 @@
+//! Ablation: value of read-triggered memoization-aware updates (§IV-C1).
+//!
+//! ```text
+//! cargo bench -p rmcc-bench --bench ablation_read_triggered
+//! ```
+
+fn main() {
+    rmcc_bench::bench_main("ablation");
+}

@@ -1,0 +1,10 @@
+//! The 92% headline: fraction of counter misses accelerated by RMCC.
+//!
+//! ```text
+//! cargo bench -p rmcc-bench --bench accelerated_misses
+//! RMCC_SCALE=small cargo bench -p rmcc-bench --bench accelerated_misses   # paper-scale
+//! ```
+
+fn main() {
+    rmcc_bench::bench_main("accel");
+}

@@ -1,0 +1,10 @@
+//! Figure 3: counter-cache misses per LLC miss under Morphable Counters.
+//!
+//! ```text
+//! cargo bench -p rmcc-bench --bench fig03_counter_miss
+//! RMCC_SCALE=small cargo bench -p rmcc-bench --bench fig03_counter_miss   # paper-scale
+//! ```
+
+fn main() {
+    rmcc_bench::bench_main("fig03");
+}

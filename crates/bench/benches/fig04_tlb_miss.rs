@@ -1,0 +1,10 @@
+//! Figure 4: TLB misses per LLC miss under 4 KB and 2 MB pages.
+//!
+//! ```text
+//! cargo bench -p rmcc-bench --bench fig04_tlb_miss
+//! RMCC_SCALE=small cargo bench -p rmcc-bench --bench fig04_tlb_miss   # paper-scale
+//! ```
+
+fn main() {
+    rmcc_bench::bench_main("fig04");
+}

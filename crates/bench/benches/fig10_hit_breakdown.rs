@@ -1,0 +1,10 @@
+//! Figure 10: memoization hit rate for counter misses, groups vs MRU values.
+//!
+//! ```text
+//! cargo bench -p rmcc-bench --bench fig10_hit_breakdown
+//! RMCC_SCALE=small cargo bench -p rmcc-bench --bench fig10_hit_breakdown   # paper-scale
+//! ```
+
+fn main() {
+    rmcc_bench::bench_main("fig10");
+}

@@ -1,0 +1,10 @@
+//! Figure 12: bandwidth utilization breakdown under Morphable Counters.
+//!
+//! ```text
+//! cargo bench -p rmcc-bench --bench fig12_bandwidth
+//! RMCC_SCALE=small cargo bench -p rmcc-bench --bench fig12_bandwidth   # paper-scale
+//! ```
+
+fn main() {
+    rmcc_bench::bench_main("fig12");
+}

@@ -1,0 +1,10 @@
+//! Figure 13: performance of SC-64 / Morphable / RMCC normalized to non-secure.
+//!
+//! ```text
+//! cargo bench -p rmcc-bench --bench fig13_performance
+//! RMCC_SCALE=small cargo bench -p rmcc-bench --bench fig13_performance   # paper-scale
+//! ```
+
+fn main() {
+    rmcc_bench::bench_main("fig13");
+}

@@ -1,0 +1,10 @@
+//! Figure 14: average LLC miss latency under each scheme.
+//!
+//! ```text
+//! cargo bench -p rmcc-bench --bench fig14_miss_latency
+//! RMCC_SCALE=small cargo bench -p rmcc-bench --bench fig14_miss_latency   # paper-scale
+//! ```
+
+fn main() {
+    rmcc_bench::bench_main("fig14");
+}

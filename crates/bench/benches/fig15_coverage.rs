@@ -1,0 +1,10 @@
+//! Figure 15: average blocks covered per memoized counter value.
+//!
+//! ```text
+//! cargo bench -p rmcc-bench --bench fig15_coverage
+//! RMCC_SCALE=small cargo bench -p rmcc-bench --bench fig15_coverage   # paper-scale
+//! ```
+
+fn main() {
+    rmcc_bench::bench_main("fig15");
+}

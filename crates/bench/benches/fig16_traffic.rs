@@ -1,0 +1,10 @@
+//! Figure 16: RMCC memory traffic overhead vs Morphable, split by L0/L1 budgets.
+//!
+//! ```text
+//! cargo bench -p rmcc-bench --bench fig16_traffic
+//! RMCC_SCALE=small cargo bench -p rmcc-bench --bench fig16_traffic   # paper-scale
+//! ```
+
+fn main() {
+    rmcc_bench::bench_main("fig16");
+}

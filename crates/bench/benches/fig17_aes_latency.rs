@@ -1,0 +1,10 @@
+//! Figure 17: RMCC vs Morphable under 15 ns and 22 ns AES latencies.
+//!
+//! ```text
+//! cargo bench -p rmcc-bench --bench fig17_aes_latency
+//! RMCC_SCALE=small cargo bench -p rmcc-bench --bench fig17_aes_latency   # paper-scale
+//! ```
+
+fn main() {
+    rmcc_bench::bench_main("fig17");
+}

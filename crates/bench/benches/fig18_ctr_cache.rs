@@ -1,0 +1,10 @@
+//! Figure 18: RMCC vs Morphable across counter-cache sizes.
+//!
+//! ```text
+//! cargo bench -p rmcc-bench --bench fig18_ctr_cache
+//! RMCC_SCALE=small cargo bench -p rmcc-bench --bench fig18_ctr_cache   # paper-scale
+//! ```
+
+fn main() {
+    rmcc_bench::bench_main("fig18");
+}

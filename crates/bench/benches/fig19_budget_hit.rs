@@ -1,0 +1,10 @@
+//! Figure 19: memoization hit rate under 1% / 2% / 8% traffic budgets.
+//!
+//! ```text
+//! cargo bench -p rmcc-bench --bench fig19_budget_hit
+//! RMCC_SCALE=small cargo bench -p rmcc-bench --bench fig19_budget_hit   # paper-scale
+//! ```
+
+fn main() {
+    rmcc_bench::bench_main("fig19");
+}

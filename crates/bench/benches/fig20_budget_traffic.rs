@@ -1,0 +1,10 @@
+//! Figure 20: traffic overhead under 1% / 2% / 8% traffic budgets.
+//!
+//! ```text
+//! cargo bench -p rmcc-bench --bench fig20_budget_traffic
+//! RMCC_SCALE=small cargo bench -p rmcc-bench --bench fig20_budget_traffic   # paper-scale
+//! ```
+
+fn main() {
+    rmcc_bench::bench_main("fig20");
+}

@@ -1,0 +1,10 @@
+//! Figure 21: memoization hit rate under group sizes 4 / 8 / 16.
+//!
+//! ```text
+//! cargo bench -p rmcc-bench --bench fig21_group_hit
+//! RMCC_SCALE=small cargo bench -p rmcc-bench --bench fig21_group_hit   # paper-scale
+//! ```
+
+fn main() {
+    rmcc_bench::bench_main("fig21");
+}

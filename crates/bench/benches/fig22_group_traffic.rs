@@ -1,0 +1,10 @@
+//! Figure 22: traffic overhead under group sizes 4 / 8 / 16.
+//!
+//! ```text
+//! cargo bench -p rmcc-bench --bench fig22_group_traffic
+//! RMCC_SCALE=small cargo bench -p rmcc-bench --bench fig22_group_traffic   # paper-scale
+//! ```
+
+fn main() {
+    rmcc_bench::bench_main("fig22");
+}

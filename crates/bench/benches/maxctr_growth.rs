@@ -1,0 +1,10 @@
+//! Section IV-D2: maximum counter value growth, RMCC vs Morphable.
+//!
+//! ```text
+//! cargo bench -p rmcc-bench --bench maxctr_growth
+//! RMCC_SCALE=small cargo bench -p rmcc-bench --bench maxctr_growth   # paper-scale
+//! ```
+
+fn main() {
+    rmcc_bench::bench_main("maxctr");
+}

@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks for the hot primitives: the software AES the
+//! functional engine runs, the carry-less multiplier RMCC adds, the
+//! memoization-table operations on the MC's critical path, and the
+//! simulator kernels (cache access, DRAM transaction, counter encode).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rmcc_cache::set_assoc::SetAssocCache;
+use rmcc_core::rmcc::{Rmcc, RmccConfig};
+use rmcc_core::table::{MemoizationTable, TableConfig};
+use rmcc_crypto::aes::Aes;
+use rmcc_crypto::clmul::{clmul128, clmul_truncate_mid};
+use rmcc_crypto::mac::{compute_mac, MacKeys};
+use rmcc_crypto::otp::{KeySet, OtpPipeline, RmccOtp, SgxOtp};
+use rmcc_dram::channel::{Channel, ReqKind, TrafficClass};
+use rmcc_dram::config::DramConfig;
+use rmcc_secmem::counters::{CounterBlock, CounterOrg};
+
+fn crypto(c: &mut Criterion) {
+    let aes128 = Aes::new_128(&[7u8; 16]);
+    let aes256 = Aes::new_256(&[7u8; 32]);
+    c.bench_function("aes128_block", |b| {
+        let mut x = 0u128;
+        b.iter(|| {
+            x = aes128.encrypt_u128(black_box(x));
+            x
+        })
+    });
+    c.bench_function("aes256_block", |b| {
+        let mut x = 0u128;
+        b.iter(|| {
+            x = aes256.encrypt_u128(black_box(x));
+            x
+        })
+    });
+    c.bench_function("clmul128", |b| {
+        b.iter(|| clmul128(black_box(0x0123_4567_89ab_cdef), black_box(0xfedc_ba98)))
+    });
+    c.bench_function("clmul_truncate_mid", |b| {
+        b.iter(|| clmul_truncate_mid(black_box(u128::MAX / 3), black_box(u128::MAX / 7)))
+    });
+    let keys = KeySet::from_master(1);
+    let sgx = SgxOtp::new(keys.clone());
+    let rmcc = RmccOtp::new(keys);
+    c.bench_function("otp_block_pads_sgx", |b| {
+        b.iter(|| sgx.block_pads(black_box(0x1234), black_box(42)))
+    });
+    c.bench_function("otp_block_pads_rmcc", |b| {
+        b.iter(|| rmcc.block_pads(black_box(0x1234), black_box(42)))
+    });
+    let mac_keys = MacKeys::from_seed(5);
+    let block = [0xa5u8; 64];
+    c.bench_function("mac_compute", |b| {
+        b.iter(|| compute_mac(&mac_keys, black_box(&block), black_box(99)))
+    });
+}
+
+fn table(c: &mut Criterion) {
+    let mut t = MemoizationTable::new(TableConfig::paper());
+    for i in 0..16 {
+        t.insert_group(i * 1000);
+    }
+    c.bench_function("memo_table_lookup_hit", |b| {
+        b.iter(|| t.lookup(black_box(5_003)))
+    });
+    c.bench_function("memo_table_lookup_miss", |b| {
+        b.iter(|| t.lookup(black_box(123_456)))
+    });
+    c.bench_function("memo_nearest_above", |b| {
+        b.iter(|| t.nearest_memoized_above(black_box(4_500)))
+    });
+    let mut rmcc = Rmcc::new(RmccConfig::paper());
+    rmcc.seed_group(0, 1_000);
+    let mut cb = CounterBlock::new(CounterOrg::Morphable128);
+    c.bench_function("rmcc_update_counter", |b| {
+        let mut slot = 0usize;
+        b.iter(|| {
+            slot = (slot + 1) % 128;
+            rmcc.update_counter(0, &mut cb, black_box(slot), false)
+        })
+    });
+}
+
+fn substrate(c: &mut Criterion) {
+    let mut cache = SetAssocCache::with_capacity(128 << 10, 64, 32);
+    c.bench_function("counter_cache_access", |b| {
+        let mut a = 0u64;
+        b.iter(|| {
+            a = (a + 97) % 10_000;
+            cache.access(black_box(a), false)
+        })
+    });
+    let mut dram = Channel::new(DramConfig::table1());
+    c.bench_function("dram_transaction", |b| {
+        let mut t = 0;
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(0x1_0040);
+            let done = dram.access(t, black_box(addr % (1 << 37)), ReqKind::Read, TrafficClass::Data);
+            t = done.done;
+            done
+        })
+    });
+    c.bench_function("morphable_try_write", |b| {
+        let mut cb = CounterBlock::new(CounterOrg::Morphable128);
+        let mut v = 0u64;
+        let mut slot = 0usize;
+        b.iter(|| {
+            slot = (slot + 1) % 128;
+            v += 1;
+            if cb.try_write(slot, v).is_err() {
+                cb.relevel(v + 1);
+                v += 1;
+            }
+        })
+    });
+}
+
+criterion_group!(benches, crypto, table, substrate);
+criterion_main!(benches);

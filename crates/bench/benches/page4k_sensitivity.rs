@@ -1,0 +1,9 @@
+//! Extension: Morphable counter-miss rate under 4 KB vs 2 MB pages (§III).
+//!
+//! ```text
+//! cargo bench -p rmcc-bench --bench page4k_sensitivity
+//! ```
+
+fn main() {
+    rmcc_bench::bench_main("page4k");
+}

@@ -1,0 +1,10 @@
+//! Related-work comparison (§VII): PoisonIvy-style speculative verification
+//! vs RMCC over Morphable Counters.
+//!
+//! ```text
+//! cargo bench -p rmcc-bench --bench related_work_speculation
+//! ```
+
+fn main() {
+    rmcc_bench::bench_main("relwork");
+}

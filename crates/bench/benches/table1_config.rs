@@ -1,0 +1,10 @@
+//! Table I: the full system configuration.
+//!
+//! ```text
+//! cargo bench -p rmcc-bench --bench table1_config
+//! RMCC_SCALE=small cargo bench -p rmcc-bench --bench table1_config   # paper-scale
+//! ```
+
+fn main() {
+    rmcc_bench::bench_main("table1");
+}

@@ -1,0 +1,39 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p rmcc-bench --bin figures [tiny|small|full] [figNN ...]
+//! ```
+//!
+//! With no figure ids, every known figure runs. Output is the same series
+//! the paper plots (rows = workloads, columns = bars/lines).
+
+use rmcc_bench::{run_figure, scale_from, ALL_FIGURES};
+use rmcc_sim::experiments::Experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from(args.first().map(String::as_str));
+    let requested: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !matches!(*a, "tiny" | "small" | "full"))
+        .collect();
+    let ids: Vec<&str> = if requested.is_empty() {
+        ALL_FIGURES.to_vec()
+    } else {
+        requested
+    };
+
+    eprintln!("scale = {scale}; building input graph…");
+    let t0 = std::time::Instant::now();
+    let ex = Experiments::new(scale);
+    eprintln!("graph ready in {:.1}s", t0.elapsed().as_secs_f64());
+
+    for id in ids {
+        let t = std::time::Instant::now();
+        for series in run_figure(&ex, id) {
+            println!("{series}");
+        }
+        eprintln!("[{id} done in {:.1}s]", t.elapsed().as_secs_f64());
+    }
+}

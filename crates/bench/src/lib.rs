@@ -1,0 +1,132 @@
+//! Benchmark harnesses for the RMCC reproduction.
+//!
+//! Every table and figure in the paper's evaluation has a runnable target:
+//!
+//! * `cargo bench -p rmcc-bench` runs Criterion micro-benchmarks (AES,
+//!   clmul, table lookup, …) plus a scaled version of every figure.
+//! * `cargo run --release -p rmcc-bench --bin figures [tiny|small|full] [figNN …]`
+//!   regenerates the figures at a chosen scale and prints the same series
+//!   the paper plots.
+//!
+//! Figure harness logic lives in [`rmcc_sim::experiments`]; this crate only
+//! drives it and formats output.
+
+use rmcc_sim::experiments::{table1, Experiments, Series};
+use rmcc_workloads::workload::Scale;
+
+/// Parses a scale name, defaulting from the `RMCC_SCALE` environment
+/// variable and finally to `tiny`.
+pub fn scale_from(arg: Option<&str>) -> Scale {
+    let name = arg
+        .map(str::to_string)
+        .or_else(|| std::env::var("RMCC_SCALE").ok())
+        .unwrap_or_else(|| "tiny".to_string());
+    match name.as_str() {
+        "full" => Scale::Full,
+        "small" => Scale::Small,
+        _ => Scale::Tiny,
+    }
+}
+
+/// Every figure id this harness knows, in paper order.
+pub const ALL_FIGURES: [&str; 17] = [
+    "table1", "fig03", "fig04", "fig10", "fig12", "fig13+14", "fig15", "fig16", "fig17",
+    "fig18", "fig19+20", "fig21+22", "maxctr", "accel", "page4k", "ablation", "relwork",
+];
+
+/// Runs one figure by id and returns its printable series (empty for
+/// `table1`, which is plain text).
+///
+/// # Panics
+///
+/// Panics on an unknown figure id.
+pub fn run_figure(ex: &Experiments, id: &str) -> Vec<Series> {
+    match id {
+        "table1" => {
+            println!("{}", table1());
+            vec![]
+        }
+        "fig03" => vec![ex.fig03_counter_miss()],
+        "fig04" => vec![ex.fig04_tlb()],
+        "fig10" => vec![ex.fig10_hit_breakdown()],
+        "fig12" => vec![ex.fig12_bandwidth()],
+        "fig13+14" => {
+            let (a, b) = ex.fig13_fig14();
+            vec![a, b]
+        }
+        "fig13" | "fig14" => {
+            let (a, b) = ex.fig13_fig14();
+            if id == "fig13" { vec![a] } else { vec![b] }
+        }
+        "fig15" => vec![ex.fig15_coverage()],
+        "fig16" => vec![ex.fig16_traffic()],
+        "fig17" => vec![ex.fig17_aes_latency()],
+        "fig18" => vec![ex.fig18_counter_cache()],
+        "fig19+20" => {
+            let (a, b) = ex.fig19_fig20();
+            vec![a, b]
+        }
+        "fig19" | "fig20" => {
+            let (a, b) = ex.fig19_fig20();
+            if id == "fig19" { vec![a] } else { vec![b] }
+        }
+        "fig21+22" => {
+            let (a, b) = ex.fig21_fig22();
+            vec![a, b]
+        }
+        "fig21" | "fig22" => {
+            let (a, b) = ex.fig21_fig22();
+            if id == "fig21" { vec![a] } else { vec![b] }
+        }
+        "maxctr" => vec![ex.max_counter_growth()],
+        "accel" => vec![ex.accelerated_misses()],
+        "page4k" => vec![ex.page_size_sensitivity()],
+        "relwork" => vec![ex.related_work_speculation()],
+        "ablation" => vec![ex.ablation_read_triggered()],
+        other => panic!("unknown figure id {other:?} (known: {ALL_FIGURES:?})"),
+    }
+}
+
+/// Entry point shared by the per-figure bench targets: builds the context
+/// at the `RMCC_SCALE` env scale (default `tiny` so `cargo bench` stays
+/// affordable; `small`/`full` regenerate publication-scale numbers), runs
+/// one figure, and prints its series.
+pub fn bench_main(id: &str) {
+    let scale = scale_from(None);
+    eprintln!("[{id}] scale = {scale} (set RMCC_SCALE=small|full for paper-scale runs)");
+    let t0 = std::time::Instant::now();
+    let ex = Experiments::new(scale);
+    for series in run_figure(&ex, id) {
+        println!("{series}");
+    }
+    eprintln!("[{id}] done in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(scale_from(Some("full")), Scale::Full);
+        assert_eq!(scale_from(Some("small")), Scale::Small);
+        assert_eq!(scale_from(Some("bogus")), Scale::Tiny);
+    }
+
+    #[test]
+    fn every_listed_figure_runs_at_tiny() {
+        let ex = Experiments::new(Scale::Tiny);
+        // The cheap, single-config figures; sweeps are covered by their own
+        // bench targets.
+        for id in ["table1", "fig03", "fig04", "fig15", "accel"] {
+            let _ = run_figure(&ex, id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown figure")]
+    fn unknown_figure_panics() {
+        let ex = Experiments::new(Scale::Tiny);
+        let _ = run_figure(&ex, "fig99");
+    }
+}

@@ -1,0 +1,150 @@
+//! TLB model used to reproduce Figure 4 (TLB misses per LLC miss under 4 KB
+//! and 2 MB pages).
+//!
+//! The paper's key observation (§III) is that counter blocks have coverage
+//! comparable to a 4 KB page-table entry, so workloads with high TLB miss
+//! rates also have high counter-cache miss rates. This TLB is deliberately
+//! simple — fully parameterized by entry count and page size — because only
+//! the *correlation* matters for the reproduction.
+
+use crate::set_assoc::SetAssocCache;
+
+/// Page sizes evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageSize {
+    /// Normal 4 KB pages.
+    Small4K,
+    /// 2 MB huge pages ("each 2MB PTE covers tens of thousands of memory
+    /// blocks", §III).
+    Huge2M,
+}
+
+impl PageSize {
+    /// The page size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            PageSize::Small4K => 4 << 10,
+            PageSize::Huge2M => 2 << 20,
+        }
+    }
+
+    /// log2 of the page size.
+    pub fn shift(self) -> u32 {
+        self.bytes().trailing_zeros()
+    }
+}
+
+impl std::fmt::Display for PageSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PageSize::Small4K => write!(f, "4KB"),
+            PageSize::Huge2M => write!(f, "2MB"),
+        }
+    }
+}
+
+/// A translation lookaside buffer.
+///
+/// # Examples
+///
+/// ```
+/// use rmcc_cache::tlb::{PageSize, Tlb};
+///
+/// // The paper's config: 1536-entry D-TLB (12-way → 128 sets).
+/// let mut tlb = Tlb::new(1536, 12, PageSize::Small4K);
+/// assert!(!tlb.access(0x0000)); // cold miss
+/// assert!(tlb.access(0x0fff)); // same 4 KB page: hit
+/// assert!(!tlb.access(0x1000)); // next page: miss
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: SetAssocCache,
+    page: PageSize,
+}
+
+impl Tlb {
+    /// Creates a TLB with `n_entries` translations at `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_entries / ways` is not a power of two.
+    pub fn new(n_entries: usize, ways: usize, page: PageSize) -> Self {
+        Tlb { entries: SetAssocCache::new(n_entries, ways), page }
+    }
+
+    /// Translates the byte address `vaddr`; returns `true` on a TLB hit.
+    pub fn access(&mut self, vaddr: u64) -> bool {
+        let vpn = vaddr >> self.page.shift();
+        self.entries.access(vpn, false).is_hit()
+    }
+
+    /// The configured page size.
+    pub fn page_size(&self) -> PageSize {
+        self.page
+    }
+
+    /// Total translation lookups so far.
+    pub fn accesses(&self) -> u64 {
+        self.entries.stats().accesses
+    }
+
+    /// Translation misses so far.
+    pub fn misses(&self) -> u64 {
+        self.entries.stats().misses
+    }
+
+    /// Miss ratio in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        self.entries.stats().miss_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_sizes() {
+        assert_eq!(PageSize::Small4K.bytes(), 4096);
+        assert_eq!(PageSize::Huge2M.bytes(), 2 * 1024 * 1024);
+        assert_eq!(PageSize::Small4K.shift(), 12);
+        assert_eq!(PageSize::Huge2M.shift(), 21);
+        assert_eq!(PageSize::Small4K.to_string(), "4KB");
+        assert_eq!(PageSize::Huge2M.to_string(), "2MB");
+    }
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = Tlb::new(16, 4, PageSize::Small4K);
+        assert!(!t.access(100));
+        assert!(t.access(4095));
+        assert!(!t.access(4096));
+        assert_eq!(t.accesses(), 3);
+        assert_eq!(t.misses(), 2);
+    }
+
+    #[test]
+    fn huge_pages_cover_more() {
+        let mut small = Tlb::new(16, 4, PageSize::Small4K);
+        let mut huge = Tlb::new(16, 4, PageSize::Huge2M);
+        // Stride through 2 MB in 4 KB steps: every step misses the 4 KB TLB
+        // eventually (capacity), but the 2 MB TLB sees one page.
+        for i in 0..512u64 {
+            small.access(i * 4096);
+            huge.access(i * 4096);
+        }
+        assert_eq!(huge.misses(), 1);
+        assert!(small.misses() > 16);
+    }
+
+    #[test]
+    fn miss_rate_in_bounds() {
+        let mut t = Tlb::new(16, 4, PageSize::Small4K);
+        for i in 0..1000u64 {
+            t.access(i * 8192);
+        }
+        let r = t.miss_rate();
+        assert!((0.0..=1.0).contains(&r));
+        assert!(r > 0.5, "strided pattern should thrash a 16-entry TLB");
+    }
+}

@@ -1,0 +1,189 @@
+//! The per-epoch traffic-overhead budget (§IV-C1/§IV-C2).
+//!
+//! RMCC's extra traffic — read-triggered counter updates for read-mostly
+//! blocks and the additional overflows its value jumps can cause — is capped
+//! at a fraction (default 1%) of memory traffic per epoch of 1,000,000
+//! memory accesses. Leftover budget carries over to the next epoch. When
+//! the budget runs dry, RMCC falls back to the baseline update policy for
+//! the rest of the epoch, except on writes that would overflow anyway
+//! (releveling to a memoized value there costs nothing extra).
+
+/// Memory accesses per budget epoch (paper: 1,000,000).
+pub const EPOCH_ACCESSES: u64 = 1_000_000;
+
+/// A replenishing traffic budget.
+///
+/// All quantities are in units of 64 B memory requests.
+///
+/// # Examples
+///
+/// ```
+/// use rmcc_core::budget::TrafficBudget;
+///
+/// let mut b = TrafficBudget::new(0.01); // 1% of traffic
+/// // A fresh budget grants one epoch's allowance up front.
+/// assert!(b.try_consume(100));
+/// assert!(!b.try_consume(1_000_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficBudget {
+    /// Fraction of per-epoch traffic grantable as overhead.
+    fraction: f64,
+    /// Requests still grantable.
+    available: f64,
+    /// Accesses seen in the current epoch.
+    epoch_progress: u64,
+    /// Total overhead requests ever granted.
+    total_spent: u64,
+    /// Total accesses ever observed.
+    total_accesses: u64,
+    /// Completed epochs.
+    epochs: u64,
+}
+
+impl TrafficBudget {
+    /// Creates a budget granting `fraction` of each epoch's accesses,
+    /// with the first epoch's allowance immediately available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is negative or not finite.
+    pub fn new(fraction: f64) -> Self {
+        assert!(fraction.is_finite() && fraction >= 0.0, "fraction must be non-negative");
+        TrafficBudget {
+            fraction,
+            available: fraction * EPOCH_ACCESSES as f64,
+            epoch_progress: 0,
+            total_spent: 0,
+            total_accesses: 0,
+            epochs: 0,
+        }
+    }
+
+    /// The configured overhead fraction.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    /// Requests currently grantable.
+    pub fn available(&self) -> f64 {
+        self.available
+    }
+
+    /// Total overhead requests granted over the run.
+    pub fn total_spent(&self) -> u64 {
+        self.total_spent
+    }
+
+    /// Total memory accesses observed.
+    pub fn total_accesses(&self) -> u64 {
+        self.total_accesses
+    }
+
+    /// Realized overhead as a fraction of all observed accesses.
+    pub fn realized_overhead(&self) -> f64 {
+        if self.total_accesses == 0 {
+            0.0
+        } else {
+            self.total_spent as f64 / self.total_accesses as f64
+        }
+    }
+
+    /// Records one memory access; every [`EPOCH_ACCESSES`]-th access rolls
+    /// the epoch and replenishes the budget (carrying leftover forward).
+    /// Returns `true` when an epoch boundary was crossed — the caller runs
+    /// its end-of-epoch maintenance (table reselection) then.
+    pub fn on_access(&mut self) -> bool {
+        self.total_accesses += 1;
+        self.epoch_progress += 1;
+        if self.epoch_progress >= EPOCH_ACCESSES {
+            self.epoch_progress = 0;
+            self.epochs += 1;
+            // Carry-over: leftover adds to the new allowance (§IV-C1).
+            self.available += self.fraction * EPOCH_ACCESSES as f64;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Completed epochs so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Attempts to spend `requests` of overhead traffic; `false` (and no
+    /// spend) if the remaining budget cannot cover it.
+    pub fn try_consume(&mut self, requests: u64) -> bool {
+        if self.available >= requests as f64 {
+            self.available -= requests as f64;
+            self.total_spent += requests;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_allowance_and_exhaustion() {
+        let mut b = TrafficBudget::new(0.01);
+        assert!((b.available() - 10_000.0).abs() < 1e-9);
+        assert!(b.try_consume(10_000));
+        assert!(!b.try_consume(1));
+        assert_eq!(b.total_spent(), 10_000);
+    }
+
+    #[test]
+    fn replenishes_each_epoch_with_carry_over() {
+        let mut b = TrafficBudget::new(0.01);
+        assert!(b.try_consume(9_000)); // leave 1 000
+        let mut boundaries = 0;
+        for _ in 0..EPOCH_ACCESSES {
+            if b.on_access() {
+                boundaries += 1;
+            }
+        }
+        assert_eq!(boundaries, 1);
+        assert_eq!(b.epochs(), 1);
+        // 1 000 leftover + 10 000 fresh.
+        assert!((b.available() - 11_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_fraction_grants_nothing() {
+        let mut b = TrafficBudget::new(0.0);
+        assert!(!b.try_consume(1));
+        assert!(b.try_consume(0));
+    }
+
+    #[test]
+    fn realized_overhead_tracks_ratio() {
+        let mut b = TrafficBudget::new(0.08);
+        for _ in 0..1000 {
+            b.on_access();
+        }
+        b.try_consume(20);
+        assert!((b.realized_overhead() - 0.02).abs() < 1e-12);
+        assert_eq!(TrafficBudget::new(0.01).realized_overhead(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_fraction_panics() {
+        let _ = TrafficBudget::new(-0.5);
+    }
+
+    #[test]
+    fn failed_consume_does_not_spend() {
+        let mut b = TrafficBudget::new(0.01);
+        let before = b.available();
+        assert!(!b.try_consume(1_000_000));
+        assert!((b.available() - before).abs() < 1e-12);
+        assert_eq!(b.total_spent(), 0);
+    }
+}

@@ -1,0 +1,620 @@
+//! The RMCC engine: memoization tables, candidate monitors, and traffic
+//! budgets for every counter level, plus the memoization-aware counter
+//! update decision procedure (§IV-B, §IV-C).
+//!
+//! The engine is the policy brain the memory controller consults:
+//!
+//! * on the **read path**, [`Rmcc::lookup`] answers whether a counter
+//!   value's AES contribution is memoized (hiding the AES latency after a
+//!   counter miss) and feeds the high-value monitor;
+//! * on the **write path**, [`Rmcc::update_counter`] raises a counter to
+//!   the nearest memoized value when that is free or affordable, falling
+//!   back to the baseline `+1` when the budget is dry;
+//! * every memory access ticks [`Rmcc::on_memory_access`], which rolls
+//!   epochs: table reselection, monitor reset, budget replenishment.
+
+use rmcc_secmem::counters::CounterBlock;
+
+use crate::budget::TrafficBudget;
+use crate::candidates::HighValueMonitor;
+use crate::table::{LookupResult, MemoizationTable, TableConfig, TableStats};
+
+/// Counter levels with their own tables (paper: L0 data counters and L1
+/// tree counters, 128 entries each — Figure 8 / Table I).
+pub const DEFAULT_LEVELS: usize = 2;
+
+/// Relevels per epoch beyond which the DoS guard (§IV-D2) pauses
+/// memoization-aware updates for the rest of the epoch: "after encountering
+/// a large number of overflows in an epoch, RMCC can adaptively pause
+/// memoization-aware counter update and revert to baseline".
+pub const DOS_OVERFLOW_GUARD: u64 = 32_768;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmccConfig {
+    /// Geometry of each level's memoization table.
+    pub table: TableConfig,
+    /// Per-level traffic-overhead budget fraction (paper: 1% each for L0
+    /// and L1, a 2% total — §VI).
+    pub budget_fraction: f64,
+    /// Number of counter levels with tables.
+    pub levels: usize,
+    /// Whether read requests with unmemoized counters also receive
+    /// memoization-aware updates (§IV-C1). Disable for ablation.
+    pub read_triggered: bool,
+}
+
+impl RmccConfig {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        RmccConfig {
+            table: TableConfig::paper(),
+            budget_fraction: 0.01,
+            levels: DEFAULT_LEVELS,
+            read_triggered: true,
+        }
+    }
+
+    /// The paper's configuration with a different per-level budget
+    /// (Figures 19/20 evaluate 1%, 2%, 8%).
+    pub fn with_budget(budget_fraction: f64) -> Self {
+        RmccConfig { budget_fraction, ..Self::paper() }
+    }
+
+    /// The paper's configuration with a different group size
+    /// (Figures 21/22 evaluate 4, 8, 16).
+    pub fn with_group_size(group_size: u64) -> Self {
+        RmccConfig { table: TableConfig::with_group_size(group_size), ..Self::paper() }
+    }
+}
+
+impl Default for RmccConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// What a counter update did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// The counter's value after the update.
+    pub new_value: u64,
+    /// Whether the whole counter block releveled (the caller must model the
+    /// re-encryption of every covered block).
+    pub releveled: bool,
+    /// Overhead requests charged to this level's budget by this update
+    /// (zero when the update was free relative to the baseline policy).
+    pub charged_requests: u64,
+    /// Whether the new value is currently memoized in a live group.
+    pub landed_on_memoized: bool,
+}
+
+/// Per-level state: table + high-value monitor.
+#[derive(Debug, Clone)]
+struct LevelState {
+    table: MemoizationTable,
+    monitor: HighValueMonitor,
+}
+
+/// The complete RMCC mechanism.
+///
+/// # Examples
+///
+/// ```
+/// use rmcc_core::rmcc::{Rmcc, RmccConfig};
+/// use rmcc_secmem::counters::{CounterBlock, CounterOrg};
+///
+/// let mut rmcc = Rmcc::new(RmccConfig::paper());
+/// let mut cb = CounterBlock::new(CounterOrg::Morphable128);
+///
+/// // Bootstrap a group, then writes conform to memoized values.
+/// rmcc.seed_group(0, 40);
+/// let out = rmcc.update_counter(0, &mut cb, 3, false).expect("writebacks always update");
+/// assert_eq!(out.new_value, 40);
+/// assert!(out.landed_on_memoized);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rmcc {
+    cfg: RmccConfig,
+    levels: Vec<LevelState>,
+    budgets: Vec<TrafficBudget>,
+    /// Observed-System-Max register mirror (fed by the caller on lookups).
+    system_max: u64,
+    /// Relevels seen this epoch, for the §IV-D2 DoS guard.
+    epoch_relevels: u64,
+    /// Set when the DoS guard tripped; cleared at the epoch boundary.
+    dos_paused: bool,
+}
+
+impl Rmcc {
+    /// Creates an engine with empty tables; groups bootstrap via the
+    /// high-value monitors (or [`Rmcc::seed_group`]).
+    pub fn new(cfg: RmccConfig) -> Self {
+        assert!(cfg.levels >= 1, "at least one counter level");
+        let levels = (0..cfg.levels)
+            .map(|_| LevelState {
+                table: MemoizationTable::new(cfg.table),
+                monitor: HighValueMonitor::new(0),
+            })
+            .collect();
+        let budgets = (0..cfg.levels).map(|_| TrafficBudget::new(cfg.budget_fraction)).collect();
+        Rmcc { cfg, levels, budgets, system_max: 0, epoch_relevels: 0, dos_paused: false }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> RmccConfig {
+        self.cfg
+    }
+
+    /// Table statistics for `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` has no table.
+    pub fn table_stats(&self, level: usize) -> TableStats {
+        self.levels[level].table.stats()
+    }
+
+    /// The budget for `level` (read-only view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` has no table.
+    pub fn budget(&self, level: usize) -> &TrafficBudget {
+        &self.budgets[level]
+    }
+
+    /// Direct access to a level's table (diagnostics / Figure 15 coverage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` has no table.
+    pub fn table(&self, level: usize) -> &MemoizationTable {
+        &self.levels[level].table
+    }
+
+    /// Whether `level` has a memoization table (levels above
+    /// `config().levels - 1` fall back to baseline behaviour).
+    pub fn covers_level(&self, level: usize) -> bool {
+        level < self.cfg.levels
+    }
+
+    /// Manually seeds a group (tests and warm-started experiments).
+    pub fn seed_group(&mut self, level: usize, start: u64) {
+        self.levels[level].table.insert_group(start);
+        let max = self.levels[level].table.max_counter_in_table().unwrap_or(0);
+        self.levels[level].monitor.reset(max);
+    }
+
+    /// Records one memory access (any kind). Rolls budget epochs and runs
+    /// end-of-epoch table reselection + monitor reset when a boundary is
+    /// crossed. Call exactly once per memory request the MC services.
+    pub fn on_memory_access(&mut self) {
+        let mut boundary = false;
+        for b in &mut self.budgets {
+            boundary |= b.on_access();
+        }
+        if boundary {
+            self.epoch_relevels = 0;
+            self.dos_paused = false;
+            for lvl in &mut self.levels {
+                let candidate = if lvl.monitor.should_insert() {
+                    Some(lvl.monitor.select_start(self.system_max))
+                } else {
+                    None
+                };
+                lvl.table.epoch_reselect(candidate);
+                let max = lvl.table.max_counter_in_table().unwrap_or(0);
+                lvl.monitor.reset(max);
+            }
+        }
+    }
+
+    /// Whether the §IV-D2 DoS guard is currently pausing memoization-aware
+    /// updates (an attacker manipulating counters to force overflow storms
+    /// makes RMCC revert to the baseline policy for the rest of the epoch).
+    pub fn dos_paused(&self) -> bool {
+        self.dos_paused
+    }
+
+    fn note_relevel(&mut self) {
+        self.epoch_relevels += 1;
+        if self.epoch_relevels >= DOS_OVERFLOW_GUARD {
+            self.dos_paused = true;
+        }
+    }
+
+    /// Updates the engine's mirror of the Observed-System-Max register
+    /// (§IV-D2); new memoized groups never start above `system_max + 1`.
+    pub fn note_system_max(&mut self, system_max: u64) {
+        self.system_max = self.system_max.max(system_max);
+    }
+
+    /// Read-path lookup: is `value`'s counter-only AES result memoized at
+    /// `level`? Also feeds the high-value monitor and performs mid-epoch
+    /// group insertion after 2 K high reads (§IV-C3).
+    ///
+    /// Levels without a table always miss.
+    pub fn lookup(&mut self, level: usize, value: u64) -> LookupResult {
+        if !self.covers_level(level) {
+            return LookupResult::Miss;
+        }
+        let lvl = &mut self.levels[level];
+        let result = lvl.table.lookup(value);
+        let max_in_table = lvl.table.max_counter_in_table().unwrap_or(0);
+        if value > max_in_table {
+            if lvl.monitor.base() != max_in_table {
+                lvl.monitor.reset(max_in_table);
+            }
+            lvl.monitor.observe(value);
+            if lvl.monitor.should_insert() {
+                let start = lvl.monitor.select_start(self.system_max);
+                lvl.table.insert_group(start);
+                let new_max = lvl.table.max_counter_in_table().unwrap_or(0);
+                lvl.monitor.reset(new_max);
+            }
+        }
+        result
+    }
+
+    /// Memoization-aware counter update (§IV-B, §IV-C2) for the counter in
+    /// `slot` of `cb` at `level`.
+    ///
+    /// Decision procedure:
+    /// 1. Prefer the nearest memoized value above the current one.
+    /// 2. If that jump would overflow the block while the baseline `+1`
+    ///    would not, the relevel is charged to the budget
+    ///    (`2 × coverage` requests); with insufficient budget, fall back
+    ///    to `+1`.
+    /// 3. If even `+1` overflows, relevel — for free — to the nearest
+    ///    memoized value at or above the forced target.
+    ///
+    /// `read_triggered` marks updates for read requests whose counters
+    /// missed the table (§IV-C1); those pay 2 requests of overhead
+    /// (re-encrypt + writeback) up front and are skipped when the budget
+    /// is dry.
+    ///
+    /// Returns `None` only for read-triggered updates that were declined.
+    pub fn update_counter(
+        &mut self,
+        level: usize,
+        cb: &mut CounterBlock,
+        slot: usize,
+        read_triggered: bool,
+    ) -> Option<UpdateOutcome> {
+        let coverage = cb.org().coverage() as u64;
+        let current = cb.value(slot);
+        let baseline = current + 1;
+        // The DoS guard reverts to the baseline policy for the rest of the
+        // epoch (§IV-D2); forced relevels below still steer to memoized
+        // values, which costs nothing either way.
+        let memo_target = if self.covers_level(level) && !self.dos_paused {
+            self.levels[level].table.nearest_memoized_above(current)
+        } else {
+            None
+        };
+
+        // Read-triggered updates are pure overhead: gate them up front.
+        let read_cost = 2u64;
+        if read_triggered {
+            if !self.cfg.read_triggered || self.dos_paused {
+                return None;
+            }
+            // Nothing to conform to → no point paying.
+            let target = memo_target?;
+            if !cb.can_write(slot, target) {
+                // A read-triggered relevel is too aggressive; skip.
+                return None;
+            }
+            if !self.budgets[level].try_consume(read_cost) {
+                return None;
+            }
+            cb.try_write(slot, target).expect("can_write verified");
+            return Some(UpdateOutcome {
+                new_value: target,
+                releveled: false,
+                charged_requests: read_cost,
+                landed_on_memoized: true,
+            });
+        }
+
+        let baseline_fits = cb.can_write(slot, baseline);
+        if let Some(target) = memo_target {
+            if cb.can_write(slot, target) {
+                // Free: one writeback either way.
+                cb.try_write(slot, target).expect("can_write verified");
+                return Some(UpdateOutcome {
+                    new_value: target,
+                    releveled: false,
+                    charged_requests: 0,
+                    landed_on_memoized: true,
+                });
+            }
+            if baseline_fits {
+                // The jump needs a relevel the baseline would avoid: charge
+                // the re-encryption traffic (read + write per covered block).
+                let cost = 2 * coverage;
+                if self.budgets[level].try_consume(cost) {
+                    let min_target = cb.max_value() + 1;
+                    let relevel_to = self.relevel_target(level, min_target);
+                    cb.relevel(relevel_to);
+                    self.note_relevel();
+                    return Some(UpdateOutcome {
+                        new_value: relevel_to,
+                        releveled: true,
+                        charged_requests: cost,
+                        landed_on_memoized: self.is_memoized(level, relevel_to),
+                    });
+                }
+                // Budget dry: baseline behaviour.
+                cb.try_write(slot, baseline).expect("baseline fits");
+                return Some(UpdateOutcome {
+                    new_value: baseline,
+                    releveled: false,
+                    charged_requests: 0,
+                    landed_on_memoized: self.is_memoized(level, baseline),
+                });
+            }
+            // Both overflow: the relevel is forced anyway; steering it to a
+            // memoized value costs nothing extra (§IV-C2).
+            let min_target = cb.max_value() + 1;
+            let relevel_to = self.relevel_target(level, min_target);
+            cb.relevel(relevel_to);
+            self.note_relevel();
+            return Some(UpdateOutcome {
+                new_value: relevel_to,
+                releveled: true,
+                charged_requests: 0,
+                landed_on_memoized: self.is_memoized(level, relevel_to),
+            });
+        }
+
+        // No memoized value above: baseline policy.
+        if baseline_fits {
+            cb.try_write(slot, baseline).expect("baseline fits");
+            Some(UpdateOutcome {
+                new_value: baseline,
+                releveled: false,
+                charged_requests: 0,
+                landed_on_memoized: self.is_memoized(level, baseline),
+            })
+        } else {
+            let min_target = cb.max_value() + 1;
+            let relevel_to = self.relevel_target(level, min_target);
+            cb.relevel(relevel_to);
+            self.note_relevel();
+            Some(UpdateOutcome {
+                new_value: relevel_to,
+                releveled: true,
+                charged_requests: 0,
+                landed_on_memoized: self.is_memoized(level, relevel_to),
+            })
+        }
+    }
+
+    /// The relevel target: the nearest memoized value ≥ `min_target`, or
+    /// `min_target` itself when nothing suitable is memoized.
+    fn relevel_target(&self, level: usize, min_target: u64) -> u64 {
+        if !self.covers_level(level) {
+            return min_target;
+        }
+        match self.levels[level].table.nearest_memoized_above(min_target.saturating_sub(1)) {
+            Some(t) if t >= min_target => t,
+            _ => min_target,
+        }
+    }
+
+    fn is_memoized(&self, level: usize, value: u64) -> bool {
+        self.covers_level(level) && self.levels[level].table.probe(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmcc_secmem::counters::CounterOrg;
+
+    #[test]
+    fn lookup_without_groups_misses_and_bootstraps() {
+        let mut r = Rmcc::new(RmccConfig::paper());
+        r.note_system_max(200_000);
+        // 2 K high-value reads trigger a group insertion.
+        for _ in 0..crate::candidates::HIGH_READ_TRIGGER {
+            assert_eq!(r.lookup(0, 100_000), LookupResult::Miss);
+        }
+        assert!(
+            r.table(0).max_counter_in_table().is_some(),
+            "monitor must bootstrap a group"
+        );
+        // The inserted group sits above the hot value but within the ladder.
+        let max = r.table(0).max_counter_in_table().unwrap();
+        assert!(max > 100_000, "group must land above the hot values, got {max}");
+    }
+
+    #[test]
+    fn writes_conform_to_memoized_values() {
+        let mut r = Rmcc::new(RmccConfig::paper());
+        r.seed_group(0, 100);
+        let mut cb = CounterBlock::new(CounterOrg::Morphable128);
+        let out = r.update_counter(0, &mut cb, 0, false).unwrap();
+        assert_eq!(out.new_value, 100);
+        assert!(out.landed_on_memoized);
+        assert_eq!(out.charged_requests, 0, "encodable jumps are free");
+        // Consecutive writes walk the group (Figure 7).
+        let out = r.update_counter(0, &mut cb, 0, false).unwrap();
+        assert_eq!(out.new_value, 101);
+    }
+
+    #[test]
+    fn sc64_jump_needs_budget() {
+        let mut r = Rmcc::new(RmccConfig::paper());
+        r.seed_group(0, 1_000); // far beyond a 7-bit minor
+        let mut cb = CounterBlock::new(CounterOrg::Sc64);
+        let out = r.update_counter(0, &mut cb, 0, false).unwrap();
+        // The jump forces a relevel baseline would avoid → charged.
+        assert!(out.releveled);
+        assert_eq!(out.charged_requests, 2 * 64);
+        assert_eq!(out.new_value, 1_000);
+        assert_eq!(cb.value(5), 1_000, "relevel moves every slot");
+    }
+
+    #[test]
+    fn dry_budget_falls_back_to_baseline() {
+        let mut r = Rmcc::new(RmccConfig::with_budget(0.0));
+        r.seed_group(0, 1_000);
+        let mut cb = CounterBlock::new(CounterOrg::Sc64);
+        let out = r.update_counter(0, &mut cb, 0, false).unwrap();
+        assert!(!out.releveled);
+        assert_eq!(out.new_value, 1);
+        assert_eq!(out.charged_requests, 0);
+    }
+
+    #[test]
+    fn forced_overflow_relevels_to_memoized_for_free() {
+        let mut r = Rmcc::new(RmccConfig::with_budget(0.0));
+        r.seed_group(0, 1_000);
+        let mut cb = CounterBlock::new(CounterOrg::Sc64);
+        // Exhaust the minor range so even +1 overflows.
+        for v in 1..=127 {
+            cb.try_write(0, v).unwrap();
+        }
+        let out = r.update_counter(0, &mut cb, 0, false).unwrap();
+        assert!(out.releveled);
+        assert_eq!(out.charged_requests, 0, "forced relevels are free");
+        assert_eq!(out.new_value, 1_000, "steered to the memoized value");
+        assert!(out.landed_on_memoized);
+    }
+
+    #[test]
+    fn no_memoized_value_means_baseline() {
+        let mut r = Rmcc::new(RmccConfig::paper());
+        let mut cb = CounterBlock::new(CounterOrg::Morphable128);
+        let out = r.update_counter(0, &mut cb, 0, false).unwrap();
+        assert_eq!(out.new_value, 1);
+        assert!(!out.landed_on_memoized);
+    }
+
+    #[test]
+    fn read_triggered_updates_respect_budget() {
+        let mut r = Rmcc::new(RmccConfig::paper());
+        r.seed_group(0, 50);
+        let mut cb = CounterBlock::new(CounterOrg::Morphable128);
+        let out = r.update_counter(0, &mut cb, 0, true).unwrap();
+        assert_eq!(out.new_value, 50);
+        assert_eq!(out.charged_requests, 2);
+        // Drain the budget; further read-triggered updates decline.
+        while r.budgets[0].try_consume(100) {}
+        while r.budgets[0].try_consume(1) {}
+        let mut cb2 = CounterBlock::new(CounterOrg::Morphable128);
+        assert!(r.update_counter(0, &mut cb2, 0, true).is_none());
+        assert_eq!(cb2.value(0), 0, "declined update leaves the counter alone");
+    }
+
+    #[test]
+    fn read_triggered_never_relevels() {
+        let mut r = Rmcc::new(RmccConfig::paper());
+        r.seed_group(0, 1_000);
+        let mut cb = CounterBlock::new(CounterOrg::Sc64); // jump would relevel
+        assert!(r.update_counter(0, &mut cb, 0, true).is_none());
+    }
+
+    #[test]
+    fn uncovered_levels_use_baseline() {
+        let mut r = Rmcc::new(RmccConfig { levels: 1, ..RmccConfig::paper() });
+        assert!(!r.covers_level(1));
+        assert_eq!(r.lookup(1, 42), LookupResult::Miss);
+        let mut cb = CounterBlock::new(CounterOrg::Morphable128);
+        let out = r.update_counter(1, &mut cb, 0, false).unwrap();
+        assert_eq!(out.new_value, 1);
+    }
+
+    #[test]
+    fn epoch_boundary_runs_reselection() {
+        let mut r = Rmcc::new(RmccConfig::paper());
+        r.seed_group(0, 10);
+        for _ in 0..crate::budget::EPOCH_ACCESSES {
+            r.on_memory_access();
+        }
+        assert_eq!(r.budget(0).epochs(), 1);
+        assert!(r.table(0).max_counter_in_table().is_some());
+    }
+
+    #[test]
+    fn self_reinforcement_converges_counters() {
+        // Figure 6's dynamic: scattered counters conform to the table over
+        // repeated writebacks.
+        let mut r = Rmcc::new(RmccConfig::paper());
+        r.seed_group(0, 100_000);
+        let mut blocks: Vec<CounterBlock> = (0..32)
+            .map(|i| {
+                CounterBlock::with_state(
+                    CounterOrg::Morphable128,
+                    50_000 + i * 1_000,
+                    vec![0; 128],
+                )
+            })
+            .collect();
+        for cb in &mut blocks {
+            for slot in 0..128 {
+                let _ = r.update_counter(0, cb, slot, false);
+            }
+        }
+        let memoized = blocks
+            .iter()
+            .flat_map(|cb| cb.values())
+            .filter(|&v| r.table(0).probe(v))
+            .count();
+        let total = blocks.len() * 128;
+        assert!(
+            memoized as f64 / total as f64 > 0.9,
+            "only {memoized}/{total} conformed"
+        );
+    }
+}
+
+#[cfg(test)]
+mod dos_guard_tests {
+    use super::*;
+    use rmcc_secmem::counters::CounterOrg;
+
+    #[test]
+    fn overflow_storm_trips_the_guard() {
+        let mut r = Rmcc::new(RmccConfig::paper());
+        r.seed_group(0, 10_000_000);
+        assert!(!r.dos_paused());
+        // An attacker forces relevels by hammering blocks whose jumps
+        // always overflow; budget is huge so charged relevels flow.
+        let mut cfg = RmccConfig::paper();
+        cfg.budget_fraction = 10.0; // effectively unlimited for the test
+        let mut r = Rmcc::new(cfg);
+        r.seed_group(0, 10_000_000);
+        for _ in 0..DOS_OVERFLOW_GUARD {
+            let mut cb = CounterBlock::new(CounterOrg::Sc64);
+            let out = r.update_counter(0, &mut cb, 0, false).unwrap();
+            assert!(out.releveled);
+        }
+        assert!(r.dos_paused(), "guard must trip after an overflow storm");
+        // While paused, updates revert to baseline +1.
+        let mut cb = CounterBlock::new(CounterOrg::Sc64);
+        let out = r.update_counter(0, &mut cb, 0, false).unwrap();
+        assert_eq!(out.new_value, 1);
+        assert!(!out.releveled);
+    }
+
+    #[test]
+    fn guard_clears_at_epoch_boundary() {
+        let mut cfg = RmccConfig::paper();
+        cfg.budget_fraction = 10.0;
+        let mut r = Rmcc::new(cfg);
+        r.seed_group(0, 10_000_000);
+        for _ in 0..DOS_OVERFLOW_GUARD {
+            let mut cb = CounterBlock::new(CounterOrg::Sc64);
+            let _ = r.update_counter(0, &mut cb, 0, false);
+        }
+        assert!(r.dos_paused());
+        for _ in 0..crate::budget::EPOCH_ACCESSES {
+            r.on_memory_access();
+        }
+        assert!(!r.dos_paused(), "guard must clear each epoch");
+    }
+}

@@ -1,0 +1,100 @@
+//! Security analysis helpers (§IV-D).
+//!
+//! RMCC's modified OTP calculation multiplies two AES outputs and truncates,
+//! so identical pads *can* repeat by chance. The paper bounds the damage
+//! with the birthday problem: across a machine's entire lifetime of 2^56
+//! writebacks, roughly one machine in a hundred thousand ever sees a single
+//! repeated pad. This module reproduces that arithmetic and the §IV-D1
+//! equation-counting argument.
+
+/// Bits in an OTP.
+pub const OTP_BITS: u32 = 128;
+
+/// Writebacks in the "unrealistically long" machine lifetime the paper
+/// analyzes (a 56-bit counter exhausts at 2^56).
+pub const LIFETIME_WRITEBACKS_LOG2: u32 = 56;
+
+/// Probability that at least two of `2^n_log2` uniformly random `2^bits`-bit
+/// values collide (birthday bound, exponential form):
+/// `1 - exp(-n(n-1) / 2^(bits+1))`.
+pub fn birthday_collision_probability(n_log2: u32, bits: u32) -> f64 {
+    // ln of expected pair count: n(n-1)/2 / 2^bits ≈ 2^(2*n_log2 - 1 - bits).
+    let exponent = 2.0 * n_log2 as f64 - 1.0 - bits as f64;
+    let expected_pairs = 2f64.powf(exponent);
+    -(-expected_pairs).exp_m1()
+}
+
+/// The paper's headline claim: the chance a machine sees any repeated OTP
+/// during its lifetime — "only one in one hundred thousand machines".
+pub fn otp_repeat_probability() -> f64 {
+    birthday_collision_probability(LIFETIME_WRITEBACKS_LOG2, OTP_BITS)
+}
+
+/// §IV-D1's equation-counting argument: with `n_blocks` 64 B blocks (4
+/// pads each), a known-plaintext attacker obtains `4n` equations of the
+/// form `OTP = truncate(counter_AES × address_AES)` but faces `4n + 1`
+/// unknowns even in the worst case where every block shares one counter
+/// value. Returns `(equations, unknowns)`.
+pub fn attack_equation_balance(n_blocks: u64) -> (u64, u64) {
+    let equations = 4 * n_blocks;
+    let unknowns = 4 * n_blocks + 1;
+    (equations, unknowns)
+}
+
+/// Bits of information destroyed by the truncated multiplication: the
+/// 256-bit product keeps only its middle 128 bits, so any attempt to invert
+/// one equation must enumerate ~2^128 candidate factor pairs — as expensive
+/// as brute-forcing AES-128 itself (§IV-D1).
+pub const TRUNCATION_LOSS_BITS: u32 = 128;
+
+/// Worst-case writebacks before key renewal under RMCC with the
+/// Observed-System-Max clamp (§IV-D2): identical to SGX, because a new
+/// memoized group never starts above `system_max + 1`, so the single
+/// hottest block's counter still advances by one per writeback.
+pub fn worst_case_writebacks_before_reboot() -> u64 {
+    1u64 << LIFETIME_WRITEBACKS_LOG2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn otp_repeat_is_about_one_in_a_hundred_thousand() {
+        let p = otp_repeat_probability();
+        // 2^(2*56 - 1 - 128) = 2^-17 ≈ 7.6e-6.
+        assert!(p > 5e-6 && p < 1e-5, "p = {p}");
+    }
+
+    #[test]
+    fn birthday_bound_monotonicity() {
+        // More samples → more collisions; more bits → fewer.
+        assert!(
+            birthday_collision_probability(57, 128) > birthday_collision_probability(56, 128)
+        );
+        assert!(
+            birthday_collision_probability(56, 130) < birthday_collision_probability(56, 128)
+        );
+    }
+
+    #[test]
+    fn birthday_bound_saturates_at_one() {
+        let p = birthday_collision_probability(80, 128);
+        assert!(p > 0.99999 || p <= 1.0);
+        assert!(p <= 1.0);
+    }
+
+    #[test]
+    fn equations_never_catch_unknowns() {
+        for n in [1u64, 100, 1 << 31] {
+            let (eq, unk) = attack_equation_balance(n);
+            assert!(unk > eq, "system must stay underdetermined");
+            assert_eq!(unk - eq, 1);
+        }
+    }
+
+    #[test]
+    fn reboot_bound_matches_sgx() {
+        assert_eq!(worst_case_writebacks_before_reboot(), 1 << 56);
+    }
+}

@@ -1,0 +1,511 @@
+//! The memoization table (Figure 9): Memoized Counter Value Groups, the
+//! shadow ring of recently evicted groups, and the MRU single-value entries
+//! harvested from evicted groups.
+//!
+//! The table memoizes *counter-only AES results* keyed by counter **value**
+//! (not counter block), which is what lets 128 entries cover millions of
+//! data blocks. Entries are organized as groups of consecutive values
+//! (default 16 groups × 8 values) so that memoization-aware updates usually
+//! increment counters by exactly one (§IV-C2).
+
+use std::collections::VecDeque;
+
+/// Table geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableConfig {
+    /// Live Memoized Counter Value Groups (paper: 16).
+    pub n_groups: usize,
+    /// Consecutive counter values per group (paper: 8; §VI also evaluates 4
+    /// and 16 at constant total entries).
+    pub group_size: u64,
+    /// Recently evicted groups whose use counters are still tracked
+    /// (shadow tags; paper: 16).
+    pub n_evicted: usize,
+    /// Most-recently-used individual values from evicted groups whose AES
+    /// results stay memoized (§IV-C4; paper: 16).
+    pub n_mru_values: usize,
+}
+
+impl TableConfig {
+    /// The paper's configuration: 128 entries as 16 groups of 8.
+    pub fn paper() -> Self {
+        TableConfig { n_groups: 16, group_size: 8, n_evicted: 16, n_mru_values: 16 }
+    }
+
+    /// Same total entry count with a different group size (Figures 21/22).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `group_size` divides 128.
+    pub fn with_group_size(group_size: u64) -> Self {
+        assert!(group_size > 0 && 128 % group_size == 0, "group size must divide 128");
+        TableConfig {
+            n_groups: (128 / group_size) as usize,
+            group_size,
+            n_evicted: (128 / group_size) as usize,
+            n_mru_values: 16,
+        }
+    }
+
+    /// Total memoized values across live groups.
+    pub fn total_entries(&self) -> u64 {
+        self.n_groups as u64 * self.group_size
+    }
+}
+
+impl Default for TableConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// One Memoized Counter Value Group: `start .. start + group_size`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Group {
+    /// First counter value in the group.
+    pub start: u64,
+    /// Times a value in this group was used to decrypt/verify a request.
+    pub use_count: u64,
+}
+
+/// How a lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LookupResult {
+    /// The value lies in a live Memoized Counter Value Group.
+    GroupHit,
+    /// The value is one of the MRU single values from evicted groups.
+    MruHit,
+    /// Not memoized; the AES must be computed. If the value fell inside a
+    /// recently evicted group, it has now been promoted into the MRU list
+    /// so immediate reuse will hit.
+    Miss,
+}
+
+impl LookupResult {
+    /// `true` unless the lookup missed.
+    pub fn is_hit(self) -> bool {
+        !matches!(self, LookupResult::Miss)
+    }
+}
+
+/// Hit/miss counters for one table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Lookups that hit a live group.
+    pub group_hits: u64,
+    /// Lookups that hit an MRU single value.
+    pub mru_hits: u64,
+    /// Lookups that missed entirely.
+    pub misses: u64,
+    /// Groups inserted over the table's lifetime.
+    pub insertions: u64,
+}
+
+impl TableStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.group_hits + self.mru_hits + self.misses
+    }
+
+    /// Overall hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.lookups();
+        if n == 0 {
+            0.0
+        } else {
+            (self.group_hits + self.mru_hits) as f64 / n as f64
+        }
+    }
+}
+
+/// The memoization table for one counter level.
+///
+/// # Examples
+///
+/// ```
+/// use rmcc_core::table::{LookupResult, MemoizationTable, TableConfig};
+///
+/// let mut t = MemoizationTable::new(TableConfig::paper());
+/// t.insert_group(1000);
+/// assert_eq!(t.lookup(1003), LookupResult::GroupHit);
+/// assert_eq!(t.lookup(1008), LookupResult::Miss); // past the group's end
+/// assert_eq!(t.nearest_memoized_above(1001), Some(1002));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoizationTable {
+    cfg: TableConfig,
+    /// Live groups, unordered.
+    groups: Vec<Group>,
+    /// Shadow ring: most recently evicted groups, newest at the back.
+    evicted: VecDeque<Group>,
+    /// MRU single values (front = most recent).
+    mru_values: VecDeque<u64>,
+    stats: TableStats,
+}
+
+impl MemoizationTable {
+    /// An empty table; groups arrive via [`MemoizationTable::insert_group`]
+    /// or [`MemoizationTable::seed_groups`].
+    pub fn new(cfg: TableConfig) -> Self {
+        MemoizationTable {
+            cfg,
+            groups: Vec::with_capacity(cfg.n_groups),
+            evicted: VecDeque::with_capacity(cfg.n_evicted),
+            mru_values: VecDeque::with_capacity(cfg.n_mru_values),
+            stats: TableStats::default(),
+        }
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> TableConfig {
+        self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> TableStats {
+        self.stats
+    }
+
+    /// Live groups (diagnostics).
+    pub fn groups(&self) -> &[Group] {
+        &self.groups
+    }
+
+    /// Max-Counter-in-Table: the largest memoized value across live groups,
+    /// or `None` while the table is empty.
+    pub fn max_counter_in_table(&self) -> Option<u64> {
+        self.groups.iter().map(|g| g.start + self.cfg.group_size - 1).max()
+    }
+
+    /// Whether `value` lies inside a live group.
+    pub fn in_live_group(&self, value: u64) -> bool {
+        self.groups
+            .iter()
+            .any(|g| value >= g.start && value < g.start + self.cfg.group_size)
+    }
+
+    /// Looks up the counter-only result for `value`, updating use counters,
+    /// MRU recency, and statistics.
+    pub fn lookup(&mut self, value: u64) -> LookupResult {
+        let size = self.cfg.group_size;
+        if let Some(g) = self
+            .groups
+            .iter_mut()
+            .find(|g| value >= g.start && value < g.start + size)
+        {
+            g.use_count += 1;
+            self.stats.group_hits += 1;
+            return LookupResult::GroupHit;
+        }
+        if let Some(pos) = self.mru_values.iter().position(|&v| v == value) {
+            // Refresh recency.
+            self.mru_values.remove(pos);
+            self.mru_values.push_front(value);
+            self.stats.mru_hits += 1;
+            return LookupResult::MruHit;
+        }
+        // A miss; if the value falls in an evicted group, track its shadow
+        // use count and promote the (now freshly computed) AES result into
+        // the MRU single-value store for next time (§IV-C4).
+        if let Some(g) = self
+            .evicted
+            .iter_mut()
+            .find(|g| value >= g.start && value < g.start + size)
+        {
+            g.use_count += 1;
+            self.mru_values.push_front(value);
+            self.mru_values.truncate(self.cfg.n_mru_values);
+        }
+        self.stats.misses += 1;
+        LookupResult::Miss
+    }
+
+    /// Peeks whether `value` is memoized without touching any state
+    /// (for policy decisions that shouldn't perturb use counters).
+    pub fn probe(&self, value: u64) -> bool {
+        self.in_live_group(value) || self.mru_values.contains(&value)
+    }
+
+    /// The smallest *live-group* value strictly greater than `current` —
+    /// the memoization-aware update target. MRU values are deliberately
+    /// excluded: their composition churns with every access (§IV-C4).
+    pub fn nearest_memoized_above(&self, current: u64) -> Option<u64> {
+        let size = self.cfg.group_size;
+        self.groups
+            .iter()
+            .filter_map(|g| {
+                let end = g.start + size; // exclusive
+                if current + 1 >= end {
+                    None
+                } else {
+                    Some(g.start.max(current + 1))
+                }
+            })
+            .min()
+    }
+
+    /// Inserts a new group starting at `start`, evicting the least
+    /// frequently used live group if the table is full (§IV-C3). The victim
+    /// joins the shadow ring with its use counter intact.
+    pub fn insert_group(&mut self, start: u64) {
+        // Re-inserting an existing group is a no-op.
+        if self.groups.iter().any(|g| g.start == start) {
+            return;
+        }
+        self.stats.insertions += 1;
+        if self.groups.len() >= self.cfg.n_groups {
+            let lfu = self
+                .groups
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, g)| g.use_count)
+                .map(|(i, _)| i)
+                .expect("table is non-empty");
+            let victim = self.groups.swap_remove(lfu);
+            self.push_evicted(victim);
+        }
+        // A freshly inserted group starts with a modest score so it isn't
+        // immediately re-evicted before proving itself.
+        self.groups.push(Group { start, use_count: 1 });
+    }
+
+    /// Seeds the table with groups at the given starts (initialization).
+    pub fn seed_groups(&mut self, starts: impl IntoIterator<Item = u64>) {
+        for s in starts {
+            self.insert_group(s);
+        }
+    }
+
+    fn push_evicted(&mut self, g: Group) {
+        // Drop stale MRU values that belonged to *live* coverage — they stay
+        // valid (they are still memoized results), so nothing to do there.
+        if self.evicted.len() >= self.cfg.n_evicted {
+            self.evicted.pop_front();
+        }
+        self.evicted.push_back(g);
+    }
+
+    /// End-of-epoch reselection (§IV-C3): keep the most frequently used
+    /// groups out of live + evicted, optionally admitting `new_group` (the
+    /// candidate monitor's 98th-percentile pick) as one of the live set.
+    /// All use counters are halved afterwards so the table stays adaptive.
+    pub fn epoch_reselect(&mut self, new_group: Option<u64>) {
+        let mut pool: Vec<Group> = self.groups.drain(..).collect();
+        pool.extend(self.evicted.drain(..));
+        // Highest use count first; stable on start for determinism.
+        pool.sort_by(|a, b| b.use_count.cmp(&a.use_count).then(a.start.cmp(&b.start)));
+        pool.dedup_by_key(|g| g.start);
+
+        let mut keep = self.cfg.n_groups;
+        if let Some(start) = new_group {
+            if !pool.iter().take(keep).any(|g| g.start == start) {
+                keep -= 1;
+            }
+        }
+        for g in pool.iter().take(keep) {
+            self.groups.push(*g);
+        }
+        if let Some(start) = new_group {
+            if !self.groups.iter().any(|g| g.start == start) {
+                self.stats.insertions += 1;
+                self.groups.push(Group { start, use_count: 1 });
+            }
+        }
+        for g in pool.into_iter().skip(keep) {
+            self.push_evicted(g);
+        }
+        // Age.
+        for g in &mut self.groups {
+            g.use_count /= 2;
+        }
+        for g in &mut self.evicted {
+            g.use_count /= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> MemoizationTable {
+        MemoizationTable::new(TableConfig::paper())
+    }
+
+    #[test]
+    fn config_geometry() {
+        let c = TableConfig::paper();
+        assert_eq!(c.total_entries(), 128);
+        let c4 = TableConfig::with_group_size(4);
+        assert_eq!(c4.n_groups, 32);
+        assert_eq!(c4.total_entries(), 128);
+        let c16 = TableConfig::with_group_size(16);
+        assert_eq!(c16.n_groups, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide 128")]
+    fn bad_group_size_panics() {
+        let _ = TableConfig::with_group_size(5);
+    }
+
+    #[test]
+    fn lookup_hits_whole_group_range() {
+        let mut t = table();
+        t.insert_group(100);
+        for v in 100..108 {
+            assert_eq!(t.lookup(v), LookupResult::GroupHit, "value {v}");
+        }
+        assert_eq!(t.lookup(99), LookupResult::Miss);
+        assert_eq!(t.lookup(108), LookupResult::Miss);
+        assert_eq!(t.stats().group_hits, 8);
+        assert_eq!(t.stats().misses, 2);
+    }
+
+    #[test]
+    fn nearest_memoized_above_selects_minimum() {
+        let mut t = table();
+        t.insert_group(100);
+        t.insert_group(50);
+        assert_eq!(t.nearest_memoized_above(0), Some(50));
+        assert_eq!(t.nearest_memoized_above(50), Some(51));
+        assert_eq!(t.nearest_memoized_above(57), Some(100));
+        assert_eq!(t.nearest_memoized_above(103), Some(104));
+        assert_eq!(t.nearest_memoized_above(107), None);
+        assert_eq!(t.nearest_memoized_above(9999), None);
+    }
+
+    #[test]
+    fn consecutive_writes_walk_the_group() {
+        // Figure 7: consecutive writebacks keep hitting because groups hold
+        // consecutive values.
+        let mut t = table();
+        t.insert_group(35);
+        let mut v = 34;
+        for _ in 0..8 {
+            v = t.nearest_memoized_above(v).unwrap();
+            assert!(t.probe(v));
+        }
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn lfu_group_is_evicted_on_insert() {
+        let mut t = table();
+        for i in 0..16 {
+            t.insert_group(i * 100);
+        }
+        // Warm every group except the one at 300.
+        for i in 0..16 {
+            if i != 3 {
+                for _ in 0..5 {
+                    t.lookup(i * 100);
+                }
+            }
+        }
+        t.insert_group(10_000);
+        assert!(!t.in_live_group(300), "LFU group must be evicted");
+        assert!(t.in_live_group(10_000));
+        assert!(t.in_live_group(0));
+    }
+
+    #[test]
+    fn evicted_group_values_promote_into_mru() {
+        let mut t = table();
+        for i in 0..17 {
+            t.insert_group(i * 100); // 17th insert evicts one group
+        }
+        // Find the evicted group's range: group 0 had no uses → victim.
+        assert!(!t.in_live_group(0));
+        // First touch misses but promotes.
+        assert_eq!(t.lookup(3), LookupResult::Miss);
+        assert_eq!(t.lookup(3), LookupResult::MruHit);
+        // Values never memoized don't promote.
+        assert_eq!(t.lookup(99_999), LookupResult::Miss);
+        assert_eq!(t.lookup(99_999), LookupResult::Miss);
+    }
+
+    #[test]
+    fn mru_capacity_is_bounded() {
+        let mut t = table();
+        t.insert_group(0);
+        for i in 1..=16 {
+            t.insert_group(i * 1000); // evicts group 0 eventually
+        }
+        assert!(!t.in_live_group(0));
+        // Promote 20 distinct values from the evicted range (only 8 exist
+        // per group, so reuse two evicted groups if present).
+        for v in 0..8u64 {
+            t.lookup(v);
+        }
+        for v in 0..8u64 {
+            assert_eq!(t.lookup(v), LookupResult::MruHit, "value {v}");
+        }
+    }
+
+    #[test]
+    fn max_counter_in_table_tracks_groups() {
+        let mut t = table();
+        assert_eq!(t.max_counter_in_table(), None);
+        t.insert_group(100);
+        assert_eq!(t.max_counter_in_table(), Some(107));
+        t.insert_group(5000);
+        assert_eq!(t.max_counter_in_table(), Some(5007));
+    }
+
+    #[test]
+    fn epoch_reselect_keeps_hot_groups_and_admits_candidate() {
+        let mut t = table();
+        for i in 0..16 {
+            t.insert_group(i * 100);
+        }
+        // Make groups 0..8 hot.
+        for i in 0..8 {
+            for _ in 0..10 {
+                t.lookup(i * 100);
+            }
+        }
+        t.epoch_reselect(Some(77_000));
+        assert!(t.in_live_group(77_000), "candidate must be admitted");
+        for i in 0..8 {
+            assert!(t.in_live_group(i * 100), "hot group {i} must survive");
+        }
+        assert_eq!(t.groups().len(), 16);
+    }
+
+    #[test]
+    fn epoch_reselect_rehabilitates_hot_evicted_groups() {
+        let mut t = table();
+        for i in 0..17 {
+            t.insert_group(i * 100); // group 0 evicted (LFU)
+        }
+        assert!(!t.in_live_group(0));
+        // Hammer the evicted range: shadow counter climbs.
+        for _ in 0..50 {
+            t.lookup(5);
+        }
+        t.epoch_reselect(None);
+        assert!(t.in_live_group(5), "hot evicted group must return");
+    }
+
+    #[test]
+    fn reinserting_live_group_is_noop() {
+        let mut t = table();
+        t.insert_group(10);
+        let before = t.stats().insertions;
+        t.insert_group(10);
+        assert_eq!(t.stats().insertions, before);
+        assert_eq!(t.groups().len(), 1);
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let mut t = table();
+        t.insert_group(0);
+        t.lookup(0);
+        t.lookup(1);
+        t.lookup(500);
+        assert!((t.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(TableStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,359 @@
+//! Software AES-128 and AES-256 block encryption (FIPS-197).
+//!
+//! Secure memory systems in the RMCC paper use AES in counter mode: the
+//! cipher is only ever run in the *encrypt* direction to produce one-time
+//! pads (OTPs), so this module deliberately implements encryption only.
+//! The implementation is a straightforward, table-light S-box design —
+//! clarity over throughput — because the simulator models AES *latency*
+//! architecturally (15 ns / 22 ns knobs) and only needs functional AES for
+//! end-to-end correctness tests, examples, and the NIST randomness checks.
+
+/// The AES block size in bytes. AES has a fixed 128-bit block regardless of
+/// key size (see §II-A of the paper: "AES has a fixed input and output size
+/// of 128 bits").
+pub const BLOCK_BYTES: usize = 16;
+
+/// A 128-bit AES input/output block.
+pub type Block = [u8; BLOCK_BYTES];
+
+/// AES S-box (FIPS-197 Figure 7).
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// Round constants for the key schedule.
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// Multiply a byte by `x` (i.e. 2) in GF(2^8) modulo the AES polynomial.
+#[inline]
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (if b & 0x80 != 0 { 0x1b } else { 0 })
+}
+
+/// Which AES variant a key schedule was expanded for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AesVariant {
+    /// 128-bit key, 10 rounds. SGX's memory encryption engine uses AES-128.
+    Aes128,
+    /// 256-bit key, 14 rounds ("quantum safe" per §II-C of the paper).
+    Aes256,
+}
+
+impl AesVariant {
+    /// Number of sequential rounds the variant performs.
+    ///
+    /// The paper's latency argument hinges on these round counts: AES-128
+    /// needs 10 serial rounds (modeled as 15 ns at 7 nm) and AES-256 needs 14
+    /// (22 ns).
+    pub fn rounds(self) -> usize {
+        match self {
+            AesVariant::Aes128 => 10,
+            AesVariant::Aes256 => 14,
+        }
+    }
+
+    /// Key length in bytes.
+    pub fn key_bytes(self) -> usize {
+        match self {
+            AesVariant::Aes128 => 16,
+            AesVariant::Aes256 => 32,
+        }
+    }
+}
+
+impl std::fmt::Display for AesVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AesVariant::Aes128 => write!(f, "AES-128"),
+            AesVariant::Aes256 => write!(f, "AES-256"),
+        }
+    }
+}
+
+/// An expanded AES key, ready to encrypt blocks.
+///
+/// # Examples
+///
+/// ```
+/// use rmcc_crypto::aes::Aes;
+///
+/// let key = Aes::new_128(&[0u8; 16]);
+/// let ct = key.encrypt_block([0u8; 16]);
+/// assert_ne!(ct, [0u8; 16]);
+/// ```
+#[derive(Clone)]
+pub struct Aes {
+    /// Expanded round keys: `(rounds + 1) * 16` bytes.
+    round_keys: Vec<[u8; 16]>,
+    variant: AesVariant,
+}
+
+impl std::fmt::Debug for Aes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never leak key material through Debug output.
+        f.debug_struct("Aes").field("variant", &self.variant).finish_non_exhaustive()
+    }
+}
+
+impl Aes {
+    /// Expands a 128-bit key.
+    pub fn new_128(key: &[u8; 16]) -> Self {
+        Self::expand(key, AesVariant::Aes128)
+    }
+
+    /// Expands a 256-bit key.
+    pub fn new_256(key: &[u8; 32]) -> Self {
+        Self::expand(key, AesVariant::Aes256)
+    }
+
+    /// Expands a key for `variant`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len()` does not match [`AesVariant::key_bytes`].
+    pub fn expand(key: &[u8], variant: AesVariant) -> Self {
+        assert_eq!(
+            key.len(),
+            variant.key_bytes(),
+            "key length must match the AES variant"
+        );
+        let nk = key.len() / 4; // key length in 32-bit words
+        let nr = variant.rounds();
+        let total_words = 4 * (nr + 1);
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for i in 0..nk {
+            w.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / nk - 1];
+            } else if nk > 6 && i % nk == 4 {
+                for b in temp.iter_mut() {
+                    *b = SBOX[*b as usize];
+                }
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+        let round_keys = w
+            .chunks_exact(4)
+            .map(|c| {
+                let mut rk = [0u8; 16];
+                rk[0..4].copy_from_slice(&c[0]);
+                rk[4..8].copy_from_slice(&c[1]);
+                rk[8..12].copy_from_slice(&c[2]);
+                rk[12..16].copy_from_slice(&c[3]);
+                rk
+            })
+            .collect();
+        Aes { round_keys, variant }
+    }
+
+    /// The variant this key schedule was expanded for.
+    pub fn variant(&self) -> AesVariant {
+        self.variant
+    }
+
+    /// Encrypts one 128-bit block.
+    pub fn encrypt_block(&self, input: Block) -> Block {
+        let mut state = input;
+        add_round_key(&mut state, &self.round_keys[0]);
+        let nr = self.variant.rounds();
+        for round in 1..nr {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[round]);
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &self.round_keys[nr]);
+        state
+    }
+
+    /// Encrypts a 128-bit value given as a `u128` (big-endian byte order).
+    ///
+    /// Convenience for the OTP pipeline, which manipulates pads as `u128`.
+    pub fn encrypt_u128(&self, input: u128) -> u128 {
+        u128::from_be_bytes(self.encrypt_block(input.to_be_bytes()))
+    }
+}
+
+#[inline]
+fn add_round_key(state: &mut Block, rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk.iter()) {
+        *s ^= k;
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut Block) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+/// FIPS-197 state is column-major: byte `state[r + 4c]` sits at row `r`,
+/// column `c`. `ShiftRows` rotates row `r` left by `r`.
+#[inline]
+fn shift_rows(state: &mut Block) {
+    // Row 1: left rotate by 1.
+    let t = state[1];
+    state[1] = state[5];
+    state[5] = state[9];
+    state[9] = state[13];
+    state[13] = t;
+    // Row 2: left rotate by 2 (two swaps).
+    state.swap(2, 10);
+    state.swap(6, 14);
+    // Row 3: left rotate by 3 (= right rotate by 1).
+    let t = state[15];
+    state[15] = state[11];
+    state[11] = state[7];
+    state[7] = state[3];
+    state[3] = t;
+}
+
+#[inline]
+fn mix_columns(state: &mut Block) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        let t = col[0] ^ col[1] ^ col[2] ^ col[3];
+        state[4 * c] = col[0] ^ t ^ xtime(col[0] ^ col[1]);
+        state[4 * c + 1] = col[1] ^ t ^ xtime(col[1] ^ col[2]);
+        state[4 * c + 2] = col[2] ^ t ^ xtime(col[2] ^ col[3]);
+        state[4 * c + 3] = col[3] ^ t ^ xtime(col[3] ^ col[0]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS-197 Appendix B / C.1: AES-128.
+    #[test]
+    fn fips197_aes128_appendix_b() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expect = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        assert_eq!(Aes::new_128(&key).encrypt_block(pt), expect);
+    }
+
+    /// FIPS-197 Appendix C.1: sequential-byte key and plaintext.
+    #[test]
+    fn fips197_aes128_appendix_c1() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let pt: [u8; 16] = core::array::from_fn(|i| (i as u8) * 0x11);
+        let expect = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        assert_eq!(Aes::new_128(&key).encrypt_block(pt), expect);
+    }
+
+    /// FIPS-197 Appendix C.3: AES-256.
+    #[test]
+    fn fips197_aes256_appendix_c3() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let pt: [u8; 16] = core::array::from_fn(|i| (i as u8) * 0x11);
+        let expect = [
+            0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b, 0x49,
+            0x60, 0x89,
+        ];
+        assert_eq!(Aes::new_256(&key).encrypt_block(pt), expect);
+    }
+
+    /// NIST SP 800-38A F.1.1 ECB-AES128 vector (first block).
+    #[test]
+    fn sp800_38a_ecb_aes128() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt = [
+            0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,
+            0x17, 0x2a,
+        ];
+        let expect = [
+            0x3a, 0xd7, 0x7b, 0xb4, 0x0d, 0x7a, 0x36, 0x60, 0xa8, 0x9e, 0xca, 0xf3, 0x24, 0x66,
+            0xef, 0x97,
+        ];
+        assert_eq!(Aes::new_128(&key).encrypt_block(pt), expect);
+    }
+
+    #[test]
+    fn rounds_and_key_sizes() {
+        assert_eq!(AesVariant::Aes128.rounds(), 10);
+        assert_eq!(AesVariant::Aes256.rounds(), 14);
+        assert_eq!(AesVariant::Aes128.key_bytes(), 16);
+        assert_eq!(AesVariant::Aes256.key_bytes(), 32);
+    }
+
+    #[test]
+    fn u128_roundtrip_matches_block_form() {
+        let aes = Aes::new_128(&[7u8; 16]);
+        let x = 0x0123_4567_89ab_cdef_0011_2233_4455_6677u128;
+        assert_eq!(
+            aes.encrypt_u128(x).to_be_bytes(),
+            aes.encrypt_block(x.to_be_bytes())
+        );
+    }
+
+    #[test]
+    fn different_keys_give_different_ciphertexts() {
+        let a = Aes::new_128(&[0u8; 16]);
+        let b = Aes::new_128(&[1u8; 16]);
+        assert_ne!(a.encrypt_block([0u8; 16]), b.encrypt_block([0u8; 16]));
+    }
+
+    #[test]
+    #[should_panic(expected = "key length")]
+    fn wrong_key_length_panics() {
+        let _ = Aes::expand(&[0u8; 17], AesVariant::Aes128);
+    }
+
+    #[test]
+    fn debug_does_not_print_key_material() {
+        let aes = Aes::new_128(&[0x42u8; 16]);
+        let s = format!("{aes:?}");
+        assert!(s.contains("Aes128"));
+        assert!(!s.contains("66")); // 0x42 = 66; round keys absent
+        assert!(!s.contains("round_keys"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Carry-less (GF(2) polynomial) multiplication.
+//!
+//! RMCC combines an independently computed *counter-only* AES result with an
+//! *address-only* AES result using a truncated 128×128→128 carry-less
+//! multiplier (paper §IV-C5, Figure 11). The multiplier keeps the **middle
+//! 128 bits** of the 256-bit product, which discards 128 bits of information
+//! and makes the combination irreversible (paper §IV-D1).
+//!
+//! The hardware design in the paper is a 7-XOR-deep tree (≈1 ns); here we
+//! provide a bit-exact software model.
+
+/// A 256-bit carry-less product split into high and low 128-bit halves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Product256 {
+    /// Bits 128..256 of the product.
+    pub hi: u128,
+    /// Bits 0..128 of the product.
+    pub lo: u128,
+}
+
+/// Carry-less multiply of two 64-bit values into a 128-bit product.
+///
+/// This is the primitive the wider multiplies are built from, equivalent to
+/// the x86 `PCLMULQDQ` instruction.
+///
+/// # Examples
+///
+/// ```
+/// use rmcc_crypto::clmul::clmul64;
+///
+/// // x * x = x^2 in GF(2)[x]: 0b10 * 0b10 = 0b100.
+/// assert_eq!(clmul64(2, 2), 4);
+/// // (x+1)^2 = x^2 + 1 (cross terms cancel without carries).
+/// assert_eq!(clmul64(3, 3), 5);
+/// ```
+pub fn clmul64(a: u64, b: u64) -> u128 {
+    // Process 4 bits of `b` at a time against precomputed shifts of `a`.
+    let a = a as u128;
+    let mut table = [0u128; 16];
+    for (i, slot) in table.iter_mut().enumerate() {
+        let mut acc = 0u128;
+        for bit in 0..4 {
+            if i & (1 << bit) != 0 {
+                acc ^= a << bit;
+            }
+        }
+        *slot = acc;
+    }
+    let mut result = 0u128;
+    for nibble in 0..16 {
+        let idx = ((b >> (4 * nibble)) & 0xf) as usize;
+        result ^= table[idx] << (4 * nibble);
+    }
+    result
+}
+
+/// Carry-less multiply of two 128-bit values into a 256-bit product,
+/// using the Karatsuba-free schoolbook decomposition over 64-bit halves.
+pub fn clmul128(a: u128, b: u128) -> Product256 {
+    let a_lo = a as u64;
+    let a_hi = (a >> 64) as u64;
+    let b_lo = b as u64;
+    let b_hi = (b >> 64) as u64;
+
+    let ll = clmul64(a_lo, b_lo); // contributes at bit 0
+    let lh = clmul64(a_lo, b_hi); // contributes at bit 64
+    let hl = clmul64(a_hi, b_lo); // contributes at bit 64
+    let hh = clmul64(a_hi, b_hi); // contributes at bit 128
+
+    let mid = lh ^ hl;
+    let lo = ll ^ (mid << 64);
+    let hi = hh ^ (mid >> 64);
+    Product256 { hi, lo }
+}
+
+/// RMCC's OTP combiner: carry-less multiply then **keep the 128 bits in the
+/// middle** of the 256-bit product (bits 64..192), as in Figure 11.
+///
+/// Truncating away both the top and bottom 64 bits destroys enough
+/// information that the product cannot be factored back into the two AES
+/// results (paper §IV-D1: "RMCC truncates 128 bits of information after
+/// multiplying ... a highly lossy and therefore irreversible function").
+///
+/// # Examples
+///
+/// ```
+/// use rmcc_crypto::clmul::clmul_truncate_mid;
+///
+/// // The combiner is symmetric in its raw product, so swapping operands
+/// // yields the same value; RMCC breaks that symmetry one level up by
+/// // zero-padding counters and addresses differently before AES.
+/// assert_eq!(clmul_truncate_mid(3, 5), clmul_truncate_mid(5, 3));
+/// ```
+pub fn clmul_truncate_mid(a: u128, b: u128) -> u128 {
+    let p = clmul128(a, b);
+    (p.lo >> 64) | (p.hi << 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clmul64_basics() {
+        assert_eq!(clmul64(0, 0xdead_beef), 0);
+        assert_eq!(clmul64(1, 0xdead_beef), 0xdead_beef);
+        assert_eq!(clmul64(0xdead_beef, 1), 0xdead_beef);
+        // Multiplying by x^k shifts left by k.
+        assert_eq!(clmul64(1 << 5, 0b1011), 0b1011 << 5);
+    }
+
+    #[test]
+    fn clmul64_known_vector() {
+        // Verified against PCLMULQDQ semantics: (2^63 | 1) * (2^63 | 1)
+        // = x^126 + x^63 + x^63 + 1 = x^126 + 1 (middle terms cancel).
+        let v = (1u64 << 63) | 1;
+        assert_eq!(clmul64(v, v), (1u128 << 126) | 1);
+    }
+
+    #[test]
+    fn clmul128_matches_bitwise_reference() {
+        // Slow reference: shift-and-xor over every set bit.
+        fn reference(a: u128, b: u128) -> Product256 {
+            let mut hi = 0u128;
+            let mut lo = 0u128;
+            for bit in 0..128 {
+                if b & (1u128 << bit) != 0 {
+                    lo ^= a << bit;
+                    if bit != 0 {
+                        hi ^= a >> (128 - bit);
+                    }
+                }
+            }
+            Product256 { hi, lo }
+        }
+        let samples = [
+            (0u128, 0u128),
+            (1, u128::MAX),
+            (u128::MAX, u128::MAX),
+            (0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210),
+            (1 << 127, 3),
+            (0xdead_beef_dead_beef_dead_beef_dead_beef, 0x1234_5678_9abc_def0_0fed_cba9_8765_4321),
+        ];
+        for (a, b) in samples {
+            assert_eq!(clmul128(a, b), reference(a, b), "a={a:#x} b={b:#x}");
+        }
+    }
+
+    #[test]
+    fn clmul128_commutative_and_distributive() {
+        let a = 0x1111_2222_3333_4444_5555_6666_7777_8888u128;
+        let b = 0x9999_aaaa_bbbb_cccc_dddd_eeee_ffff_0000u128;
+        let c = 0x0f0f_0f0f_0f0f_0f0f_f0f0_f0f0_f0f0_f0f0u128;
+        assert_eq!(clmul128(a, b), clmul128(b, a));
+        let ab = clmul128(a, b ^ c);
+        let lhs = Product256 {
+            hi: clmul128(a, b).hi ^ clmul128(a, c).hi,
+            lo: clmul128(a, b).lo ^ clmul128(a, c).lo,
+        };
+        assert_eq!(ab, lhs);
+    }
+
+    #[test]
+    fn truncate_keeps_middle_bits() {
+        // a = 1 (identity): product = b, so the middle keep is b >> 64
+        // with zero high half.
+        let b = 0xaaaa_bbbb_cccc_dddd_1111_2222_3333_4444u128;
+        assert_eq!(clmul_truncate_mid(1, b), b >> 64);
+        // a = 2^64: product = b << 64, so the middle 128 bits are exactly b.
+        assert_eq!(clmul_truncate_mid(1 << 64, b), b);
+    }
+
+    #[test]
+    fn truncation_is_lossy() {
+        // Two different operand pairs can collide after truncation only by
+        // chance; but the *same* `a` with `b` differing only in bits that get
+        // truncated out must collide, demonstrating information loss.
+        let a = 1u128; // product == b, keep b >> 64
+        let b1 = 5u128;
+        let b2 = 7u128; // differs only in low 64 bits of the product
+        assert_eq!(clmul_truncate_mid(a, b1), clmul_truncate_mid(a, b2));
+    }
+}

@@ -1,0 +1,490 @@
+//! A subset of the NIST SP 800-22 statistical test suite.
+//!
+//! §IV-D1 of the paper validates that RMCC's truncated-clmul OTPs "pass NIST
+//! randomness tests at the same rate as the two streams of AES outputs used
+//! to calculate the OTPs". This module implements seven of the suite's tests
+//! — enough to reproduce that check — each returning a p-value; a stream
+//! passes a test when `p >= alpha` (NIST uses `alpha = 0.01`).
+
+/// Significance level used by the NIST STS.
+pub const ALPHA: f64 = 0.01;
+
+/// A bit sequence under test, stored as unpacked bits for clarity.
+#[derive(Debug, Clone)]
+pub struct BitStream {
+    bits: Vec<u8>,
+}
+
+impl BitStream {
+    /// Unpacks bytes most-significant-bit first.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut bits = Vec::with_capacity(bytes.len() * 8);
+        for &b in bytes {
+            for i in (0..8).rev() {
+                bits.push((b >> i) & 1);
+            }
+        }
+        BitStream { bits }
+    }
+
+    /// Builds a stream by concatenating the big-endian bits of `u128` words.
+    pub fn from_u128_words(words: &[u128]) -> Self {
+        let mut bytes = Vec::with_capacity(words.len() * 16);
+        for w in words {
+            bytes.extend_from_slice(&w.to_be_bytes());
+        }
+        Self::from_bytes(&bytes)
+    }
+
+    /// Number of bits in the stream.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the stream holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    fn ones(&self) -> usize {
+        self.bits.iter().map(|&b| b as usize).sum()
+    }
+}
+
+/// Outcome of one statistical test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestResult {
+    /// Which test produced this result.
+    pub name: &'static str,
+    /// The test's p-value in `[0, 1]`.
+    pub p_value: f64,
+}
+
+impl TestResult {
+    /// `true` when the stream is consistent with randomness at [`ALPHA`].
+    pub fn passed(&self) -> bool {
+        self.p_value >= ALPHA
+    }
+}
+
+// --- special functions -----------------------------------------------------
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized lower incomplete gamma P(a, x) by series expansion.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut sum = 1.0 / a;
+    let mut term = sum;
+    let mut n = a;
+    for _ in 0..500 {
+        n += 1.0;
+        term *= x / n;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Regularized upper incomplete gamma Q(a, x) by continued fraction.
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    let tiny = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / tiny;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = b + an / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Regularized upper incomplete gamma function `igamc(a, x) = Q(a, x)`.
+pub fn igamc(a: f64, x: f64) -> f64 {
+    if x <= 0.0 || a <= 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+/// Complementary error function via the incomplete gamma identity.
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        2.0 - erfc(-x)
+    } else {
+        igamc(0.5, x * x)
+    }
+}
+
+// --- the tests --------------------------------------------------------------
+
+/// Frequency (monobit) test — SP 800-22 §2.1.
+pub fn frequency(s: &BitStream) -> TestResult {
+    let n = s.len() as f64;
+    let sum: i64 = s.bits.iter().map(|&b| if b == 1 { 1 } else { -1 }).sum();
+    let s_obs = (sum as f64).abs() / n.sqrt();
+    TestResult {
+        name: "frequency",
+        p_value: erfc(s_obs / std::f64::consts::SQRT_2),
+    }
+}
+
+/// Frequency within a block — SP 800-22 §2.2.
+pub fn block_frequency(s: &BitStream, block_len: usize) -> TestResult {
+    let n_blocks = s.len() / block_len;
+    let mut chi2 = 0.0;
+    for i in 0..n_blocks {
+        let ones: usize = s.bits[i * block_len..(i + 1) * block_len]
+            .iter()
+            .map(|&b| b as usize)
+            .sum();
+        let pi = ones as f64 / block_len as f64;
+        chi2 += (pi - 0.5) * (pi - 0.5);
+    }
+    chi2 *= 4.0 * block_len as f64;
+    TestResult {
+        name: "block-frequency",
+        p_value: igamc(n_blocks as f64 / 2.0, chi2 / 2.0),
+    }
+}
+
+/// Runs test — SP 800-22 §2.3.
+pub fn runs(s: &BitStream) -> TestResult {
+    let n = s.len() as f64;
+    let pi = s.ones() as f64 / n;
+    if (pi - 0.5).abs() >= 2.0 / n.sqrt() {
+        // Prerequisite frequency test failed decisively.
+        return TestResult { name: "runs", p_value: 0.0 };
+    }
+    let mut v_obs = 1u64;
+    for w in s.bits.windows(2) {
+        if w[0] != w[1] {
+            v_obs += 1;
+        }
+    }
+    let num = (v_obs as f64 - 2.0 * n * pi * (1.0 - pi)).abs();
+    let den = 2.0 * (2.0 * n).sqrt() * pi * (1.0 - pi);
+    TestResult { name: "runs", p_value: erfc(num / den) }
+}
+
+/// Longest run of ones in 128-bit blocks — SP 800-22 §2.4 (M = 128 case).
+pub fn longest_run(s: &BitStream) -> TestResult {
+    const M: usize = 128;
+    const K: usize = 5;
+    // Class probabilities for M = 128 (SP 800-22 Table 2-4).
+    const PI: [f64; K + 1] = [0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124];
+    let n_blocks = s.len() / M;
+    let mut v = [0u64; K + 1];
+    for i in 0..n_blocks {
+        let mut longest = 0usize;
+        let mut run = 0usize;
+        for &b in &s.bits[i * M..(i + 1) * M] {
+            if b == 1 {
+                run += 1;
+                longest = longest.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        let class = match longest {
+            0..=4 => 0,
+            5 => 1,
+            6 => 2,
+            7 => 3,
+            8 => 4,
+            _ => 5,
+        };
+        v[class] += 1;
+    }
+    let n = n_blocks as f64;
+    let mut chi2 = 0.0;
+    for i in 0..=K {
+        let expected = n * PI[i];
+        chi2 += (v[i] as f64 - expected) * (v[i] as f64 - expected) / expected;
+    }
+    TestResult {
+        name: "longest-run",
+        p_value: igamc(K as f64 / 2.0, chi2 / 2.0),
+    }
+}
+
+/// Cumulative sums (forward) — SP 800-22 §2.13.
+pub fn cumulative_sums(s: &BitStream) -> TestResult {
+    let n = s.len() as f64;
+    let mut sum = 0i64;
+    let mut z = 0i64;
+    for &b in &s.bits {
+        sum += if b == 1 { 1 } else { -1 };
+        z = z.max(sum.abs());
+    }
+    let z = z as f64;
+    let sqrt_n = n.sqrt();
+    let phi = |x: f64| 0.5 * erfc(-x / std::f64::consts::SQRT_2);
+    let mut p = 1.0;
+    let k_lo = ((-n / z + 1.0) / 4.0).floor() as i64;
+    let k_hi = ((n / z - 1.0) / 4.0).floor() as i64;
+    let mut term1 = 0.0;
+    for k in k_lo..=k_hi {
+        let k = k as f64;
+        term1 += phi((4.0 * k + 1.0) * z / sqrt_n) - phi((4.0 * k - 1.0) * z / sqrt_n);
+    }
+    let k_lo2 = ((-n / z - 3.0) / 4.0).floor() as i64;
+    let k_hi2 = ((n / z - 1.0) / 4.0).floor() as i64;
+    let mut term2 = 0.0;
+    for k in k_lo2..=k_hi2 {
+        let k = k as f64;
+        term2 += phi((4.0 * k + 3.0) * z / sqrt_n) - phi((4.0 * k + 1.0) * z / sqrt_n);
+    }
+    p -= term1;
+    p += term2;
+    TestResult {
+        name: "cumulative-sums",
+        p_value: p.clamp(0.0, 1.0),
+    }
+}
+
+/// Counts occurrences of every overlapping `m`-bit pattern (wrapping).
+fn psi_sq(s: &BitStream, m: usize) -> f64 {
+    if m == 0 {
+        return 0.0;
+    }
+    let n = s.len();
+    let mut counts = vec![0u64; 1 << m];
+    let mut idx = 0usize;
+    // Prime with the first m-1 bits.
+    for i in 0..(m - 1) {
+        idx = (idx << 1) | s.bits[i] as usize;
+    }
+    let mask = (1 << m) - 1;
+    for i in 0..n {
+        let bit = s.bits[(i + m - 1) % n] as usize;
+        idx = ((idx << 1) | bit) & mask;
+        counts[idx] += 1;
+    }
+    let nf = n as f64;
+    let sum: f64 = counts.iter().map(|&c| (c as f64) * (c as f64)).sum();
+    (1 << m) as f64 / nf * sum - nf
+}
+
+/// Serial test — SP 800-22 §2.11, returning the first p-value (∇ψ²).
+pub fn serial(s: &BitStream, m: usize) -> TestResult {
+    let d1 = psi_sq(s, m) - psi_sq(s, m - 1);
+    let d2 = psi_sq(s, m) - 2.0 * psi_sq(s, m - 1) + psi_sq(s, m.saturating_sub(2));
+    let p1 = igamc(2f64.powi(m as i32 - 2), d1 / 2.0);
+    let p2 = igamc(2f64.powi(m as i32 - 3), d2 / 2.0);
+    TestResult {
+        name: "serial",
+        p_value: p1.min(p2),
+    }
+}
+
+/// Approximate entropy test — SP 800-22 §2.12.
+pub fn approximate_entropy(s: &BitStream, m: usize) -> TestResult {
+    let n = s.len();
+    let phi = |m: usize| -> f64 {
+        if m == 0 {
+            return 0.0;
+        }
+        let mut counts = vec![0u64; 1 << m];
+        let mask = (1 << m) - 1;
+        let mut idx = 0usize;
+        for i in 0..(m - 1) {
+            idx = (idx << 1) | s.bits[i] as usize;
+        }
+        for i in 0..n {
+            let bit = s.bits[(i + m - 1) % n] as usize;
+            idx = ((idx << 1) | bit) & mask;
+            counts[idx] += 1;
+        }
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n as f64;
+                p * p.ln()
+            })
+            .sum()
+    };
+    let ap_en = phi(m) - phi(m + 1);
+    let chi2 = 2.0 * n as f64 * (std::f64::consts::LN_2 - ap_en);
+    TestResult {
+        name: "approximate-entropy",
+        p_value: igamc(2f64.powi(m as i32 - 1), chi2 / 2.0),
+    }
+}
+
+/// Runs the full implemented suite on one stream.
+///
+/// # Examples
+///
+/// ```
+/// use rmcc_crypto::nist::{run_suite, BitStream};
+///
+/// // An alternating pattern is wildly non-random and fails most tests.
+/// let bits = BitStream::from_bytes(&[0xAA; 4096]);
+/// let results = run_suite(&bits);
+/// assert!(results.iter().any(|r| !r.passed()));
+/// ```
+pub fn run_suite(s: &BitStream) -> Vec<TestResult> {
+    vec![
+        frequency(s),
+        block_frequency(s, 128),
+        runs(s),
+        longest_run(s),
+        cumulative_sums(s),
+        serial(s, 5),
+        approximate_entropy(s, 4),
+    ]
+}
+
+/// Fraction of (stream, test) pairs that pass across many streams — the
+/// paper's "pass NIST randomness tests at the same rate" metric.
+pub fn pass_rate(streams: &[BitStream]) -> f64 {
+    let mut total = 0usize;
+    let mut passed = 0usize;
+    for s in streams {
+        for r in run_suite(s) {
+            total += 1;
+            if r.passed() {
+                passed += 1;
+            }
+        }
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    passed as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::Aes;
+
+    #[test]
+    fn special_functions_sanity() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-12);
+        assert!(erfc(3.0) < 3e-5);
+        assert!((erfc(-1.0) + erfc(1.0) - 2.0).abs() < 1e-12);
+        // Γ(5) = 24.
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((igamc(1.0, 0.0) - 1.0).abs() < 1e-12);
+        // Q(1, x) = e^{-x}.
+        assert!((igamc(1.0, 2.0) - (-2.0f64).exp()).abs() < 1e-10);
+    }
+
+    /// SP 800-22 §2.1.8 worked example: ε = 1100100100001111110110101010001000,
+    /// n = 100... the spec's short example uses n=100; we use the documented
+    /// 10-bit example: ε = 1011010101 gives P ≈ 0.527089.
+    #[test]
+    fn frequency_spec_example() {
+        let bits = BitStream {
+            bits: vec![1, 0, 1, 1, 0, 1, 0, 1, 0, 1],
+        };
+        let r = frequency(&bits);
+        assert!((r.p_value - 0.527_089).abs() < 1e-4, "p = {}", r.p_value);
+    }
+
+    /// SP 800-22 §2.3.8 worked example: ε = 1001101011, P ≈ 0.147232.
+    #[test]
+    fn runs_spec_example() {
+        let bits = BitStream {
+            bits: vec![1, 0, 0, 1, 1, 0, 1, 0, 1, 1],
+        };
+        let r = runs(&bits);
+        assert!((r.p_value - 0.147_232).abs() < 1e-4, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn aes_ctr_stream_passes() {
+        let aes = Aes::new_128(&[3u8; 16]);
+        let words: Vec<u128> = (0..4096u128).map(|i| aes.encrypt_u128(i)).collect();
+        let s = BitStream::from_u128_words(&words);
+        let results = run_suite(&s);
+        let passed = results.iter().filter(|r| r.passed()).count();
+        assert!(
+            passed >= results.len() - 1,
+            "AES stream failed too many tests: {results:?}"
+        );
+    }
+
+    #[test]
+    fn constant_stream_fails() {
+        let s = BitStream::from_bytes(&[0u8; 2048]);
+        assert!(!frequency(&s).passed());
+        assert!(!runs(&s).passed());
+    }
+
+    #[test]
+    fn alternating_stream_fails_runs() {
+        let s = BitStream::from_bytes(&[0x55u8; 2048]);
+        // Perfectly balanced, so frequency passes, but runs are far too many.
+        assert!(frequency(&s).passed());
+        assert!(!runs(&s).passed());
+    }
+
+    #[test]
+    fn pass_rate_counts_all_tests() {
+        let good = {
+            let aes = Aes::new_128(&[9u8; 16]);
+            let words: Vec<u128> = (0..2048u128).map(|i| aes.encrypt_u128(i)).collect();
+            BitStream::from_u128_words(&words)
+        };
+        let rate = pass_rate(std::slice::from_ref(&good));
+        assert!(rate > 0.8, "rate = {rate}");
+    }
+
+    #[test]
+    fn bitstream_from_bytes_msb_first() {
+        let s = BitStream::from_bytes(&[0b1000_0001]);
+        assert_eq!(s.bits, vec![1, 0, 0, 0, 0, 0, 0, 1]);
+        assert_eq!(s.len(), 8);
+        assert!(!s.is_empty());
+    }
+}

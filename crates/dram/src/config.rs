@@ -1,0 +1,150 @@
+//! DDR4 timing and geometry configuration.
+//!
+//! Defaults follow Table I of the RMCC paper: 128 GB DDR4 at 3.2 GT/s,
+//! tCL = tRCD = tRP = 13.75 ns, tRFC = 350 ns, one channel, eight ranks, a
+//! 500 ns open-row timeout, and 256-entry read/write queues.
+
+/// Simulation time unit: picoseconds. Integer picoseconds keep the model
+/// deterministic and hashable while resolving the paper's 13.75 ns timings
+/// exactly.
+pub type Ps = u64;
+
+/// Picoseconds per nanosecond.
+pub const PS_PER_NS: Ps = 1_000;
+
+/// Converts nanoseconds (possibly fractional) to picoseconds.
+pub fn ns(value: f64) -> Ps {
+    (value * PS_PER_NS as f64).round() as Ps
+}
+
+/// DDR4 channel configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramConfig {
+    /// Column access strobe latency.
+    pub t_cl: Ps,
+    /// Row-to-column delay.
+    pub t_rcd: Ps,
+    /// Row precharge time.
+    pub t_rp: Ps,
+    /// Refresh cycle time (bank unavailable while refreshing).
+    pub t_rfc: Ps,
+    /// Average refresh interval per rank.
+    pub t_refi: Ps,
+    /// Time to burst one 64 B line over the data bus
+    /// (8 transfers at 3.2 GT/s on an 8-byte bus = 2.5 ns).
+    pub t_burst: Ps,
+    /// Open-row policy: a row left idle this long is considered precharged
+    /// in the background ("500ns timeout" row buffer policy, Table I).
+    pub row_timeout: Ps,
+    /// Number of ranks on the channel.
+    pub ranks: usize,
+    /// Banks per rank (DDR4: 4 bank groups × 4 banks).
+    pub banks_per_rank: usize,
+    /// Row size in bytes (8 KB typical for DDR4 x8 devices).
+    pub row_bytes: u64,
+    /// Combined read/write queue capacity.
+    pub queue_capacity: usize,
+    /// FR-FCFS-Capped: maximum consecutive row-buffer hits a bank may
+    /// service before the scheduler forces the row closed so older requests
+    /// make progress.
+    pub row_hit_cap: u32,
+}
+
+impl DramConfig {
+    /// Table I configuration.
+    pub fn table1() -> Self {
+        DramConfig {
+            t_cl: ns(13.75),
+            t_rcd: ns(13.75),
+            t_rp: ns(13.75),
+            t_rfc: ns(350.0),
+            t_refi: ns(7800.0),
+            t_burst: ns(2.5),
+            row_timeout: ns(500.0),
+            ranks: 8,
+            banks_per_rank: 16,
+            row_bytes: 8 << 10,
+            queue_capacity: 256,
+            row_hit_cap: 4,
+        }
+    }
+
+    /// Total banks across all ranks.
+    pub fn total_banks(&self) -> usize {
+        self.ranks * self.banks_per_rank
+    }
+
+    /// Latency of a row-buffer hit (CAS + burst).
+    pub fn hit_latency(&self) -> Ps {
+        self.t_cl + self.t_burst
+    }
+
+    /// Latency when the bank has no open row (ACT + CAS + burst).
+    pub fn closed_latency(&self) -> Ps {
+        self.t_rcd + self.t_cl + self.t_burst
+    }
+
+    /// Latency of a row-buffer conflict (PRE + ACT + CAS + burst).
+    pub fn conflict_latency(&self) -> Ps {
+        self.t_rp + self.t_rcd + self.t_cl + self.t_burst
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+impl std::fmt::Display for DramConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "DDR4 channel:")?;
+        writeln!(
+            f,
+            "  tCL/tRCD/tRP = {:.2}/{:.2}/{:.2} ns",
+            self.t_cl as f64 / 1e3,
+            self.t_rcd as f64 / 1e3,
+            self.t_rp as f64 / 1e3
+        )?;
+        writeln!(f, "  tRFC = {:.0} ns, tREFI = {:.0} ns", self.t_rfc as f64 / 1e3, self.t_refi as f64 / 1e3)?;
+        writeln!(f, "  ranks = {}, banks/rank = {}", self.ranks, self.banks_per_rank)?;
+        writeln!(f, "  row buffer = {} B, timeout = {:.0} ns", self.row_bytes, self.row_timeout as f64 / 1e3)?;
+        write!(f, "  queue = {} entries, row-hit cap = {}", self.queue_capacity, self.row_hit_cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_conversion() {
+        assert_eq!(ns(13.75), 13_750);
+        assert_eq!(ns(0.0), 0);
+        assert_eq!(ns(2.5), 2_500);
+    }
+
+    #[test]
+    fn table1_matches_paper() {
+        let c = DramConfig::table1();
+        assert_eq!(c.t_cl, 13_750);
+        assert_eq!(c.t_rfc, 350_000);
+        assert_eq!(c.ranks, 8);
+        assert_eq!(c.queue_capacity, 256);
+        assert_eq!(c.total_banks(), 128);
+    }
+
+    #[test]
+    fn latency_ordering() {
+        let c = DramConfig::table1();
+        assert!(c.hit_latency() < c.closed_latency());
+        assert!(c.closed_latency() < c.conflict_latency());
+    }
+
+    #[test]
+    fn display_mentions_key_timings() {
+        let s = DramConfig::table1().to_string();
+        assert!(s.contains("13.75"));
+        assert!(s.contains("350"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Physical placement of secure-memory metadata.
+//!
+//! Data occupies the bottom of the physical address space; counter blocks
+//! (level 0) and integrity-tree nodes (levels 1+) live in dedicated regions
+//! above it. The layout provides the address arithmetic every other layer
+//! needs: which counter block covers a data block, where a tree node lives,
+//! and which parent slot protects a child.
+//!
+//! Data MACs and ECC are co-located with data in the same DRAM access
+//! (Table I: "this enables data, its MAC, and ECC to be accessed together in
+//! one DRAM access without any memory traffic overhead"), so MACs need no
+//! addresses of their own.
+
+use crate::counters::CounterOrg;
+
+/// Bytes per memory block / cache line.
+pub const BLOCK_BYTES: u64 = 64;
+
+/// Address-space layout for one counter organization.
+///
+/// # Examples
+///
+/// ```
+/// use rmcc_secmem::counters::CounterOrg;
+/// use rmcc_secmem::layout::MetadataLayout;
+///
+/// // 128 GB of protected data under Morphable counters (Table I).
+/// let l = MetadataLayout::new(CounterOrg::Morphable128, 128 << 30);
+/// assert_eq!(l.depth(), 4); // L0..L3 in memory, root on-chip
+/// // 128 data blocks share one counter block.
+/// assert_eq!(l.l0_index(0), l.l0_index(127));
+/// assert_ne!(l.l0_index(0), l.l0_index(128));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetadataLayout {
+    org: CounterOrg,
+    data_bytes: u64,
+    /// Number of nodes at each in-memory level (index 0 = counter blocks).
+    level_counts: Vec<u64>,
+    /// Base byte address of each in-memory level's region.
+    level_bases: Vec<u64>,
+}
+
+impl MetadataLayout {
+    /// Builds the layout for `data_bytes` of protected memory.
+    ///
+    /// Levels are added until a level's node count fits within one tree
+    /// node's arity; that final set of counters is the on-chip root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_bytes` is not a multiple of the block size.
+    pub fn new(org: CounterOrg, data_bytes: u64) -> Self {
+        assert_eq!(data_bytes % BLOCK_BYTES, 0, "data size must be whole blocks");
+        let arity = org.tree_arity() as u64;
+        let data_blocks = data_bytes / BLOCK_BYTES;
+        let mut level_counts = Vec::new();
+        let mut count = data_blocks.div_ceil(arity); // L0 counter blocks
+        loop {
+            level_counts.push(count);
+            if count <= arity {
+                break;
+            }
+            count = count.div_ceil(arity);
+        }
+        // Metadata regions start at 1 TB, comfortably above any data
+        // address, each level in its own 128 GB-aligned window.
+        let meta_base = 1u64 << 40;
+        let window = 1u64 << 37;
+        let level_bases = (0..level_counts.len() as u64).map(|k| meta_base + k * window).collect();
+        MetadataLayout { org, data_bytes, level_counts, level_bases }
+    }
+
+    /// The counter organization.
+    pub fn org(&self) -> CounterOrg {
+        self.org
+    }
+
+    /// Protected data capacity in bytes.
+    pub fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+
+    /// Number of in-memory metadata levels (level 0 = counter blocks). The
+    /// root that protects level `depth() - 1` is on-chip and never touches
+    /// memory.
+    pub fn depth(&self) -> usize {
+        self.level_counts.len()
+    }
+
+    /// Node count at in-memory `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= depth()`.
+    pub fn level_count(&self, level: usize) -> u64 {
+        self.level_counts[level]
+    }
+
+    /// The level-0 counter-block index covering `data_block` (a 64 B block
+    /// index, i.e. byte address / 64).
+    pub fn l0_index(&self, data_block: u64) -> u64 {
+        data_block / self.org.coverage() as u64
+    }
+
+    /// The slot within its counter block that holds `data_block`'s counter.
+    pub fn l0_slot(&self, data_block: u64) -> usize {
+        (data_block % self.org.coverage() as u64) as usize
+    }
+
+    /// Byte address of the metadata block `index` at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= depth()` or `index` is out of range.
+    pub fn node_addr(&self, level: usize, index: u64) -> u64 {
+        assert!(index < self.level_counts[level], "node index out of range");
+        self.level_bases[level] + index * BLOCK_BYTES
+    }
+
+    /// The parent node index at `level + 1` protecting node `index` at
+    /// `level`. Returns `None` when the parent is the on-chip root.
+    pub fn parent_index(&self, level: usize, index: u64) -> Option<u64> {
+        if level + 1 >= self.depth() {
+            None
+        } else {
+            Some(index / self.org.tree_arity() as u64)
+        }
+    }
+
+    /// The slot within the parent (on-chip root included) that holds the
+    /// counter of node `index` at `level`.
+    pub fn parent_slot(&self, index: u64) -> usize {
+        (index % self.org.tree_arity() as u64) as usize
+    }
+
+    /// Whether `addr` falls in any metadata region.
+    pub fn is_metadata_addr(&self, addr: u64) -> bool {
+        addr >= self.level_bases[0]
+    }
+
+    /// Maps a metadata byte address back to its `(level, index)` — the
+    /// inverse of [`MetadataLayout::node_addr`]. Returns `None` for
+    /// non-metadata addresses.
+    pub fn locate(&self, addr: u64) -> Option<(usize, u64)> {
+        if !self.is_metadata_addr(addr) {
+            return None;
+        }
+        for level in (0..self.depth()).rev() {
+            if addr >= self.level_bases[level] {
+                let index = (addr - self.level_bases[level]) / BLOCK_BYTES;
+                if index < self.level_counts[level] {
+                    return Some((level, index));
+                }
+                return None;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_morphable_is_four_levels() {
+        let l = MetadataLayout::new(CounterOrg::Morphable128, 128 << 30);
+        // 2^31 data blocks / 128 = 2^24 L0, 2^17 L1, 2^10 L2, 8 L3.
+        assert_eq!(l.depth(), 4);
+        assert_eq!(l.level_count(0), 1 << 24);
+        assert_eq!(l.level_count(1), 1 << 17);
+        assert_eq!(l.level_count(2), 1 << 10);
+        assert_eq!(l.level_count(3), 8);
+    }
+
+    #[test]
+    fn sgx_mono_tree_is_much_deeper() {
+        let mono = MetadataLayout::new(CounterOrg::Mono8, 128 << 30);
+        let morph = MetadataLayout::new(CounterOrg::Morphable128, 128 << 30);
+        assert!(mono.depth() > 2 * morph.depth());
+    }
+
+    #[test]
+    fn coverage_partitions_data_blocks() {
+        let l = MetadataLayout::new(CounterOrg::Sc64, 1 << 30);
+        assert_eq!(l.l0_index(0), 0);
+        assert_eq!(l.l0_index(63), 0);
+        assert_eq!(l.l0_index(64), 1);
+        assert_eq!(l.l0_slot(0), 0);
+        assert_eq!(l.l0_slot(63), 63);
+        assert_eq!(l.l0_slot(64), 0);
+    }
+
+    #[test]
+    fn metadata_addresses_are_disjoint_from_data_and_each_other() {
+        let l = MetadataLayout::new(CounterOrg::Morphable128, 128 << 30);
+        let a0 = l.node_addr(0, 0);
+        let a0_last = l.node_addr(0, l.level_count(0) - 1);
+        let a1 = l.node_addr(1, 0);
+        assert!(a0 > 128 << 30, "metadata must sit above data");
+        assert!(a0_last < a1, "levels must not overlap");
+        assert!(l.is_metadata_addr(a0));
+        assert!(!l.is_metadata_addr(0xdead));
+    }
+
+    #[test]
+    fn parent_chain_reaches_root() {
+        let l = MetadataLayout::new(CounterOrg::Morphable128, 128 << 30);
+        let mut level = 0;
+        let mut idx = l.level_count(0) - 1;
+        let mut hops = 0;
+        while let Some(p) = l.parent_index(level, idx) {
+            assert!(p < l.level_count(level + 1));
+            idx = p;
+            level += 1;
+            hops += 1;
+        }
+        assert_eq!(hops, l.depth() - 1);
+        assert!(l.parent_slot(idx) < l.org().tree_arity());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_addr_bounds_checked() {
+        let l = MetadataLayout::new(CounterOrg::Sc64, 1 << 20);
+        let _ = l.node_addr(0, l.level_count(0));
+    }
+}

@@ -1,0 +1,70 @@
+//! Stateful property test: the functional secure memory behaves like a
+//! plain key-value store under arbitrary interleavings of writes and reads,
+//! while every injected corruption is detected.
+
+use proptest::prelude::*;
+use rmcc_secmem::counters::CounterOrg;
+use rmcc_secmem::engine::{PipelineKind, ReadError, SecureMemory};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u64, u8),
+    Read(u64),
+    Tamper(u64, usize, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..256, any::<u8>()).prop_map(|(b, v)| Op::Write(b, v)),
+        (0u64..256).prop_map(Op::Read),
+        (0u64..256, 0usize..64, 1u8..=255).prop_map(|(b, o, m)| Op::Tamper(b, o, m)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn secure_memory_is_a_tamper_evident_store(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        org_sel in 0usize..3,
+    ) {
+        let org = [CounterOrg::Mono8, CounterOrg::Sc64, CounterOrg::Morphable128][org_sel];
+        let mut mem = SecureMemory::new(org, 1 << 22, PipelineKind::Rmcc, 7);
+        let mut model: HashMap<u64, [u8; 64]> = HashMap::new();
+        // Exact attacker model: the cumulative XOR delta applied to each
+        // block's ciphertext. A block verifies iff its delta is zero
+        // (tampers at the same offset cancel; different offsets do not).
+        let mut deltas: HashMap<u64, [u8; 64]> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Write(b, v) => {
+                    let data = [v; 64];
+                    mem.write(b, data);
+                    model.insert(b, data);
+                    deltas.insert(b, [0u8; 64]);
+                }
+                Op::Read(b) => {
+                    let clean = deltas.get(&b).map(|d| d.iter().all(|&x| x == 0)).unwrap_or(true);
+                    match (model.get(&b), clean) {
+                        (None, _) => {
+                            prop_assert_eq!(mem.read(b), Err(ReadError::Unwritten { block: b }));
+                        }
+                        (Some(expect), true) => {
+                            prop_assert_eq!(mem.read(b).unwrap(), *expect);
+                        }
+                        (Some(_), false) => {
+                            prop_assert!(mem.read(b).is_err(), "tampered block {} verified", b);
+                        }
+                    }
+                }
+                Op::Tamper(b, off, mask) => {
+                    if model.contains_key(&b) {
+                        mem.tamper_data(b, off, mask);
+                        deltas.entry(b).or_insert([0u8; 64])[off] ^= mask;
+                    }
+                }
+            }
+        }
+    }
+}

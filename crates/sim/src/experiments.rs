@@ -1,0 +1,546 @@
+//! Per-figure experiment harnesses.
+//!
+//! One function per table/figure of the paper's evaluation; each returns a
+//! [`Series`] whose rows are the paper's x-axis (the eleven workloads) and
+//! whose columns are the figure's bars/lines. The `rmcc-bench` crate turns
+//! these into runnable targets; EXPERIMENTS.md records paper-vs-measured.
+
+use rmcc_cache::tlb::PageSize;
+use rmcc_dram::channel::TrafficClass;
+use rmcc_dram::config::ns;
+use rmcc_workloads::graph::Csr;
+use rmcc_workloads::workload::{graph_for, Scale, Workload};
+
+use crate::config::{Scheme, SystemConfig};
+use crate::detailed::{run_detailed, DetailedReport};
+use crate::lifetime::{run_lifetime, LifetimeReport};
+
+/// A labeled table of results: one row per workload, one column per series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Figure/table title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// `(row label, one value per column)`.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Series {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count differs from the column count.
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((label.into(), values));
+    }
+
+    /// Appends an arithmetic-mean row labeled `mean` (the paper's final
+    /// bar in every per-workload figure).
+    pub fn with_mean(mut self) -> Self {
+        if self.rows.is_empty() {
+            return self;
+        }
+        let n = self.rows.len() as f64;
+        let means: Vec<f64> = (0..self.columns.len())
+            .map(|c| self.rows.iter().map(|(_, v)| v[c]).sum::<f64>() / n)
+            .collect();
+        self.rows.push(("mean".to_string(), means));
+        self
+    }
+
+    /// The values of the row labeled `label`, if present.
+    pub fn row(&self, label: &str) -> Option<&[f64]> {
+        self.rows.iter().find(|(l, _)| l == label).map(|(_, v)| v.as_slice())
+    }
+}
+
+impl std::fmt::Display for Series {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(8))
+            .max()
+            .unwrap_or(8);
+        write!(f, "{:label_w$}", "")?;
+        for c in &self.columns {
+            write!(f, "  {c:>14}")?;
+        }
+        writeln!(f)?;
+        for (label, values) in &self.rows {
+            write!(f, "{label:label_w$}")?;
+            for v in values {
+                write!(f, "  {v:>14.4}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Shared context: the scale and the (expensive to build) input graph.
+#[derive(Debug, Clone)]
+pub struct Experiments {
+    scale: Scale,
+    graph: Csr,
+}
+
+impl Experiments {
+    /// Builds the context, generating the R-MAT graph once.
+    pub fn new(scale: Scale) -> Self {
+        Experiments { scale, graph: graph_for(scale) }
+    }
+
+    /// The scale in use.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    fn lifetime(&self, w: Workload, cfg: &SystemConfig) -> LifetimeReport {
+        let graph = w.uses_graph().then_some(&self.graph);
+        run_lifetime(w, self.scale, graph, cfg)
+    }
+
+    fn detailed(&self, w: Workload, cfg: &SystemConfig) -> DetailedReport {
+        let graph = w.uses_graph().then_some(&self.graph);
+        run_detailed(w, self.scale, graph, cfg)
+    }
+
+    /// Figure 3: counter-cache misses per LLC miss under Morphable
+    /// Counters, lifetime methodology (32 KB counter cache).
+    pub fn fig03_counter_miss(&self) -> Series {
+        let cfg = SystemConfig::lifetime(Scheme::Morphable);
+        let mut s = Series::new(
+            "Figure 3: counter misses per LLC miss (Morphable, lifetime)",
+            &["ctr miss rate"],
+        );
+        for w in Workload::ALL {
+            let r = self.lifetime(w, &cfg);
+            s.push(w.name(), vec![r.counter_miss_rate()]);
+        }
+        s.with_mean()
+    }
+
+    /// Figure 4: TLB misses per LLC miss under 4 KB and 2 MB pages.
+    pub fn fig04_tlb(&self) -> Series {
+        let cfg = SystemConfig::lifetime(Scheme::NonSecure);
+        let mut s = Series::new(
+            "Figure 4: TLB misses per LLC miss",
+            &["4KB pages", "2MB pages"],
+        );
+        for w in Workload::ALL {
+            let r = self.lifetime(w, &cfg);
+            s.push(
+                w.name(),
+                vec![
+                    r.tlb_per_llc_miss(PageSize::Small4K),
+                    r.tlb_per_llc_miss(PageSize::Huge2M),
+                ],
+            );
+        }
+        s.with_mean()
+    }
+
+    /// Figure 10: memoization hit rate for counter misses, split into hits
+    /// from live groups and hits from MRU single values.
+    pub fn fig10_hit_breakdown(&self) -> Series {
+        let cfg = SystemConfig::lifetime(Scheme::Rmcc);
+        let mut s = Series::new(
+            "Figure 10: memoization hits on counter misses",
+            &["group hits", "MRU hits", "total"],
+        );
+        for w in Workload::ALL {
+            let r = self.lifetime(w, &cfg);
+            let t = &r.meta.memo_l0;
+            let n = (t.miss_group_hits + t.miss_mru_hits + t.miss_misses).max(1) as f64;
+            let g = t.miss_group_hits as f64 / n;
+            let m = t.miss_mru_hits as f64 / n;
+            s.push(w.name(), vec![g, m, g + m]);
+        }
+        s.with_mean()
+    }
+
+    /// Figure 12: bandwidth utilization breakdown under Morphable Counters
+    /// (detailed mode).
+    pub fn fig12_bandwidth(&self) -> Series {
+        let cfg = SystemConfig::detailed_scaled(Scheme::Morphable);
+        let mut s = Series::new(
+            "Figure 12: bandwidth utilization under Morphable",
+            &["data", "counters", "L0 overflow", "L1+ overflow"],
+        );
+        for w in Workload::ALL {
+            let r = self.detailed(w, &cfg);
+            s.push(
+                w.name(),
+                TrafficClass::ALL.iter().map(|&c| r.utilization(c)).collect(),
+            );
+        }
+        s.with_mean()
+    }
+
+    /// Figures 13 and 14 share their runs: performance normalized to
+    /// non-secure, and mean LLC-miss latency, for SC-64 / Morphable / RMCC
+    /// (+ non-secure latency).
+    pub fn fig13_fig14(&self) -> (Series, Series) {
+        let mut perf = Series::new(
+            "Figure 13: performance normalized to non-secure",
+            &["SC-64", "Morphable", "RMCC"],
+        );
+        let mut lat = Series::new(
+            "Figure 14: average LLC miss latency (ns)",
+            &["SC-64", "Morphable", "RMCC", "Non-secure"],
+        );
+        for w in Workload::ALL {
+            let non = self.detailed(w, &SystemConfig::detailed_scaled(Scheme::NonSecure));
+            let sc = self.detailed(w, &SystemConfig::detailed_scaled(Scheme::Sc64));
+            let mo = self.detailed(w, &SystemConfig::detailed_scaled(Scheme::Morphable));
+            let rm = self.detailed(w, &SystemConfig::detailed_scaled(Scheme::Rmcc));
+            perf.push(
+                w.name(),
+                vec![
+                    sc.normalized_perf(&non),
+                    mo.normalized_perf(&non),
+                    rm.normalized_perf(&non),
+                ],
+            );
+            lat.push(
+                w.name(),
+                vec![
+                    sc.mean_miss_latency_ns,
+                    mo.mean_miss_latency_ns,
+                    rm.mean_miss_latency_ns,
+                    non.mean_miss_latency_ns,
+                ],
+            );
+        }
+        (perf.with_mean(), lat.with_mean())
+    }
+
+    /// Figure 15: average data blocks covered per memoized L0 counter
+    /// value at the end of each workload.
+    pub fn fig15_coverage(&self) -> Series {
+        let cfg = SystemConfig::lifetime(Scheme::Rmcc);
+        let mut s = Series::new(
+            "Figure 15: avg blocks covered per memoized counter value",
+            &["blocks"],
+        );
+        for w in Workload::ALL {
+            let r = self.lifetime(w, &cfg);
+            s.push(w.name(), vec![r.avg_value_coverage]);
+        }
+        s.with_mean()
+    }
+
+    /// Figure 16: memory traffic overhead of RMCC over Morphable, split by
+    /// the L0 and L1 budgets.
+    pub fn fig16_traffic(&self) -> Series {
+        let base_cfg = SystemConfig::lifetime(Scheme::Morphable);
+        let rmcc_cfg = SystemConfig::lifetime(Scheme::Rmcc);
+        let mut s = Series::new(
+            "Figure 16: traffic overhead of RMCC vs Morphable",
+            &["L0 share", "L1 share", "total overhead"],
+        );
+        for w in Workload::ALL {
+            let base = self.lifetime(w, &base_cfg);
+            let rmcc = self.lifetime(w, &rmcc_cfg);
+            let bt = base.total_requests().max(1) as f64;
+            let total = (rmcc.total_requests() as f64 - bt) / bt;
+            let l0 = rmcc.rmcc_spent_l0 as f64 / bt;
+            let l1 = rmcc.rmcc_spent_l1 as f64 / bt;
+            s.push(w.name(), vec![l0, l1, total.max(0.0)]);
+        }
+        s.with_mean()
+    }
+
+    /// Figure 17: RMCC performance normalized to Morphable under 15 ns and
+    /// 22 ns AES latencies.
+    pub fn fig17_aes_latency(&self) -> Series {
+        let mut s = Series::new(
+            "Figure 17: RMCC vs Morphable under AES latency",
+            &["15ns AES", "22ns AES"],
+        );
+        for w in Workload::ALL {
+            let mut vals = Vec::new();
+            for aes_ns in [15.0, 22.0] {
+                let mut base = SystemConfig::detailed_scaled(Scheme::Morphable);
+                base.aes_latency = ns(aes_ns);
+                let mut rmcc = SystemConfig::detailed_scaled(Scheme::Rmcc);
+                rmcc.aes_latency = ns(aes_ns);
+                let b = self.detailed(w, &base);
+                let r = self.detailed(w, &rmcc);
+                vals.push(r.normalized_perf(&b));
+            }
+            s.push(w.name(), vals);
+        }
+        s.with_mean()
+    }
+
+    /// Figure 18: RMCC performance normalized to Morphable under 128 KB,
+    /// 256 KB, and 512 KB counter caches.
+    pub fn fig18_counter_cache(&self) -> Series {
+        let mut s = Series::new(
+            "Figure 18: RMCC vs Morphable under counter cache size",
+            &["128KB", "256KB", "512KB"],
+        );
+        for w in Workload::ALL {
+            let mut vals = Vec::new();
+            // The paper sweeps 128/256/512 KB; scaled 4x alongside the
+            // footprints (see SystemConfig::detailed_scaled).
+            for kb in [32usize, 64, 128] {
+                let mut base = SystemConfig::detailed_scaled(Scheme::Morphable);
+                base.counter_cache_bytes = kb << 10;
+                let mut rmcc = SystemConfig::detailed_scaled(Scheme::Rmcc);
+                rmcc.counter_cache_bytes = kb << 10;
+                let b = self.detailed(w, &base);
+                let r = self.detailed(w, &rmcc);
+                vals.push(r.normalized_perf(&b));
+            }
+            s.push(w.name(), vals);
+        }
+        s.with_mean()
+    }
+
+    /// Figures 19 and 20: memoization hit rate (all lookups) and traffic
+    /// overhead under 1% / 2% / 8% per-level budgets.
+    pub fn fig19_fig20(&self) -> (Series, Series) {
+        let mut hits = Series::new(
+            "Figure 19: memoization hit rate vs budget",
+            &["1% budget", "2% budget", "8% budget"],
+        );
+        let mut traffic = Series::new(
+            "Figure 20: traffic overhead vs budget",
+            &["1% budget", "2% budget", "8% budget"],
+        );
+        let base_cfg = SystemConfig::lifetime(Scheme::Morphable);
+        for w in Workload::ALL {
+            let base = self.lifetime(w, &base_cfg);
+            let bt = base.total_requests().max(1) as f64;
+            let mut hrow = Vec::new();
+            let mut trow = Vec::new();
+            for frac in [0.01, 0.02, 0.08] {
+                let mut cfg = SystemConfig::lifetime(Scheme::Rmcc);
+                cfg.rmcc = rmcc_core::rmcc::RmccConfig::with_budget(frac);
+                let r = self.lifetime(w, &cfg);
+                hrow.push(r.meta.memo_l0.all_hit_rate());
+                trow.push(((r.total_requests() as f64 - bt) / bt).max(0.0));
+            }
+            hits.push(w.name(), hrow);
+            traffic.push(w.name(), trow);
+        }
+        (hits.with_mean(), traffic.with_mean())
+    }
+
+    /// Figures 21 and 22: memoization hit rate and traffic overhead under
+    /// Memoized Counter Value Group sizes 4 / 8 / 16 (total entries fixed
+    /// at 128).
+    pub fn fig21_fig22(&self) -> (Series, Series) {
+        let mut hits = Series::new(
+            "Figure 21: memoization hit rate vs group size",
+            &["group 4", "group 8", "group 16"],
+        );
+        let mut traffic = Series::new(
+            "Figure 22: traffic overhead vs group size",
+            &["group 4", "group 8", "group 16"],
+        );
+        let base_cfg = SystemConfig::lifetime(Scheme::Morphable);
+        for w in Workload::ALL {
+            let base = self.lifetime(w, &base_cfg);
+            let bt = base.total_requests().max(1) as f64;
+            let mut hrow = Vec::new();
+            let mut trow = Vec::new();
+            for size in [4u64, 8, 16] {
+                let mut cfg = SystemConfig::lifetime(Scheme::Rmcc);
+                cfg.rmcc = rmcc_core::rmcc::RmccConfig::with_group_size(size);
+                let r = self.lifetime(w, &cfg);
+                hrow.push(r.meta.memo_l0.all_hit_rate());
+                trow.push(((r.total_requests() as f64 - bt) / bt).max(0.0));
+            }
+            hits.push(w.name(), hrow);
+            traffic.push(w.name(), trow);
+        }
+        (hits.with_mean(), traffic.with_mean())
+    }
+
+    /// §IV-D2: growth of the maximum counter value, RMCC vs Morphable.
+    pub fn max_counter_growth(&self) -> Series {
+        let base_cfg = SystemConfig::lifetime(Scheme::Morphable);
+        let rmcc_cfg = SystemConfig::lifetime(Scheme::Rmcc);
+        let mut s = Series::new(
+            "Max counter value: RMCC vs Morphable (§IV-D2)",
+            &["Morphable", "RMCC", "ratio"],
+        );
+        for w in Workload::ALL {
+            let b = self.lifetime(w, &base_cfg);
+            let r = self.lifetime(w, &rmcc_cfg);
+            let ratio = if b.max_counter == 0 {
+                0.0
+            } else {
+                r.max_counter as f64 / b.max_counter as f64
+            };
+            s.push(w.name(), vec![b.max_counter as f64, r.max_counter as f64, ratio]);
+        }
+        s.with_mean()
+    }
+
+    /// Extension (§III discussion): Morphable's counter-miss rate under
+    /// 4 KB pages vs 2 MB huge pages. A Morphable counter block covers two
+    /// *physically adjacent* 4 KB pages; small-page placement scatters
+    /// virtually adjacent pages, so coverage halves and misses rise.
+    pub fn page_size_sensitivity(&self) -> Series {
+        let mut s = Series::new(
+            "Extension: counter miss rate, 2MB vs 4KB pages (Morphable)",
+            &["2MB pages", "4KB pages"],
+        );
+        for w in Workload::ALL {
+            let mut huge = SystemConfig::lifetime(Scheme::Morphable);
+            huge.page_size = PageSize::Huge2M;
+            let mut small = SystemConfig::lifetime(Scheme::Morphable);
+            small.page_size = PageSize::Small4K;
+            let rh = self.lifetime(w, &huge);
+            let rs = self.lifetime(w, &small);
+            s.push(w.name(), vec![rh.counter_miss_rate(), rs.counter_miss_rate()]);
+        }
+        s.with_mean()
+    }
+
+    /// Ablation (§IV-C1): memoization hit rate with and without
+    /// read-triggered counter updates for read-mostly blocks.
+    pub fn ablation_read_triggered(&self) -> Series {
+        let mut s = Series::new(
+            "Ablation: memoization hit rate with/without read-triggered updates",
+            &["with", "without"],
+        );
+        for w in Workload::ALL {
+            let on = SystemConfig::lifetime(Scheme::Rmcc);
+            let mut off = SystemConfig::lifetime(Scheme::Rmcc);
+            off.rmcc.read_triggered = false;
+            let r_on = self.lifetime(w, &on);
+            let r_off = self.lifetime(w, &off);
+            s.push(
+                w.name(),
+                vec![r_on.meta.memo_l0.all_hit_rate(), r_off.meta.memo_l0.all_hit_rate()],
+            );
+        }
+        s.with_mean()
+    }
+
+    /// Related-work comparison (§VII): PoisonIvy-style speculative
+    /// verification vs RMCC, both over Morphable, normalized to non-secure.
+    /// Speculation hides tree-verification latency only; RMCC also hides
+    /// the decryption AES, which dominates after counter misses.
+    pub fn related_work_speculation(&self) -> Series {
+        let mut s = Series::new(
+            "Related work: speculative verification vs RMCC (norm. to non-secure)",
+            &["Morphable", "Morphable+spec", "RMCC"],
+        );
+        for w in Workload::ALL {
+            let non = self.detailed(w, &SystemConfig::detailed_scaled(Scheme::NonSecure));
+            let mo = self.detailed(w, &SystemConfig::detailed_scaled(Scheme::Morphable));
+            let mut spec_cfg = SystemConfig::detailed_scaled(Scheme::Morphable);
+            spec_cfg.speculative_verify = true;
+            let spec = self.detailed(w, &spec_cfg);
+            let rm = self.detailed(w, &SystemConfig::detailed_scaled(Scheme::Rmcc));
+            s.push(
+                w.name(),
+                vec![
+                    mo.normalized_perf(&non),
+                    spec.normalized_perf(&non),
+                    rm.normalized_perf(&non),
+                ],
+            );
+        }
+        s.with_mean()
+    }
+
+    /// The paper's 92% headline: fraction of counter misses whose
+    /// decryption/verification is accelerated.
+    pub fn accelerated_misses(&self) -> Series {
+        let cfg = SystemConfig::lifetime(Scheme::Rmcc);
+        let mut s = Series::new(
+            "Accelerated counter misses (paper: 92% mean)",
+            &["accelerated"],
+        );
+        for w in Workload::ALL {
+            let r = self.lifetime(w, &cfg);
+            s.push(w.name(), vec![r.meta.accelerated_rate()]);
+        }
+        s.with_mean()
+    }
+}
+
+/// Renders Table I (the full system configuration).
+pub fn table1() -> String {
+    SystemConfig::table1(Scheme::Rmcc).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_push_mean_and_display() {
+        let mut s = Series::new("t", &["a", "b"]);
+        s.push("x", vec![1.0, 3.0]);
+        s.push("y", vec![3.0, 5.0]);
+        let s = s.with_mean();
+        assert_eq!(s.row("mean"), Some(&[2.0, 4.0][..]));
+        let text = s.to_string();
+        assert!(text.contains("== t =="));
+        assert!(text.contains("mean"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn series_width_checked() {
+        let mut s = Series::new("t", &["a"]);
+        s.push("x", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn table1_text() {
+        let t = table1();
+        assert!(t.contains("RMCC"));
+        assert!(t.contains("128 GB"));
+    }
+
+    #[test]
+    fn tiny_fig03_has_all_workloads_plus_mean() {
+        let ex = Experiments::new(Scale::Tiny);
+        let s = ex.fig03_counter_miss();
+        assert_eq!(s.rows.len(), 12);
+        for (_, v) in &s.rows {
+            assert!((0.0..=1.0).contains(&v[0]));
+        }
+    }
+
+    #[test]
+    fn tiny_fig13_14_shapes() {
+        // One workload's worth of runs at tiny scale to keep tests quick:
+        // use the full harness but verify only structure.
+        let ex = Experiments::new(Scale::Tiny);
+        let (perf, lat) = ex.fig13_fig14();
+        assert_eq!(perf.columns.len(), 3);
+        assert_eq!(lat.columns.len(), 4);
+        assert_eq!(perf.rows.len(), 12);
+        // Normalized perf is at most ~1.
+        for (_, v) in &perf.rows {
+            for &x in v {
+                assert!(x > 0.1 && x <= 1.05, "normalized perf {x}");
+            }
+        }
+    }
+}

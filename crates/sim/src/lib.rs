@@ -1,0 +1,53 @@
+//! Full-system secure-memory simulator for the RMCC reproduction — the
+//! stand-in for the paper's gem5 + Ramulator + Pin methodology.
+//!
+//! * [`config`] — Table I as a printable [`config::SystemConfig`].
+//! * [`page_map`] — bijective virtual→physical page placement.
+//! * [`meta_engine`] — the shared functional metadata engine: counter
+//!   cache walks, counter updates (baseline or RMCC), overflows, dirty
+//!   evictions, memoization lookups.
+//! * [`multicore`] — n cores with private L1/L2 sharing one LLC, counter
+//!   cache, and DDR4 channel (§V's 4-thread GraphBig methodology).
+//! * [`mc`] — the timing memory controller over the DDR4 channel.
+//! * [`core_model`] — the ROB/MLP trace-driven core.
+//! * [`lifetime`] — the Pin-style whole-lifetime functional runner.
+//! * [`detailed`] — the gem5-style timing runner.
+//! * [`experiments`] — one harness per table/figure of the evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use rmcc_sim::config::{Scheme, SystemConfig};
+//! use rmcc_sim::lifetime::run_lifetime;
+//! use rmcc_workloads::workload::{Scale, Workload};
+//!
+//! let report = run_lifetime(
+//!     Workload::Canneal,
+//!     Scale::Tiny,
+//!     None,
+//!     &SystemConfig::lifetime(Scheme::Rmcc),
+//! );
+//! assert!(report.llc_misses > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod core_model;
+pub mod detailed;
+pub mod experiments;
+pub mod lifetime;
+pub mod mc;
+pub mod meta_engine;
+pub mod multicore;
+pub mod page_map;
+
+pub use config::{Scheme, SystemConfig};
+pub use core_model::{CoreModel, CoreStats};
+pub use detailed::{run_detailed, DetailedReport};
+pub use experiments::{table1, Experiments, Series};
+pub use lifetime::{run_lifetime, LifetimeReport, LifetimeRunner};
+pub use mc::{LatencyStats, MemoryController};
+pub use multicore::{run_multicore, MultiCoreReport};
+pub use meta_engine::{ChainFetch, MemoTally, MetaEngine, MetaStats, ReadOutcome, SideKind, SideRequest, WriteOutcome};
+pub use page_map::PageMap;

@@ -1,0 +1,731 @@
+//! The secure-memory metadata engine: everything the memory controller does
+//! besides raw DRAM timing.
+//!
+//! For every LLC miss or writeback the engine walks the counter cache and
+//! integrity tree, applies the counter-update policy (baseline `+1` or
+//! RMCC's memoization-aware update), performs RMCC table lookups, handles
+//! overflows and dirty counter-block evictions, and reports the resulting
+//! memory requests. Both the lifetime (Pin-style) runner and the detailed
+//! timing simulator drive this one engine, so functional behaviour cannot
+//! diverge between modes.
+
+use std::collections::VecDeque;
+
+use rmcc_cache::set_assoc::SetAssocCache;
+use rmcc_core::rmcc::Rmcc;
+use rmcc_core::table::LookupResult;
+use rmcc_secmem::layout::BLOCK_BYTES;
+use rmcc_secmem::tree::MetadataState;
+
+use crate::config::{Scheme, SystemConfig};
+
+/// Why a side request exists — mapped to DRAM traffic classes and overhead
+/// accounting by the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SideKind {
+    /// A dirty counter block / tree node written back to memory.
+    CounterWriteback,
+    /// Re-encryption of a data block caused by an L0 relevel.
+    OverflowL0,
+    /// Re-MAC of metadata caused by an L1-or-higher relevel.
+    OverflowHigher,
+    /// Re-encryption write for a read-triggered memoization-aware update
+    /// (§IV-C1).
+    ReadTriggeredReencrypt,
+}
+
+/// A memory request generated as a side effect of metadata maintenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SideRequest {
+    /// Physical byte address.
+    pub addr: u64,
+    /// Write (`true`) or read.
+    pub is_write: bool,
+    /// Why the request exists.
+    pub kind: SideKind,
+}
+
+/// One level of the verification chain that had to be fetched from memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainFetch {
+    /// The in-memory metadata level (0 = counter blocks).
+    pub level: usize,
+    /// The node's physical byte address.
+    pub addr: u64,
+    /// Whether the OTP needed to *verify* this node after it arrives can
+    /// come from a memoization table (the node's protecting counter value
+    /// hit the level-above table) instead of a fresh AES.
+    pub verify_memo_hit: bool,
+}
+
+/// What servicing a data read required.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReadOutcome {
+    /// Metadata levels fetched from memory, innermost (L0) first. Empty
+    /// when the L0 counter block hit in the counter cache.
+    pub fetches: Vec<ChainFetch>,
+    /// The level that terminated the walk with a counter-cache hit;
+    /// `None` means the walk reached the on-chip root.
+    pub cache_hit_level: Option<usize>,
+    /// The data block's counter value (after any read-triggered update).
+    pub counter_value: u64,
+    /// RMCC: the data block's counter value hit the L0 memoization table,
+    /// so the data OTP needs only a lookup + carry-less multiply.
+    pub l0_memo_hit: bool,
+    /// Side traffic (dirty evictions, read-triggered re-encryptions, …).
+    pub side: Vec<SideRequest>,
+}
+
+impl ReadOutcome {
+    /// Whether the L0 counter missed the counter cache (the paper's
+    /// "counter miss" event, Figure 3).
+    pub fn counter_missed(&self) -> bool {
+        self.fetches.iter().any(|f| f.level == 0)
+    }
+}
+
+/// What servicing a dirty-data writeback required.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WriteOutcome {
+    /// Metadata levels fetched (the counter block must be resident to
+    /// update it).
+    pub fetches: Vec<ChainFetch>,
+    /// The counter value the block was encrypted under.
+    pub counter_value: u64,
+    /// Whether the update releveled the whole counter block.
+    pub releveled: bool,
+    /// Side traffic (overflow re-encryption, dirty evictions, …).
+    pub side: Vec<SideRequest>,
+}
+
+/// Per-level memoization lookup tallies, split by counter-cache outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoTally {
+    /// Group hits on counter-cache misses.
+    pub miss_group_hits: u64,
+    /// MRU hits on counter-cache misses.
+    pub miss_mru_hits: u64,
+    /// Table misses on counter-cache misses.
+    pub miss_misses: u64,
+    /// Group hits across all lookups (cache hit or miss) — Figure 19's
+    /// definition.
+    pub all_group_hits: u64,
+    /// MRU hits across all lookups.
+    pub all_mru_hits: u64,
+    /// Table misses across all lookups.
+    pub all_misses: u64,
+}
+
+impl MemoTally {
+    fn record(&mut self, result: LookupResult, counter_missed: bool) {
+        match result {
+            LookupResult::GroupHit => self.all_group_hits += 1,
+            LookupResult::MruHit => self.all_mru_hits += 1,
+            LookupResult::Miss => self.all_misses += 1,
+        }
+        if counter_missed {
+            match result {
+                LookupResult::GroupHit => self.miss_group_hits += 1,
+                LookupResult::MruHit => self.miss_mru_hits += 1,
+                LookupResult::Miss => self.miss_misses += 1,
+            }
+        }
+    }
+
+    /// Hit rate over lookups that followed a counter-cache miss (Fig. 10).
+    pub fn miss_hit_rate(&self) -> f64 {
+        let n = self.miss_group_hits + self.miss_mru_hits + self.miss_misses;
+        if n == 0 {
+            0.0
+        } else {
+            (self.miss_group_hits + self.miss_mru_hits) as f64 / n as f64
+        }
+    }
+
+    /// Hit rate over all lookups (Fig. 19's definition).
+    pub fn all_hit_rate(&self) -> f64 {
+        let n = self.all_group_hits + self.all_mru_hits + self.all_misses;
+        if n == 0 {
+            0.0
+        } else {
+            (self.all_group_hits + self.all_mru_hits) as f64 / n as f64
+        }
+    }
+}
+
+/// Aggregate functional statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MetaStats {
+    /// Data-read requests (LLC misses).
+    pub data_reads: u64,
+    /// Data writeback requests.
+    pub data_writes: u64,
+    /// LLC misses whose L0 counter missed the counter cache (Fig. 3).
+    pub counter_misses: u64,
+    /// Metadata blocks fetched from memory.
+    pub counter_fetches: u64,
+    /// Dirty metadata writebacks.
+    pub counter_writebacks: u64,
+    /// Data-block requests caused by L0 relevels.
+    pub overflow_l0_requests: u64,
+    /// Metadata requests caused by L1+ relevels.
+    pub overflow_hi_requests: u64,
+    /// L0 relevel events.
+    pub relevels_l0: u64,
+    /// L1+ relevel events.
+    pub relevels_hi: u64,
+    /// Read-triggered re-encryption writes (RMCC).
+    pub read_triggered_writes: u64,
+    /// Requests charged to RMCC budgets (jump-induced overflow traffic +
+    /// read-triggered updates).
+    pub rmcc_charged_requests: u64,
+    /// L0-value memoization lookups.
+    pub memo_l0: MemoTally,
+    /// L1-value memoization lookups (on L0 fetch verification).
+    pub memo_l1: MemoTally,
+    /// Counter misses whose decryption/verification was fully accelerated:
+    /// L0 value memoized AND the L1 requirement satisfied (cache hit or
+    /// memoized) — the paper's 92% metric.
+    pub accelerated_counter_misses: u64,
+    /// Every memory request the MC issued (data + metadata + overflow).
+    pub total_requests: u64,
+}
+
+impl MetaStats {
+    /// Fraction of LLC misses that suffered a counter-cache miss (Fig. 3).
+    pub fn counter_miss_rate(&self) -> f64 {
+        if self.data_reads == 0 {
+            0.0
+        } else {
+            self.counter_misses as f64 / self.data_reads as f64
+        }
+    }
+
+    /// Fraction of counter misses that were accelerated (the 92% result).
+    pub fn accelerated_rate(&self) -> f64 {
+        if self.counter_misses == 0 {
+            0.0
+        } else {
+            self.accelerated_counter_misses as f64 / self.counter_misses as f64
+        }
+    }
+}
+
+/// The metadata engine.
+pub struct MetaEngine {
+    scheme: Scheme,
+    meta: Option<MetadataState>,
+    rmcc: Option<Rmcc>,
+    counter_cache: SetAssocCache,
+    stats: MetaStats,
+}
+
+impl std::fmt::Debug for MetaEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetaEngine")
+            .field("scheme", &self.scheme)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MetaEngine {
+    /// Builds the engine for `cfg`.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        let meta = cfg
+            .scheme
+            .counter_org()
+            .map(|org| MetadataState::new(org, cfg.data_bytes, cfg.counter_init));
+        let rmcc = cfg.scheme.uses_rmcc().then(|| {
+            let mut r = Rmcc::new(cfg.rmcc);
+            if matches!(cfg.counter_init, rmcc_secmem::tree::InitPolicy::Randomized { .. }) {
+                // Measurement starts from the §V write-storm's converged
+                // steady state: the tables hold the ladder the storm's
+                // memoization-aware updates steered counters onto (see
+                // `canonical_group_starts`).
+                for start in rmcc_secmem::tree::canonical_group_starts() {
+                    for level in 0..cfg.rmcc.levels {
+                        r.seed_group(level, start);
+                    }
+                }
+            }
+            r
+        });
+        MetaEngine {
+            scheme: cfg.scheme,
+            meta,
+            rmcc,
+            counter_cache: SetAssocCache::new(
+                cfg.counter_cache_lines().max(cfg.counter_cache_ways),
+                cfg.counter_cache_ways,
+            ),
+            stats: MetaStats::default(),
+        }
+    }
+
+    /// Functional statistics so far.
+    pub fn stats(&self) -> &MetaStats {
+        &self.stats
+    }
+
+    /// Clears measured statistics while preserving all architectural state
+    /// (counter cache, counter values, memoization tables) — end-of-warm-up
+    /// semantics, as in the paper's §V methodology.
+    pub fn reset_stats(&mut self) {
+        self.stats = MetaStats::default();
+        self.counter_cache.reset_stats();
+    }
+
+    /// The RMCC engine, when the scheme uses it.
+    pub fn rmcc(&self) -> Option<&Rmcc> {
+        self.rmcc.as_ref()
+    }
+
+    /// Seeds a memoized group directly (warm-started experiments / tests).
+    /// No-op for schemes without RMCC.
+    pub fn seed_rmcc_group(&mut self, level: usize, start: u64) {
+        if let Some(r) = self.rmcc.as_mut() {
+            r.seed_group(level, start);
+        }
+    }
+
+    /// The counter state, when the scheme is secure.
+    pub fn metadata(&mut self) -> Option<&mut MetadataState> {
+        self.meta.as_mut()
+    }
+
+    /// Counter-cache statistics.
+    pub fn counter_cache_stats(&self) -> rmcc_cache::set_assoc::CacheStats {
+        self.counter_cache.stats()
+    }
+
+    fn tick(&mut self, requests: u64) {
+        self.stats.total_requests += requests;
+        if let Some(r) = self.rmcc.as_mut() {
+            for _ in 0..requests {
+                r.on_memory_access();
+            }
+        }
+    }
+
+    /// Walks the counter cache from level 0 upward until a hit (or the
+    /// root), filling missed levels and returning the fetches plus any side
+    /// traffic from dirty victims. `dirty_l0` marks the L0 access as a
+    /// write (writeback flow).
+    fn resolve_chain(
+        &mut self,
+        l0_index: u64,
+        dirty_l0: bool,
+        fetches: &mut Vec<ChainFetch>,
+        side: &mut Vec<SideRequest>,
+    ) -> Option<usize> {
+        let meta = self.meta.as_mut().expect("secure scheme");
+        let depth = meta.layout().depth();
+        let mut victims = VecDeque::new();
+        let mut hit_level = None;
+        let mut level = 0;
+        let mut index = l0_index;
+        loop {
+            if level >= depth {
+                break; // reached the on-chip root
+            }
+            let addr = meta.layout().node_addr(level, index);
+            let outcome = self.counter_cache.access(addr >> 6, dirty_l0 && level == 0);
+            match outcome {
+                rmcc_cache::set_assoc::AccessOutcome::Hit => {
+                    hit_level = Some(level);
+                    break;
+                }
+                rmcc_cache::set_assoc::AccessOutcome::Miss { evicted } => {
+                    if let Some(e) = evicted {
+                        if e.dirty {
+                            victims.push_back(e.addr << 6);
+                        }
+                    }
+                    // Verification of this fetched node needs an OTP from
+                    // its protecting counter; check the level-above table.
+                    let protecting_value = meta.node_counter(level, index);
+                    let verify_memo_hit = match self.rmcc.as_mut() {
+                        Some(r) if r.covers_level(level + 1) => {
+                            let result = r.lookup(level + 1, protecting_value);
+                            if level == 0 {
+                                self.stats.memo_l1.record(result, true);
+                            }
+                            result.is_hit()
+                        }
+                        _ => false,
+                    };
+                    fetches.push(ChainFetch { level, addr, verify_memo_hit });
+                    index = match meta.layout().parent_index(level, index) {
+                        Some(p) => p,
+                        None => break, // parent is the root
+                    };
+                    level += 1;
+                }
+            }
+        }
+        // Handle dirty victims (and any cascade they cause).
+        while let Some(victim_addr) = victims.pop_front() {
+            self.write_back_node(victim_addr, side, &mut victims);
+        }
+        hit_level
+    }
+
+    /// A dirty metadata block leaves the counter cache: write it to memory
+    /// and bump its protecting counter, releveling ancestors as needed.
+    fn write_back_node(
+        &mut self,
+        addr: u64,
+        side: &mut Vec<SideRequest>,
+        victims: &mut VecDeque<u64>,
+    ) {
+        let meta = self.meta.as_mut().expect("secure scheme");
+        let Some((level, index)) = meta.layout().locate(addr) else {
+            return;
+        };
+        side.push(SideRequest { addr, is_write: true, kind: SideKind::CounterWriteback });
+        self.stats.counter_writebacks += 1;
+
+        let parent_level = level + 1;
+        let parent_index = meta.layout().parent_index(level, index).unwrap_or(0);
+        let slot = meta.layout().parent_slot(index);
+        let arity = meta.org().tree_arity() as u64;
+        let depth = meta.layout().depth();
+
+        // Bump the protecting counter — memoization-aware when a table
+        // covers it (the L1 table covers counters of L0 blocks).
+        let rmcc = self.rmcc.as_mut();
+        let (releveled, charged) = match rmcc {
+            Some(r) if r.covers_level(parent_level) => {
+                let out = meta.with_block_mut(parent_level, parent_index, |cb| {
+                    r.update_counter(parent_level, cb, slot, false)
+                });
+                let out = out.expect("writeback updates always apply");
+                (out.releveled, out.charged_requests)
+            }
+            _ => {
+                let releveled = meta.with_block_mut(parent_level, parent_index, |cb| {
+                    let target = cb.value(slot) + 1;
+                    match cb.try_write(slot, target) {
+                        Ok(()) => false,
+                        Err(of) => {
+                            cb.relevel(of.min_relevel_target);
+                            true
+                        }
+                    }
+                });
+                (releveled, 0)
+            }
+        };
+        self.stats.rmcc_charged_requests += charged;
+
+        if releveled {
+            // Every child of the parent changed its protecting counter:
+            // re-MAC them all (read + write each).
+            self.stats.relevels_hi += 1;
+            for child_slot in 0..arity {
+                let child = parent_index * arity + child_slot;
+                let child_addr = meta.layout().node_addr(level, child.min(meta.layout().level_count(level) - 1));
+                side.push(SideRequest { addr: child_addr, is_write: false, kind: SideKind::OverflowHigher });
+                side.push(SideRequest { addr: child_addr, is_write: true, kind: SideKind::OverflowHigher });
+                self.stats.overflow_hi_requests += 2;
+            }
+        }
+
+        // The parent's state changed: it must become dirty in the counter
+        // cache (unless the parent is the on-chip root).
+        if parent_level < depth {
+            let parent_addr = meta.layout().node_addr(parent_level, parent_index);
+            if let rmcc_cache::set_assoc::AccessOutcome::Miss { evicted: Some(e) } =
+                self.counter_cache.access(parent_addr >> 6, true)
+            {
+                if e.dirty {
+                    victims.push_back(e.addr << 6);
+                }
+            }
+        }
+    }
+
+    /// Services a data-block read (an LLC miss) at physical address `paddr`.
+    pub fn on_read(&mut self, paddr: u64) -> ReadOutcome {
+        let mut out = ReadOutcome::default();
+        self.stats.data_reads += 1;
+        if self.scheme == Scheme::NonSecure {
+            self.tick(1);
+            return out;
+        }
+        let data_block = paddr / BLOCK_BYTES;
+        let (l0_index, slot) = {
+            let meta = self.meta.as_mut().expect("secure scheme");
+            (meta.layout().l0_index(data_block), meta.layout().l0_slot(data_block))
+        };
+        out.cache_hit_level = self.resolve_chain(l0_index, false, &mut out.fetches, &mut out.side);
+        let counter_missed = out.counter_missed();
+        if counter_missed {
+            self.stats.counter_misses += 1;
+        }
+
+        let meta = self.meta.as_mut().expect("secure scheme");
+        out.counter_value = meta.block(0, l0_index).value(slot);
+        let system_max = meta.max_observed();
+
+        if let Some(r) = self.rmcc.as_mut() {
+            r.note_system_max(system_max);
+            let result = r.lookup(0, out.counter_value);
+            self.stats.memo_l0.record(result, counter_missed);
+            out.l0_memo_hit = result.is_hit();
+
+            if counter_missed {
+                // The 92% metric: L0 memoized and the L1 side satisfied.
+                let l1_ok = match out.fetches.iter().find(|f| f.level == 0) {
+                    Some(f0) => {
+                        let l1_fetched = out.fetches.iter().any(|f| f.level == 1);
+                        !l1_fetched || f0.verify_memo_hit
+                    }
+                    None => true,
+                };
+                if out.l0_memo_hit && l1_ok {
+                    self.stats.accelerated_counter_misses += 1;
+                }
+
+                // Read-triggered memoization-aware update (§IV-C1).
+                if !out.l0_memo_hit {
+                    let meta = self.meta.as_mut().expect("secure scheme");
+                    let updated = meta.with_block_mut(0, l0_index, |cb| {
+                        r.update_counter(0, cb, slot, true)
+                    });
+                    if let Some(u) = updated {
+                        self.stats.read_triggered_writes += 1;
+                        self.stats.rmcc_charged_requests += u.charged_requests;
+                        out.counter_value = u.new_value;
+                        out.side.push(SideRequest {
+                            addr: paddr,
+                            is_write: true,
+                            kind: SideKind::ReadTriggeredReencrypt,
+                        });
+                        // The counter block is now dirty in the cache.
+                        self.counter_cache.access(
+                            self.meta.as_mut().expect("secure").layout().node_addr(0, l0_index) >> 6,
+                            true,
+                        );
+                    }
+                }
+            }
+        }
+
+        self.stats.counter_fetches += out.fetches.len() as u64;
+        let requests = 1 + out.fetches.len() as u64 + out.side.len() as u64;
+        self.tick(requests);
+        out
+    }
+
+    /// Services a dirty-data writeback at physical address `paddr`.
+    pub fn on_writeback(&mut self, paddr: u64) -> WriteOutcome {
+        let mut out = WriteOutcome::default();
+        self.stats.data_writes += 1;
+        if self.scheme == Scheme::NonSecure {
+            self.tick(1);
+            return out;
+        }
+        let data_block = paddr / BLOCK_BYTES;
+        let (l0_index, slot, coverage) = {
+            let meta = self.meta.as_mut().expect("secure scheme");
+            (
+                meta.layout().l0_index(data_block),
+                meta.layout().l0_slot(data_block),
+                meta.org().coverage() as u64,
+            )
+        };
+        self.resolve_chain(l0_index, true, &mut out.fetches, &mut out.side);
+
+        // Counter update.
+        let meta = self.meta.as_mut().expect("secure scheme");
+        let (new_value, releveled, charged) = match self.rmcc.as_mut() {
+            Some(r) => {
+                r.note_system_max(meta.max_observed());
+                let u = meta
+                    .with_block_mut(0, l0_index, |cb| r.update_counter(0, cb, slot, false))
+                    .expect("writeback updates always apply");
+                (u.new_value, u.releveled, u.charged_requests)
+            }
+            None => {
+                let (v, releveled) = meta.with_block_mut(0, l0_index, |cb| {
+                    let target = cb.value(slot) + 1;
+                    match cb.try_write(slot, target) {
+                        Ok(()) => (target, false),
+                        Err(of) => {
+                            cb.relevel(of.min_relevel_target);
+                            (of.min_relevel_target, true)
+                        }
+                    }
+                });
+                (v, releveled, 0)
+            }
+        };
+        out.counter_value = new_value;
+        out.releveled = releveled;
+        self.stats.rmcc_charged_requests += charged;
+
+        if releveled {
+            // Re-encrypt every covered data block: read + write each.
+            self.stats.relevels_l0 += 1;
+            let base = l0_index * coverage;
+            for s in 0..coverage {
+                let addr = (base + s) * BLOCK_BYTES;
+                out.side.push(SideRequest { addr, is_write: false, kind: SideKind::OverflowL0 });
+                out.side.push(SideRequest { addr, is_write: true, kind: SideKind::OverflowL0 });
+                self.stats.overflow_l0_requests += 2;
+            }
+        }
+
+        self.stats.counter_fetches += out.fetches.len() as u64;
+        let requests = 1 + out.fetches.len() as u64 + out.side.len() as u64;
+        self.tick(requests);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmcc_secmem::tree::InitPolicy;
+
+    fn cfg(scheme: Scheme) -> SystemConfig {
+        let mut c = SystemConfig::lifetime(scheme);
+        c.counter_init = InitPolicy::Zero;
+        c.data_bytes = 1 << 30;
+        c
+    }
+
+    #[test]
+    fn non_secure_has_no_metadata_traffic() {
+        let mut e = MetaEngine::new(&cfg(Scheme::NonSecure));
+        let out = e.on_read(0x1000);
+        assert!(out.fetches.is_empty());
+        assert_eq!(e.stats().total_requests, 1);
+        assert_eq!(e.stats().counter_misses, 0);
+    }
+
+    #[test]
+    fn first_read_walks_to_root_then_hits() {
+        let mut e = MetaEngine::new(&cfg(Scheme::Morphable));
+        let out = e.on_read(0x1000);
+        // Cold caches: every in-memory level fetched.
+        assert!(!out.fetches.is_empty());
+        assert!(out.counter_missed());
+        assert_eq!(out.cache_hit_level, None);
+        // Second read of the same region: L0 now cached.
+        let out2 = e.on_read(0x1040);
+        assert!(out2.fetches.is_empty());
+        assert_eq!(out2.cache_hit_level, Some(0));
+        assert_eq!(e.stats().counter_misses, 1);
+        assert_eq!(e.stats().data_reads, 2);
+    }
+
+    #[test]
+    fn distant_blocks_share_higher_tree_levels() {
+        let mut e = MetaEngine::new(&cfg(Scheme::Morphable));
+        e.on_read(0);
+        // A block in a different counter block but same L1 subtree: only L0
+        // should miss.
+        let out = e.on_read(128 * 64);
+        assert_eq!(out.fetches.len(), 1);
+        assert_eq!(out.fetches[0].level, 0);
+        assert_eq!(out.cache_hit_level, Some(1));
+    }
+
+    #[test]
+    fn writeback_increments_counter() {
+        let mut e = MetaEngine::new(&cfg(Scheme::Morphable));
+        let w1 = e.on_writeback(0x2000);
+        assert_eq!(w1.counter_value, 1);
+        let w2 = e.on_writeback(0x2000);
+        assert_eq!(w2.counter_value, 2);
+        assert!(!w2.releveled);
+    }
+
+    #[test]
+    fn sc64_releveling_generates_overflow_traffic() {
+        let mut e = MetaEngine::new(&cfg(Scheme::Sc64));
+        for _ in 0..127 {
+            let w = e.on_writeback(0x3000);
+            assert!(!w.releveled);
+        }
+        let w = e.on_writeback(0x3000);
+        assert!(w.releveled, "128th write overflows the 7-bit minor");
+        let overflow_reqs =
+            w.side.iter().filter(|s| s.kind == SideKind::OverflowL0).count();
+        assert_eq!(overflow_reqs, 2 * 64);
+        assert_eq!(e.stats().relevels_l0, 1);
+    }
+
+    #[test]
+    fn rmcc_conforms_writebacks_and_hits_on_read() {
+        let mut e = MetaEngine::new(&cfg(Scheme::Rmcc));
+        // Bootstrap: seed the L0 table via many writes then reads.
+        for i in 0..200u64 {
+            e.on_writeback(i * 64);
+        }
+        // With zero-init counters, all writebacks land on value 1 (baseline,
+        // nothing memoized yet). Reads of those values bootstrap the monitor
+        // eventually; here we verify the plumbing by seeding directly.
+        let mut e = MetaEngine::new(&cfg(Scheme::Rmcc));
+        if let Some(_r) = e.rmcc() {
+            // seed via internal API
+        }
+        e.rmcc.as_mut().unwrap().seed_group(0, 5);
+        let w = e.on_writeback(0x4000);
+        assert_eq!(w.counter_value, 5, "write conforms to the memoized group");
+        let r = e.on_read(0x4000);
+        assert!(r.l0_memo_hit, "read of a conformed counter hits the table");
+        assert_eq!(e.stats().memo_l0.all_group_hits, 1);
+    }
+
+    #[test]
+    fn read_triggered_update_reencrypts() {
+        let mut e = MetaEngine::new(&cfg(Scheme::Rmcc));
+        e.rmcc.as_mut().unwrap().seed_group(0, 50);
+        let r = e.on_read(0x8000);
+        assert!(!r.l0_memo_hit, "value 0 is not memoized");
+        assert_eq!(r.counter_value, 50, "read-triggered update conformed the counter");
+        assert!(r
+            .side
+            .iter()
+            .any(|s| s.kind == SideKind::ReadTriggeredReencrypt && s.is_write));
+        assert_eq!(e.stats().read_triggered_writes, 1);
+        // Next read hits.
+        let r2 = e.on_read(0x8000);
+        assert!(r2.l0_memo_hit);
+    }
+
+    #[test]
+    fn dirty_counter_eviction_bumps_l1_and_writes_back() {
+        let mut small = cfg(Scheme::Morphable);
+        small.counter_cache_bytes = 4 * 64; // 4 lines → constant thrashing
+        small.counter_cache_ways = 2;
+        let mut e = MetaEngine::new(&small);
+        // Dirty a counter block, then thrash the cache with distant reads.
+        e.on_writeback(0);
+        let mut saw_writeback = false;
+        for i in 1..200u64 {
+            let out = e.on_read(i * 128 * 64 * 7);
+            if out.side.iter().any(|s| s.kind == SideKind::CounterWriteback) {
+                saw_writeback = true;
+                break;
+            }
+        }
+        assert!(saw_writeback, "dirty counter block never written back");
+        assert!(e.stats().counter_writebacks > 0);
+    }
+
+    #[test]
+    fn stats_rates() {
+        let mut e = MetaEngine::new(&cfg(Scheme::Morphable));
+        e.on_read(0);
+        e.on_read(64);
+        let s = e.stats();
+        assert!((s.counter_miss_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(MetaStats::default().counter_miss_rate(), 0.0);
+        assert_eq!(MetaStats::default().accelerated_rate(), 0.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Instrumented containers: the reproduction's stand-in for Pin.
+//!
+//! Kernels allocate their data structures from an [`Arena`], which lays each
+//! container out in a contiguous, 2 MB-aligned region of the virtual address
+//! space. Every element access goes through a [`crate::trace::Recorder`], so
+//! running a kernel *is* tracing it — the same way the paper instruments
+//! native binaries with Pintool.
+
+use crate::trace::Recorder;
+
+/// Alignment of arena regions: one 2 MB huge page, matching the paper's
+/// "2MB standard huge pages" methodology (§III, §V).
+pub const REGION_ALIGN: u64 = 2 << 20;
+
+/// Allocates virtual address ranges for instrumented containers.
+#[derive(Debug, Clone)]
+pub struct Arena {
+    next: u64,
+}
+
+impl Arena {
+    /// Creates an arena whose first region starts at one huge page, keeping
+    /// address 0 unmapped.
+    pub fn new() -> Self {
+        Arena { next: REGION_ALIGN }
+    }
+
+    /// Bytes of virtual address space handed out so far.
+    pub fn footprint(&self) -> u64 {
+        self.next - REGION_ALIGN
+    }
+
+    /// Reserves a region of `bytes`, aligned up to a huge page.
+    fn reserve(&mut self, bytes: u64) -> u64 {
+        let base = self.next;
+        let span = bytes.div_ceil(REGION_ALIGN) * REGION_ALIGN;
+        self.next += span;
+        base
+    }
+
+    /// Allocates an instrumented vector of `len` copies of `init`.
+    pub fn vec_of<T: Clone>(&mut self, len: usize, init: T) -> TVec<T> {
+        let elem_bytes = std::mem::size_of::<T>().max(1) as u64;
+        let base = self.reserve(len as u64 * elem_bytes);
+        TVec { base, elem_bytes, data: vec![init; len] }
+    }
+
+    /// Allocates an instrumented vector from existing data.
+    pub fn vec_from<T>(&mut self, data: Vec<T>) -> TVec<T> {
+        let elem_bytes = std::mem::size_of::<T>().max(1) as u64;
+        let base = self.reserve(data.len() as u64 * elem_bytes);
+        TVec { base, elem_bytes, data }
+    }
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An instrumented vector: element reads/writes emit trace events.
+///
+/// Untraced `raw`/`raw_mut` views exist for setup and verification code that
+/// should not pollute the trace (the equivalent of excluding initialization
+/// from a Pin region of interest).
+///
+/// # Examples
+///
+/// ```
+/// use rmcc_workloads::arena::Arena;
+/// use rmcc_workloads::trace::{CountingSink, Recorder};
+///
+/// let mut arena = Arena::new();
+/// let mut v = arena.vec_of(1024, 0u64);
+/// let mut sink = CountingSink::default();
+/// let mut rec = Recorder::new(&mut sink);
+/// v.set(3, 7, &mut rec);
+/// assert_eq!(*v.get(3, &mut rec), 7);
+/// drop(rec);
+/// assert_eq!(sink.reads + sink.writes, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TVec<T> {
+    base: u64,
+    elem_bytes: u64,
+    data: Vec<T>,
+}
+
+impl<T> TVec<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Virtual byte address of element `i`.
+    pub fn addr_of(&self, i: usize) -> u64 {
+        self.base + i as u64 * self.elem_bytes
+    }
+
+    /// Reads element `i`, emitting an independent load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize, rec: &mut Recorder<'_>) -> &T {
+        rec.read(self.addr_of(i), false);
+        &self.data[i]
+    }
+
+    /// Reads element `i`, emitting a *dependent* load — use when `i` was
+    /// computed from the previous load's value (pointer chasing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn get_dep(&self, i: usize, rec: &mut Recorder<'_>) -> &T {
+        rec.read(self.addr_of(i), true);
+        &self.data[i]
+    }
+
+    /// Writes element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn set(&mut self, i: usize, value: T, rec: &mut Recorder<'_>) {
+        rec.write(self.addr_of(i));
+        self.data[i] = value;
+    }
+
+    /// Read-modify-write of element `i` (one load + one store, as a cached
+    /// RMW appears at the memory system).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn update(&mut self, i: usize, f: impl FnOnce(&T) -> T, rec: &mut Recorder<'_>) {
+        rec.read(self.addr_of(i), false);
+        let new = f(&self.data[i]);
+        rec.write(self.addr_of(i));
+        self.data[i] = new;
+    }
+
+    /// Untraced view for setup/verification.
+    pub fn raw(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Untraced mutable view for setup.
+    pub fn raw_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CountingSink, TraceEvent};
+
+    #[test]
+    fn regions_are_huge_page_aligned_and_disjoint() {
+        let mut arena = Arena::new();
+        let a = arena.vec_of(10, 0u8);
+        let b = arena.vec_of(3_000_000, 0u8); // > 1 huge page
+        let c = arena.vec_of(1, 0u64);
+        assert_eq!(a.addr_of(0) % REGION_ALIGN, 0);
+        assert_eq!(b.addr_of(0) % REGION_ALIGN, 0);
+        assert_eq!(c.addr_of(0) % REGION_ALIGN, 0);
+        assert!(a.addr_of(9) < b.addr_of(0));
+        assert!(b.addr_of(2_999_999) < c.addr_of(0));
+        assert!(arena.footprint() >= 3_000_000);
+    }
+
+    #[test]
+    fn element_addresses_stride_by_size() {
+        let mut arena = Arena::new();
+        let v = arena.vec_of(4, 0u64);
+        assert_eq!(v.addr_of(1) - v.addr_of(0), 8);
+        let w = arena.vec_of(4, 0u32);
+        assert_eq!(w.addr_of(3) - w.addr_of(2), 4);
+    }
+
+    #[test]
+    fn accesses_trace_with_correct_addresses() {
+        let mut arena = Arena::new();
+        let mut v = arena.vec_of(16, 0i32);
+        let mut events: Vec<TraceEvent> = Vec::new();
+        {
+            let mut rec = Recorder::new(&mut events);
+            v.set(2, 42, &mut rec);
+            let _ = v.get(2, &mut rec);
+            let _ = v.get_dep(5, &mut rec);
+        }
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].addr, v.addr_of(2));
+        assert!(events[0].is_write);
+        assert_eq!(events[1].addr, v.addr_of(2));
+        assert!(!events[1].is_write && !events[1].dep_on_prev_load);
+        assert!(events[2].dep_on_prev_load);
+        assert_eq!(v.raw()[2], 42);
+    }
+
+    #[test]
+    fn update_emits_read_then_write() {
+        let mut arena = Arena::new();
+        let mut v = arena.vec_of(4, 10u64);
+        let mut events: Vec<TraceEvent> = Vec::new();
+        {
+            let mut rec = Recorder::new(&mut events);
+            v.update(1, |x| x + 1, &mut rec);
+        }
+        assert_eq!(events.len(), 2);
+        assert!(!events[0].is_write);
+        assert!(events[1].is_write);
+        assert_eq!(v.raw()[1], 11);
+    }
+
+    #[test]
+    fn raw_views_do_not_trace() {
+        let mut arena = Arena::new();
+        let mut v = arena.vec_of(4, 0u8);
+        let mut c = CountingSink::default();
+        {
+            let _rec = Recorder::new(&mut c);
+            v.raw_mut()[0] = 9;
+            assert_eq!(v.raw()[0], 9);
+        }
+        assert_eq!(c.reads + c.writes, 0);
+    }
+
+    #[test]
+    fn vec_from_preserves_contents() {
+        let mut arena = Arena::new();
+        let v = arena.vec_from(vec![1u16, 2, 3]);
+        assert_eq!(v.raw(), &[1, 2, 3]);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+//! Synthetic graph generation (R-MAT) and CSR storage.
+//!
+//! The paper evaluates IBM GraphBig on an LDBC "Facebook-like" dataset.
+//! R-MAT with the Graph500 parameters produces the same skewed-degree,
+//! community-structured topology class, which is what drives the irregular
+//! access patterns the paper studies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A directed graph in compressed-sparse-row form.
+///
+/// Vertex ids are `u32`; a graph with `n` vertices stores neighbor lists
+/// concatenated in [`Csr::col`], delimited by [`Csr::row_ptr`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// `row_ptr[v]..row_ptr[v+1]` indexes `col` with `v`'s out-neighbors.
+    pub row_ptr: Vec<u64>,
+    /// Concatenated adjacency lists.
+    pub col: Vec<u32>,
+}
+
+impl Csr {
+    /// Number of vertices.
+    pub fn n_vertices(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn n_edges(&self) -> usize {
+        self.col.len()
+    }
+
+    /// The out-neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let lo = self.row_ptr[v as usize] as usize;
+        let hi = self.row_ptr[v as usize + 1] as usize;
+        &self.col[lo..hi]
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: u32) -> usize {
+        (self.row_ptr[v as usize + 1] - self.row_ptr[v as usize]) as usize
+    }
+
+    /// Builds a CSR from an edge list over `n` vertices, sorting and
+    /// deduplicating.
+    pub fn from_edges(n: usize, mut edges: Vec<(u32, u32)>) -> Self {
+        edges.sort_unstable();
+        edges.dedup();
+        let mut row_ptr = vec![0u64; n + 1];
+        for &(s, _) in &edges {
+            row_ptr[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col = edges.into_iter().map(|(_, d)| d).collect();
+        Csr { row_ptr, col }
+    }
+}
+
+/// R-MAT generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// log2 of the vertex count.
+    pub scale: u32,
+    /// Average directed edges per vertex.
+    pub edge_factor: u32,
+    /// Quadrant probabilities (Graph500 uses 0.57 / 0.19 / 0.19 / 0.05).
+    pub a: f64,
+    /// Upper-right quadrant probability.
+    pub b: f64,
+    /// Lower-left quadrant probability.
+    pub c: f64,
+    /// PRNG seed.
+    pub seed: u64,
+    /// Also insert each edge's reverse, making the graph symmetric.
+    pub undirected: bool,
+}
+
+impl RmatParams {
+    /// Graph500-flavored defaults at the given scale.
+    pub fn graph500(scale: u32, edge_factor: u32, seed: u64) -> Self {
+        RmatParams { scale, edge_factor, a: 0.57, b: 0.19, c: 0.19, seed, undirected: true }
+    }
+}
+
+/// Generates an R-MAT graph.
+///
+/// # Examples
+///
+/// ```
+/// use rmcc_workloads::graph::{rmat, RmatParams};
+///
+/// let g = rmat(RmatParams::graph500(10, 8, 1));
+/// assert_eq!(g.n_vertices(), 1024);
+/// assert!(g.n_edges() > 1024);
+/// ```
+pub fn rmat(p: RmatParams) -> Csr {
+    let n = 1usize << p.scale;
+    let target = n * p.edge_factor as usize;
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut edges = Vec::with_capacity(if p.undirected { target * 2 } else { target });
+    for _ in 0..target {
+        let (mut src, mut dst) = (0u32, 0u32);
+        for level in (0..p.scale).rev() {
+            let r: f64 = rng.gen();
+            let (sbit, dbit) = if r < p.a {
+                (0, 0)
+            } else if r < p.a + p.b {
+                (0, 1)
+            } else if r < p.a + p.b + p.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            src |= sbit << level;
+            dst |= dbit << level;
+        }
+        if src != dst {
+            edges.push((src, dst));
+            if p.undirected {
+                edges.push((dst, src));
+            }
+        }
+    }
+    Csr::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_from_edges_basics() {
+        let g = Csr::from_edges(4, vec![(0, 1), (0, 2), (2, 3), (0, 1)]);
+        assert_eq!(g.n_vertices(), 4);
+        assert_eq!(g.n_edges(), 3); // duplicate (0,1) removed
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[] as &[u32]);
+        assert_eq!(g.neighbors(2), &[3]);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn rmat_is_deterministic() {
+        let a = rmat(RmatParams::graph500(8, 4, 7));
+        let b = rmat(RmatParams::graph500(8, 4, 7));
+        assert_eq!(a, b);
+        let c = rmat(RmatParams::graph500(8, 4, 8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rmat_degree_distribution_is_skewed() {
+        let g = rmat(RmatParams::graph500(12, 8, 3));
+        let max_deg = (0..g.n_vertices() as u32).map(|v| g.degree(v)).max().unwrap();
+        let avg = g.n_edges() as f64 / g.n_vertices() as f64;
+        // Power-law graphs have hubs far above the mean degree.
+        assert!(max_deg as f64 > 10.0 * avg, "max {max_deg} avg {avg}");
+    }
+
+    #[test]
+    fn undirected_graphs_are_symmetric() {
+        let g = rmat(RmatParams::graph500(8, 4, 9));
+        for v in 0..g.n_vertices() as u32 {
+            for &u in g.neighbors(v) {
+                assert!(
+                    g.neighbors(u).contains(&v),
+                    "edge ({v},{u}) has no reverse"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = rmat(RmatParams::graph500(8, 4, 11));
+        for v in 0..g.n_vertices() as u32 {
+            assert!(!g.neighbors(v).contains(&v));
+        }
+    }
+
+    #[test]
+    fn row_ptr_is_monotone_and_covers_col() {
+        let g = rmat(RmatParams::graph500(9, 4, 2));
+        assert!(g.row_ptr.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*g.row_ptr.last().unwrap() as usize, g.col.len());
+    }
+}

@@ -1,0 +1,4 @@
+//! Workload kernels: graph analytics and SPEC/PARSEC-like loops.
+
+pub mod graph;
+pub mod spec;

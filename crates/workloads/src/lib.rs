@@ -1,0 +1,35 @@
+//! Workload substrate for the RMCC secure-memory reproduction — the
+//! stand-in for Pin-instrumented GraphBig, PARSEC, and SPEC binaries.
+//!
+//! * [`trace`] — the event format kernels emit and sinks that consume it.
+//! * [`arena`] — instrumented containers ([`arena::TVec`]) whose element
+//!   accesses are traced, so *running* a kernel *is* tracing it.
+//! * [`graph`] — R-MAT graph generation and CSR storage.
+//! * [`kernels`] — the actual algorithms: eight GraphBig kernels plus
+//!   canneal/omnetpp/mcf-like loops.
+//! * [`workload`] — the registry mapping the paper's Figure 3 workload
+//!   names to runnable kernels at three size presets.
+//!
+//! # Example
+//!
+//! ```
+//! use rmcc_workloads::trace::CountingSink;
+//! use rmcc_workloads::workload::{Scale, Workload};
+//!
+//! let mut sink = CountingSink::default();
+//! Workload::Canneal.run(Scale::Tiny, &mut sink);
+//! assert!(sink.reads > 0 && sink.writes > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod graph;
+pub mod kernels;
+pub mod trace;
+pub mod workload;
+
+pub use arena::{Arena, TVec};
+pub use graph::{rmat, Csr, RmatParams};
+pub use trace::{CountingSink, FnSink, Recorder, TraceEvent, TraceSink};
+pub use workload::{graph_for, Scale, Workload};

@@ -1,0 +1,275 @@
+//! The benchmark registry: the eleven workloads of the paper's evaluation,
+//! with size presets.
+//!
+//! Figure 3's x-axis order is preserved by [`Workload::ALL`]: the eight
+//! GraphBig kernels, then `canneal`, `omnetpp`, and `mcf`.
+
+use crate::graph::{rmat, Csr, RmatParams};
+use crate::kernels::graph as gk;
+use crate::kernels::spec::{canneal, mcf, omnetpp, CannealParams, McfParams, OmnetppParams};
+use crate::trace::{Recorder, TraceSink};
+
+/// Problem-size presets.
+///
+/// `Tiny` is for unit tests, `Small` for quick benches (seconds), and `Full`
+/// for the headline experiments, whose footprints (tens of MB — scaled from
+/// the paper's multi-GB inputs to keep simulation tractable) exceed the
+/// modeled LLC by an order of magnitude.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Unit-test sized: sub-MB footprints, <100 K events.
+    Tiny,
+    /// Bench sized: a few MB, a few million events.
+    Small,
+    /// Experiment sized: tens of MB, tens of millions of events.
+    Full,
+}
+
+impl Scale {
+    fn graph_params(self) -> RmatParams {
+        match self {
+            Scale::Tiny => RmatParams::graph500(9, 4, 0xa11ce),
+            Scale::Small => RmatParams::graph500(20, 4, 0xa11ce),
+            Scale::Full => RmatParams::graph500(21, 8, 0xa11ce),
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scale::Tiny => write!(f, "tiny"),
+            Scale::Small => write!(f, "small"),
+            Scale::Full => write!(f, "full"),
+        }
+    }
+}
+
+/// Builds the shared R-MAT input graph for a scale. Experiments that run
+/// several graph workloads should build this once and pass it to
+/// [`Workload::run_on`].
+pub fn graph_for(scale: Scale) -> Csr {
+    rmat(scale.graph_params())
+}
+
+/// One of the paper's eleven evaluated workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// GraphBig PageRank.
+    PageRank,
+    /// GraphBig greedy graph coloring.
+    GraphColoring,
+    /// GraphBig connected components (label propagation).
+    ConnectedComp,
+    /// GraphBig degree centrality.
+    DegreeCentr,
+    /// GraphBig depth-first search.
+    Dfs,
+    /// GraphBig breadth-first search.
+    Bfs,
+    /// GraphBig triangle counting.
+    TriangleCount,
+    /// GraphBig single-source shortest paths.
+    ShortestPath,
+    /// PARSEC canneal (simulated annealing).
+    Canneal,
+    /// SPEC omnetpp (discrete-event simulation).
+    Omnetpp,
+    /// SPEC mcf (network simplex).
+    Mcf,
+}
+
+impl Workload {
+    /// All workloads in Figure 3's plotting order.
+    pub const ALL: [Workload; 11] = [
+        Workload::PageRank,
+        Workload::GraphColoring,
+        Workload::ConnectedComp,
+        Workload::DegreeCentr,
+        Workload::Dfs,
+        Workload::Bfs,
+        Workload::TriangleCount,
+        Workload::ShortestPath,
+        Workload::Canneal,
+        Workload::Omnetpp,
+        Workload::Mcf,
+    ];
+
+    /// The paper's label for the workload (Figure 3 x-axis).
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::PageRank => "pageRank",
+            Workload::GraphColoring => "graphColoring",
+            Workload::ConnectedComp => "connectedComp",
+            Workload::DegreeCentr => "degreeCentr",
+            Workload::Dfs => "DFS",
+            Workload::Bfs => "BFS",
+            Workload::TriangleCount => "triangleCount",
+            Workload::ShortestPath => "shortestPath",
+            Workload::Canneal => "canneal",
+            Workload::Omnetpp => "omnetpp",
+            Workload::Mcf => "mcf",
+        }
+    }
+
+    /// Whether the workload consumes the shared R-MAT graph.
+    pub fn uses_graph(self) -> bool {
+        !matches!(self, Workload::Canneal | Workload::Omnetpp | Workload::Mcf)
+    }
+
+    /// Runs the workload at `scale`, streaming its trace into `sink`.
+    /// Graph workloads build their own input; prefer [`Workload::run_on`]
+    /// when running several against the same graph.
+    pub fn run(self, scale: Scale, sink: &mut dyn TraceSink) {
+        if self.uses_graph() {
+            let g = graph_for(scale);
+            self.run_on(Some(&g), scale, sink);
+        } else {
+            self.run_on(None, scale, sink);
+        }
+    }
+
+    /// Runs the workload, borrowing a pre-built graph for graph kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload [`Workload::uses_graph`] but `graph` is
+    /// `None`.
+    pub fn run_on(self, graph: Option<&Csr>, scale: Scale, sink: &mut dyn TraceSink) {
+        let mut rec = Recorder::new(sink);
+        let g = || graph.expect("graph workload needs a graph");
+        match self {
+            Workload::PageRank => {
+                let iters = match scale {
+                    Scale::Tiny => 2,
+                    Scale::Small => 2,
+                    Scale::Full => 1,
+                };
+                let _ = gk::page_rank(g(), iters, &mut rec);
+            }
+            Workload::GraphColoring => {
+                let _ = gk::graph_coloring(g(), &mut rec);
+            }
+            Workload::ConnectedComp => {
+                let iters = match scale {
+                    Scale::Tiny => 32,
+                    Scale::Small => 2,
+                    Scale::Full => 2,
+                };
+                let _ = gk::connected_components(g(), iters, &mut rec);
+            }
+            Workload::DegreeCentr => {
+                let _ = gk::degree_centrality(g(), &mut rec);
+            }
+            Workload::Dfs => {
+                let _ = gk::dfs(g(), &mut rec);
+            }
+            Workload::Bfs => {
+                let _ = gk::bfs(g(), &mut rec);
+            }
+            Workload::TriangleCount => {
+                let cap = match scale {
+                    Scale::Tiny => usize::MAX,
+                    Scale::Small => 120_000,
+                    Scale::Full => 400_000,
+                };
+                let _ = gk::triangle_count(g(), cap, &mut rec);
+            }
+            Workload::ShortestPath => {
+                let rounds = match scale {
+                    Scale::Tiny => 8,
+                    Scale::Small => 2,
+                    Scale::Full => 2,
+                };
+                let _ = gk::shortest_path(g(), 0, rounds, &mut rec);
+            }
+            Workload::Canneal => {
+                let p = match scale {
+                    Scale::Tiny => CannealParams { elements: 1 << 12, swaps: 5_000, seed: 0xca },
+                    Scale::Small => CannealParams { elements: 1 << 21, swaps: 700_000, seed: 0xca },
+                    Scale::Full => CannealParams { elements: 1 << 23, swaps: 2_200_000, seed: 0xca },
+                };
+                let _ = canneal(p, &mut rec);
+            }
+            Workload::Omnetpp => {
+                let p = match scale {
+                    Scale::Tiny => OmnetppParams { modules: 1 << 12, events: 10_000, seed: 0x03 },
+                    Scale::Small => OmnetppParams { modules: 1 << 20, events: 400_000, seed: 0x03 },
+                    Scale::Full => OmnetppParams { modules: 1 << 22, events: 1_200_000, seed: 0x03 },
+                };
+                let _ = omnetpp(p, &mut rec);
+            }
+            Workload::Mcf => {
+                let p = match scale {
+                    Scale::Tiny => McfParams { arcs: 1 << 14, nodes: 1 << 10, passes: 2, seed: 0x6f },
+                    Scale::Small => McfParams { arcs: 1 << 21, nodes: 1 << 17, passes: 1, seed: 0x6f },
+                    Scale::Full => McfParams { arcs: 1 << 22, nodes: 1 << 18, passes: 2, seed: 0x6f },
+                };
+                let _ = mcf(p, &mut rec);
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::CountingSink;
+
+    #[test]
+    fn all_has_paper_order_and_unique_names() {
+        assert_eq!(Workload::ALL.len(), 11);
+        assert_eq!(Workload::ALL[0].name(), "pageRank");
+        assert_eq!(Workload::ALL[8].name(), "canneal");
+        assert_eq!(Workload::ALL[10].name(), "mcf");
+        let names: std::collections::HashSet<&str> =
+            Workload::ALL.iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn every_workload_emits_a_tiny_trace() {
+        let g = graph_for(Scale::Tiny);
+        for w in Workload::ALL {
+            let mut sink = CountingSink::default();
+            if w.uses_graph() {
+                w.run_on(Some(&g), Scale::Tiny, &mut sink);
+            } else {
+                w.run_on(None, Scale::Tiny, &mut sink);
+            }
+            assert!(sink.reads > 100, "{w} traced only {} reads", sink.reads);
+            assert!(sink.writes > 0, "{w} traced no writes");
+        }
+    }
+
+    #[test]
+    fn run_builds_graph_when_needed() {
+        let mut sink = CountingSink::default();
+        Workload::Bfs.run(Scale::Tiny, &mut sink);
+        assert!(sink.reads > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a graph")]
+    fn graph_workload_without_graph_panics() {
+        let mut sink = CountingSink::default();
+        Workload::PageRank.run_on(None, Scale::Tiny, &mut sink);
+    }
+
+    #[test]
+    fn display_uses_paper_names() {
+        assert_eq!(Workload::Dfs.to_string(), "DFS");
+        assert_eq!(Scale::Small.to_string(), "small");
+    }
+
+    #[test]
+    fn graph_for_scales() {
+        assert_eq!(graph_for(Scale::Tiny).n_vertices(), 512);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for trace generation.
+
+use proptest::prelude::*;
+use rmcc_workloads::arena::Arena;
+use rmcc_workloads::graph::{rmat, Csr, RmatParams};
+use rmcc_workloads::trace::{CountingSink, Recorder, TraceEvent};
+use rmcc_workloads::workload::{graph_for, Scale, Workload};
+
+proptest! {
+    /// CSR construction is total and self-consistent for arbitrary edge
+    /// lists.
+    #[test]
+    fn csr_from_arbitrary_edges(
+        n in 1usize..64,
+        edges in prop::collection::vec((0u32..64, 0u32..64), 0..200),
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(s, d)| (s % n as u32, d % n as u32))
+            .collect();
+        let g = Csr::from_edges(n, edges.clone());
+        prop_assert_eq!(g.n_vertices(), n);
+        // Every input edge is present; no edge appears that wasn't input.
+        for &(s, d) in &edges {
+            prop_assert!(g.neighbors(s).contains(&d));
+        }
+        let total: usize = (0..n as u32).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total, g.n_edges());
+        // Neighbor lists are sorted (required by triangle counting).
+        for v in 0..n as u32 {
+            prop_assert!(g.neighbors(v).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// R-MAT generation is deterministic in all parameters.
+    #[test]
+    fn rmat_determinism(scale in 4u32..9, ef in 1u32..6, seed in any::<u64>()) {
+        let p = RmatParams::graph500(scale, ef, seed);
+        prop_assert_eq!(rmat(p), rmat(p));
+    }
+
+    /// Arena regions never overlap and element addresses stay in their
+    /// region.
+    #[test]
+    fn arena_regions_disjoint(sizes in prop::collection::vec(1usize..10_000, 1..20)) {
+        let mut arena = Arena::new();
+        let vecs: Vec<_> = sizes.iter().map(|&s| arena.vec_of(s, 0u64)).collect();
+        let mut spans: Vec<(u64, u64)> = vecs
+            .iter()
+            .map(|v| (v.addr_of(0), v.addr_of(v.len() - 1) + 8))
+            .collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "regions overlap: {:?}", w);
+        }
+    }
+}
+
+/// Every workload's tiny trace is byte-identical across runs (required for
+/// cross-scheme comparisons to be apples-to-apples).
+#[test]
+fn all_workloads_deterministic_at_tiny() {
+    let g = graph_for(Scale::Tiny);
+    for w in Workload::ALL {
+        let run = || {
+            let mut events: Vec<TraceEvent> = Vec::new();
+            if w.uses_graph() {
+                w.run_on(Some(&g), Scale::Tiny, &mut events);
+            } else {
+                w.run_on(None, Scale::Tiny, &mut events);
+            }
+            events
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.len(), b.len(), "{w}: lengths differ");
+        assert_eq!(a, b, "{w}: traces differ");
+    }
+}
+
+/// Dependent loads exist in every irregular workload — the property the
+/// core model's latency sensitivity rests on.
+#[test]
+fn irregular_workloads_mark_dependencies() {
+    let g = graph_for(Scale::Tiny);
+    for w in [Workload::PageRank, Workload::Bfs, Workload::Canneal, Workload::Omnetpp] {
+        let mut sink = CountingSink::default();
+        if w.uses_graph() {
+            w.run_on(Some(&g), Scale::Tiny, &mut sink);
+        } else {
+            w.run_on(None, Scale::Tiny, &mut sink);
+        }
+        assert!(sink.dependent * 20 > sink.reads, "{w}: too few dependent loads");
+    }
+}
+
+/// Recorder `work` accounting survives interleaving with accesses.
+#[test]
+fn recorder_work_accounting() {
+    let mut sink = CountingSink::default();
+    {
+        let mut rec = Recorder::new(&mut sink);
+        for i in 0..100u32 {
+            rec.work(i % 7);
+            rec.read(i as u64 * 64, false);
+        }
+    }
+    let expected: u64 = (0..100u64).map(|i| i % 7).sum();
+    assert_eq!(sink.work, expected);
+}

@@ -1,0 +1,77 @@
+//! Attack demo: what secure memory actually defends against.
+//!
+//! Plays the adversary with physical access that the paper's threat model
+//! assumes (a memory-bus probe, §II): spoofing ciphertext, forging MACs,
+//! and mounting a full replay — and shows each one being caught. Finishes
+//! with the §IV-D1 empirical check that RMCC's truncated-clmul OTPs are as
+//! random as raw AES output.
+//!
+//! ```text
+//! cargo run --release --example attack_demo
+//! ```
+
+use rmcc::crypto::aes::Aes;
+use rmcc::crypto::nist::{pass_rate, BitStream};
+use rmcc::crypto::otp::{KeySet, PadPurpose, RmccOtp};
+use rmcc::secmem::counters::CounterOrg;
+use rmcc::secmem::engine::{PipelineKind, ReadError, SecureMemory};
+
+fn main() {
+    let mut mem = SecureMemory::new(CounterOrg::Morphable128, 1 << 24, PipelineKind::Rmcc, 99);
+    let block = 1234;
+    mem.write(block, block_of(b"wire $1,000,000 to account 7731"));
+
+    println!("=== Attack 1: flip one ciphertext bit on the bus ===");
+    mem.tamper_data(block, 31, 0x01);
+    report(mem.read(block));
+    // Restore by rewriting.
+    mem.write(block, block_of(b"wire $1,000,000 to account 7731"));
+
+    println!("\n=== Attack 2: forge the MAC too ===");
+    mem.tamper_data(block, 31, 0x01);
+    mem.tamper_mac(block, 0xdead_beef);
+    report(mem.read(block));
+    mem.write(block, block_of(b"wire $1,000,000 to account 7731"));
+
+    println!("\n=== Attack 3: full replay (stale data + MAC + counter image) ===");
+    let stale = mem.snapshot(block);
+    mem.write(block, block_of(b"wire $1 to account 7731"));
+    println!("  victim updated the block; attacker replays the old snapshot");
+    mem.replay(&stale);
+    report(mem.read(block));
+
+    println!("\n=== §IV-D1: are RMCC's OTPs still random? ===");
+    let keys = KeySet::from_master(7);
+    let pipe = RmccOtp::new(keys);
+    let aes = Aes::new_128(&[7u8; 16]);
+
+    // Stream A: raw AES counter-mode output.
+    let aes_words: Vec<u128> = (0..2048u128).map(|i| aes.encrypt_u128(i)).collect();
+    // Stream B: RMCC OTPs across counters and addresses.
+    let otp_words: Vec<u128> = (0..2048u64)
+        .map(|i| pipe.word_pad(i * 31 % 65_536, (i % 4) as u8, 1 + i % 999, PadPurpose::Encryption))
+        .collect();
+
+    let aes_rate = pass_rate(&[BitStream::from_u128_words(&aes_words)]);
+    let otp_rate = pass_rate(&[BitStream::from_u128_words(&otp_words)]);
+    println!("  NIST STS pass rate, raw AES stream : {:.0}%", aes_rate * 100.0);
+    println!("  NIST STS pass rate, RMCC OTP stream: {:.0}%", otp_rate * 100.0);
+    println!(
+        "  -> OTPs pass at the same rate as the AES streams they are built from: {}",
+        (aes_rate - otp_rate).abs() < 0.2
+    );
+}
+
+/// Pads a message into one 64-byte memory block.
+fn block_of(msg: &[u8]) -> [u8; 64] {
+    let mut b = [b'.'; 64];
+    b[..msg.len()].copy_from_slice(msg);
+    b
+}
+
+fn report(result: Result<[u8; 64], ReadError>) {
+    match result {
+        Ok(data) => println!("  !! UNDETECTED: read returned {:?}…", &data[..16]),
+        Err(e) => println!("  detected: {e}"),
+    }
+}

@@ -1,0 +1,105 @@
+//! Shape tests for the paper's claims, at test-affordable scale.
+//!
+//! These assert the *direction and rough magnitude* of the paper's results
+//! on tiny inputs; the full-figure magnitudes live in EXPERIMENTS.md.
+
+use rmcc::core::area::AreaModel;
+use rmcc::core::security::{attack_equation_balance, otp_repeat_probability};
+use rmcc::core::table::TableConfig;
+use rmcc::crypto::aes::Aes;
+use rmcc::crypto::nist::{pass_rate, BitStream};
+use rmcc::crypto::otp::{KeySet, PadPurpose, RmccOtp};
+use rmcc::sim::config::{Scheme, SystemConfig};
+use rmcc::sim::lifetime::run_lifetime;
+use rmcc::workloads::workload::{Scale, Workload};
+
+fn lifetime_cfg(scheme: Scheme) -> SystemConfig {
+    let mut c = SystemConfig::lifetime(scheme);
+    c.data_bytes = 1 << 32;
+    c
+}
+
+/// §III / Figure 3: canneal's counter-miss rate dwarfs mcf's.
+#[test]
+fn counter_miss_ordering_canneal_vs_mcf() {
+    let canneal = run_lifetime(Workload::Canneal, Scale::Tiny, None, &lifetime_cfg(Scheme::Morphable));
+    let mcf = run_lifetime(Workload::Mcf, Scale::Tiny, None, &lifetime_cfg(Scheme::Morphable));
+    // Tiny footprints mute the absolute rates, but the ordering holds.
+    assert!(
+        canneal.counter_miss_rate() >= mcf.counter_miss_rate(),
+        "canneal {} < mcf {}",
+        canneal.counter_miss_rate(),
+        mcf.counter_miss_rate()
+    );
+}
+
+/// §IV-B: starting from the converged state, the memoization tables serve
+/// the overwhelming majority of counter lookups.
+#[test]
+fn memoization_hit_rate_is_high_from_converged_state() {
+    let r = run_lifetime(Workload::Canneal, Scale::Tiny, None, &lifetime_cfg(Scheme::Rmcc));
+    let rate = r.meta.memo_l0.all_hit_rate();
+    assert!(rate > 0.7, "hit rate {rate} too low from converged state");
+}
+
+/// §VI: RMCC's traffic overhead stays within a small multiple of the 2%
+/// combined budget.
+#[test]
+fn traffic_overhead_is_bounded() {
+    let base = run_lifetime(Workload::Canneal, Scale::Tiny, None, &lifetime_cfg(Scheme::Morphable));
+    let rmcc = run_lifetime(Workload::Canneal, Scale::Tiny, None, &lifetime_cfg(Scheme::Rmcc));
+    let overhead = rmcc.total_requests() as f64 / base.total_requests().max(1) as f64 - 1.0;
+    assert!(overhead < 0.15, "overhead {overhead} runs away");
+}
+
+/// §IV-D1: one machine in ~a hundred thousand ever repeats an OTP.
+#[test]
+fn birthday_bound_matches_paper() {
+    let p = otp_repeat_probability();
+    assert!(p < 1e-4 && p > 1e-6, "p = {p}");
+    let (eq, unk) = attack_equation_balance(1 << 31);
+    assert!(unk == eq + 1);
+}
+
+/// §IV-E: 4 KB table + 1 KB trackers + ~4 KB multiplier.
+#[test]
+fn area_model_matches_paper() {
+    let a = AreaModel::for_table(TableConfig::paper());
+    assert_eq!(a.table_bytes, 4096);
+    assert_eq!(a.tracking_bytes, 1024);
+    assert_eq!(a.total_bytes(true), 9216);
+}
+
+/// §IV-D1: RMCC OTPs pass the NIST suite at the same rate as the AES
+/// streams they are derived from.
+#[test]
+fn rmcc_otps_pass_nist_like_aes() {
+    let keys = KeySet::from_master(77);
+    let pipe = RmccOtp::new(keys);
+    let aes = Aes::new_128(&[9u8; 16]);
+    let aes_stream: Vec<u128> = (0..1024u128).map(|i| aes.encrypt_u128(i)).collect();
+    let otp_stream: Vec<u128> = (0..1024u64)
+        .map(|i| pipe.word_pad(i % 512, (i % 4) as u8, 1 + i / 4, PadPurpose::Encryption))
+        .collect();
+    let ra = pass_rate(&[BitStream::from_u128_words(&aes_stream)]);
+    let ro = pass_rate(&[BitStream::from_u128_words(&otp_stream)]);
+    assert!(ra > 0.8, "AES stream degenerate: {ra}");
+    assert!((ra - ro).abs() < 0.2, "OTP rate {ro} vs AES rate {ra}");
+}
+
+/// §IV-D2: RMCC grows the maximum counter value, but within the same order
+/// of magnitude as the baseline (paper: +24%).
+#[test]
+fn max_counter_growth_is_modest() {
+    let base = run_lifetime(Workload::Canneal, Scale::Tiny, None, &lifetime_cfg(Scheme::Morphable));
+    let rmcc = run_lifetime(Workload::Canneal, Scale::Tiny, None, &lifetime_cfg(Scheme::Rmcc));
+    let ratio = rmcc.max_counter as f64 / base.max_counter.max(1) as f64;
+    assert!(ratio < 3.0, "RMCC max-counter ratio {ratio} exploded");
+}
+
+/// Figure 4's premise: huge pages slash TLB misses.
+#[test]
+fn huge_pages_reduce_tlb_misses() {
+    let r = run_lifetime(Workload::Canneal, Scale::Tiny, None, &lifetime_cfg(Scheme::NonSecure));
+    assert!(r.tlb_misses_2m <= r.tlb_misses_4k);
+}

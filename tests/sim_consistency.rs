@@ -1,0 +1,72 @@
+//! Cross-mode consistency: the lifetime (functional) and detailed (timing)
+//! runners share one metadata engine, so their *functional* statistics must
+//! agree exactly when driven by the same trace and configuration.
+
+use rmcc::sim::config::{Scheme, SystemConfig};
+use rmcc::sim::detailed::run_detailed;
+use rmcc::sim::lifetime::run_lifetime;
+use rmcc::workloads::workload::{Scale, Workload};
+
+fn cfg(scheme: Scheme) -> SystemConfig {
+    // Use one identical config for both modes so the cache filtering and
+    // counter behaviour line up exactly.
+    let mut c = SystemConfig::lifetime(scheme);
+    c.data_bytes = 1 << 32;
+    c
+}
+
+#[test]
+fn functional_stats_agree_between_modes() {
+    for scheme in [Scheme::Morphable, Scheme::Rmcc] {
+        let l = run_lifetime(Workload::Canneal, Scale::Tiny, None, &cfg(scheme));
+        let d = run_detailed(Workload::Canneal, Scale::Tiny, None, &cfg(scheme));
+        assert_eq!(l.meta.data_reads, d.meta.data_reads, "{scheme}: reads");
+        assert_eq!(l.meta.counter_misses, d.meta.counter_misses, "{scheme}: ctr misses");
+        assert_eq!(l.meta.counter_fetches, d.meta.counter_fetches, "{scheme}: fetches");
+        assert_eq!(l.meta.relevels_l0, d.meta.relevels_l0, "{scheme}: relevels");
+        assert_eq!(l.meta.memo_l0, d.meta.memo_l0, "{scheme}: memo tallies");
+    }
+}
+
+#[test]
+fn rmcc_and_morphable_see_identical_demand_streams() {
+    // RMCC must not change what the *core* asks for — only metadata traffic.
+    let a = run_lifetime(Workload::Omnetpp, Scale::Tiny, None, &cfg(Scheme::Morphable));
+    let b = run_lifetime(Workload::Omnetpp, Scale::Tiny, None, &cfg(Scheme::Rmcc));
+    assert_eq!(a.accesses, b.accesses);
+    assert_eq!(a.llc_misses, b.llc_misses);
+    assert_eq!(a.llc_writebacks, b.llc_writebacks);
+    assert_eq!(a.meta.data_reads, b.meta.data_reads);
+}
+
+#[test]
+fn schemes_are_deterministic_end_to_end() {
+    for scheme in [Scheme::NonSecure, Scheme::Sc64, Scheme::Morphable, Scheme::Rmcc] {
+        let a = run_detailed(Workload::Mcf, Scale::Tiny, None, &cfg(scheme));
+        let b = run_detailed(Workload::Mcf, Scale::Tiny, None, &cfg(scheme));
+        assert_eq!(a, b, "{scheme} must be bit-reproducible");
+    }
+}
+
+#[test]
+fn non_secure_is_fastest_secure_lat_is_higher() {
+    let non = run_detailed(Workload::Canneal, Scale::Tiny, None, &cfg(Scheme::NonSecure));
+    let mo = run_detailed(Workload::Canneal, Scale::Tiny, None, &cfg(Scheme::Morphable));
+    assert!(mo.elapsed_ps >= non.elapsed_ps);
+    assert!(mo.mean_miss_latency_ns >= non.mean_miss_latency_ns);
+    assert!(mo.meta.total_requests > non.meta.total_requests, "metadata traffic must exist");
+}
+
+#[test]
+fn total_requests_reconcile_with_components() {
+    let r = run_lifetime(Workload::Canneal, Scale::Tiny, None, &cfg(Scheme::Rmcc));
+    let m = &r.meta;
+    let accounted = m.data_reads
+        + m.data_writes
+        + m.counter_fetches
+        + m.counter_writebacks
+        + m.overflow_l0_requests
+        + m.overflow_hi_requests
+        + m.read_triggered_writes;
+    assert_eq!(m.total_requests, accounted, "request ledger must balance");
+}
