@@ -95,7 +95,12 @@ fn substrate(c: &mut Criterion) {
         let mut addr = 0u64;
         b.iter(|| {
             addr = addr.wrapping_add(0x1_0040);
-            let done = dram.access(t, black_box(addr % (1 << 37)), ReqKind::Read, TrafficClass::Data);
+            let done = dram.access(
+                t,
+                black_box(addr % (1 << 37)),
+                ReqKind::Read,
+                TrafficClass::Data,
+            );
             t = done.done;
             done
         })

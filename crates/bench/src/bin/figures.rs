@@ -5,7 +5,9 @@
 //! ```
 //!
 //! With no figure ids, every known figure runs. Output is the same series
-//! the paper plots (rows = workloads, columns = bars/lines).
+//! the paper plots (rows = workloads, columns = bars/lines). Workloads run
+//! in parallel across `RMCC_JOBS` workers (default: all host cores);
+//! output is byte-identical at any job count.
 
 use rmcc_bench::{run_figure, scale_from, ALL_FIGURES};
 use rmcc_sim::experiments::Experiments;
@@ -27,7 +29,11 @@ fn main() {
     eprintln!("scale = {scale}; building input graph…");
     let t0 = std::time::Instant::now();
     let ex = Experiments::new(scale);
-    eprintln!("graph ready in {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "graph ready in {:.1}s; {} worker(s) (RMCC_JOBS=n overrides)",
+        t0.elapsed().as_secs_f64(),
+        ex.jobs()
+    );
 
     for id in ids {
         let t = std::time::Instant::now();

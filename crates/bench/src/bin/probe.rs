@@ -18,7 +18,12 @@ fn main() {
         .find(|w| w.name().eq_ignore_ascii_case(name))
         .unwrap_or(Workload::Canneal);
     eprintln!("probe: {workload} @ {scale}");
-    let non = run_detailed(workload, scale, None, &SystemConfig::detailed_scaled(Scheme::NonSecure));
+    let non = run_detailed(
+        workload,
+        scale,
+        None,
+        &SystemConfig::detailed_scaled(Scheme::NonSecure),
+    );
     println!(
         "{:<11} {:>10.2} µs  miss-lat {:>6.1} ns",
         "Non-secure",
@@ -27,7 +32,12 @@ fn main() {
     );
     for scheme in [Scheme::Sc64, Scheme::Morphable, Scheme::Rmcc] {
         let t = std::time::Instant::now();
-        let r = run_detailed(workload, scale, None, &SystemConfig::detailed_scaled(scheme));
+        let r = run_detailed(
+            workload,
+            scale,
+            None,
+            &SystemConfig::detailed_scaled(scheme),
+        );
         println!(
             "{:<11} {:>10.2} µs  miss-lat {:>6.1} ns  perf {:>6.2}%  ctr-miss {:>5.1}%  memo-hit(all) {:>5.1}%  accel {:>5.1}%  [{:.0}s]",
             scheme.to_string(),

@@ -9,7 +9,9 @@
 //!   the paper plots.
 //!
 //! Figure harness logic lives in [`rmcc_sim::experiments`]; this crate only
-//! drives it and formats output.
+//! drives it and formats output. Per-workload cells fan out across a
+//! worker pool sized by `RMCC_JOBS` (default: all host cores); results are
+//! byte-identical at any width.
 
 use rmcc_sim::experiments::{table1, Experiments, Series};
 use rmcc_workloads::workload::Scale;
@@ -30,8 +32,8 @@ pub fn scale_from(arg: Option<&str>) -> Scale {
 
 /// Every figure id this harness knows, in paper order.
 pub const ALL_FIGURES: [&str; 17] = [
-    "table1", "fig03", "fig04", "fig10", "fig12", "fig13+14", "fig15", "fig16", "fig17",
-    "fig18", "fig19+20", "fig21+22", "maxctr", "accel", "page4k", "ablation", "relwork",
+    "table1", "fig03", "fig04", "fig10", "fig12", "fig13+14", "fig15", "fig16", "fig17", "fig18",
+    "fig19+20", "fig21+22", "maxctr", "accel", "page4k", "ablation", "relwork",
 ];
 
 /// Runs one figure by id and returns its printable series (empty for
@@ -56,7 +58,11 @@ pub fn run_figure(ex: &Experiments, id: &str) -> Vec<Series> {
         }
         "fig13" | "fig14" => {
             let (a, b) = ex.fig13_fig14();
-            if id == "fig13" { vec![a] } else { vec![b] }
+            if id == "fig13" {
+                vec![a]
+            } else {
+                vec![b]
+            }
         }
         "fig15" => vec![ex.fig15_coverage()],
         "fig16" => vec![ex.fig16_traffic()],
@@ -68,7 +74,11 @@ pub fn run_figure(ex: &Experiments, id: &str) -> Vec<Series> {
         }
         "fig19" | "fig20" => {
             let (a, b) = ex.fig19_fig20();
-            if id == "fig19" { vec![a] } else { vec![b] }
+            if id == "fig19" {
+                vec![a]
+            } else {
+                vec![b]
+            }
         }
         "fig21+22" => {
             let (a, b) = ex.fig21_fig22();
@@ -76,7 +86,11 @@ pub fn run_figure(ex: &Experiments, id: &str) -> Vec<Series> {
         }
         "fig21" | "fig22" => {
             let (a, b) = ex.fig21_fig22();
-            if id == "fig21" { vec![a] } else { vec![b] }
+            if id == "fig21" {
+                vec![a]
+            } else {
+                vec![b]
+            }
         }
         "maxctr" => vec![ex.max_counter_growth()],
         "accel" => vec![ex.accelerated_misses()],
@@ -96,6 +110,7 @@ pub fn bench_main(id: &str) {
     eprintln!("[{id}] scale = {scale} (set RMCC_SCALE=small|full for paper-scale runs)");
     let t0 = std::time::Instant::now();
     let ex = Experiments::new(scale);
+    eprintln!("[{id}] jobs = {} (set RMCC_JOBS=n to override)", ex.jobs());
     for series in run_figure(&ex, id) {
         println!("{series}");
     }

@@ -56,9 +56,18 @@ impl HierarchyConfig {
     /// L2, 8 MB 16-way L3, 64 B lines.
     pub fn gem5_table1() -> Self {
         HierarchyConfig {
-            l1: LevelConfig { bytes: 64 << 10, ways: 8 },
-            l2: LevelConfig { bytes: 1 << 20, ways: 8 },
-            l3: LevelConfig { bytes: 8 << 20, ways: 16 },
+            l1: LevelConfig {
+                bytes: 64 << 10,
+                ways: 8,
+            },
+            l2: LevelConfig {
+                bytes: 1 << 20,
+                ways: 8,
+            },
+            l3: LevelConfig {
+                bytes: 8 << 20,
+                ways: 16,
+            },
             line_bytes: 64,
         }
     }
@@ -67,9 +76,18 @@ impl HierarchyConfig {
     /// LLC.
     pub fn pintool_lifetime() -> Self {
         HierarchyConfig {
-            l1: LevelConfig { bytes: 32 << 10, ways: 8 },
-            l2: LevelConfig { bytes: 1 << 20, ways: 8 },
-            l3: LevelConfig { bytes: 2 << 20, ways: 16 },
+            l1: LevelConfig {
+                bytes: 32 << 10,
+                ways: 8,
+            },
+            l2: LevelConfig {
+                bytes: 1 << 20,
+                ways: 8,
+            },
+            l3: LevelConfig {
+                bytes: 2 << 20,
+                ways: 16,
+            },
             line_bytes: 64,
         }
     }
@@ -226,9 +244,18 @@ mod tests {
     fn tiny() -> Hierarchy {
         // 4-line L1, 16-line L2, 64-line L3 for fast eviction testing.
         Hierarchy::new(HierarchyConfig {
-            l1: LevelConfig { bytes: 4 * 64, ways: 2 },
-            l2: LevelConfig { bytes: 16 * 64, ways: 4 },
-            l3: LevelConfig { bytes: 64 * 64, ways: 8 },
+            l1: LevelConfig {
+                bytes: 4 * 64,
+                ways: 2,
+            },
+            l2: LevelConfig {
+                bytes: 16 * 64,
+                ways: 4,
+            },
+            l3: LevelConfig {
+                bytes: 64 * 64,
+                ways: 8,
+            },
             line_bytes: 64,
         })
     }
@@ -256,8 +283,8 @@ mod tests {
     fn dirty_line_eventually_writes_back_to_memory() {
         let mut h = tiny();
         h.access(0, true); // dirty
-        // Push enough conflicting lines through to evict line 0 from every
-        // level (same-set strides guarantee conflicts).
+                           // Push enough conflicting lines through to evict line 0 from every
+                           // level (same-set strides guarantee conflicts).
         let mut wrote_back = false;
         for a in 1..4096u64 {
             let out = h.access(a, false);

@@ -77,7 +77,12 @@ struct Line {
     last_use: u64,
 }
 
-const INVALID: Line = Line { tag: 0, valid: false, dirty: false, last_use: 0 };
+const INVALID: Line = Line {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    last_use: 0,
+};
 
 /// A set-associative, write-back, write-allocate cache with LRU replacement.
 ///
@@ -123,7 +128,10 @@ impl SetAssocCache {
             "total lines {total_lines} not divisible by ways {ways}"
         );
         let n_sets = total_lines / ways;
-        assert!(n_sets.is_power_of_two(), "set count {n_sets} must be a power of two");
+        assert!(
+            n_sets.is_power_of_two(),
+            "set count {n_sets} must be a power of two"
+        );
         SetAssocCache {
             sets: vec![vec![INVALID; ways]; n_sets],
             ways,
@@ -198,26 +206,31 @@ impl SetAssocCache {
 
         self.stats.misses += 1;
         // Prefer an invalid way; otherwise evict the LRU line.
-        let victim_idx = set
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.last_use)
-                    .map(|(i, _)| i)
-                    .expect("set has at least one way")
-            });
+        let victim_idx = set.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("set has at least one way")
+        });
         let victim = set[victim_idx];
         let evicted = if victim.valid {
             if victim.dirty {
                 self.stats.writebacks += 1;
             }
-            Some(Eviction { addr: victim.tag, dirty: victim.dirty })
+            Some(Eviction {
+                addr: victim.tag,
+                dirty: victim.dirty,
+            })
         } else {
             None
         };
-        set[victim_idx] = Line { tag: addr, valid: true, dirty: is_write, last_use: clock };
+        set[victim_idx] = Line {
+            tag: addr,
+            valid: true,
+            dirty: is_write,
+            last_use: clock,
+        };
         AccessOutcome::Miss { evicted }
     }
 
@@ -268,29 +281,38 @@ impl SetAssocCache {
             line.dirty |= dirty;
             return None;
         }
-        let victim_idx = set
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.last_use)
-                    .map(|(i, _)| i)
-                    .expect("set has at least one way")
-            });
+        let victim_idx = set.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("set has at least one way")
+        });
         let victim = set[victim_idx];
         let evicted = if victim.valid {
-            Some(Eviction { addr: victim.tag, dirty: victim.dirty })
+            Some(Eviction {
+                addr: victim.tag,
+                dirty: victim.dirty,
+            })
         } else {
             None
         };
-        set[victim_idx] = Line { tag: addr, valid: true, dirty, last_use: clock };
+        set[victim_idx] = Line {
+            tag: addr,
+            valid: true,
+            dirty,
+            last_use: clock,
+        };
         evicted
     }
 
     /// Iterates over all resident line addresses (diagnostics only).
     pub fn resident_lines(&self) -> impl Iterator<Item = u64> + '_ {
-        self.sets.iter().flatten().filter(|l| l.valid).map(|l| l.tag)
+        self.sets
+            .iter()
+            .flatten()
+            .filter(|l| l.valid)
+            .map(|l| l.tag)
     }
 }
 

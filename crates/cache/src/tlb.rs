@@ -69,7 +69,10 @@ impl Tlb {
     ///
     /// Panics if `n_entries / ways` is not a power of two.
     pub fn new(n_entries: usize, ways: usize, page: PageSize) -> Self {
-        Tlb { entries: SetAssocCache::new(n_entries, ways), page }
+        Tlb {
+            entries: SetAssocCache::new(n_entries, ways),
+            page,
+        }
     }
 
     /// Translates the byte address `vaddr`; returns `true` on a TLB hit.

@@ -1,0 +1,95 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! The container building this workspace has no network access, so the
+//! workspace vendors the subset of the criterion API its benches use
+//! (`black_box`, `Criterion::bench_function`, `Bencher::iter`, the
+//! `criterion_group!`/`criterion_main!` macros) and wires it in via
+//! `[patch.crates-io]`.  Instead of criterion's statistical machinery, each
+//! benchmark is timed with a simple calibrated loop: a warm-up sizes the
+//! batch, then a fixed measurement window reports mean ns/iter.  Good enough
+//! to rank the hot primitives against each other; not a substitute for real
+//! criterion runs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Mirror of `criterion::Bencher`: hands the measured closure to [`iter`].
+///
+/// [`iter`]: Bencher::iter
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: find a batch size that runs for ~5ms.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(5) || batch >= 1 << 30 {
+                break;
+            }
+            batch *= 4;
+        }
+        // Measurement: repeat batches for ~50ms of wall clock.
+        let mut total_iters = 0u64;
+        let mut total_time = Duration::ZERO;
+        while total_time < Duration::from_millis(50) {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_time += t.elapsed();
+            total_iters += batch;
+        }
+        self.ns_per_iter = total_time.as_nanos() as f64 / total_iters as f64;
+        self.iters = total_iters;
+    }
+}
+
+/// Mirror of `criterion::Criterion`: a registry that times named closures.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0, iters: 0 };
+        f(&mut b);
+        println!(
+            "{id:<32} {:>12.1} ns/iter ({} iterations)",
+            b.ns_per_iter, b.iters
+        );
+        self
+    }
+}
+
+/// Mirror of `criterion_group!`: defines a function running each target
+/// against a shared [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: defines `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

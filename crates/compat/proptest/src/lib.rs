@@ -1,0 +1,449 @@
+//! Offline stand-in for the crates.io `proptest` crate.
+//!
+//! The container building this workspace has no network access, so the
+//! workspace vendors the subset of the proptest API its tests use and wires
+//! it in via `[patch.crates-io]`.  The shim keeps proptest's *shape* —
+//! `proptest!` test blocks, composable `Strategy` values, `prop_assert!` —
+//! but replaces the machinery underneath with straightforward random
+//! sampling: each test function runs `ProptestConfig::cases` iterations with
+//! inputs drawn from a generator seeded deterministically from the test's
+//! name.  There is no shrinking; a failing case panics with the sampled
+//! inputs left to the assertion message.
+
+pub mod test_runner {
+    /// Mirror of `proptest::test_runner::Config` (the fields we use).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of sampled cases each `proptest!` test runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// SplitMix64 generator used to sample strategy values.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from an arbitrary label (the test name), so
+        /// every run of a given test sees the same case sequence.
+        pub fn deterministic_for(label: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for b in label.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x1000_0000_01b3);
+            }
+            Self { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, bound)` via multiply-shift.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "cannot sample empty range");
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values, mirroring `proptest::strategy::Strategy`.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(std::rc::Rc::new(move |rng: &mut TestRng| self.sample(rng)))
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Type-erased strategy, mirroring `proptest::strategy::BoxedStrategy`.
+    #[derive(Clone)]
+    pub struct BoxedStrategy<T>(std::rc::Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniform choice between same-valued strategies (backs `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Self { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end - self.start) as u128;
+                    let x = rng.next_u64() as u128;
+                    self.start + ((x * span) >> 64) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let span = (end - start) as u128 + 1;
+                    let x = rng.next_u64() as u128;
+                    start + ((x * span) >> 64) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for core::ops::Range<u128> {
+        type Value = u128;
+        fn sample(&self, rng: &mut TestRng) -> u128 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let span = self.end - self.start;
+            let x = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            self.start + x % span
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// Values with a canonical "anything goes" strategy (mirror of
+    /// `proptest::arbitrary::Arbitrary`, reduced to uniform sampling).
+    pub trait ArbitraryValue {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    impl ArbitraryValue for u128 {
+        fn arbitrary(rng: &mut TestRng) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl ArbitraryValue for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl ArbitraryValue for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Strategy returned by [`crate::arbitrary::any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any(core::marker::PhantomData)
+        }
+    }
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::{Any, ArbitraryValue};
+
+    /// Mirror of `proptest::arbitrary::any`.
+    pub fn any<T: ArbitraryValue>() -> Any<T> {
+        Any::default()
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length bounds for [`vec`], mirroring `proptest::collection::SizeRange`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self { min: r.start, max_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self { min: *r.start(), max_inclusive: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max_inclusive: n }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Mirror of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_inclusive - self.size.min) as u64 + 1;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct Uniform32<S>(S);
+
+    /// Mirror of `proptest::array::uniform32`.
+    pub fn uniform32<S: Strategy>(element: S) -> Uniform32<S> {
+        Uniform32(element)
+    }
+
+    impl<S: Strategy> Strategy for Uniform32<S> {
+        type Value = [S::Value; 32];
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            core::array::from_fn(|_| self.0.sample(rng))
+        }
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are sampled from strategies.
+///
+/// Supports the upstream surface this workspace uses: an optional leading
+/// `#![proptest_config(...)]`, then any number of test functions with
+/// `name in strategy` argument lists.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng =
+                $crate::test_runner::TestRng::deterministic_for(stringify!($name));
+            for _case in 0..config.cases {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                )+
+                $body
+            }
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+/// Mirror of proptest's `prop_assert!`. Without shrinking there is nothing to
+/// report back to a runner, so failures panic like `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Mirror of proptest's `prop_assert_eq!`; panics like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Mirror of proptest's `prop_assert_ne!`; panics like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice between strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Push(u8),
+        Pop,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            any::<u8>().prop_map(Op::Push),
+            (0u8..1).prop_map(|_| Op::Pop),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn sampled_values_respect_bounds(
+            v in prop::collection::vec((0u64..100, any::<bool>()), 1..50),
+            x in 3usize..=7,
+        ) {
+            prop_assert!((1..50).contains(&v.len()));
+            for (n, _) in &v {
+                prop_assert!(*n < 100);
+            }
+            prop_assert!((3..=7).contains(&x));
+        }
+
+        #[test]
+        fn oneof_and_arrays_sample(ops in prop::collection::vec(op_strategy(), 1..20),
+                                   bytes in prop::array::uniform32(any::<u8>())) {
+            prop_assert!(!ops.is_empty());
+            prop_assert_eq!(bytes.len(), 32);
+        }
+    }
+}

@@ -59,7 +59,11 @@ impl AreaModel {
     pub fn total_bytes(&self, include_multiplier: bool) -> u64 {
         self.table_bytes
             + self.tracking_bytes
-            + if include_multiplier { self.clmul_equiv_bytes } else { 0 }
+            + if include_multiplier {
+                self.clmul_equiv_bytes
+            } else {
+                0
+            }
     }
 }
 

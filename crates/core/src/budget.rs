@@ -49,7 +49,10 @@ impl TrafficBudget {
     ///
     /// Panics if `fraction` is negative or not finite.
     pub fn new(fraction: f64) -> Self {
-        assert!(fraction.is_finite() && fraction >= 0.0, "fraction must be non-negative");
+        assert!(
+            fraction.is_finite() && fraction >= 0.0,
+            "fraction must be non-negative"
+        );
         TrafficBudget {
             fraction,
             available: fraction * EPOCH_ACCESSES as f64,

@@ -48,7 +48,12 @@ impl HighValueMonitor {
         let mut thresholds: Vec<u64> = (0..=16u64).map(|i| x + 1 + 8 * i).collect();
         thresholds.extend((4..=17u64).map(|j| x + 129 + (1 << j)));
         let n = thresholds.len();
-        HighValueMonitor { thresholds, counts_below: vec![0; n], high_reads: 0, base: x }
+        HighValueMonitor {
+            thresholds,
+            counts_below: vec![0; n],
+            high_reads: 0,
+            base: x,
+        }
     }
 
     /// The Max-Counter-in-Table this ladder is relative to.
@@ -63,7 +68,10 @@ impl HighValueMonitor {
 
     /// Records a read whose counter value exceeds Max-Counter-in-Table.
     pub fn observe(&mut self, value: u64) {
-        debug_assert!(value > self.base, "monitor only sees values above the table max");
+        debug_assert!(
+            value > self.base,
+            "monitor only sees values above the table max"
+        );
         self.high_reads += 1;
         for (t, c) in self.thresholds.iter().zip(self.counts_below.iter_mut()) {
             if value < *t {

@@ -58,13 +58,19 @@ impl RmccConfig {
     /// The paper's configuration with a different per-level budget
     /// (Figures 19/20 evaluate 1%, 2%, 8%).
     pub fn with_budget(budget_fraction: f64) -> Self {
-        RmccConfig { budget_fraction, ..Self::paper() }
+        RmccConfig {
+            budget_fraction,
+            ..Self::paper()
+        }
     }
 
     /// The paper's configuration with a different group size
     /// (Figures 21/22 evaluate 4, 8, 16).
     pub fn with_group_size(group_size: u64) -> Self {
-        RmccConfig { table: TableConfig::with_group_size(group_size), ..Self::paper() }
+        RmccConfig {
+            table: TableConfig::with_group_size(group_size),
+            ..Self::paper()
+        }
     }
 }
 
@@ -137,8 +143,17 @@ impl Rmcc {
                 monitor: HighValueMonitor::new(0),
             })
             .collect();
-        let budgets = (0..cfg.levels).map(|_| TrafficBudget::new(cfg.budget_fraction)).collect();
-        Rmcc { cfg, levels, budgets, system_max: 0, epoch_relevels: 0, dos_paused: false }
+        let budgets = (0..cfg.levels)
+            .map(|_| TrafficBudget::new(cfg.budget_fraction))
+            .collect();
+        Rmcc {
+            cfg,
+            levels,
+            budgets,
+            system_max: 0,
+            epoch_relevels: 0,
+            dos_paused: false,
+        }
     }
 
     /// The configuration.
@@ -398,7 +413,10 @@ impl Rmcc {
         if !self.covers_level(level) {
             return min_target;
         }
-        match self.levels[level].table.nearest_memoized_above(min_target.saturating_sub(1)) {
+        match self.levels[level]
+            .table
+            .nearest_memoized_above(min_target.saturating_sub(1))
+        {
             Some(t) if t >= min_target => t,
             _ => min_target,
         }
@@ -428,7 +446,10 @@ mod tests {
         );
         // The inserted group sits above the hot value but within the ladder.
         let max = r.table(0).max_counter_in_table().unwrap();
-        assert!(max > 100_000, "group must land above the hot values, got {max}");
+        assert!(
+            max > 100_000,
+            "group must land above the hot values, got {max}"
+        );
     }
 
     #[test]
@@ -520,7 +541,10 @@ mod tests {
 
     #[test]
     fn uncovered_levels_use_baseline() {
-        let mut r = Rmcc::new(RmccConfig { levels: 1, ..RmccConfig::paper() });
+        let mut r = Rmcc::new(RmccConfig {
+            levels: 1,
+            ..RmccConfig::paper()
+        });
         assert!(!r.covers_level(1));
         assert_eq!(r.lookup(1, 42), LookupResult::Miss);
         let mut cb = CounterBlock::new(CounterOrg::Morphable128);
@@ -547,11 +571,7 @@ mod tests {
         r.seed_group(0, 100_000);
         let mut blocks: Vec<CounterBlock> = (0..32)
             .map(|i| {
-                CounterBlock::with_state(
-                    CounterOrg::Morphable128,
-                    50_000 + i * 1_000,
-                    vec![0; 128],
-                )
+                CounterBlock::with_state(CounterOrg::Morphable128, 50_000 + i * 1_000, vec![0; 128])
             })
             .collect();
         for cb in &mut blocks {

@@ -69,12 +69,8 @@ mod tests {
     #[test]
     fn birthday_bound_monotonicity() {
         // More samples → more collisions; more bits → fewer.
-        assert!(
-            birthday_collision_probability(57, 128) > birthday_collision_probability(56, 128)
-        );
-        assert!(
-            birthday_collision_probability(56, 130) < birthday_collision_probability(56, 128)
-        );
+        assert!(birthday_collision_probability(57, 128) > birthday_collision_probability(56, 128));
+        assert!(birthday_collision_probability(56, 130) < birthday_collision_probability(56, 128));
     }
 
     #[test]

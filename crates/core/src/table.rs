@@ -29,7 +29,12 @@ pub struct TableConfig {
 impl TableConfig {
     /// The paper's configuration: 128 entries as 16 groups of 8.
     pub fn paper() -> Self {
-        TableConfig { n_groups: 16, group_size: 8, n_evicted: 16, n_mru_values: 16 }
+        TableConfig {
+            n_groups: 16,
+            group_size: 8,
+            n_evicted: 16,
+            n_mru_values: 16,
+        }
     }
 
     /// Same total entry count with a different group size (Figures 21/22).
@@ -38,7 +43,10 @@ impl TableConfig {
     ///
     /// Panics unless `group_size` divides 128.
     pub fn with_group_size(group_size: u64) -> Self {
-        assert!(group_size > 0 && 128 % group_size == 0, "group size must divide 128");
+        assert!(
+            group_size > 0 && 128 % group_size == 0,
+            "group size must divide 128"
+        );
         TableConfig {
             n_groups: (128 / group_size) as usize,
             group_size,
@@ -174,7 +182,10 @@ impl MemoizationTable {
     /// Max-Counter-in-Table: the largest memoized value across live groups,
     /// or `None` while the table is empty.
     pub fn max_counter_in_table(&self) -> Option<u64> {
-        self.groups.iter().map(|g| g.start + self.cfg.group_size - 1).max()
+        self.groups
+            .iter()
+            .map(|g| g.start + self.cfg.group_size - 1)
+            .max()
     }
 
     /// Whether `value` lies inside a live group.
@@ -266,7 +277,10 @@ impl MemoizationTable {
         }
         // A freshly inserted group starts with a modest score so it isn't
         // immediately re-evicted before proving itself.
-        self.groups.push(Group { start, use_count: 1 });
+        self.groups.push(Group {
+            start,
+            use_count: 1,
+        });
     }
 
     /// Seeds the table with groups at the given starts (initialization).
@@ -308,7 +322,10 @@ impl MemoizationTable {
         if let Some(start) = new_group {
             if !self.groups.iter().any(|g| g.start == start) {
                 self.stats.insertions += 1;
-                self.groups.push(Group { start, use_count: 1 });
+                self.groups.push(Group {
+                    start,
+                    use_count: 1,
+                });
             }
         }
         for g in pool.into_iter().skip(keep) {

@@ -139,7 +139,10 @@ mod tests {
             (u128::MAX, u128::MAX),
             (0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210),
             (1 << 127, 3),
-            (0xdead_beef_dead_beef_dead_beef_dead_beef, 0x1234_5678_9abc_def0_0fed_cba9_8765_4321),
+            (
+                0xdead_beef_dead_beef_dead_beef_dead_beef,
+                0x1234_5678_9abc_def0_0fed_cba9_8765_4321,
+            ),
         ];
         for (a, b) in samples {
             assert_eq!(clmul128(a, b), reference(a, b), "a={a:#x} b={b:#x}");

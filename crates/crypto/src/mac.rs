@@ -181,10 +181,7 @@ mod tests {
     fn mac_depends_on_pad() {
         let keys = MacKeys::from_seed(1);
         let block = [7u8; BLOCK_BYTES];
-        assert_ne!(
-            compute_mac(&keys, &block, 1),
-            compute_mac(&keys, &block, 2)
-        );
+        assert_ne!(compute_mac(&keys, &block, 1), compute_mac(&keys, &block, 2));
     }
 
     #[test]

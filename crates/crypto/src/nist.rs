@@ -200,7 +200,10 @@ pub fn runs(s: &BitStream) -> TestResult {
     let pi = s.ones() as f64 / n;
     if (pi - 0.5).abs() >= 2.0 / n.sqrt() {
         // Prerequisite frequency test failed decisively.
-        return TestResult { name: "runs", p_value: 0.0 };
+        return TestResult {
+            name: "runs",
+            p_value: 0.0,
+        };
     }
     let mut v_obs = 1u64;
     for w in s.bits.windows(2) {
@@ -210,7 +213,10 @@ pub fn runs(s: &BitStream) -> TestResult {
     }
     let num = (v_obs as f64 - 2.0 * n * pi * (1.0 - pi)).abs();
     let den = 2.0 * (2.0 * n).sqrt() * pi * (1.0 - pi);
-    TestResult { name: "runs", p_value: erfc(num / den) }
+    TestResult {
+        name: "runs",
+        p_value: erfc(num / den),
+    }
 }
 
 /// Longest run of ones in 128-bit blocks — SP 800-22 §2.4 (M = 128 case).

@@ -201,7 +201,10 @@ impl OtpPipeline for SgxOtp {
         assert!(ctr <= COUNTER_MAX, "counter overflows 56 bits");
         let mut words = [0u128; WORDS_PER_BLOCK];
         for (i, w) in words.iter_mut().enumerate() {
-            *w = self.keys.enc.encrypt_u128(sgx_tweak(block_addr, i as u8, ctr));
+            *w = self
+                .keys
+                .enc
+                .encrypt_u128(sgx_tweak(block_addr, i as u8, ctr));
         }
         let mac = self.keys.mac.encrypt_u128(sgx_tweak(block_addr, 0xff, ctr));
         BlockPads { words, mac }
@@ -250,8 +253,7 @@ impl RmccOtp {
         // µ1 ‖ µ2 ‖ addr_56(word-granular) ‖ 0^64 — the word index is folded
         // into the low bits of the 56-bit address field, since each 128-bit
         // word of a block has its own address (Figure 2 / §II-A).
-        let word_addr =
-            ((block_addr << 2) | word_index as u64) & ((1 << 56) - 1);
+        let word_addr = ((block_addr << 2) | word_index as u64) & ((1 << 56) - 1);
         let mu = 0xa5_00u128; // µ1 ‖ µ2 domain separation
         let input = (mu << 112) | ((word_addr as u128) << 64);
         self.keys.address_only(purpose).encrypt_u128(input)
@@ -356,7 +358,10 @@ mod tests {
         let p = RmccOtp::new(keys());
         let pads = p.block_pads(77, 9);
         for i in 0..WORDS_PER_BLOCK {
-            assert_eq!(pads.words[i], p.word_pad(77, i as u8, 9, PadPurpose::Encryption));
+            assert_eq!(
+                pads.words[i],
+                p.word_pad(77, i as u8, 9, PadPurpose::Encryption)
+            );
         }
     }
 

@@ -180,10 +180,22 @@ impl Channel {
     pub fn new(cfg: DramConfig) -> Self {
         let map = AddressMapping::new(&cfg);
         let banks = vec![
-            BankState { open_row: None, ready_at: 0, last_use: 0, hit_streak: 0 };
+            BankState {
+                open_row: None,
+                ready_at: 0,
+                last_use: 0,
+                hit_streak: 0
+            };
             cfg.total_banks()
         ];
-        Channel { cfg, map, banks, bus_free: 0, outstanding: BinaryHeap::new(), stats: DramStats::default() }
+        Channel {
+            cfg,
+            map,
+            banks,
+            bus_free: 0,
+            outstanding: BinaryHeap::new(),
+            stats: DramStats::default(),
+        }
     }
 
     /// The configuration this channel models.
@@ -241,7 +253,11 @@ impl Channel {
         // FR-FCFS row-hit cap.
         let timed_out = start.saturating_sub(bank.last_use) > self.cfg.row_timeout;
         let capped = bank.hit_streak >= self.cfg.row_hit_cap;
-        let effective_row = if timed_out || capped { None } else { bank.open_row };
+        let effective_row = if timed_out || capped {
+            None
+        } else {
+            bank.open_row
+        };
         let outcome = match effective_row {
             Some(r) if r == coord.row => RowOutcome::Hit,
             Some(_) => RowOutcome::Conflict,
@@ -261,7 +277,11 @@ impl Channel {
         bank.open_row = Some(coord.row);
         bank.ready_at = done;
         bank.last_use = done;
-        bank.hit_streak = if outcome == RowOutcome::Hit { bank.hit_streak + 1 } else { 0 };
+        bank.hit_streak = if outcome == RowOutcome::Hit {
+            bank.hit_streak + 1
+        } else {
+            0
+        };
 
         // Bookkeeping.
         match kind {
@@ -278,7 +298,11 @@ impl Channel {
         cs.bus_ps += self.cfg.t_burst;
 
         self.outstanding.push(Reverse(done));
-        Completion { start, done, row: outcome }
+        Completion {
+            start,
+            done,
+            row: outcome,
+        }
     }
 }
 
@@ -335,7 +359,12 @@ mod tests {
         let mut c = ch();
         let a = c.access(0, 0x100, ReqKind::Read, TrafficClass::Data);
         // Well past the 500 ns timeout: the row is treated as precharged.
-        let b = c.access(a.done + ns(10_000.0), 0x140, ReqKind::Read, TrafficClass::Data);
+        let b = c.access(
+            a.done + ns(10_000.0),
+            0x140,
+            ReqKind::Read,
+            TrafficClass::Data,
+        );
         assert_eq!(b.row, RowOutcome::Closed);
     }
 
@@ -352,7 +381,9 @@ mod tests {
             t = r.done;
         }
         assert_eq!(outcomes[0], RowOutcome::Closed);
-        assert!(outcomes[1..=cap as usize].iter().all(|&o| o == RowOutcome::Hit));
+        assert!(outcomes[1..=cap as usize]
+            .iter()
+            .all(|&o| o == RowOutcome::Hit));
         assert_eq!(outcomes[cap as usize + 1], RowOutcome::Closed);
     }
 
@@ -420,7 +451,11 @@ mod tests {
 
     #[test]
     fn completion_latency_helper() {
-        let done = Completion { start: 100, done: 300, row: RowOutcome::Hit };
+        let done = Completion {
+            start: 100,
+            done: 300,
+            row: RowOutcome::Hit,
+        };
         assert_eq!(done.latency(50), 250);
         assert_eq!(done.latency(400), 0);
     }

@@ -106,10 +106,28 @@ impl std::fmt::Display for DramConfig {
             self.t_rcd as f64 / 1e3,
             self.t_rp as f64 / 1e3
         )?;
-        writeln!(f, "  tRFC = {:.0} ns, tREFI = {:.0} ns", self.t_rfc as f64 / 1e3, self.t_refi as f64 / 1e3)?;
-        writeln!(f, "  ranks = {}, banks/rank = {}", self.ranks, self.banks_per_rank)?;
-        writeln!(f, "  row buffer = {} B, timeout = {:.0} ns", self.row_bytes, self.row_timeout as f64 / 1e3)?;
-        write!(f, "  queue = {} entries, row-hit cap = {}", self.queue_capacity, self.row_hit_cap)
+        writeln!(
+            f,
+            "  tRFC = {:.0} ns, tREFI = {:.0} ns",
+            self.t_rfc as f64 / 1e3,
+            self.t_refi as f64 / 1e3
+        )?;
+        writeln!(
+            f,
+            "  ranks = {}, banks/rank = {}",
+            self.ranks, self.banks_per_rank
+        )?;
+        writeln!(
+            f,
+            "  row buffer = {} B, timeout = {:.0} ns",
+            self.row_bytes,
+            self.row_timeout as f64 / 1e3
+        )?;
+        write!(
+            f,
+            "  queue = {} entries, row-hit cap = {}",
+            self.queue_capacity, self.row_hit_cap
+        )
     }
 }
 

@@ -46,7 +46,10 @@ impl AddressMapping {
     ///
     /// Panics if rank or bank counts are not powers of two.
     pub fn new(config: &DramConfig) -> Self {
-        assert!(config.ranks.is_power_of_two(), "rank count must be a power of two");
+        assert!(
+            config.ranks.is_power_of_two(),
+            "rank count must be a power of two"
+        );
         assert!(
             config.banks_per_rank.is_power_of_two(),
             "bank count must be a power of two"
@@ -69,8 +72,7 @@ impl AddressMapping {
         // Skylake-style XOR: fold row bits into the bank/rank selects so
         // same-bank rows interleave (DRAMA functions XOR pairs of bits).
         let bank = bank_plain ^ (row as usize & ((1 << self.bank_bits) - 1));
-        let rank = rank_plain
-            ^ ((row >> self.bank_bits) as usize & ((1 << self.rank_bits) - 1));
+        let rank = rank_plain ^ ((row >> self.bank_bits) as usize & ((1 << self.rank_bits) - 1));
         DramCoord { rank, bank, row }
     }
 

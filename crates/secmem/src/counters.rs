@@ -92,7 +92,11 @@ pub struct WouldOverflow {
 
 impl std::fmt::Display for WouldOverflow {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "counter update requires releveling to ≥ {}", self.min_relevel_target)
+        write!(
+            f,
+            "counter update requires releveling to ≥ {}",
+            self.min_relevel_target
+        )
     }
 }
 
@@ -125,7 +129,11 @@ pub struct CounterBlock {
 impl CounterBlock {
     /// A zero-initialized counter block.
     pub fn new(org: CounterOrg) -> Self {
-        CounterBlock { org, major: 0, minors: vec![0; org.coverage()] }
+        CounterBlock {
+            org,
+            major: 0,
+            minors: vec![0; org.coverage()],
+        }
     }
 
     /// A counter block whose values start at arbitrary (e.g. randomized)
@@ -186,7 +194,9 @@ impl CounterBlock {
         assert!(target <= COUNTER_MAX, "counter value exceeds 56 bits");
         if target < self.major {
             // Cannot represent values below the shared major at all.
-            return Err(WouldOverflow { min_relevel_target: self.max_value() + 1 });
+            return Err(WouldOverflow {
+                min_relevel_target: self.max_value() + 1,
+            });
         }
         let new_minor = target - self.major;
         match self.org {
@@ -199,7 +209,9 @@ impl CounterBlock {
                     self.minors[slot] = new_minor;
                     Ok(())
                 } else {
-                    Err(WouldOverflow { min_relevel_target: self.max_value() + 1 })
+                    Err(WouldOverflow {
+                        min_relevel_target: self.max_value() + 1,
+                    })
                 }
             }
             CounterOrg::Morphable128 => {
@@ -216,7 +228,9 @@ impl CounterBlock {
                     self.minors = candidate;
                     Ok(())
                 } else {
-                    Err(WouldOverflow { min_relevel_target: self.max_value() + 1 })
+                    Err(WouldOverflow {
+                        min_relevel_target: self.max_value() + 1,
+                    })
                 }
             }
         }
@@ -255,7 +269,10 @@ impl CounterBlock {
     /// (`max + 1`) and RMCC's policy (nearest memoized ≥ `max + 1`) satisfy,
     /// and panics if `target` exceeds the 56-bit counter space.
     pub fn relevel(&mut self, target: u64) {
-        assert!(target > self.max_value(), "relevel must move every counter forward");
+        assert!(
+            target > self.max_value(),
+            "relevel must move every counter forward"
+        );
         assert!(target <= COUNTER_MAX, "counter value exceeds 56 bits");
         self.major = target;
         self.minors.iter_mut().for_each(|m| *m = 0);
@@ -274,7 +291,6 @@ impl CounterBlock {
             self.minors.iter_mut().for_each(|m| *m -= min);
         }
     }
-
 }
 
 /// Whether a minor multiset fits one of Morphable's formats.

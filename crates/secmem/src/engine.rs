@@ -309,7 +309,10 @@ impl SecureMemory {
     /// * [`ReadError::MetadataTampered`] if a counter image fails to verify.
     /// * [`ReadError::DataTampered`] if the data MAC fails.
     pub fn read(&mut self, block: u64) -> Result<DataBlock, ReadError> {
-        let stored = *self.data.get(&block).ok_or(ReadError::Unwritten { block })?;
+        let stored = *self
+            .data
+            .get(&block)
+            .ok_or(ReadError::Unwritten { block })?;
         let l0_idx = self.meta.layout().l0_index(block);
         self.verify_path(l0_idx)?;
         let counter = self.meta.data_counter(block);
@@ -333,7 +336,8 @@ impl SecureMemory {
             // Parent relevel: every sibling node image must be re-MACed.
             let parent_level = level + 1;
             let parent_idx = self.meta.layout().parent_index(level, idx).unwrap_or(0);
-            self.meta.relevel(parent_level, parent_idx, overflow.min_relevel_target);
+            self.meta
+                .relevel(parent_level, parent_idx, overflow.min_relevel_target);
             let arity = self.meta.org().tree_arity() as u64;
             for slot in 0..arity {
                 let sibling = parent_idx * arity + slot;
@@ -347,7 +351,11 @@ impl SecureMemory {
         // The parent's state changed (its counters moved): publish it too,
         // unless the parent is the on-chip root.
         if level + 1 < depth {
-            let parent_idx = self.meta.layout().parent_index(level, idx).expect("not root");
+            let parent_idx = self
+                .meta
+                .layout()
+                .parent_index(level, idx)
+                .expect("not root");
             self.publish_node(level + 1, parent_idx);
         }
     }
@@ -372,7 +380,10 @@ impl SecureMemory {
     ///
     /// Panics if the block was never written.
     pub fn tamper_data(&mut self, block: u64, byte: usize, mask: u8) {
-        let stored = self.data.get_mut(&block).expect("block must exist to tamper");
+        let stored = self
+            .data
+            .get_mut(&block)
+            .expect("block must exist to tamper");
         stored.cipher[byte] ^= mask;
     }
 
@@ -382,7 +393,10 @@ impl SecureMemory {
     ///
     /// Panics if the block was never written.
     pub fn tamper_mac(&mut self, block: u64, mask: u64) {
-        let stored = self.data.get_mut(&block).expect("block must exist to tamper");
+        let stored = self
+            .data
+            .get_mut(&block)
+            .expect("block must exist to tamper");
         stored.mac ^= mask;
     }
 
@@ -397,7 +411,11 @@ impl SecureMemory {
         ReplaySnapshot {
             block,
             data: *self.data.get(&block).expect("block must exist to snapshot"),
-            l0: self.nodes.get(&(0, l0_idx)).expect("counter image must exist").clone(),
+            l0: self
+                .nodes
+                .get(&(0, l0_idx))
+                .expect("counter image must exist")
+                .clone(),
         }
     }
 

@@ -51,7 +51,11 @@ impl MetadataLayout {
     ///
     /// Panics if `data_bytes` is not a multiple of the block size.
     pub fn new(org: CounterOrg, data_bytes: u64) -> Self {
-        assert_eq!(data_bytes % BLOCK_BYTES, 0, "data size must be whole blocks");
+        assert_eq!(
+            data_bytes % BLOCK_BYTES,
+            0,
+            "data size must be whole blocks"
+        );
         let arity = org.tree_arity() as u64;
         let data_blocks = data_bytes / BLOCK_BYTES;
         let mut level_counts = Vec::new();
@@ -67,8 +71,15 @@ impl MetadataLayout {
         // address, each level in its own 128 GB-aligned window.
         let meta_base = 1u64 << 40;
         let window = 1u64 << 37;
-        let level_bases = (0..level_counts.len() as u64).map(|k| meta_base + k * window).collect();
-        MetadataLayout { org, data_bytes, level_counts, level_bases }
+        let level_bases = (0..level_counts.len() as u64)
+            .map(|k| meta_base + k * window)
+            .collect();
+        MetadataLayout {
+            org,
+            data_bytes,
+            level_counts,
+            level_bases,
+        }
     }
 
     /// The counter organization.

@@ -92,7 +92,12 @@ impl MetadataState {
             // add < 64; the register starts at a sound upper bound.
             InitPolicy::Randomized { .. } => RANDOM_INIT_MEAN * 3 / 2 + 64,
         };
-        MetadataState { layout, levels, init, max_observed }
+        MetadataState {
+            layout,
+            levels,
+            init,
+            max_observed,
+        }
     }
 
     /// The address/coverage layout in use.
@@ -188,7 +193,11 @@ impl MetadataState {
     ///
     /// Propagates [`WouldOverflow`] when the counter block must relevel; the
     /// caller picks the target and calls [`MetadataState::relevel`].
-    pub fn write_data_counter(&mut self, data_block: u64, target: u64) -> Result<(), WouldOverflow> {
+    pub fn write_data_counter(
+        &mut self,
+        data_block: u64,
+        target: u64,
+    ) -> Result<(), WouldOverflow> {
         let idx = self.layout.l0_index(data_block);
         let slot = self.layout.l0_slot(data_block);
         self.block_mut(0, idx).try_write(slot, target)?;
@@ -220,7 +229,8 @@ impl MetadataState {
         let slot = self.layout.parent_slot(index);
         let parent_level = level + 1;
         let parent_idx = self.layout.parent_index(level, index).unwrap_or(0);
-        self.block_mut(parent_level, parent_idx).try_write(slot, target)
+        self.block_mut(parent_level, parent_idx)
+            .try_write(slot, target)
     }
 
     /// Relevels the counter block at `level` / `index` to `target` and
@@ -304,8 +314,7 @@ mod tests {
     #[test]
     fn randomized_init_mixes_ladder_and_stragglers() {
         let mut m = state(InitPolicy::Randomized { seed: 1 });
-        let ladder: std::collections::HashSet<u64> =
-            canonical_group_starts().into_iter().collect();
+        let ladder: std::collections::HashSet<u64> = canonical_group_starts().into_iter().collect();
         let values: Vec<u64> = (0..256u64).map(|cb| m.data_counter(cb * 128)).collect();
         let on_ladder = values
             .iter()
@@ -313,9 +322,15 @@ mod tests {
             .count();
         // Roughly 7/8 conformed to the converged ladder, the rest scattered.
         assert!(on_ladder > 200, "only {on_ladder}/256 conformed");
-        assert!(on_ladder < 250, "all {on_ladder}/256 conformed; stragglers missing");
+        assert!(
+            on_ladder < 250,
+            "all {on_ladder}/256 conformed; stragglers missing"
+        );
         let distinct: std::collections::HashSet<u64> = values.iter().copied().collect();
-        assert!(distinct.len() > 16, "values must not all collapse to one ladder rung");
+        assert!(
+            distinct.len() > 16,
+            "values must not all collapse to one ladder rung"
+        );
     }
 
     #[test]

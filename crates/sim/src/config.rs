@@ -24,7 +24,12 @@ pub enum Scheme {
 
 impl Scheme {
     /// All schemes in Figure 13's legend order.
-    pub const ALL: [Scheme; 4] = [Scheme::Sc64, Scheme::Morphable, Scheme::Rmcc, Scheme::NonSecure];
+    pub const ALL: [Scheme; 4] = [
+        Scheme::Sc64,
+        Scheme::Morphable,
+        Scheme::Rmcc,
+        Scheme::NonSecure,
+    ];
 
     /// The counter organization the scheme uses (`None` for non-secure).
     pub fn counter_org(self) -> Option<CounterOrg> {
@@ -127,7 +132,9 @@ impl SystemConfig {
             hierarchy: HierarchyConfig::gem5_table1(),
             dram: DramConfig::table1(),
             rmcc: RmccConfig::paper(),
-            counter_init: InitPolicy::Randomized { seed: 0x52_4d_43_43 },
+            counter_init: InitPolicy::Randomized {
+                seed: 0x52_4d_43_43,
+            },
             data_bytes: 128 << 30,
             page_size: PageSize::Huge2M,
             core_ghz: 3.2,
@@ -153,7 +160,10 @@ impl SystemConfig {
         let mut c = Self::table1(scheme);
         c.counter_cache_bytes = 32 << 10;
         c.counter_cache_ways = 8;
-        c.hierarchy.l3 = rmcc_cache::hierarchy::LevelConfig { bytes: 2 << 20, ways: 16 };
+        c.hierarchy.l3 = rmcc_cache::hierarchy::LevelConfig {
+            bytes: 2 << 20,
+            ways: 16,
+        };
         c
     }
 
@@ -202,7 +212,11 @@ impl std::fmt::Display for SystemConfig {
             self.counter_cache_ways
         )?;
         if let Some(org) = self.scheme.counter_org() {
-            writeln!(f, "  Counter org: {org} (decode {:.0} ns)", org.decode_latency_ps() as f64 / 1e3)?;
+            writeln!(
+                f,
+                "  Counter org: {org} (decode {:.0} ns)",
+                org.decode_latency_ps() as f64 / 1e3
+            )?;
         }
         writeln!(f, "  AES latency: {:.0} ns", self.aes_latency as f64 / 1e3)?;
         if self.scheme.uses_rmcc() {
@@ -214,9 +228,18 @@ impl std::fmt::Display for SystemConfig {
                 self.rmcc.levels,
                 self.rmcc.budget_fraction * 100.0
             )?;
-            writeln!(f, "  Carry-less multiply: {:.0} ns", self.clmul_latency as f64 / 1e3)?;
+            writeln!(
+                f,
+                "  Carry-less multiply: {:.0} ns",
+                self.clmul_latency as f64 / 1e3
+            )?;
         }
-        writeln!(f, "  Memory: {} GB DDR4, page size {}", self.data_bytes >> 30, self.page_size)?;
+        writeln!(
+            f,
+            "  Memory: {} GB DDR4, page size {}",
+            self.data_bytes >> 30,
+            self.page_size
+        )?;
         write!(f, "{}", self.dram)
     }
 }

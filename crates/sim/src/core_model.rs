@@ -1,78 +1,38 @@
-//! The trace-driven core timing model — the reproduction's stand-in for
+//! The single-core detailed pipeline — the reproduction's stand-in for
 //! gem5's out-of-order CPU.
 //!
-//! A 4-wide, 192-entry-ROB core is approximated with the standard
-//! interval-style model: instructions dispatch at the front-end rate, loads
-//! issue as soon as their operands allow (dependent loads wait for the
-//! previous load), a bounded miss window models MSHR-limited memory-level
-//! parallelism, and a full ROB stalls dispatch until the oldest instruction
-//! retires. What matters for RMCC is faithfully captured: how much of a
-//! load's latency the dependence structure actually exposes.
+//! The timing logic itself (ROB, MSHR window, dependent-load serialization,
+//! private L1/L2 filter) lives in the shared [`CoreEngine`]; this module
+//! packages one engine with its own LLC, page map, and memory controller so
+//! a workload can stream straight in via [`TraceSink`].
 
-use std::collections::VecDeque;
-
-use rmcc_cache::hierarchy::{Hierarchy, Level};
-use rmcc_dram::config::Ps;
-use rmcc_workloads::trace::{TraceEvent, TraceSink};
+use rmcc_cache::set_assoc::SetAssocCache;
+use rmcc_workloads::trace::{TraceEvent, TraceSink, TraceSource};
 
 use crate::config::SystemConfig;
+use crate::engine::CoreEngine;
 use crate::mc::MemoryController;
 use crate::page_map::PageMap;
+use crate::runner::Runner;
 
-/// Execution summary of one trace.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CoreStats {
-    /// Trace events (memory instructions) executed.
-    pub mem_instrs: u64,
-    /// Total instructions (memory + `work`).
-    pub instrs: u64,
-    /// Total execution time.
-    pub elapsed_ps: Ps,
-    /// LLC misses issued to the memory controller.
-    pub llc_misses: u64,
-}
+pub use crate::engine::CoreStats;
 
-impl CoreStats {
-    /// Instructions per nanosecond (for sanity checks; figures use
-    /// normalized runtime).
-    pub fn ipns(&self) -> f64 {
-        if self.elapsed_ps == 0 {
-            0.0
-        } else {
-            self.instrs as f64 * 1e3 / self.elapsed_ps as f64
-        }
-    }
-}
-
-/// The core + cache + MC pipeline; implement [`TraceSink`] so workloads
-/// stream straight into it.
+/// One [`CoreEngine`] plus a private memory system (LLC, page map, memory
+/// controller); implements [`TraceSink`] so workloads stream straight into
+/// it, and [`Runner`] for the unified runner API.
 pub struct CoreModel {
     cfg: SystemConfig,
-    hierarchy: Hierarchy,
+    engine: CoreEngine,
+    llc: SetAssocCache,
     page_map: PageMap,
     mc: MemoryController,
-    /// In-flight instructions in program order: `(instruction count,
-    /// completion time)`. Occupancy is counted in *instructions* so the
-    /// 192-entry ROB limit matches Table I.
-    rob: VecDeque<(u64, Ps)>,
-    /// Instructions currently occupying the ROB.
-    rob_occupancy: u64,
-    /// Completion times of outstanding LLC misses (MSHR window).
-    outstanding: VecDeque<Ps>,
-    /// Front-end dispatch cursor.
-    dispatch: Ps,
-    /// Completion time of the most recent load.
-    last_load_done: Ps,
-    /// Latest completion seen (simulation end candidate).
-    horizon: Ps,
-    stats: CoreStats,
 }
 
 impl std::fmt::Debug for CoreModel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CoreModel")
             .field("scheme", &self.cfg.scheme)
-            .field("stats", &self.stats)
+            .field("stats", &self.engine.stats())
             .finish_non_exhaustive()
     }
 }
@@ -82,16 +42,10 @@ impl CoreModel {
     /// derived from `placement_seed`.
     pub fn new(cfg: &SystemConfig, placement_seed: u64) -> Self {
         CoreModel {
-            hierarchy: Hierarchy::new(cfg.hierarchy),
+            engine: CoreEngine::new(cfg),
+            llc: CoreEngine::llc_for(cfg),
             page_map: PageMap::new(cfg.page_size, placement_seed, cfg.data_bytes),
             mc: MemoryController::new(cfg),
-            rob: VecDeque::with_capacity(cfg.rob_entries),
-            rob_occupancy: 0,
-            outstanding: VecDeque::new(),
-            dispatch: 0,
-            last_load_done: 0,
-            horizon: 0,
-            stats: CoreStats::default(),
             cfg: cfg.clone(),
         }
     }
@@ -103,85 +57,37 @@ impl CoreModel {
 
     /// Execution statistics; `elapsed_ps` is final once the trace ends.
     pub fn stats(&self) -> CoreStats {
-        let mut s = self.stats;
-        s.elapsed_ps = self.horizon.max(self.dispatch);
-        s
+        self.engine.stats()
     }
 
-    fn hit_latency(&self, level: Level) -> Ps {
-        match level {
-            Level::L1 => self.cfg.l1_latency,
-            Level::L2 => self.cfg.l2_latency,
-            Level::L3 => self.cfg.l3_latency,
-        }
+    /// The scheme this model simulates.
+    pub fn scheme(&self) -> crate::config::Scheme {
+        self.cfg.scheme
     }
 }
 
 impl TraceSink for CoreModel {
     fn emit(&mut self, ev: TraceEvent) {
-        let cycle = self.cfg.cycle_ps() as f64;
-        let width = self.cfg.retire_width as f64;
-        let instrs = 1 + ev.work as u64 * self.cfg.work_scale as u64;
-        self.stats.mem_instrs += 1;
-        self.stats.instrs += instrs;
+        self.engine
+            .step(ev, &self.page_map, &mut self.llc, &mut self.mc);
+    }
+}
 
-        // Front end: dispatch advances at `width` instructions per cycle.
-        self.dispatch += (instrs as f64 * cycle / width) as Ps;
+impl Runner for CoreModel {
+    type Report = crate::detailed::DetailedReport;
 
-        // ROB pressure: with a full window, dispatch waits for the oldest
-        // instructions to complete (in-order retire).
-        while self.rob_occupancy + instrs > self.cfg.rob_entries as u64 {
-            let Some((n, oldest)) = self.rob.pop_front() else { break };
-            self.rob_occupancy -= n;
-            self.dispatch = self.dispatch.max(oldest);
+    fn run(&mut self, source: &mut dyn TraceSource) -> Self::Report {
+        source.stream(self);
+        let stats = self.stats();
+        crate::detailed::DetailedReport {
+            scheme: self.cfg.scheme,
+            elapsed_ps: stats.elapsed_ps,
+            instrs: stats.instrs,
+            llc_misses: stats.llc_misses,
+            mean_miss_latency_ns: self.mc.latency_stats().mean_ns(),
+            dram: self.mc.dram_stats(),
+            meta: *self.mc.meta_stats(),
         }
-
-        let paddr = self.page_map.translate(ev.addr);
-        let line = paddr >> 6;
-        let outcome = self.hierarchy.access(line, ev.is_write);
-
-        // Issue time: dependent loads wait for the feeding load's data.
-        let mut issue = if ev.dep_on_prev_load {
-            self.dispatch.max(self.last_load_done)
-        } else {
-            self.dispatch
-        };
-
-        let done = match outcome.hit_level {
-            Some(level) => issue + self.hit_latency(level),
-            None => {
-                self.stats.llc_misses += 1;
-                // MSHR window: a full window delays the new miss.
-                while let Some(&front) = self.outstanding.front() {
-                    if front <= issue {
-                        self.outstanding.pop_front();
-                    } else if self.outstanding.len() >= self.cfg.max_outstanding_misses {
-                        issue = front;
-                        self.outstanding.pop_front();
-                    } else {
-                        break;
-                    }
-                }
-                let done = self.mc.read(issue + self.cfg.l3_latency, line << 6);
-                self.outstanding.push_back(done);
-                done
-            }
-        };
-
-        // Dirty LLC victims go to memory as writebacks (posted).
-        for wb in &outcome.writebacks {
-            self.mc.write(issue, wb << 6);
-        }
-
-        if ev.is_write {
-            // Stores complete at dispatch via the store buffer.
-            self.rob.push_back((instrs, self.dispatch));
-        } else {
-            self.rob.push_back((instrs, done));
-            self.last_load_done = done;
-        }
-        self.rob_occupancy += instrs;
-        self.horizon = self.horizon.max(done);
     }
 }
 
@@ -200,7 +106,12 @@ mod tests {
     }
 
     fn ev(addr: u64, is_write: bool, dep: bool) -> TraceEvent {
-        TraceEvent { addr, is_write, work: 2, dep_on_prev_load: dep }
+        TraceEvent {
+            addr,
+            is_write,
+            work: 2,
+            dep_on_prev_load: dep,
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
-//! The detailed (gem5-style) timing runner: core model + memory controller
-//! + DDR4, producing the paper's performance, latency, and bandwidth numbers
-//! (Figures 12, 13, 14, 17, 18).
+//! The detailed (gem5-style) timing runner: core model, memory controller,
+//! and DDR4, producing the paper's performance, latency, and bandwidth
+//! numbers (Figures 12, 13, 14, 17, 18).
 
 use rmcc_dram::channel::DramStats;
 use rmcc_dram::config::Ps;
@@ -51,23 +51,11 @@ pub fn run_detailed(
     graph: Option<&rmcc_workloads::graph::Csr>,
     cfg: &SystemConfig,
 ) -> DetailedReport {
+    use crate::runner::Runner;
     let mut core = CoreModel::new(cfg, 0x9a9e);
-    if workload.uses_graph() && graph.is_none() {
-        let g = rmcc_workloads::workload::graph_for(scale);
-        workload.run_on(Some(&g), scale, &mut core);
-    } else {
-        workload.run_on(graph, scale, &mut core);
-    }
-    let stats = core.stats();
-    let mc = core.mc();
-    DetailedReport {
-        scheme: cfg.scheme,
-        elapsed_ps: stats.elapsed_ps,
-        instrs: stats.instrs,
-        llc_misses: stats.llc_misses,
-        mean_miss_latency_ns: mc.latency_stats().mean_ns(),
-        dram: mc.dram_stats(),
-        meta: *mc.meta_stats(),
+    match graph {
+        Some(_) => core.run(&mut workload.source_on(graph, scale)),
+        None => core.run(&mut workload.source(scale)),
     }
 }
 
@@ -84,8 +72,18 @@ mod tests {
 
     #[test]
     fn non_secure_beats_secure() {
-        let non = run_detailed(Workload::Canneal, Scale::Tiny, None, &cfg(Scheme::NonSecure));
-        let sec = run_detailed(Workload::Canneal, Scale::Tiny, None, &cfg(Scheme::Morphable));
+        let non = run_detailed(
+            Workload::Canneal,
+            Scale::Tiny,
+            None,
+            &cfg(Scheme::NonSecure),
+        );
+        let sec = run_detailed(
+            Workload::Canneal,
+            Scale::Tiny,
+            None,
+            &cfg(Scheme::Morphable),
+        );
         assert!(sec.elapsed_ps > non.elapsed_ps);
         assert!(sec.normalized_perf(&non) < 1.0);
         assert!(non.normalized_perf(&non) == 1.0);
@@ -93,15 +91,29 @@ mod tests {
 
     #[test]
     fn miss_latency_reported() {
-        let r = run_detailed(Workload::Omnetpp, Scale::Tiny, None, &cfg(Scheme::Morphable));
-        assert!(r.mean_miss_latency_ns > 20.0, "latency {}", r.mean_miss_latency_ns);
+        let r = run_detailed(
+            Workload::Omnetpp,
+            Scale::Tiny,
+            None,
+            &cfg(Scheme::Morphable),
+        );
+        assert!(
+            r.mean_miss_latency_ns > 20.0,
+            "latency {}",
+            r.mean_miss_latency_ns
+        );
         assert!(r.llc_misses > 0);
         assert!(r.instrs > 0);
     }
 
     #[test]
     fn bandwidth_utilization_bounded() {
-        let r = run_detailed(Workload::Canneal, Scale::Tiny, None, &cfg(Scheme::Morphable));
+        let r = run_detailed(
+            Workload::Canneal,
+            Scale::Tiny,
+            None,
+            &cfg(Scheme::Morphable),
+        );
         let total: f64 = rmcc_dram::channel::TrafficClass::ALL
             .iter()
             .map(|&c| r.utilization(c))

@@ -4,6 +4,17 @@
 //! [`Series`] whose rows are the paper's x-axis (the eleven workloads) and
 //! whose columns are the figure's bars/lines. The `rmcc-bench` crate turns
 //! these into runnable targets; EXPERIMENTS.md records paper-vs-measured.
+//!
+//! Every per-workload figure fans its independent (workload, scheme) cells
+//! across a scoped-thread worker pool ([`Experiments::per_workload`]'s
+//! internals): simulations for different workloads share nothing, so they
+//! run concurrently, while rows are committed in `Workload::ALL` order —
+//! output is byte-identical to a serial run. The pool width defaults to the
+//! host's available parallelism and can be pinned with the `RMCC_JOBS`
+//! environment variable (or [`Experiments::with_jobs`]).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use rmcc_cache::tlb::PageSize;
 use rmcc_dram::channel::TrafficClass;
@@ -62,7 +73,10 @@ impl Series {
 
     /// The values of the row labeled `label`, if present.
     pub fn row(&self, label: &str) -> Option<&[f64]> {
-        self.rows.iter().find(|(l, _)| l == label).map(|(_, v)| v.as_slice())
+        self.rows
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, v)| v.as_slice())
     }
 }
 
@@ -92,22 +106,108 @@ impl std::fmt::Display for Series {
     }
 }
 
-/// Shared context: the scale and the (expensive to build) input graph.
+/// Worker count for the harness: `RMCC_JOBS` if set (and ≥ 1), else the
+/// host's available parallelism.
+fn default_jobs() -> usize {
+    match std::env::var("RMCC_JOBS") {
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&j| j >= 1)
+            .unwrap_or(1),
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Shared context: the scale, the (expensive to build) input graph, and the
+/// worker-pool width.
 #[derive(Debug, Clone)]
 pub struct Experiments {
     scale: Scale,
     graph: Csr,
+    jobs: usize,
 }
 
 impl Experiments {
-    /// Builds the context, generating the R-MAT graph once.
+    /// Builds the context, generating the R-MAT graph once. The worker-pool
+    /// width comes from `RMCC_JOBS`, defaulting to the host parallelism.
     pub fn new(scale: Scale) -> Self {
-        Experiments { scale, graph: graph_for(scale) }
+        Self::with_jobs(scale, default_jobs())
+    }
+
+    /// Like [`Experiments::new`] but with an explicit worker count
+    /// (`jobs == 1` runs strictly serially on the calling thread).
+    pub fn with_jobs(scale: Scale, jobs: usize) -> Self {
+        Experiments {
+            scale,
+            graph: graph_for(scale),
+            jobs: jobs.max(1),
+        }
     }
 
     /// The scale in use.
     pub fn scale(&self) -> Scale {
         self.scale
+    }
+
+    /// The worker-pool width in use.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Maps every workload through `f`, fanning the calls across a
+    /// scoped-thread pool of [`Self::jobs`] workers. Results come back in
+    /// `Workload::ALL` order no matter which worker computed them, and
+    /// each `f(w)` is deterministic, so output is identical to a serial
+    /// map.
+    fn per_workload<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Workload) -> T + Sync,
+    {
+        let jobs = self.jobs.min(Workload::ALL.len());
+        if jobs <= 1 {
+            return Workload::ALL.iter().map(|&w| f(w)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = Workload::ALL.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&w) = Workload::ALL.get(i) else {
+                        break;
+                    };
+                    let row = f(w);
+                    *slots[i].lock().expect("worker panicked holding a slot") = Some(row);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("worker panicked holding a slot")
+                    .expect("every slot filled")
+            })
+            .collect()
+    }
+
+    /// Builds a per-workload series: runs `f` through the pool, then
+    /// commits one row per workload in `Workload::ALL` order plus the
+    /// mean row.
+    fn series_of<F>(&self, title: &str, columns: &[&str], f: F) -> Series
+    where
+        F: Fn(Workload) -> Vec<f64> + Sync,
+    {
+        let mut s = Series::new(title, columns);
+        for (w, row) in Workload::ALL.iter().zip(self.per_workload(f)) {
+            s.push(w.name(), row);
+        }
+        s.with_mean()
     }
 
     fn lifetime(&self, w: Workload, cfg: &SystemConfig) -> LifetimeReport {
@@ -124,72 +224,62 @@ impl Experiments {
     /// Counters, lifetime methodology (32 KB counter cache).
     pub fn fig03_counter_miss(&self) -> Series {
         let cfg = SystemConfig::lifetime(Scheme::Morphable);
-        let mut s = Series::new(
+        self.series_of(
             "Figure 3: counter misses per LLC miss (Morphable, lifetime)",
             &["ctr miss rate"],
-        );
-        for w in Workload::ALL {
-            let r = self.lifetime(w, &cfg);
-            s.push(w.name(), vec![r.counter_miss_rate()]);
-        }
-        s.with_mean()
+            |w| vec![self.lifetime(w, &cfg).counter_miss_rate()],
+        )
     }
 
     /// Figure 4: TLB misses per LLC miss under 4 KB and 2 MB pages.
     pub fn fig04_tlb(&self) -> Series {
         let cfg = SystemConfig::lifetime(Scheme::NonSecure);
-        let mut s = Series::new(
+        self.series_of(
             "Figure 4: TLB misses per LLC miss",
             &["4KB pages", "2MB pages"],
-        );
-        for w in Workload::ALL {
-            let r = self.lifetime(w, &cfg);
-            s.push(
-                w.name(),
+            |w| {
+                let r = self.lifetime(w, &cfg);
                 vec![
                     r.tlb_per_llc_miss(PageSize::Small4K),
                     r.tlb_per_llc_miss(PageSize::Huge2M),
-                ],
-            );
-        }
-        s.with_mean()
+                ]
+            },
+        )
     }
 
     /// Figure 10: memoization hit rate for counter misses, split into hits
     /// from live groups and hits from MRU single values.
     pub fn fig10_hit_breakdown(&self) -> Series {
         let cfg = SystemConfig::lifetime(Scheme::Rmcc);
-        let mut s = Series::new(
+        self.series_of(
             "Figure 10: memoization hits on counter misses",
             &["group hits", "MRU hits", "total"],
-        );
-        for w in Workload::ALL {
-            let r = self.lifetime(w, &cfg);
-            let t = &r.meta.memo_l0;
-            let n = (t.miss_group_hits + t.miss_mru_hits + t.miss_misses).max(1) as f64;
-            let g = t.miss_group_hits as f64 / n;
-            let m = t.miss_mru_hits as f64 / n;
-            s.push(w.name(), vec![g, m, g + m]);
-        }
-        s.with_mean()
+            |w| {
+                let r = self.lifetime(w, &cfg);
+                let t = &r.meta.memo_l0;
+                let n = (t.miss_group_hits + t.miss_mru_hits + t.miss_misses).max(1) as f64;
+                let g = t.miss_group_hits as f64 / n;
+                let m = t.miss_mru_hits as f64 / n;
+                vec![g, m, g + m]
+            },
+        )
     }
 
     /// Figure 12: bandwidth utilization breakdown under Morphable Counters
     /// (detailed mode).
     pub fn fig12_bandwidth(&self) -> Series {
         let cfg = SystemConfig::detailed_scaled(Scheme::Morphable);
-        let mut s = Series::new(
+        self.series_of(
             "Figure 12: bandwidth utilization under Morphable",
             &["data", "counters", "L0 overflow", "L1+ overflow"],
-        );
-        for w in Workload::ALL {
-            let r = self.detailed(w, &cfg);
-            s.push(
-                w.name(),
-                TrafficClass::ALL.iter().map(|&c| r.utilization(c)).collect(),
-            );
-        }
-        s.with_mean()
+            |w| {
+                let r = self.detailed(w, &cfg);
+                TrafficClass::ALL
+                    .iter()
+                    .map(|&c| r.utilization(c))
+                    .collect()
+            },
+        )
     }
 
     /// Figures 13 and 14 share their runs: performance normalized to
@@ -204,28 +294,28 @@ impl Experiments {
             "Figure 14: average LLC miss latency (ns)",
             &["SC-64", "Morphable", "RMCC", "Non-secure"],
         );
-        for w in Workload::ALL {
+        let rows = self.per_workload(|w| {
             let non = self.detailed(w, &SystemConfig::detailed_scaled(Scheme::NonSecure));
             let sc = self.detailed(w, &SystemConfig::detailed_scaled(Scheme::Sc64));
             let mo = self.detailed(w, &SystemConfig::detailed_scaled(Scheme::Morphable));
             let rm = self.detailed(w, &SystemConfig::detailed_scaled(Scheme::Rmcc));
-            perf.push(
-                w.name(),
+            (
                 vec![
                     sc.normalized_perf(&non),
                     mo.normalized_perf(&non),
                     rm.normalized_perf(&non),
                 ],
-            );
-            lat.push(
-                w.name(),
                 vec![
                     sc.mean_miss_latency_ns,
                     mo.mean_miss_latency_ns,
                     rm.mean_miss_latency_ns,
                     non.mean_miss_latency_ns,
                 ],
-            );
+            )
+        });
+        for (w, (prow, lrow)) in Workload::ALL.iter().zip(rows) {
+            perf.push(w.name(), prow);
+            lat.push(w.name(), lrow);
         }
         (perf.with_mean(), lat.with_mean())
     }
@@ -234,15 +324,11 @@ impl Experiments {
     /// value at the end of each workload.
     pub fn fig15_coverage(&self) -> Series {
         let cfg = SystemConfig::lifetime(Scheme::Rmcc);
-        let mut s = Series::new(
+        self.series_of(
             "Figure 15: avg blocks covered per memoized counter value",
             &["blocks"],
-        );
-        for w in Workload::ALL {
-            let r = self.lifetime(w, &cfg);
-            s.push(w.name(), vec![r.avg_value_coverage]);
-        }
-        s.with_mean()
+            |w| vec![self.lifetime(w, &cfg).avg_value_coverage],
+        )
     }
 
     /// Figure 16: memory traffic overhead of RMCC over Morphable, split by
@@ -250,68 +336,65 @@ impl Experiments {
     pub fn fig16_traffic(&self) -> Series {
         let base_cfg = SystemConfig::lifetime(Scheme::Morphable);
         let rmcc_cfg = SystemConfig::lifetime(Scheme::Rmcc);
-        let mut s = Series::new(
+        self.series_of(
             "Figure 16: traffic overhead of RMCC vs Morphable",
             &["L0 share", "L1 share", "total overhead"],
-        );
-        for w in Workload::ALL {
-            let base = self.lifetime(w, &base_cfg);
-            let rmcc = self.lifetime(w, &rmcc_cfg);
-            let bt = base.total_requests().max(1) as f64;
-            let total = (rmcc.total_requests() as f64 - bt) / bt;
-            let l0 = rmcc.rmcc_spent_l0 as f64 / bt;
-            let l1 = rmcc.rmcc_spent_l1 as f64 / bt;
-            s.push(w.name(), vec![l0, l1, total.max(0.0)]);
-        }
-        s.with_mean()
+            |w| {
+                let base = self.lifetime(w, &base_cfg);
+                let rmcc = self.lifetime(w, &rmcc_cfg);
+                let bt = base.total_requests().max(1) as f64;
+                let total = (rmcc.total_requests() as f64 - bt) / bt;
+                let l0 = rmcc.rmcc_spent_l0 as f64 / bt;
+                let l1 = rmcc.rmcc_spent_l1 as f64 / bt;
+                vec![l0, l1, total.max(0.0)]
+            },
+        )
     }
 
     /// Figure 17: RMCC performance normalized to Morphable under 15 ns and
     /// 22 ns AES latencies.
     pub fn fig17_aes_latency(&self) -> Series {
-        let mut s = Series::new(
+        self.series_of(
             "Figure 17: RMCC vs Morphable under AES latency",
             &["15ns AES", "22ns AES"],
-        );
-        for w in Workload::ALL {
-            let mut vals = Vec::new();
-            for aes_ns in [15.0, 22.0] {
-                let mut base = SystemConfig::detailed_scaled(Scheme::Morphable);
-                base.aes_latency = ns(aes_ns);
-                let mut rmcc = SystemConfig::detailed_scaled(Scheme::Rmcc);
-                rmcc.aes_latency = ns(aes_ns);
-                let b = self.detailed(w, &base);
-                let r = self.detailed(w, &rmcc);
-                vals.push(r.normalized_perf(&b));
-            }
-            s.push(w.name(), vals);
-        }
-        s.with_mean()
+            |w| {
+                let mut vals = Vec::new();
+                for aes_ns in [15.0, 22.0] {
+                    let mut base = SystemConfig::detailed_scaled(Scheme::Morphable);
+                    base.aes_latency = ns(aes_ns);
+                    let mut rmcc = SystemConfig::detailed_scaled(Scheme::Rmcc);
+                    rmcc.aes_latency = ns(aes_ns);
+                    let b = self.detailed(w, &base);
+                    let r = self.detailed(w, &rmcc);
+                    vals.push(r.normalized_perf(&b));
+                }
+                vals
+            },
+        )
     }
 
     /// Figure 18: RMCC performance normalized to Morphable under 128 KB,
     /// 256 KB, and 512 KB counter caches.
     pub fn fig18_counter_cache(&self) -> Series {
-        let mut s = Series::new(
+        self.series_of(
             "Figure 18: RMCC vs Morphable under counter cache size",
             &["128KB", "256KB", "512KB"],
-        );
-        for w in Workload::ALL {
-            let mut vals = Vec::new();
-            // The paper sweeps 128/256/512 KB; scaled 4x alongside the
-            // footprints (see SystemConfig::detailed_scaled).
-            for kb in [32usize, 64, 128] {
-                let mut base = SystemConfig::detailed_scaled(Scheme::Morphable);
-                base.counter_cache_bytes = kb << 10;
-                let mut rmcc = SystemConfig::detailed_scaled(Scheme::Rmcc);
-                rmcc.counter_cache_bytes = kb << 10;
-                let b = self.detailed(w, &base);
-                let r = self.detailed(w, &rmcc);
-                vals.push(r.normalized_perf(&b));
-            }
-            s.push(w.name(), vals);
-        }
-        s.with_mean()
+            |w| {
+                let mut vals = Vec::new();
+                // The paper sweeps 128/256/512 KB; scaled 4x alongside the
+                // footprints (see SystemConfig::detailed_scaled).
+                for kb in [32usize, 64, 128] {
+                    let mut base = SystemConfig::detailed_scaled(Scheme::Morphable);
+                    base.counter_cache_bytes = kb << 10;
+                    let mut rmcc = SystemConfig::detailed_scaled(Scheme::Rmcc);
+                    rmcc.counter_cache_bytes = kb << 10;
+                    let b = self.detailed(w, &base);
+                    let r = self.detailed(w, &rmcc);
+                    vals.push(r.normalized_perf(&b));
+                }
+                vals
+            },
+        )
     }
 
     /// Figures 19 and 20: memoization hit rate (all lookups) and traffic
@@ -326,7 +409,7 @@ impl Experiments {
             &["1% budget", "2% budget", "8% budget"],
         );
         let base_cfg = SystemConfig::lifetime(Scheme::Morphable);
-        for w in Workload::ALL {
+        let rows = self.per_workload(|w| {
             let base = self.lifetime(w, &base_cfg);
             let bt = base.total_requests().max(1) as f64;
             let mut hrow = Vec::new();
@@ -338,6 +421,9 @@ impl Experiments {
                 hrow.push(r.meta.memo_l0.all_hit_rate());
                 trow.push(((r.total_requests() as f64 - bt) / bt).max(0.0));
             }
+            (hrow, trow)
+        });
+        for (w, (hrow, trow)) in Workload::ALL.iter().zip(rows) {
             hits.push(w.name(), hrow);
             traffic.push(w.name(), trow);
         }
@@ -357,7 +443,7 @@ impl Experiments {
             &["group 4", "group 8", "group 16"],
         );
         let base_cfg = SystemConfig::lifetime(Scheme::Morphable);
-        for w in Workload::ALL {
+        let rows = self.per_workload(|w| {
             let base = self.lifetime(w, &base_cfg);
             let bt = base.total_requests().max(1) as f64;
             let mut hrow = Vec::new();
@@ -369,6 +455,9 @@ impl Experiments {
                 hrow.push(r.meta.memo_l0.all_hit_rate());
                 trow.push(((r.total_requests() as f64 - bt) / bt).max(0.0));
             }
+            (hrow, trow)
+        });
+        for (w, (hrow, trow)) in Workload::ALL.iter().zip(rows) {
             hits.push(w.name(), hrow);
             traffic.push(w.name(), trow);
         }
@@ -379,21 +468,20 @@ impl Experiments {
     pub fn max_counter_growth(&self) -> Series {
         let base_cfg = SystemConfig::lifetime(Scheme::Morphable);
         let rmcc_cfg = SystemConfig::lifetime(Scheme::Rmcc);
-        let mut s = Series::new(
+        self.series_of(
             "Max counter value: RMCC vs Morphable (§IV-D2)",
             &["Morphable", "RMCC", "ratio"],
-        );
-        for w in Workload::ALL {
-            let b = self.lifetime(w, &base_cfg);
-            let r = self.lifetime(w, &rmcc_cfg);
-            let ratio = if b.max_counter == 0 {
-                0.0
-            } else {
-                r.max_counter as f64 / b.max_counter as f64
-            };
-            s.push(w.name(), vec![b.max_counter as f64, r.max_counter as f64, ratio]);
-        }
-        s.with_mean()
+            |w| {
+                let b = self.lifetime(w, &base_cfg);
+                let r = self.lifetime(w, &rmcc_cfg);
+                let ratio = if b.max_counter == 0 {
+                    0.0
+                } else {
+                    r.max_counter as f64 / b.max_counter as f64
+                };
+                vec![b.max_counter as f64, r.max_counter as f64, ratio]
+            },
+        )
     }
 
     /// Extension (§III discussion): Morphable's counter-miss rate under
@@ -401,41 +489,39 @@ impl Experiments {
     /// *physically adjacent* 4 KB pages; small-page placement scatters
     /// virtually adjacent pages, so coverage halves and misses rise.
     pub fn page_size_sensitivity(&self) -> Series {
-        let mut s = Series::new(
+        self.series_of(
             "Extension: counter miss rate, 2MB vs 4KB pages (Morphable)",
             &["2MB pages", "4KB pages"],
-        );
-        for w in Workload::ALL {
-            let mut huge = SystemConfig::lifetime(Scheme::Morphable);
-            huge.page_size = PageSize::Huge2M;
-            let mut small = SystemConfig::lifetime(Scheme::Morphable);
-            small.page_size = PageSize::Small4K;
-            let rh = self.lifetime(w, &huge);
-            let rs = self.lifetime(w, &small);
-            s.push(w.name(), vec![rh.counter_miss_rate(), rs.counter_miss_rate()]);
-        }
-        s.with_mean()
+            |w| {
+                let mut huge = SystemConfig::lifetime(Scheme::Morphable);
+                huge.page_size = PageSize::Huge2M;
+                let mut small = SystemConfig::lifetime(Scheme::Morphable);
+                small.page_size = PageSize::Small4K;
+                let rh = self.lifetime(w, &huge);
+                let rs = self.lifetime(w, &small);
+                vec![rh.counter_miss_rate(), rs.counter_miss_rate()]
+            },
+        )
     }
 
     /// Ablation (§IV-C1): memoization hit rate with and without
     /// read-triggered counter updates for read-mostly blocks.
     pub fn ablation_read_triggered(&self) -> Series {
-        let mut s = Series::new(
+        self.series_of(
             "Ablation: memoization hit rate with/without read-triggered updates",
             &["with", "without"],
-        );
-        for w in Workload::ALL {
-            let on = SystemConfig::lifetime(Scheme::Rmcc);
-            let mut off = SystemConfig::lifetime(Scheme::Rmcc);
-            off.rmcc.read_triggered = false;
-            let r_on = self.lifetime(w, &on);
-            let r_off = self.lifetime(w, &off);
-            s.push(
-                w.name(),
-                vec![r_on.meta.memo_l0.all_hit_rate(), r_off.meta.memo_l0.all_hit_rate()],
-            );
-        }
-        s.with_mean()
+            |w| {
+                let on = SystemConfig::lifetime(Scheme::Rmcc);
+                let mut off = SystemConfig::lifetime(Scheme::Rmcc);
+                off.rmcc.read_triggered = false;
+                let r_on = self.lifetime(w, &on);
+                let r_off = self.lifetime(w, &off);
+                vec![
+                    r_on.meta.memo_l0.all_hit_rate(),
+                    r_off.meta.memo_l0.all_hit_rate(),
+                ]
+            },
+        )
     }
 
     /// Related-work comparison (§VII): PoisonIvy-style speculative
@@ -443,42 +529,34 @@ impl Experiments {
     /// Speculation hides tree-verification latency only; RMCC also hides
     /// the decryption AES, which dominates after counter misses.
     pub fn related_work_speculation(&self) -> Series {
-        let mut s = Series::new(
+        self.series_of(
             "Related work: speculative verification vs RMCC (norm. to non-secure)",
             &["Morphable", "Morphable+spec", "RMCC"],
-        );
-        for w in Workload::ALL {
-            let non = self.detailed(w, &SystemConfig::detailed_scaled(Scheme::NonSecure));
-            let mo = self.detailed(w, &SystemConfig::detailed_scaled(Scheme::Morphable));
-            let mut spec_cfg = SystemConfig::detailed_scaled(Scheme::Morphable);
-            spec_cfg.speculative_verify = true;
-            let spec = self.detailed(w, &spec_cfg);
-            let rm = self.detailed(w, &SystemConfig::detailed_scaled(Scheme::Rmcc));
-            s.push(
-                w.name(),
+            |w| {
+                let non = self.detailed(w, &SystemConfig::detailed_scaled(Scheme::NonSecure));
+                let mo = self.detailed(w, &SystemConfig::detailed_scaled(Scheme::Morphable));
+                let mut spec_cfg = SystemConfig::detailed_scaled(Scheme::Morphable);
+                spec_cfg.speculative_verify = true;
+                let spec = self.detailed(w, &spec_cfg);
+                let rm = self.detailed(w, &SystemConfig::detailed_scaled(Scheme::Rmcc));
                 vec![
                     mo.normalized_perf(&non),
                     spec.normalized_perf(&non),
                     rm.normalized_perf(&non),
-                ],
-            );
-        }
-        s.with_mean()
+                ]
+            },
+        )
     }
 
     /// The paper's 92% headline: fraction of counter misses whose
     /// decryption/verification is accelerated.
     pub fn accelerated_misses(&self) -> Series {
         let cfg = SystemConfig::lifetime(Scheme::Rmcc);
-        let mut s = Series::new(
+        self.series_of(
             "Accelerated counter misses (paper: 92% mean)",
             &["accelerated"],
-        );
-        for w in Workload::ALL {
-            let r = self.lifetime(w, &cfg);
-            s.push(w.name(), vec![r.meta.accelerated_rate()]);
-        }
-        s.with_mean()
+            |w| vec![self.lifetime(w, &cfg).meta.accelerated_rate()],
+        )
     }
 }
 
@@ -542,5 +620,19 @@ mod tests {
                 assert!(x > 0.1 && x <= 1.05, "normalized perf {x}");
             }
         }
+    }
+
+    #[test]
+    fn jobs_default_respects_env_override() {
+        // `with_jobs` clamps to ≥ 1 and reports what it was given.
+        assert_eq!(Experiments::with_jobs(Scale::Tiny, 0).jobs(), 1);
+        assert_eq!(Experiments::with_jobs(Scale::Tiny, 3).jobs(), 3);
+    }
+
+    #[test]
+    fn parallel_rows_match_serial_rows() {
+        let serial = Experiments::with_jobs(Scale::Tiny, 1);
+        let pooled = Experiments::with_jobs(Scale::Tiny, 4);
+        assert_eq!(serial.fig03_counter_miss(), pooled.fig03_counter_miss());
     }
 }

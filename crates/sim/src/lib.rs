@@ -9,10 +9,17 @@
 //! * [`multicore`] — n cores with private L1/L2 sharing one LLC, counter
 //!   cache, and DDR4 channel (§V's 4-thread GraphBig methodology).
 //! * [`mc`] — the timing memory controller over the DDR4 channel.
-//! * [`core_model`] — the ROB/MLP trace-driven core.
+//! * [`engine`] — the shared ROB/MLP/private-cache core engine used by
+//!   every timing mode.
+//! * [`runner`] — the common [`runner::Runner`] interface: stream a
+//!   [`rmcc_workloads::trace::TraceSource`] in, get a report out.
+//! * [`core_model`] — one [`engine::CoreEngine`] packaged with its own
+//!   LLC and memory controller.
 //! * [`lifetime`] — the Pin-style whole-lifetime functional runner.
 //! * [`detailed`] — the gem5-style timing runner.
-//! * [`experiments`] — one harness per table/figure of the evaluation.
+//! * [`experiments`] — one harness per table/figure of the evaluation,
+//!   fanning (workload, scheme) cells across a scoped-thread worker pool
+//!   (`RMCC_JOBS` overrides the width).
 //!
 //! # Example
 //!
@@ -35,19 +42,25 @@
 pub mod config;
 pub mod core_model;
 pub mod detailed;
+pub mod engine;
 pub mod experiments;
 pub mod lifetime;
 pub mod mc;
 pub mod meta_engine;
 pub mod multicore;
 pub mod page_map;
+pub mod runner;
 
 pub use config::{Scheme, SystemConfig};
 pub use core_model::{CoreModel, CoreStats};
 pub use detailed::{run_detailed, DetailedReport};
+pub use engine::CoreEngine;
 pub use experiments::{table1, Experiments, Series};
 pub use lifetime::{run_lifetime, LifetimeReport, LifetimeRunner};
 pub use mc::{LatencyStats, MemoryController};
-pub use multicore::{run_multicore, MultiCoreReport};
-pub use meta_engine::{ChainFetch, MemoTally, MetaEngine, MetaStats, ReadOutcome, SideKind, SideRequest, WriteOutcome};
+pub use meta_engine::{
+    ChainFetch, MemoTally, MetaEngine, MetaStats, ReadOutcome, SideKind, SideRequest, WriteOutcome,
+};
+pub use multicore::{run_multicore, MultiCoreReport, MultiCoreRunner};
 pub use page_map::PageMap;
+pub use runner::Runner;

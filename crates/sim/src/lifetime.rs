@@ -9,11 +9,12 @@
 
 use rmcc_cache::hierarchy::Hierarchy;
 use rmcc_cache::tlb::{PageSize, Tlb};
-use rmcc_workloads::trace::{TraceEvent, TraceSink};
+use rmcc_workloads::trace::{TraceEvent, TraceSink, TraceSource};
 
 use crate::config::{Scheme, SystemConfig};
 use crate::meta_engine::{MetaEngine, MetaStats};
 use crate::page_map::PageMap;
+use crate::runner::Runner;
 
 /// End-of-run report for one (workload, configuration) pair.
 #[derive(Debug, Clone, PartialEq)]
@@ -149,18 +150,30 @@ impl LifetimeRunner {
                         n += 1;
                     }
                 }
-                let max = self.engine.metadata().map(|m| m.max_observed()).unwrap_or(0);
+                let max = self
+                    .engine
+                    .metadata()
+                    .map(|m| m.max_observed())
+                    .unwrap_or(0);
                 (if n == 0 { 0.0 } else { total as f64 / n as f64 }, max)
             }
             None => {
-                let max = self.engine.metadata().map(|m| m.max_observed()).unwrap_or(0);
+                let max = self
+                    .engine
+                    .metadata()
+                    .map(|m| m.max_observed())
+                    .unwrap_or(0);
                 (0.0, max)
             }
         };
         let (spent_l0, spent_l1) = match self.engine.rmcc() {
             Some(r) => (
                 r.budget(0).total_spent(),
-                if r.config().levels > 1 { r.budget(1).total_spent() } else { 0 },
+                if r.config().levels > 1 {
+                    r.budget(1).total_spent()
+                } else {
+                    0
+                },
             ),
             None => (0, 0),
         };
@@ -207,6 +220,15 @@ impl TraceSink for LifetimeRunner {
     }
 }
 
+impl Runner for LifetimeRunner {
+    type Report = LifetimeReport;
+
+    fn run(&mut self, source: &mut dyn TraceSource) -> LifetimeReport {
+        source.stream(self);
+        self.report()
+    }
+}
+
 /// Runs `workload` at `scale` under `cfg`, reusing `graph` when provided.
 pub fn run_lifetime(
     workload: rmcc_workloads::workload::Workload,
@@ -215,13 +237,10 @@ pub fn run_lifetime(
     cfg: &SystemConfig,
 ) -> LifetimeReport {
     let mut runner = LifetimeRunner::new(cfg);
-    if workload.uses_graph() && graph.is_none() {
-        let g = rmcc_workloads::workload::graph_for(scale);
-        workload.run_on(Some(&g), scale, &mut runner);
-    } else {
-        workload.run_on(graph, scale, &mut runner);
+    match graph {
+        Some(_) => runner.run(&mut workload.source_on(graph, scale)),
+        None => runner.run(&mut workload.source(scale)),
     }
-    runner.report()
 }
 
 #[cfg(test)]
@@ -237,7 +256,12 @@ mod tests {
 
     #[test]
     fn canneal_tiny_runs_and_reports() {
-        let r = run_lifetime(Workload::Canneal, Scale::Tiny, None, &cfg(Scheme::Morphable));
+        let r = run_lifetime(
+            Workload::Canneal,
+            Scale::Tiny,
+            None,
+            &cfg(Scheme::Morphable),
+        );
         assert!(r.accesses > 10_000);
         assert!(r.llc_misses > 0);
         assert!(r.meta.data_reads == r.llc_misses);
@@ -248,9 +272,8 @@ mod tests {
     #[test]
     fn rmcc_reports_memo_stats() {
         let r = run_lifetime(Workload::Canneal, Scale::Tiny, None, &cfg(Scheme::Rmcc));
-        let lookups = r.meta.memo_l0.all_group_hits
-            + r.meta.memo_l0.all_mru_hits
-            + r.meta.memo_l0.all_misses;
+        let lookups =
+            r.meta.memo_l0.all_group_hits + r.meta.memo_l0.all_mru_hits + r.meta.memo_l0.all_misses;
         assert!(lookups > 0, "RMCC must perform lookups");
         assert!(r.max_counter > 0);
     }
@@ -264,7 +287,12 @@ mod tests {
 
     #[test]
     fn tlb_misses_fewer_under_huge_pages() {
-        let r = run_lifetime(Workload::Canneal, Scale::Tiny, None, &cfg(Scheme::NonSecure));
+        let r = run_lifetime(
+            Workload::Canneal,
+            Scale::Tiny,
+            None,
+            &cfg(Scheme::NonSecure),
+        );
         assert!(r.tlb_misses_2m <= r.tlb_misses_4k);
         assert!(r.tlb_per_llc_miss(PageSize::Huge2M) <= r.tlb_per_llc_miss(PageSize::Small4K));
     }

@@ -114,7 +114,11 @@ impl MemoryController {
             match s.kind {
                 SideKind::OverflowL0 | SideKind::OverflowHigher => overflow_batch.push(s),
                 _ => {
-                    let kind = if s.is_write { ReqKind::Write } else { ReqKind::Read };
+                    let kind = if s.is_write {
+                        ReqKind::Write
+                    } else {
+                        ReqKind::Read
+                    };
                     self.dram.access(at, s.addr, kind, Self::side_class(s.kind));
                 }
             }
@@ -137,8 +141,15 @@ impl MemoryController {
             let mut t = stall_until;
             let mut last_done = stall_until;
             for s in &overflow_batch {
-                let kind = if s.is_write { ReqKind::Write } else { ReqKind::Read };
-                let done = self.dram.access(t, s.addr, kind, Self::side_class(s.kind)).done;
+                let kind = if s.is_write {
+                    ReqKind::Write
+                } else {
+                    ReqKind::Read
+                };
+                let done = self
+                    .dram
+                    .access(t, s.addr, kind, Self::side_class(s.kind))
+                    .done;
                 last_done = done;
                 t += self.cfg.dram.t_burst;
             }
@@ -152,7 +163,10 @@ impl MemoryController {
     pub fn read(&mut self, at: Ps, paddr: u64) -> Ps {
         let outcome = self.engine.on_read(paddr);
         let at = self.issue_side(at, &outcome.side).max(at);
-        let data_done = self.dram.access(at, paddr, ReqKind::Read, TrafficClass::Data).done;
+        let data_done = self
+            .dram
+            .access(at, paddr, ReqKind::Read, TrafficClass::Data)
+            .done;
 
         if self.cfg.scheme == Scheme::NonSecure {
             let done = data_done;
@@ -171,7 +185,11 @@ impl MemoryController {
         let fetch_done: Vec<Ps> = outcome
             .fetches
             .iter()
-            .map(|f| self.dram.access(at, f.addr, ReqKind::Read, TrafficClass::Counter).done)
+            .map(|f| {
+                self.dram
+                    .access(at, f.addr, ReqKind::Read, TrafficClass::Counter)
+                    .done
+            })
             .collect();
 
         // Resolve verification top-down. `value_ready` starts at the point
@@ -215,9 +233,11 @@ impl MemoryController {
         let outcome = self.engine.on_writeback(paddr);
         let at = self.issue_side(at, &outcome.side).max(at);
         for f in &outcome.fetches {
-            self.dram.access(at, f.addr, ReqKind::Read, TrafficClass::Counter);
+            self.dram
+                .access(at, f.addr, ReqKind::Read, TrafficClass::Counter);
         }
-        self.dram.access(at + ns(1.0), paddr, ReqKind::Write, TrafficClass::Data);
+        self.dram
+            .access(at + ns(1.0), paddr, ReqKind::Write, TrafficClass::Data);
     }
 }
 
@@ -240,7 +260,11 @@ mod tests {
         let t0 = ns(1_000.0);
         let done = mc.read(t0, 0x4000);
         // Closed-row DRAM: ~30 ns.
-        assert!(done - t0 >= ns(25.0) && done - t0 < ns(120.0), "lat = {}", done - t0);
+        assert!(
+            done - t0 >= ns(25.0) && done - t0 < ns(120.0),
+            "lat = {}",
+            done - t0
+        );
     }
 
     #[test]
@@ -248,7 +272,7 @@ mod tests {
         let mut mc = MemoryController::new(&cfg(Scheme::Morphable));
         let t0 = 0;
         let cold = mc.read(t0, 0x4000); // chain all misses
-        // Re-read nearby after the chain is cached.
+                                        // Re-read nearby after the chain is cached.
         let t1 = cold + ns(1000.0);
         let warm_done = mc.read(t1, 0x4000 + 64);
         let cold_lat = cold - t0;
@@ -359,10 +383,16 @@ mod speculation_tests {
         // verify AES serialization.
         let b = base.read(t0, 0x4000) - t0;
         let s = spec.read(t0, 0x4000) - t0;
-        assert!(s < b, "speculation {s} must beat baseline {b} on cold chains");
+        assert!(
+            s < b,
+            "speculation {s} must beat baseline {b} on cold chains"
+        );
         // But the final data OTP still pays the AES after the counter
         // arrives: speculation keeps at least one AES on the path.
         let cfg = &base_cfg;
-        assert!(s >= cfg.aes_latency, "decryption AES cannot be speculated away");
+        assert!(
+            s >= cfg.aes_latency,
+            "decryption AES cannot be speculated away"
+        );
     }
 }

@@ -1,39 +1,27 @@
 //! Multi-core detailed simulation.
 //!
 //! §V evaluates GraphBig "as four threads" sharing one memory system. This
-//! runner models `n` cores — each with the private L1/L2 and ROB/MLP state
-//! of [`crate::core_model::CoreModel`] — contending for a shared LLC, one
-//! counter cache, one set of memoization tables, and one DDR4 channel.
-//! Threads execute the same kernel over disjoint partitions (their traces
-//! are offset into separate address regions, modeling partitioned inputs).
+//! runner models `n` cores — each a [`CoreEngine`] with its own private
+//! L1/L2 and ROB/MLP state — contending for a shared LLC, one counter
+//! cache, one set of memoization tables, and one DDR4 channel. Threads
+//! execute the same kernel over disjoint partitions: the trace is buffered
+//! *once* (in a [`VecSink`] — the lockstep interleaving genuinely needs
+//! random access) and each core replays it offset into its own address
+//! region, modeling partitioned inputs without `n` trace copies.
 
-use std::collections::VecDeque;
-
-use rmcc_cache::set_assoc::SetAssocCache;
 use rmcc_dram::config::Ps;
-use rmcc_workloads::trace::TraceEvent;
+use rmcc_workloads::trace::{TraceSource, VecSink};
 use rmcc_workloads::workload::{Scale, Workload};
 
 use crate::config::SystemConfig;
+use crate::engine::CoreEngine;
 use crate::mc::MemoryController;
+use crate::meta_engine::MetaStats;
 use crate::page_map::PageMap;
+use crate::runner::Runner;
 
 /// Virtual-address stride separating per-thread partitions (1 TB).
 const THREAD_STRIDE: u64 = 1 << 40;
-
-/// Per-core private state.
-struct Core {
-    l1: SetAssocCache,
-    l2: SetAssocCache,
-    dispatch: Ps,
-    last_load_done: Ps,
-    rob: VecDeque<(u64, Ps)>,
-    rob_occupancy: u64,
-    outstanding: VecDeque<Ps>,
-    trace: Vec<TraceEvent>,
-    cursor: usize,
-    horizon: Ps,
-}
 
 /// Result of a multi-core run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,13 +36,89 @@ pub struct MultiCoreReport {
     pub llc_misses: u64,
     /// Mean LLC-miss latency (ns) at the shared memory controller.
     pub mean_miss_latency_ns: f64,
+    /// Functional metadata statistics of the shared memory controller.
+    pub meta: MetaStats,
+}
+
+/// The lockstep n-core runner: buffers the source's trace once, then
+/// interleaves per-core replay by simulated time against one shared LLC,
+/// metadata engine, and DRAM channel.
+#[derive(Debug, Clone)]
+pub struct MultiCoreRunner {
+    cfg: SystemConfig,
+    n_cores: usize,
+}
+
+impl MultiCoreRunner {
+    /// Builds a runner for `n_cores` cores under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` is zero.
+    pub fn new(cfg: &SystemConfig, n_cores: usize) -> Self {
+        assert!(n_cores > 0, "need at least one core");
+        MultiCoreRunner {
+            cfg: cfg.clone(),
+            n_cores,
+        }
+    }
+}
+
+impl Runner for MultiCoreRunner {
+    type Report = MultiCoreReport;
+
+    fn run(&mut self, source: &mut dyn TraceSource) -> MultiCoreReport {
+        // One shared buffer; each core replays it offset into its own 1 TB
+        // region (the seed buffered one full copy per core).
+        let mut buf = VecSink::default();
+        source.stream(&mut buf);
+        let events = &buf.events;
+
+        let n = self.n_cores;
+        let mut engines: Vec<CoreEngine> = (0..n).map(|_| CoreEngine::new(&self.cfg)).collect();
+        let mut cursors = vec![0usize; n];
+        let mut llc = CoreEngine::llc_for(&self.cfg);
+        let mut mc = MemoryController::new(&self.cfg);
+        let page_map = PageMap::new(self.cfg.page_size, 0x9a9e, self.cfg.data_bytes);
+
+        // Lockstep: always advance the core that is furthest behind, so
+        // shared structures see an approximately time-ordered request
+        // stream.
+        while let Some(ci) = (0..n)
+            .filter(|&i| cursors[i] < events.len())
+            .min_by_key(|&i| engines[i].dispatch())
+        {
+            let mut ev = events[cursors[ci]];
+            cursors[ci] += 1;
+            ev.addr += ci as u64 * THREAD_STRIDE;
+            engines[ci].step(ev, &page_map, &mut llc, &mut mc);
+        }
+
+        let mut elapsed = 0;
+        let mut instrs = 0;
+        let mut llc_misses = 0;
+        for e in &engines {
+            let s = e.stats();
+            elapsed = s.elapsed_ps.max(elapsed);
+            instrs += s.instrs;
+            llc_misses += s.llc_misses;
+        }
+        MultiCoreReport {
+            cores: n,
+            elapsed_ps: elapsed,
+            instrs,
+            llc_misses,
+            mean_miss_latency_ns: mc.latency_stats().mean_ns(),
+            meta: *mc.meta_stats(),
+        }
+    }
 }
 
 /// Runs `workload` on `n_cores` cores sharing one memory system.
 ///
 /// Each core executes the workload over its own partition (a distinct
-/// placement seed and address region), so footprint and memory pressure
-/// scale with the core count, as in the paper's 4-thread GraphBig runs.
+/// address region), so footprint and memory pressure scale with the core
+/// count, as in the paper's 4-thread GraphBig runs.
 ///
 /// # Panics
 ///
@@ -65,164 +129,8 @@ pub fn run_multicore(
     n_cores: usize,
     cfg: &SystemConfig,
 ) -> MultiCoreReport {
-    assert!(n_cores > 0, "need at least one core");
-    let graph = workload
-        .uses_graph()
-        .then(|| rmcc_workloads::workload::graph_for(scale));
-
-    // Collect per-thread traces, offset into disjoint address regions.
-    let mut cores: Vec<Core> = (0..n_cores)
-        .map(|t| {
-            let mut trace: Vec<TraceEvent> = Vec::new();
-            workload.run_on(graph.as_ref(), scale, &mut trace);
-            for ev in &mut trace {
-                ev.addr += t as u64 * THREAD_STRIDE;
-            }
-            Core {
-                l1: SetAssocCache::with_capacity(cfg.hierarchy.l1.bytes, 64, cfg.hierarchy.l1.ways),
-                l2: SetAssocCache::with_capacity(cfg.hierarchy.l2.bytes, 64, cfg.hierarchy.l2.ways),
-                dispatch: 0,
-                last_load_done: 0,
-                rob: VecDeque::new(),
-                rob_occupancy: 0,
-                outstanding: VecDeque::new(),
-                trace,
-                cursor: 0,
-                horizon: 0,
-            }
-        })
-        .collect();
-
-    let mut llc = SetAssocCache::with_capacity(cfg.hierarchy.l3.bytes, 64, cfg.hierarchy.l3.ways);
-    let mut mc = MemoryController::new(cfg);
-    let page_map = PageMap::new(cfg.page_size, 0x9a9e, cfg.data_bytes);
-
-    let cycle = cfg.cycle_ps() as f64;
-    let width = cfg.retire_width as f64;
-    let mut instrs_total = 0u64;
-    let mut llc_misses = 0u64;
-
-    // Lockstep: always advance the core that is furthest behind, so shared
-    // structures see an approximately time-ordered request stream.
-    loop {
-        let Some(ci) = (0..n_cores)
-            .filter(|&i| cores[i].cursor < cores[i].trace.len())
-            .min_by_key(|&i| cores[i].dispatch)
-        else {
-            break;
-        };
-        let core = &mut cores[ci];
-        let ev = core.trace[core.cursor];
-        core.cursor += 1;
-
-        let instrs = 1 + ev.work as u64 * cfg.work_scale as u64;
-        instrs_total += instrs;
-        core.dispatch += (instrs as f64 * cycle / width) as Ps;
-        while core.rob_occupancy + instrs > cfg.rob_entries as u64 {
-            let Some((n, done)) = core.rob.pop_front() else { break };
-            core.rob_occupancy -= n;
-            core.dispatch = core.dispatch.max(done);
-        }
-
-        let paddr = page_map.translate(ev.addr);
-        let line = paddr >> 6;
-        let mut issue = if ev.dep_on_prev_load {
-            core.dispatch.max(core.last_load_done)
-        } else {
-            core.dispatch
-        };
-
-        // Private L1 → private L2 → shared LLC → shared MC.
-        let done = if core.l1.lookup(line, ev.is_write) {
-            issue + cfg.l1_latency
-        } else if core.l2.lookup(line, false) {
-            fill_private(core, line, ev.is_write);
-            issue + cfg.l2_latency
-        } else if llc.lookup(line, false) {
-            fill_private(core, line, ev.is_write);
-            issue + cfg.l3_latency
-        } else {
-            llc_misses += 1;
-            if let Some(victim) = llc.fill(line, false) {
-                if victim.dirty {
-                    mc.write(issue, victim.addr << 6);
-                }
-            }
-            // Dirty private victims drain into the LLC.
-            fill_private_dirty_into(core, &mut llc, &mut mc, issue, line, ev.is_write);
-            while let Some(&front) = core.outstanding.front() {
-                if front <= issue {
-                    core.outstanding.pop_front();
-                } else if core.outstanding.len() >= cfg.max_outstanding_misses {
-                    issue = front;
-                    core.outstanding.pop_front();
-                } else {
-                    break;
-                }
-            }
-            let done = mc.read(issue + cfg.l3_latency, line << 6);
-            core.outstanding.push_back(done);
-            done
-        };
-
-        if ev.is_write {
-            core.rob.push_back((instrs, core.dispatch));
-        } else {
-            core.rob.push_back((instrs, done));
-            core.last_load_done = done;
-        }
-        core.rob_occupancy += instrs;
-        core.horizon = core.horizon.max(done).max(core.dispatch);
-    }
-
-    let elapsed = cores.iter().map(|c| c.horizon).max().unwrap_or(0);
-    MultiCoreReport {
-        cores: n_cores,
-        elapsed_ps: elapsed,
-        instrs: instrs_total,
-        llc_misses,
-        mean_miss_latency_ns: mc.latency_stats().mean_ns(),
-    }
-}
-
-/// Fills a line into both private levels after a lower-level hit.
-fn fill_private(core: &mut Core, line: u64, dirty: bool) {
-    core.l2.fill(line, false);
-    core.l1.fill(line, dirty);
-}
-
-/// Fills private levels on a full miss, draining dirty victims into the
-/// shared LLC (and memory if the LLC evicts dirty lines in turn).
-fn fill_private_dirty_into(
-    core: &mut Core,
-    llc: &mut SetAssocCache,
-    mc: &mut MemoryController,
-    at: Ps,
-    line: u64,
-    dirty: bool,
-) {
-    if let Some(v) = core.l2.fill(line, false) {
-        if v.dirty {
-            if let Some(v3) = llc.fill(v.addr, true) {
-                if v3.dirty {
-                    mc.write(at, v3.addr << 6);
-                }
-            }
-        }
-    }
-    if let Some(v) = core.l1.fill(line, dirty) {
-        if v.dirty {
-            if let Some(v2) = core.l2.fill(v.addr, true) {
-                if v2.dirty {
-                    if let Some(v3) = llc.fill(v2.addr, true) {
-                        if v3.dirty {
-                            mc.write(at, v3.addr << 6);
-                        }
-                    }
-                }
-            }
-        }
-    }
+    let mut source = workload.source(scale);
+    MultiCoreRunner::new(cfg, n_cores).run(&mut source)
 }
 
 #[cfg(test)]
@@ -260,5 +168,12 @@ mod tests {
         let a = run_multicore(Workload::Omnetpp, Scale::Tiny, 2, &cfg());
         let b = run_multicore(Workload::Omnetpp, Scale::Tiny, 2, &cfg());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shared_metadata_stats_are_reported() {
+        let r = run_multicore(Workload::Canneal, Scale::Tiny, 2, &cfg());
+        // Every LLC miss is a demand read at the shared metadata engine.
+        assert_eq!(r.meta.data_reads, r.llc_misses);
     }
 }

@@ -145,14 +145,19 @@ mod tests {
         let collisions = (0..256u64)
             .filter(|&i| map.translate(i << 21) == map.translate((i << 21) + (1 << 40)))
             .count();
-        assert!(collisions < 16, "{collisions}/256 pages alias across regions");
+        assert!(
+            collisions < 16,
+            "{collisions}/256 pages alias across regions"
+        );
     }
 
     #[test]
     fn seeds_change_placement() {
         let a = PageMap::new(PageSize::Huge2M, 1, 128 << 30);
         let b = PageMap::new(PageSize::Huge2M, 2, 128 << 30);
-        let diff = (0..100u64).filter(|&i| a.translate(i << 21) != b.translate(i << 21)).count();
+        let diff = (0..100u64)
+            .filter(|&i| a.translate(i << 21) != b.translate(i << 21))
+            .count();
         assert!(diff > 90);
     }
 

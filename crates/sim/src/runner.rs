@@ -1,0 +1,26 @@
+//! The common runner interface over the three simulation modes.
+//!
+//! A [`Runner`] consumes a streaming [`TraceSource`] and produces its
+//! mode-specific report. All three modes implement it:
+//!
+//! | Runner | Report | Methodology |
+//! |---|---|---|
+//! | [`crate::lifetime::LifetimeRunner`] | `LifetimeReport` | Pin-style functional, whole lifetime |
+//! | [`crate::core_model::CoreModel`] | `DetailedReport` | gem5-style timing, one core |
+//! | [`crate::multicore::MultiCoreRunner`] | `MultiCoreReport` | lockstep timing, n cores |
+//!
+//! Because every mode accepts any `TraceSource`, the same live
+//! [`rmcc_workloads::workload::WorkloadSource`] (or a recorded
+//! [`rmcc_workloads::trace::VecSink`]) drives all of them, and the
+//! single-core paths never buffer the trace.
+
+use rmcc_workloads::trace::TraceSource;
+
+/// A simulation mode: stream a trace through, get a report back.
+pub trait Runner {
+    /// The mode-specific end-of-run report.
+    type Report;
+
+    /// Consumes one complete trace from `source` and reports on it.
+    fn run(&mut self, source: &mut dyn TraceSource) -> Self::Report;
+}

@@ -42,14 +42,22 @@ impl Arena {
     pub fn vec_of<T: Clone>(&mut self, len: usize, init: T) -> TVec<T> {
         let elem_bytes = std::mem::size_of::<T>().max(1) as u64;
         let base = self.reserve(len as u64 * elem_bytes);
-        TVec { base, elem_bytes, data: vec![init; len] }
+        TVec {
+            base,
+            elem_bytes,
+            data: vec![init; len],
+        }
     }
 
     /// Allocates an instrumented vector from existing data.
     pub fn vec_from<T>(&mut self, data: Vec<T>) -> TVec<T> {
         let elem_bytes = std::mem::size_of::<T>().max(1) as u64;
         let base = self.reserve(data.len() as u64 * elem_bytes);
-        TVec { base, elem_bytes, data }
+        TVec {
+            base,
+            elem_bytes,
+            data,
+        }
     }
 }
 

@@ -90,7 +90,15 @@ pub struct RmatParams {
 impl RmatParams {
     /// Graph500-flavored defaults at the given scale.
     pub fn graph500(scale: u32, edge_factor: u32, seed: u64) -> Self {
-        RmatParams { scale, edge_factor, a: 0.57, b: 0.19, c: 0.19, seed, undirected: true }
+        RmatParams {
+            scale,
+            edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            seed,
+            undirected: true,
+        }
     }
 }
 
@@ -163,7 +171,10 @@ mod tests {
     #[test]
     fn rmat_degree_distribution_is_skewed() {
         let g = rmat(RmatParams::graph500(12, 8, 3));
-        let max_deg = (0..g.n_vertices() as u32).map(|v| g.degree(v)).max().unwrap();
+        let max_deg = (0..g.n_vertices() as u32)
+            .map(|v| g.degree(v))
+            .max()
+            .unwrap();
         let avg = g.n_edges() as f64 / g.n_vertices() as f64;
         // Power-law graphs have hubs far above the mean degree.
         assert!(max_deg as f64 > 10.0 * avg, "max {max_deg} avg {avg}");
@@ -174,10 +185,7 @@ mod tests {
         let g = rmat(RmatParams::graph500(8, 4, 9));
         for v in 0..g.n_vertices() as u32 {
             for &u in g.neighbors(v) {
-                assert!(
-                    g.neighbors(u).contains(&v),
-                    "edge ({v},{u}) has no reverse"
-                );
+                assert!(g.neighbors(u).contains(&v), "edge ({v},{u}) has no reverse");
             }
         }
     }

@@ -278,7 +278,9 @@ pub fn shortest_path(csr: &Csr, source: u32, rounds: usize, rec: &mut Recorder<'
     let g = TGraph::new(&mut arena, csr);
     let n = g.n_vertices();
     // Deterministic weights derived from the edge index.
-    let weights: Vec<u64> = (0..csr.n_edges()).map(|e| 1 + (e as u64).wrapping_mul(2_654_435_761) % 64).collect();
+    let weights: Vec<u64> = (0..csr.n_edges())
+        .map(|e| 1 + (e as u64).wrapping_mul(2_654_435_761) % 64)
+        .collect();
     let weights = arena.vec_from(weights);
     let mut dist = arena.vec_of(n, INF);
     dist.set(source as usize, 0, rec);
@@ -404,7 +406,16 @@ mod tests {
     #[test]
     fn triangle_count_matches_brute_force_on_tiny_graph() {
         // Triangle 0-1-2 plus a pendant edge 2-3.
-        let edges = vec![(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0), (2, 3), (3, 2)];
+        let edges = vec![
+            (0, 1),
+            (1, 0),
+            (1, 2),
+            (2, 1),
+            (0, 2),
+            (2, 0),
+            (2, 3),
+            (3, 2),
+        ];
         let g = Csr::from_edges(4, edges);
         let (t, _) = with_recorder(|rec| triangle_count(&g, usize::MAX, rec));
         assert_eq!(t, 1);
@@ -424,8 +435,9 @@ mod tests {
         let (dist, _) = with_recorder(|rec| shortest_path(&g, 0, 30, rec));
         assert_eq!(dist[0], 0);
         // Triangle inequality holds at convergence for every edge.
-        let weights: Vec<u64> =
-            (0..g.n_edges()).map(|e| 1 + (e as u64).wrapping_mul(2_654_435_761) % 64).collect();
+        let weights: Vec<u64> = (0..g.n_edges())
+            .map(|e| 1 + (e as u64).wrapping_mul(2_654_435_761) % 64)
+            .collect();
         for v in 0..g.n_vertices() as u32 {
             let (lo, hi) = (g.row_ptr[v as usize], g.row_ptr[v as usize + 1]);
             for e in lo..hi {

@@ -34,7 +34,9 @@ pub fn canneal(p: CannealParams, rec: &mut Recorder<'_>) -> u64 {
     let mut arena = Arena::new();
     // Element i stores its current "location"; neighbors are derived
     // deterministically from the element id like a hashed netlist.
-    let init: Vec<u64> = (0..p.elements as u64).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+    let init: Vec<u64> = (0..p.elements as u64)
+        .map(|i| i.wrapping_mul(0x9e37_79b9))
+        .collect();
     let mut locs = arena.vec_from(init);
     let mut rng = StdRng::seed_from_u64(p.seed);
     let mut accepted = 0u64;
@@ -162,7 +164,12 @@ pub fn omnetpp(p: OmnetppParams, rec: &mut Recorder<'_>) -> u64 {
         modules.set(module, state.wrapping_add(time) | 1, rec);
         let next_module = (state as usize ^ rng.gen_range(0..p.modules)) % p.modules;
         let delay = 1 + (state % 16);
-        push(&mut heap, &mut heap_len, pack(time + delay, next_module), rec);
+        push(
+            &mut heap,
+            &mut heap_len,
+            pack(time + delay, next_module),
+            rec,
+        );
         processed += 1;
     }
     processed
@@ -235,7 +242,7 @@ pub fn mcf(p: McfParams, rec: &mut Recorder<'_>) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trace::{CountingSink, TraceEvent};
+    use crate::trace::TraceEvent;
 
     fn record<R>(f: impl FnOnce(&mut Recorder<'_>) -> R) -> (R, Vec<TraceEvent>) {
         let mut events: Vec<TraceEvent> = Vec::new();
@@ -248,7 +255,11 @@ mod tests {
 
     #[test]
     fn canneal_is_deterministic_and_swaps() {
-        let p = CannealParams { elements: 4096, swaps: 2000, seed: 5 };
+        let p = CannealParams {
+            elements: 4096,
+            swaps: 2000,
+            seed: 5,
+        };
         let (a1, e1) = record(|rec| canneal(p, rec));
         let (a2, e2) = record(|rec| canneal(p, rec));
         assert_eq!(a1, a2);
@@ -258,18 +269,25 @@ mod tests {
 
     #[test]
     fn canneal_accesses_are_scattered() {
-        let p = CannealParams { elements: 1 << 16, swaps: 3000, seed: 5 };
+        let p = CannealParams {
+            elements: 1 << 16,
+            swaps: 3000,
+            seed: 5,
+        };
         let (_, events) = record(|rec| canneal(p, rec));
         // Count distinct 64 B blocks touched: random swaps should cover a
         // large fraction of the footprint.
-        let blocks: std::collections::HashSet<u64> =
-            events.iter().map(|e| e.addr >> 6).collect();
+        let blocks: std::collections::HashSet<u64> = events.iter().map(|e| e.addr >> 6).collect();
         assert!(blocks.len() > 2000, "only {} blocks", blocks.len());
     }
 
     #[test]
     fn omnetpp_processes_requested_events() {
-        let p = OmnetppParams { modules: 1 << 12, events: 5000, seed: 1 };
+        let p = OmnetppParams {
+            modules: 1 << 12,
+            events: 5000,
+            seed: 1,
+        };
         let (n, events) = record(|rec| omnetpp(p, rec));
         assert_eq!(n, 5000);
         assert!(events.iter().any(|e| e.is_write));
@@ -281,14 +299,23 @@ mod tests {
         // Times of processed events must never go backwards; we detect this
         // by checking the simulation completes (a broken heap would stall or
         // panic in practice) and module states advance.
-        let p = OmnetppParams { modules: 256, events: 2000, seed: 3 };
+        let p = OmnetppParams {
+            modules: 256,
+            events: 2000,
+            seed: 3,
+        };
         let (n, _) = record(|rec| omnetpp(p, rec));
         assert_eq!(n, 2000);
     }
 
     #[test]
     fn mcf_scans_are_mostly_sequential() {
-        let p = McfParams { arcs: 1 << 14, nodes: 1 << 10, passes: 2, seed: 2 };
+        let p = McfParams {
+            arcs: 1 << 14,
+            nodes: 1 << 10,
+            passes: 2,
+            seed: 2,
+        };
         let (neg, events) = record(|rec| mcf(p, rec));
         assert!(neg > 0);
         // Measure sequentiality of the arc-array scan: the arcs are the
@@ -309,7 +336,12 @@ mod tests {
 
     #[test]
     fn mcf_is_deterministic() {
-        let p = McfParams { arcs: 4096, nodes: 512, passes: 1, seed: 9 };
+        let p = McfParams {
+            arcs: 4096,
+            nodes: 512,
+            passes: 1,
+            seed: 9,
+        };
         let (n1, e1) = record(|rec| mcf(p, rec));
         let (n2, e2) = record(|rec| mcf(p, rec));
         assert_eq!(n1, n2);

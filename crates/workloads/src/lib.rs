@@ -31,5 +31,5 @@ pub mod workload;
 
 pub use arena::{Arena, TVec};
 pub use graph::{rmat, Csr, RmatParams};
-pub use trace::{CountingSink, FnSink, Recorder, TraceEvent, TraceSink};
-pub use workload::{graph_for, Scale, Workload};
+pub use trace::{CountingSink, FnSink, Recorder, TraceEvent, TraceSink, TraceSource, VecSink};
+pub use workload::{graph_for, Scale, Workload, WorkloadSource};

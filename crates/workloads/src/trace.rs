@@ -39,6 +39,74 @@ impl TraceSink for Vec<TraceEvent> {
     }
 }
 
+/// Anything that can produce a trace on demand, one event at a time.
+///
+/// This is the producer half of the streaming pipeline: a source drives a
+/// [`TraceSink`] without ever materializing the event stream, so a
+/// whole-lifetime run's footprint is the workload's own working set, not the
+/// (much larger) trace. Live kernels ([`crate::workload::WorkloadSource`])
+/// regenerate the stream on every call; buffered adapters ([`VecSink`],
+/// slices) replay a recorded one.
+pub trait TraceSource {
+    /// Streams every event of one complete run into `sink`.
+    fn stream(&mut self, sink: &mut dyn TraceSink);
+}
+
+impl TraceSource for Vec<TraceEvent> {
+    fn stream(&mut self, sink: &mut dyn TraceSink) {
+        for &ev in self.iter() {
+            sink.emit(ev);
+        }
+    }
+}
+
+impl TraceSource for &[TraceEvent] {
+    fn stream(&mut self, sink: &mut dyn TraceSink) {
+        for &ev in self.iter() {
+            sink.emit(ev);
+        }
+    }
+}
+
+/// A buffer that is both ends of the pipeline: collect a trace as a
+/// [`TraceSink`], then replay it as a [`TraceSource`].
+///
+/// For consumers that genuinely need random access to a recorded trace —
+/// unit tests, and the lockstep multicore runner, which interleaves
+/// per-core replay by simulated time.
+///
+/// # Examples
+///
+/// ```
+/// use rmcc_workloads::trace::{CountingSink, TraceSource, VecSink};
+/// use rmcc_workloads::workload::{Scale, Workload};
+///
+/// let mut buf = VecSink::default();
+/// Workload::Canneal.run(Scale::Tiny, &mut buf);
+/// let mut counts = CountingSink::default();
+/// buf.stream(&mut counts);
+/// assert_eq!(buf.events.len() as u64, counts.reads + counts.writes);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VecSink {
+    /// The recorded events, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceSink for VecSink {
+    fn emit(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+impl TraceSource for VecSink {
+    fn stream(&mut self, sink: &mut dyn TraceSink) {
+        for &ev in &self.events {
+            sink.emit(ev);
+        }
+    }
+}
+
 /// A sink that only counts, for quick workload characterization.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CountingSink {
@@ -114,7 +182,11 @@ impl std::fmt::Debug for Recorder<'_> {
 impl<'a> Recorder<'a> {
     /// Wraps a sink.
     pub fn new(sink: &'a mut dyn TraceSink) -> Self {
-        Recorder { sink, pending_work: 0, events: 0 }
+        Recorder {
+            sink,
+            pending_work: 0,
+            events: 0,
+        }
     }
 
     /// Registers `n` non-memory instructions of compute.
@@ -126,14 +198,24 @@ impl<'a> Recorder<'a> {
     pub fn read(&mut self, addr: u64, dependent: bool) {
         let work = self.take_work();
         self.events += 1;
-        self.sink.emit(TraceEvent { addr, is_write: false, work, dep_on_prev_load: dependent });
+        self.sink.emit(TraceEvent {
+            addr,
+            is_write: false,
+            work,
+            dep_on_prev_load: dependent,
+        });
     }
 
     /// Records a store to `addr`.
     pub fn write(&mut self, addr: u64) {
         let work = self.take_work();
         self.events += 1;
-        self.sink.emit(TraceEvent { addr, is_write: true, work, dep_on_prev_load: false });
+        self.sink.emit(TraceEvent {
+            addr,
+            is_write: true,
+            work,
+            dep_on_prev_load: false,
+        });
     }
 
     /// Events recorded so far.
@@ -206,6 +288,26 @@ mod tests {
         assert_eq!(c.writes, 1);
         assert_eq!(c.dependent, 1);
         assert_eq!(c.work, 4);
+    }
+
+    #[test]
+    fn vec_sink_roundtrips_through_stream() {
+        let mut buf = VecSink::default();
+        {
+            let mut rec = Recorder::new(&mut buf);
+            rec.work(3);
+            rec.read(64, false);
+            rec.write(128);
+        }
+        let mut replay: Vec<TraceEvent> = Vec::new();
+        buf.stream(&mut replay);
+        assert_eq!(replay, buf.events);
+        // Slices replay too, without consuming the buffer.
+        let mut counts = CountingSink::default();
+        buf.events.as_slice().stream(&mut counts);
+        assert_eq!(counts.reads, 1);
+        assert_eq!(counts.writes, 1);
+        assert_eq!(counts.work, 3);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 use crate::graph::{rmat, Csr, RmatParams};
 use crate::kernels::graph as gk;
 use crate::kernels::spec::{canneal, mcf, omnetpp, CannealParams, McfParams, OmnetppParams};
-use crate::trace::{Recorder, TraceSink};
+use crate::trace::{Recorder, TraceSink, TraceSource};
 
 /// Problem-size presets.
 ///
@@ -129,6 +129,38 @@ impl Workload {
         }
     }
 
+    /// Packages the workload as a streaming [`TraceSource`], building its
+    /// own input graph if it needs one. Each [`TraceSource::stream`] call
+    /// re-executes the kernel; no event is ever buffered.
+    pub fn source(self, scale: Scale) -> WorkloadSource<'static> {
+        let graph = if self.uses_graph() {
+            GraphSlot::Owned(graph_for(scale))
+        } else {
+            GraphSlot::Absent
+        };
+        WorkloadSource {
+            workload: self,
+            scale,
+            graph,
+        }
+    }
+
+    /// Packages the workload as a streaming [`TraceSource`] that borrows a
+    /// pre-built graph (the cheap path when several graph kernels share one
+    /// input). Streaming a graph workload built with `graph: None` panics,
+    /// exactly like [`Workload::run_on`].
+    pub fn source_on(self, graph: Option<&Csr>, scale: Scale) -> WorkloadSource<'_> {
+        let graph = match graph {
+            Some(g) => GraphSlot::Borrowed(g),
+            None => GraphSlot::Absent,
+        };
+        WorkloadSource {
+            workload: self,
+            scale,
+            graph,
+        }
+    }
+
     /// Runs the workload, borrowing a pre-built graph for graph kernels.
     ///
     /// # Panics
@@ -185,25 +217,64 @@ impl Workload {
             }
             Workload::Canneal => {
                 let p = match scale {
-                    Scale::Tiny => CannealParams { elements: 1 << 12, swaps: 5_000, seed: 0xca },
-                    Scale::Small => CannealParams { elements: 1 << 21, swaps: 700_000, seed: 0xca },
-                    Scale::Full => CannealParams { elements: 1 << 23, swaps: 2_200_000, seed: 0xca },
+                    Scale::Tiny => CannealParams {
+                        elements: 1 << 12,
+                        swaps: 5_000,
+                        seed: 0xca,
+                    },
+                    Scale::Small => CannealParams {
+                        elements: 1 << 21,
+                        swaps: 700_000,
+                        seed: 0xca,
+                    },
+                    Scale::Full => CannealParams {
+                        elements: 1 << 23,
+                        swaps: 2_200_000,
+                        seed: 0xca,
+                    },
                 };
                 let _ = canneal(p, &mut rec);
             }
             Workload::Omnetpp => {
                 let p = match scale {
-                    Scale::Tiny => OmnetppParams { modules: 1 << 12, events: 10_000, seed: 0x03 },
-                    Scale::Small => OmnetppParams { modules: 1 << 20, events: 400_000, seed: 0x03 },
-                    Scale::Full => OmnetppParams { modules: 1 << 22, events: 1_200_000, seed: 0x03 },
+                    Scale::Tiny => OmnetppParams {
+                        modules: 1 << 12,
+                        events: 10_000,
+                        seed: 0x03,
+                    },
+                    Scale::Small => OmnetppParams {
+                        modules: 1 << 20,
+                        events: 400_000,
+                        seed: 0x03,
+                    },
+                    Scale::Full => OmnetppParams {
+                        modules: 1 << 22,
+                        events: 1_200_000,
+                        seed: 0x03,
+                    },
                 };
                 let _ = omnetpp(p, &mut rec);
             }
             Workload::Mcf => {
                 let p = match scale {
-                    Scale::Tiny => McfParams { arcs: 1 << 14, nodes: 1 << 10, passes: 2, seed: 0x6f },
-                    Scale::Small => McfParams { arcs: 1 << 21, nodes: 1 << 17, passes: 1, seed: 0x6f },
-                    Scale::Full => McfParams { arcs: 1 << 22, nodes: 1 << 18, passes: 2, seed: 0x6f },
+                    Scale::Tiny => McfParams {
+                        arcs: 1 << 14,
+                        nodes: 1 << 10,
+                        passes: 2,
+                        seed: 0x6f,
+                    },
+                    Scale::Small => McfParams {
+                        arcs: 1 << 21,
+                        nodes: 1 << 17,
+                        passes: 1,
+                        seed: 0x6f,
+                    },
+                    Scale::Full => McfParams {
+                        arcs: 1 << 22,
+                        nodes: 1 << 18,
+                        passes: 2,
+                        seed: 0x6f,
+                    },
                 };
                 let _ = mcf(p, &mut rec);
             }
@@ -214,6 +285,65 @@ impl Workload {
 impl std::fmt::Display for Workload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// How a [`WorkloadSource`] holds its input graph.
+#[derive(Debug, Clone)]
+enum GraphSlot<'g> {
+    /// Non-graph workload (or the caller chose to let `run_on` panic).
+    Absent,
+    /// Borrowing a shared pre-built graph.
+    Borrowed(&'g Csr),
+    /// Owning a graph built by [`Workload::source`].
+    Owned(Csr),
+}
+
+/// A live workload kernel packaged as a [`TraceSource`].
+///
+/// Each [`TraceSource::stream`] call executes the kernel from scratch
+/// against its arena, pushing events into the sink as they happen — the
+/// trace is never materialized. Kernels are deterministic, so repeated
+/// streams produce identical event sequences.
+///
+/// # Examples
+///
+/// ```
+/// use rmcc_workloads::trace::{CountingSink, TraceSource};
+/// use rmcc_workloads::workload::{Scale, Workload};
+///
+/// let mut source = Workload::Mcf.source(Scale::Tiny);
+/// let mut counts = CountingSink::default();
+/// source.stream(&mut counts);
+/// assert!(counts.reads > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadSource<'g> {
+    workload: Workload,
+    scale: Scale,
+    graph: GraphSlot<'g>,
+}
+
+impl WorkloadSource<'_> {
+    /// The workload this source executes.
+    pub fn workload(&self) -> Workload {
+        self.workload
+    }
+
+    /// The scale this source executes at.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+}
+
+impl TraceSource for WorkloadSource<'_> {
+    fn stream(&mut self, sink: &mut dyn TraceSink) {
+        let graph = match &self.graph {
+            GraphSlot::Absent => None,
+            GraphSlot::Borrowed(g) => Some(*g),
+            GraphSlot::Owned(g) => Some(g),
+        };
+        self.workload.run_on(graph, self.scale, sink);
     }
 }
 
@@ -260,6 +390,39 @@ mod tests {
     fn graph_workload_without_graph_panics() {
         let mut sink = CountingSink::default();
         Workload::PageRank.run_on(None, Scale::Tiny, &mut sink);
+    }
+
+    #[test]
+    fn source_streams_the_same_trace_as_run_on() {
+        let g = graph_for(Scale::Tiny);
+        for w in [Workload::Bfs, Workload::Canneal] {
+            let mut direct: Vec<crate::trace::TraceEvent> = Vec::new();
+            w.run_on(w.uses_graph().then_some(&g), Scale::Tiny, &mut direct);
+            let mut streamed: Vec<crate::trace::TraceEvent> = Vec::new();
+            w.source_on(w.uses_graph().then_some(&g), Scale::Tiny)
+                .stream(&mut streamed);
+            assert_eq!(direct, streamed, "{w}");
+        }
+    }
+
+    #[test]
+    fn owned_source_builds_its_graph_and_restreams() {
+        let mut src = Workload::PageRank.source(Scale::Tiny);
+        let mut a = CountingSink::default();
+        src.stream(&mut a);
+        let mut b = CountingSink::default();
+        src.stream(&mut b);
+        assert!(a.reads > 0);
+        assert_eq!(a, b, "re-streaming must be deterministic");
+        assert_eq!(src.workload(), Workload::PageRank);
+        assert_eq!(src.scale(), Scale::Tiny);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a graph")]
+    fn graph_source_without_graph_panics_on_stream() {
+        let mut sink = CountingSink::default();
+        Workload::Bfs.source_on(None, Scale::Tiny).stream(&mut sink);
     }
 
     #[test]

@@ -82,14 +82,22 @@ fn all_workloads_deterministic_at_tiny() {
 #[test]
 fn irregular_workloads_mark_dependencies() {
     let g = graph_for(Scale::Tiny);
-    for w in [Workload::PageRank, Workload::Bfs, Workload::Canneal, Workload::Omnetpp] {
+    for w in [
+        Workload::PageRank,
+        Workload::Bfs,
+        Workload::Canneal,
+        Workload::Omnetpp,
+    ] {
         let mut sink = CountingSink::default();
         if w.uses_graph() {
             w.run_on(Some(&g), Scale::Tiny, &mut sink);
         } else {
             w.run_on(None, Scale::Tiny, &mut sink);
         }
-        assert!(sink.dependent * 20 > sink.reads, "{w}: too few dependent loads");
+        assert!(
+            sink.dependent * 20 > sink.reads,
+            "{w}: too few dependent loads"
+        );
     }
 }
 

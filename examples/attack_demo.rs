@@ -49,13 +49,26 @@ fn main() {
     let aes_words: Vec<u128> = (0..2048u128).map(|i| aes.encrypt_u128(i)).collect();
     // Stream B: RMCC OTPs across counters and addresses.
     let otp_words: Vec<u128> = (0..2048u64)
-        .map(|i| pipe.word_pad(i * 31 % 65_536, (i % 4) as u8, 1 + i % 999, PadPurpose::Encryption))
+        .map(|i| {
+            pipe.word_pad(
+                i * 31 % 65_536,
+                (i % 4) as u8,
+                1 + i % 999,
+                PadPurpose::Encryption,
+            )
+        })
         .collect();
 
     let aes_rate = pass_rate(&[BitStream::from_u128_words(&aes_words)]);
     let otp_rate = pass_rate(&[BitStream::from_u128_words(&otp_words)]);
-    println!("  NIST STS pass rate, raw AES stream : {:.0}%", aes_rate * 100.0);
-    println!("  NIST STS pass rate, RMCC OTP stream: {:.0}%", otp_rate * 100.0);
+    println!(
+        "  NIST STS pass rate, raw AES stream : {:.0}%",
+        aes_rate * 100.0
+    );
+    println!(
+        "  NIST STS pass rate, RMCC OTP stream: {:.0}%",
+        otp_rate * 100.0
+    );
     println!(
         "  -> OTPs pass at the same rate as the AES streams they are built from: {}",
         (aes_rate - otp_rate).abs() < 0.2

@@ -27,7 +27,12 @@ fn main() {
 
     for workload in [Workload::Bfs, Workload::PageRank] {
         println!("── {workload} ──");
-        let non = run_detailed(workload, scale, Some(&graph), &SystemConfig::table1(Scheme::NonSecure));
+        let non = run_detailed(
+            workload,
+            scale,
+            Some(&graph),
+            &SystemConfig::table1(Scheme::NonSecure),
+        );
         println!(
             "  {:<11} {:>9.2} µs   LLC-miss latency {:>6.1} ns   (baseline)",
             Scheme::NonSecure.to_string(),

@@ -32,7 +32,10 @@ fn main() {
         rng
     };
 
-    println!("{:>8} {:>14} {:>12} {:>16}", "writes", "table-covered", "hit-rate", "max-ctr-in-table");
+    println!(
+        "{:>8} {:>14} {:>12} {:>16}",
+        "writes", "table-covered", "hit-rate", "max-ctr-in-table"
+    );
     let mut rng_next = next;
     for step in 0..200_000u64 {
         let r = rng_next();

@@ -11,7 +11,9 @@ use rmcc::core::rmcc::{Rmcc, RmccConfig};
 use rmcc::secmem::counters::{CounterBlock, CounterOrg};
 use rmcc::secmem::engine::{PipelineKind, SecureMemory};
 use rmcc::sim::config::{Scheme, SystemConfig};
-use rmcc::sim::lifetime::run_lifetime;
+use rmcc::sim::core_model::CoreModel;
+use rmcc::sim::lifetime::{run_lifetime, LifetimeRunner};
+use rmcc::sim::runner::Runner;
 use rmcc::workloads::workload::{Scale, Workload};
 
 fn main() {
@@ -20,14 +22,20 @@ fn main() {
     let secret = block_of(b"attack at dawn");
     mem.write(7, secret);
     println!("  wrote block 7, counter is now {}", mem.counter_of(7));
-    println!("  read back: {:?}", std::str::from_utf8(&mem.read(7).unwrap()[..14]).unwrap());
+    println!(
+        "  read back: {:?}",
+        std::str::from_utf8(&mem.read(7).unwrap()[..14]).unwrap()
+    );
     mem.tamper_data(7, 3, 0x80);
-    println!("  after a bus-level bit flip: {:?}", mem.read(7).unwrap_err());
+    println!(
+        "  after a bus-level bit flip: {:?}",
+        mem.read(7).unwrap_err()
+    );
 
     banner("2. The memoization table self-reinforces (Figure 6)");
     let mut rmcc = Rmcc::new(RmccConfig::paper());
     rmcc.seed_group(0, 20_000_000); // the paper's example value
-    // Ten scattered counter blocks, all with different histories.
+                                    // Ten scattered counter blocks, all with different histories.
     let mut blocks: Vec<CounterBlock> = (0..10)
         .map(|i| CounterBlock::with_state(CounterOrg::Morphable128, 1_000 * (i + 1), vec![0; 128]))
         .collect();
@@ -39,12 +47,20 @@ fn main() {
             out.new_value, out.landed_on_memoized
         );
     }
-    let covered = blocks.iter().filter(|cb| rmcc.lookup(0, cb.value(0)).is_hit()).count();
+    let covered = blocks
+        .iter()
+        .filter(|cb| rmcc.lookup(0, cb.value(0)).is_hit())
+        .count();
     println!("  {covered}/10 blocks now decrypt via the memoization table");
 
     banner("3. A whole-lifetime simulation (canneal, tiny input)");
     for scheme in [Scheme::Morphable, Scheme::Rmcc] {
-        let report = run_lifetime(Workload::Canneal, Scale::Tiny, None, &SystemConfig::lifetime(scheme));
+        let report = run_lifetime(
+            Workload::Canneal,
+            Scale::Tiny,
+            None,
+            &SystemConfig::lifetime(scheme),
+        );
         print!(
             "  {scheme:<10} LLC misses {:>7}  counter-miss rate {:>5.1}%",
             report.llc_misses,
@@ -58,6 +74,23 @@ fn main() {
         }
         println!();
     }
+
+    banner("4. One trace source, every runner");
+    // A workload is a streaming trace source; any Runner consumes it —
+    // kernels re-execute per run, nothing is buffered.
+    let cfg = SystemConfig::lifetime(Scheme::Rmcc);
+    let functional = LifetimeRunner::new(&cfg).run(&mut Workload::Mcf.source(Scale::Tiny));
+    let timed = CoreModel::new(&cfg, 0x9a9e).run(&mut Workload::Mcf.source(Scale::Tiny));
+    println!(
+        "  lifetime: {} accesses, {} LLC misses",
+        functional.accesses, functional.llc_misses
+    );
+    println!(
+        "  detailed: {} instrs in {:.2} ms simulated ({} LLC misses — same stream)",
+        timed.instrs,
+        timed.elapsed_ps as f64 / 1e9,
+        timed.llc_misses
+    );
 
     println!("\nNext: `cargo run --release -p rmcc-bench --bin figures` regenerates the paper.");
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_read_triggered-066049cc2c2eef49.d: crates/bench/benches/ablation_read_triggered.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_read_triggered-066049cc2c2eef49.rmeta: crates/bench/benches/ablation_read_triggered.rs Cargo.toml
+
+crates/bench/benches/ablation_read_triggered.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accelerated_misses-a1083ee1a4c5b061.d: crates/bench/benches/accelerated_misses.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccelerated_misses-a1083ee1a4c5b061.rmeta: crates/bench/benches/accelerated_misses.rs Cargo.toml
+
+crates/bench/benches/accelerated_misses.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-146ca62a031cbd5b.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-146ca62a031cbd5b.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-5c0e68f84c5778f4.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-5c0e68f84c5778f4: tests/end_to_end.rs
+
+tests/end_to_end.rs:

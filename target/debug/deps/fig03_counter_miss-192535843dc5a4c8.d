@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_counter_miss-192535843dc5a4c8.d: crates/bench/benches/fig03_counter_miss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_counter_miss-192535843dc5a4c8.rmeta: crates/bench/benches/fig03_counter_miss.rs Cargo.toml
+
+crates/bench/benches/fig03_counter_miss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04_tlb_miss-0141ed6201b2b160.d: crates/bench/benches/fig04_tlb_miss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04_tlb_miss-0141ed6201b2b160.rmeta: crates/bench/benches/fig04_tlb_miss.rs Cargo.toml
+
+crates/bench/benches/fig04_tlb_miss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

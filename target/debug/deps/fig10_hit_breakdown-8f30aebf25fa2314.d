@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_hit_breakdown-8f30aebf25fa2314.d: crates/bench/benches/fig10_hit_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_hit_breakdown-8f30aebf25fa2314.rmeta: crates/bench/benches/fig10_hit_breakdown.rs Cargo.toml
+
+crates/bench/benches/fig10_hit_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_bandwidth-9cf28ad4eb5feb54.d: crates/bench/benches/fig12_bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_bandwidth-9cf28ad4eb5feb54.rmeta: crates/bench/benches/fig12_bandwidth.rs Cargo.toml
+
+crates/bench/benches/fig12_bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

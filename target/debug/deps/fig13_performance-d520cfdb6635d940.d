@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_performance-d520cfdb6635d940.d: crates/bench/benches/fig13_performance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_performance-d520cfdb6635d940.rmeta: crates/bench/benches/fig13_performance.rs Cargo.toml
+
+crates/bench/benches/fig13_performance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_miss_latency-13e64bcd53d8f443.d: crates/bench/benches/fig14_miss_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_miss_latency-13e64bcd53d8f443.rmeta: crates/bench/benches/fig14_miss_latency.rs Cargo.toml
+
+crates/bench/benches/fig14_miss_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

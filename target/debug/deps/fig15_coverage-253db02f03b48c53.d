@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_coverage-253db02f03b48c53.d: crates/bench/benches/fig15_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_coverage-253db02f03b48c53.rmeta: crates/bench/benches/fig15_coverage.rs Cargo.toml
+
+crates/bench/benches/fig15_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_traffic-c6180b33c4a8ed28.d: crates/bench/benches/fig16_traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_traffic-c6180b33c4a8ed28.rmeta: crates/bench/benches/fig16_traffic.rs Cargo.toml
+
+crates/bench/benches/fig16_traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

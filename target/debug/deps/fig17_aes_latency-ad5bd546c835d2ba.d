@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17_aes_latency-ad5bd546c835d2ba.d: crates/bench/benches/fig17_aes_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17_aes_latency-ad5bd546c835d2ba.rmeta: crates/bench/benches/fig17_aes_latency.rs Cargo.toml
+
+crates/bench/benches/fig17_aes_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

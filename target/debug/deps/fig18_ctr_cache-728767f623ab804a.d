@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig18_ctr_cache-728767f623ab804a.d: crates/bench/benches/fig18_ctr_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig18_ctr_cache-728767f623ab804a.rmeta: crates/bench/benches/fig18_ctr_cache.rs Cargo.toml
+
+crates/bench/benches/fig18_ctr_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

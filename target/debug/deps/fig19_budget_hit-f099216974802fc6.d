@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig19_budget_hit-f099216974802fc6.d: crates/bench/benches/fig19_budget_hit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig19_budget_hit-f099216974802fc6.rmeta: crates/bench/benches/fig19_budget_hit.rs Cargo.toml
+
+crates/bench/benches/fig19_budget_hit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig20_budget_traffic-257535dd111a5aeb.d: crates/bench/benches/fig20_budget_traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig20_budget_traffic-257535dd111a5aeb.rmeta: crates/bench/benches/fig20_budget_traffic.rs Cargo.toml
+
+crates/bench/benches/fig20_budget_traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

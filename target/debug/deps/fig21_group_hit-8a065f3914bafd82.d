@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig21_group_hit-8a065f3914bafd82.d: crates/bench/benches/fig21_group_hit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig21_group_hit-8a065f3914bafd82.rmeta: crates/bench/benches/fig21_group_hit.rs Cargo.toml
+
+crates/bench/benches/fig21_group_hit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig22_group_traffic-b1c6a4becf8a5741.d: crates/bench/benches/fig22_group_traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig22_group_traffic-b1c6a4becf8a5741.rmeta: crates/bench/benches/fig22_group_traffic.rs Cargo.toml
+
+crates/bench/benches/fig22_group_traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

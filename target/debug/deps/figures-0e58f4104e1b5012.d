@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-0e58f4104e1b5012.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-0e58f4104e1b5012: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maxctr_growth-2fd9d0e7804966b8.d: crates/bench/benches/maxctr_growth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaxctr_growth-2fd9d0e7804966b8.rmeta: crates/bench/benches/maxctr_growth.rs Cargo.toml
+
+crates/bench/benches/maxctr_growth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/page4k_sensitivity-d25fc8e1d711ba36.d: crates/bench/benches/page4k_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpage4k_sensitivity-d25fc8e1d711ba36.rmeta: crates/bench/benches/page4k_sensitivity.rs Cargo.toml
+
+crates/bench/benches/page4k_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-db1ace533df201e1.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-db1ace533df201e1: tests/paper_claims.rs
+
+tests/paper_claims.rs:

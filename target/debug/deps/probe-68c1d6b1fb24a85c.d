@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-68c1d6b1fb24a85c.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-68c1d6b1fb24a85c: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

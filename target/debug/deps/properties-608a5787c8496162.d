@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-608a5787c8496162.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-608a5787c8496162: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-89ca91dbe3968146.d: crates/dram/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-89ca91dbe3968146: crates/dram/tests/properties.rs
+
+crates/dram/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8b7595becc708cf2.d: crates/workloads/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8b7595becc708cf2: crates/workloads/tests/properties.rs
+
+crates/workloads/tests/properties.rs:

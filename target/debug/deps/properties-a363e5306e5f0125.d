@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-a363e5306e5f0125.d: crates/dram/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-a363e5306e5f0125.rmeta: crates/dram/tests/properties.rs Cargo.toml
+
+crates/dram/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-edc77bb682183269.d: crates/cache/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-edc77bb682183269: crates/cache/tests/properties.rs
+
+crates/cache/tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-6d49e19b313a83ef.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6d49e19b313a83ef.rlib: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6d49e19b313a83ef.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

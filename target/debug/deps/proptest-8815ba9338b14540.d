@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-8815ba9338b14540.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-8815ba9338b14540.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/related_work_speculation-1f7a9a59d8efbf45.d: crates/bench/benches/related_work_speculation.rs Cargo.toml
+
+/root/repo/target/debug/deps/librelated_work_speculation-1f7a9a59d8efbf45.rmeta: crates/bench/benches/related_work_speculation.rs Cargo.toml
+
+crates/bench/benches/related_work_speculation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rmcc-6520693496f4397a.d: src/lib.rs
+
+/root/repo/target/debug/deps/librmcc-6520693496f4397a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librmcc-6520693496f4397a.rmeta: src/lib.rs
+
+src/lib.rs:

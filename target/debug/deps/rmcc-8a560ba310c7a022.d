@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rmcc-8a560ba310c7a022.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmcc-8a560ba310c7a022.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

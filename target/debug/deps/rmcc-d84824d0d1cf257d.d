@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rmcc-d84824d0d1cf257d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmcc-d84824d0d1cf257d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

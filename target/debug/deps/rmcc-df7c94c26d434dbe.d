@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rmcc-df7c94c26d434dbe.d: src/lib.rs
+
+/root/repo/target/debug/deps/rmcc-df7c94c26d434dbe: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rmcc_bench-60edad763128f434.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librmcc_bench-60edad763128f434.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librmcc_bench-60edad763128f434.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rmcc_bench-9dca35daf027646b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/rmcc_bench-9dca35daf027646b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rmcc_bench-a9f51490440e1558.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmcc_bench-a9f51490440e1558.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rmcc_cache-44d9c291cc0e24c6.d: crates/cache/src/lib.rs crates/cache/src/hierarchy.rs crates/cache/src/set_assoc.rs crates/cache/src/tlb.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmcc_cache-44d9c291cc0e24c6.rmeta: crates/cache/src/lib.rs crates/cache/src/hierarchy.rs crates/cache/src/set_assoc.rs crates/cache/src/tlb.rs Cargo.toml
+
+crates/cache/src/lib.rs:
+crates/cache/src/hierarchy.rs:
+crates/cache/src/set_assoc.rs:
+crates/cache/src/tlb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rmcc_cache-82e41a44f126f741.d: crates/cache/src/lib.rs crates/cache/src/hierarchy.rs crates/cache/src/set_assoc.rs crates/cache/src/tlb.rs
+
+/root/repo/target/debug/deps/rmcc_cache-82e41a44f126f741: crates/cache/src/lib.rs crates/cache/src/hierarchy.rs crates/cache/src/set_assoc.rs crates/cache/src/tlb.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/hierarchy.rs:
+crates/cache/src/set_assoc.rs:
+crates/cache/src/tlb.rs:

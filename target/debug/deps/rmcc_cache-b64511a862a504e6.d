@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rmcc_cache-b64511a862a504e6.d: crates/cache/src/lib.rs crates/cache/src/hierarchy.rs crates/cache/src/set_assoc.rs crates/cache/src/tlb.rs
+
+/root/repo/target/debug/deps/librmcc_cache-b64511a862a504e6.rlib: crates/cache/src/lib.rs crates/cache/src/hierarchy.rs crates/cache/src/set_assoc.rs crates/cache/src/tlb.rs
+
+/root/repo/target/debug/deps/librmcc_cache-b64511a862a504e6.rmeta: crates/cache/src/lib.rs crates/cache/src/hierarchy.rs crates/cache/src/set_assoc.rs crates/cache/src/tlb.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/hierarchy.rs:
+crates/cache/src/set_assoc.rs:
+crates/cache/src/tlb.rs:

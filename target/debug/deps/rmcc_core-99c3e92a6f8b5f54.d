@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rmcc_core-99c3e92a6f8b5f54.d: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/budget.rs crates/core/src/candidates.rs crates/core/src/rmcc.rs crates/core/src/security.rs crates/core/src/table.rs
+
+/root/repo/target/debug/deps/rmcc_core-99c3e92a6f8b5f54: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/budget.rs crates/core/src/candidates.rs crates/core/src/rmcc.rs crates/core/src/security.rs crates/core/src/table.rs
+
+crates/core/src/lib.rs:
+crates/core/src/area.rs:
+crates/core/src/budget.rs:
+crates/core/src/candidates.rs:
+crates/core/src/rmcc.rs:
+crates/core/src/security.rs:
+crates/core/src/table.rs:

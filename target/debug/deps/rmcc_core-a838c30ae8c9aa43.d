@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rmcc_core-a838c30ae8c9aa43.d: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/budget.rs crates/core/src/candidates.rs crates/core/src/rmcc.rs crates/core/src/security.rs crates/core/src/table.rs
+
+/root/repo/target/debug/deps/librmcc_core-a838c30ae8c9aa43.rlib: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/budget.rs crates/core/src/candidates.rs crates/core/src/rmcc.rs crates/core/src/security.rs crates/core/src/table.rs
+
+/root/repo/target/debug/deps/librmcc_core-a838c30ae8c9aa43.rmeta: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/budget.rs crates/core/src/candidates.rs crates/core/src/rmcc.rs crates/core/src/security.rs crates/core/src/table.rs
+
+crates/core/src/lib.rs:
+crates/core/src/area.rs:
+crates/core/src/budget.rs:
+crates/core/src/candidates.rs:
+crates/core/src/rmcc.rs:
+crates/core/src/security.rs:
+crates/core/src/table.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rmcc_core-dcaa5da26d216979.d: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/budget.rs crates/core/src/candidates.rs crates/core/src/rmcc.rs crates/core/src/security.rs crates/core/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmcc_core-dcaa5da26d216979.rmeta: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/budget.rs crates/core/src/candidates.rs crates/core/src/rmcc.rs crates/core/src/security.rs crates/core/src/table.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/area.rs:
+crates/core/src/budget.rs:
+crates/core/src/candidates.rs:
+crates/core/src/rmcc.rs:
+crates/core/src/security.rs:
+crates/core/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rmcc_crypto-62d66bd478e21000.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/clmul.rs crates/crypto/src/mac.rs crates/crypto/src/nist.rs crates/crypto/src/otp.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmcc_crypto-62d66bd478e21000.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/clmul.rs crates/crypto/src/mac.rs crates/crypto/src/nist.rs crates/crypto/src/otp.rs Cargo.toml
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/clmul.rs:
+crates/crypto/src/mac.rs:
+crates/crypto/src/nist.rs:
+crates/crypto/src/otp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

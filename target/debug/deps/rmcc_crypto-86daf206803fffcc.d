@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rmcc_crypto-86daf206803fffcc.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/clmul.rs crates/crypto/src/mac.rs crates/crypto/src/nist.rs crates/crypto/src/otp.rs
+
+/root/repo/target/debug/deps/rmcc_crypto-86daf206803fffcc: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/clmul.rs crates/crypto/src/mac.rs crates/crypto/src/nist.rs crates/crypto/src/otp.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/clmul.rs:
+crates/crypto/src/mac.rs:
+crates/crypto/src/nist.rs:
+crates/crypto/src/otp.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rmcc_crypto-9e913aaa81d846aa.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/clmul.rs crates/crypto/src/mac.rs crates/crypto/src/nist.rs crates/crypto/src/otp.rs
+
+/root/repo/target/debug/deps/librmcc_crypto-9e913aaa81d846aa.rlib: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/clmul.rs crates/crypto/src/mac.rs crates/crypto/src/nist.rs crates/crypto/src/otp.rs
+
+/root/repo/target/debug/deps/librmcc_crypto-9e913aaa81d846aa.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/clmul.rs crates/crypto/src/mac.rs crates/crypto/src/nist.rs crates/crypto/src/otp.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/clmul.rs:
+crates/crypto/src/mac.rs:
+crates/crypto/src/nist.rs:
+crates/crypto/src/otp.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rmcc_dram-b00cdfeea5ce1ccc.d: crates/dram/src/lib.rs crates/dram/src/channel.rs crates/dram/src/config.rs crates/dram/src/mapping.rs
+
+/root/repo/target/debug/deps/librmcc_dram-b00cdfeea5ce1ccc.rlib: crates/dram/src/lib.rs crates/dram/src/channel.rs crates/dram/src/config.rs crates/dram/src/mapping.rs
+
+/root/repo/target/debug/deps/librmcc_dram-b00cdfeea5ce1ccc.rmeta: crates/dram/src/lib.rs crates/dram/src/channel.rs crates/dram/src/config.rs crates/dram/src/mapping.rs
+
+crates/dram/src/lib.rs:
+crates/dram/src/channel.rs:
+crates/dram/src/config.rs:
+crates/dram/src/mapping.rs:

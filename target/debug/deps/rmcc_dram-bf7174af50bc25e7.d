@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rmcc_dram-bf7174af50bc25e7.d: crates/dram/src/lib.rs crates/dram/src/channel.rs crates/dram/src/config.rs crates/dram/src/mapping.rs
+
+/root/repo/target/debug/deps/rmcc_dram-bf7174af50bc25e7: crates/dram/src/lib.rs crates/dram/src/channel.rs crates/dram/src/config.rs crates/dram/src/mapping.rs
+
+crates/dram/src/lib.rs:
+crates/dram/src/channel.rs:
+crates/dram/src/config.rs:
+crates/dram/src/mapping.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rmcc_dram-fcc892a35f671f4d.d: crates/dram/src/lib.rs crates/dram/src/channel.rs crates/dram/src/config.rs crates/dram/src/mapping.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmcc_dram-fcc892a35f671f4d.rmeta: crates/dram/src/lib.rs crates/dram/src/channel.rs crates/dram/src/config.rs crates/dram/src/mapping.rs Cargo.toml
+
+crates/dram/src/lib.rs:
+crates/dram/src/channel.rs:
+crates/dram/src/config.rs:
+crates/dram/src/mapping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rmcc_secmem-2d52cd2c0f2d68d5.d: crates/secmem/src/lib.rs crates/secmem/src/counters.rs crates/secmem/src/engine.rs crates/secmem/src/layout.rs crates/secmem/src/tree.rs
+
+/root/repo/target/debug/deps/rmcc_secmem-2d52cd2c0f2d68d5: crates/secmem/src/lib.rs crates/secmem/src/counters.rs crates/secmem/src/engine.rs crates/secmem/src/layout.rs crates/secmem/src/tree.rs
+
+crates/secmem/src/lib.rs:
+crates/secmem/src/counters.rs:
+crates/secmem/src/engine.rs:
+crates/secmem/src/layout.rs:
+crates/secmem/src/tree.rs:

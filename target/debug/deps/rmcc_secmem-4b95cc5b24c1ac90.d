@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rmcc_secmem-4b95cc5b24c1ac90.d: crates/secmem/src/lib.rs crates/secmem/src/counters.rs crates/secmem/src/engine.rs crates/secmem/src/layout.rs crates/secmem/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmcc_secmem-4b95cc5b24c1ac90.rmeta: crates/secmem/src/lib.rs crates/secmem/src/counters.rs crates/secmem/src/engine.rs crates/secmem/src/layout.rs crates/secmem/src/tree.rs Cargo.toml
+
+crates/secmem/src/lib.rs:
+crates/secmem/src/counters.rs:
+crates/secmem/src/engine.rs:
+crates/secmem/src/layout.rs:
+crates/secmem/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rmcc_secmem-703dc43dab022e92.d: crates/secmem/src/lib.rs crates/secmem/src/counters.rs crates/secmem/src/engine.rs crates/secmem/src/layout.rs crates/secmem/src/tree.rs
+
+/root/repo/target/debug/deps/librmcc_secmem-703dc43dab022e92.rlib: crates/secmem/src/lib.rs crates/secmem/src/counters.rs crates/secmem/src/engine.rs crates/secmem/src/layout.rs crates/secmem/src/tree.rs
+
+/root/repo/target/debug/deps/librmcc_secmem-703dc43dab022e92.rmeta: crates/secmem/src/lib.rs crates/secmem/src/counters.rs crates/secmem/src/engine.rs crates/secmem/src/layout.rs crates/secmem/src/tree.rs
+
+crates/secmem/src/lib.rs:
+crates/secmem/src/counters.rs:
+crates/secmem/src/engine.rs:
+crates/secmem/src/layout.rs:
+crates/secmem/src/tree.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/rmcc_sim-24e72d8d43c007ff.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/detailed.rs crates/sim/src/engine.rs crates/sim/src/experiments.rs crates/sim/src/lifetime.rs crates/sim/src/mc.rs crates/sim/src/meta_engine.rs crates/sim/src/multicore.rs crates/sim/src/page_map.rs crates/sim/src/runner.rs
+
+/root/repo/target/debug/deps/librmcc_sim-24e72d8d43c007ff.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/detailed.rs crates/sim/src/engine.rs crates/sim/src/experiments.rs crates/sim/src/lifetime.rs crates/sim/src/mc.rs crates/sim/src/meta_engine.rs crates/sim/src/multicore.rs crates/sim/src/page_map.rs crates/sim/src/runner.rs
+
+/root/repo/target/debug/deps/librmcc_sim-24e72d8d43c007ff.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/detailed.rs crates/sim/src/engine.rs crates/sim/src/experiments.rs crates/sim/src/lifetime.rs crates/sim/src/mc.rs crates/sim/src/meta_engine.rs crates/sim/src/multicore.rs crates/sim/src/page_map.rs crates/sim/src/runner.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/core_model.rs:
+crates/sim/src/detailed.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/experiments.rs:
+crates/sim/src/lifetime.rs:
+crates/sim/src/mc.rs:
+crates/sim/src/meta_engine.rs:
+crates/sim/src/multicore.rs:
+crates/sim/src/page_map.rs:
+crates/sim/src/runner.rs:

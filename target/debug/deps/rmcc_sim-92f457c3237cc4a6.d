@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/rmcc_sim-92f457c3237cc4a6.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/detailed.rs crates/sim/src/engine.rs crates/sim/src/experiments.rs crates/sim/src/lifetime.rs crates/sim/src/mc.rs crates/sim/src/meta_engine.rs crates/sim/src/multicore.rs crates/sim/src/page_map.rs crates/sim/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmcc_sim-92f457c3237cc4a6.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/detailed.rs crates/sim/src/engine.rs crates/sim/src/experiments.rs crates/sim/src/lifetime.rs crates/sim/src/mc.rs crates/sim/src/meta_engine.rs crates/sim/src/multicore.rs crates/sim/src/page_map.rs crates/sim/src/runner.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/core_model.rs:
+crates/sim/src/detailed.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/experiments.rs:
+crates/sim/src/lifetime.rs:
+crates/sim/src/mc.rs:
+crates/sim/src/meta_engine.rs:
+crates/sim/src/multicore.rs:
+crates/sim/src/page_map.rs:
+crates/sim/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rmcc_workloads-2171e0fd3f53cf8a.d: crates/workloads/src/lib.rs crates/workloads/src/arena.rs crates/workloads/src/graph.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/graph.rs crates/workloads/src/kernels/spec.rs crates/workloads/src/trace.rs crates/workloads/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmcc_workloads-2171e0fd3f53cf8a.rmeta: crates/workloads/src/lib.rs crates/workloads/src/arena.rs crates/workloads/src/graph.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/graph.rs crates/workloads/src/kernels/spec.rs crates/workloads/src/trace.rs crates/workloads/src/workload.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/arena.rs:
+crates/workloads/src/graph.rs:
+crates/workloads/src/kernels/mod.rs:
+crates/workloads/src/kernels/graph.rs:
+crates/workloads/src/kernels/spec.rs:
+crates/workloads/src/trace.rs:
+crates/workloads/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rmcc_workloads-246037b01a87c8bb.d: crates/workloads/src/lib.rs crates/workloads/src/arena.rs crates/workloads/src/graph.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/graph.rs crates/workloads/src/kernels/spec.rs crates/workloads/src/trace.rs crates/workloads/src/workload.rs
+
+/root/repo/target/debug/deps/rmcc_workloads-246037b01a87c8bb: crates/workloads/src/lib.rs crates/workloads/src/arena.rs crates/workloads/src/graph.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/graph.rs crates/workloads/src/kernels/spec.rs crates/workloads/src/trace.rs crates/workloads/src/workload.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/arena.rs:
+crates/workloads/src/graph.rs:
+crates/workloads/src/kernels/mod.rs:
+crates/workloads/src/kernels/graph.rs:
+crates/workloads/src/kernels/spec.rs:
+crates/workloads/src/trace.rs:
+crates/workloads/src/workload.rs:

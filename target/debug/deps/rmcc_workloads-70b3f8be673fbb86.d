@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rmcc_workloads-70b3f8be673fbb86.d: crates/workloads/src/lib.rs crates/workloads/src/arena.rs crates/workloads/src/graph.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/graph.rs crates/workloads/src/kernels/spec.rs crates/workloads/src/trace.rs crates/workloads/src/workload.rs
+
+/root/repo/target/debug/deps/librmcc_workloads-70b3f8be673fbb86.rlib: crates/workloads/src/lib.rs crates/workloads/src/arena.rs crates/workloads/src/graph.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/graph.rs crates/workloads/src/kernels/spec.rs crates/workloads/src/trace.rs crates/workloads/src/workload.rs
+
+/root/repo/target/debug/deps/librmcc_workloads-70b3f8be673fbb86.rmeta: crates/workloads/src/lib.rs crates/workloads/src/arena.rs crates/workloads/src/graph.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/graph.rs crates/workloads/src/kernels/spec.rs crates/workloads/src/trace.rs crates/workloads/src/workload.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/arena.rs:
+crates/workloads/src/graph.rs:
+crates/workloads/src/kernels/mod.rs:
+crates/workloads/src/kernels/graph.rs:
+crates/workloads/src/kernels/spec.rs:
+crates/workloads/src/trace.rs:
+crates/workloads/src/workload.rs:

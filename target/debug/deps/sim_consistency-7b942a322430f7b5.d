@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_consistency-7b942a322430f7b5.d: tests/sim_consistency.rs
+
+/root/repo/target/debug/deps/sim_consistency-7b942a322430f7b5: tests/sim_consistency.rs
+
+tests/sim_consistency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_consistency-b1bb7764c43b88f8.d: tests/sim_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_consistency-b1bb7764c43b88f8.rmeta: tests/sim_consistency.rs Cargo.toml
+
+tests/sim_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stateful-0cb42f85766ecd36.d: crates/secmem/tests/stateful.rs
+
+/root/repo/target/debug/deps/stateful-0cb42f85766ecd36: crates/secmem/tests/stateful.rs
+
+crates/secmem/tests/stateful.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stateful-7af1735a9eb2576f.d: crates/secmem/tests/stateful.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstateful-7af1735a9eb2576f.rmeta: crates/secmem/tests/stateful.rs Cargo.toml
+
+crates/secmem/tests/stateful.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

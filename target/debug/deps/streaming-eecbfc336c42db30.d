@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streaming-eecbfc336c42db30.d: tests/streaming.rs
+
+/root/repo/target/debug/deps/streaming-eecbfc336c42db30: tests/streaming.rs
+
+tests/streaming.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_config-c23037b09eb0ea16.d: crates/bench/benches/table1_config.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_config-c23037b09eb0ea16.rmeta: crates/bench/benches/table1_config.rs Cargo.toml
+
+crates/bench/benches/table1_config.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/attack_demo-32b41ce878f1f0d3.d: examples/attack_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libattack_demo-32b41ce878f1f0d3.rmeta: examples/attack_demo.rs Cargo.toml
+
+examples/attack_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_demo-9365c6ccbd250b2c.d: examples/attack_demo.rs
+
+/root/repo/target/debug/examples/attack_demo-9365c6ccbd250b2c: examples/attack_demo.rs
+
+examples/attack_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/graph_analytics-a5baba8c6b6e9385.d: examples/graph_analytics.rs
+
+/root/repo/target/debug/examples/graph_analytics-a5baba8c6b6e9385: examples/graph_analytics.rs
+
+examples/graph_analytics.rs:

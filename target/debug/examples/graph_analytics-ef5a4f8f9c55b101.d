@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/graph_analytics-ef5a4f8f9c55b101.d: examples/graph_analytics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgraph_analytics-ef5a4f8f9c55b101.rmeta: examples/graph_analytics.rs Cargo.toml
+
+examples/graph_analytics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

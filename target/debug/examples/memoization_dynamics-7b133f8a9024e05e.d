@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/memoization_dynamics-7b133f8a9024e05e.d: examples/memoization_dynamics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmemoization_dynamics-7b133f8a9024e05e.rmeta: examples/memoization_dynamics.rs Cargo.toml
+
+examples/memoization_dynamics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

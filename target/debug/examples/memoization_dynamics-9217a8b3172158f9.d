@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/memoization_dynamics-9217a8b3172158f9.d: examples/memoization_dynamics.rs
+
+/root/repo/target/debug/examples/memoization_dynamics-9217a8b3172158f9: examples/memoization_dynamics.rs
+
+examples/memoization_dynamics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0de9b4c58f379ac0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0de9b4c58f379ac0: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-f946460051549024.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-f946460051549024: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

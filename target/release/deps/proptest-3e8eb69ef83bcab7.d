@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-3e8eb69ef83bcab7.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-3e8eb69ef83bcab7.rlib: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-3e8eb69ef83bcab7.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

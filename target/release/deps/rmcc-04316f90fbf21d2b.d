@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rmcc-04316f90fbf21d2b.d: src/lib.rs
+
+/root/repo/target/release/deps/librmcc-04316f90fbf21d2b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librmcc-04316f90fbf21d2b.rmeta: src/lib.rs
+
+src/lib.rs:

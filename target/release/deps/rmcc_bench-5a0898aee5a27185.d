@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rmcc_bench-5a0898aee5a27185.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/librmcc_bench-5a0898aee5a27185.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/librmcc_bench-5a0898aee5a27185.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

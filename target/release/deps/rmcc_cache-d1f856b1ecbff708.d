@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rmcc_cache-d1f856b1ecbff708.d: crates/cache/src/lib.rs crates/cache/src/hierarchy.rs crates/cache/src/set_assoc.rs crates/cache/src/tlb.rs
+
+/root/repo/target/release/deps/librmcc_cache-d1f856b1ecbff708.rlib: crates/cache/src/lib.rs crates/cache/src/hierarchy.rs crates/cache/src/set_assoc.rs crates/cache/src/tlb.rs
+
+/root/repo/target/release/deps/librmcc_cache-d1f856b1ecbff708.rmeta: crates/cache/src/lib.rs crates/cache/src/hierarchy.rs crates/cache/src/set_assoc.rs crates/cache/src/tlb.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/hierarchy.rs:
+crates/cache/src/set_assoc.rs:
+crates/cache/src/tlb.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rmcc_core-219545e2d92e858f.d: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/budget.rs crates/core/src/candidates.rs crates/core/src/rmcc.rs crates/core/src/security.rs crates/core/src/table.rs
+
+/root/repo/target/release/deps/librmcc_core-219545e2d92e858f.rlib: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/budget.rs crates/core/src/candidates.rs crates/core/src/rmcc.rs crates/core/src/security.rs crates/core/src/table.rs
+
+/root/repo/target/release/deps/librmcc_core-219545e2d92e858f.rmeta: crates/core/src/lib.rs crates/core/src/area.rs crates/core/src/budget.rs crates/core/src/candidates.rs crates/core/src/rmcc.rs crates/core/src/security.rs crates/core/src/table.rs
+
+crates/core/src/lib.rs:
+crates/core/src/area.rs:
+crates/core/src/budget.rs:
+crates/core/src/candidates.rs:
+crates/core/src/rmcc.rs:
+crates/core/src/security.rs:
+crates/core/src/table.rs:

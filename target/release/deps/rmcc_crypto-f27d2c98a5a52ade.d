@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rmcc_crypto-f27d2c98a5a52ade.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/clmul.rs crates/crypto/src/mac.rs crates/crypto/src/nist.rs crates/crypto/src/otp.rs
+
+/root/repo/target/release/deps/librmcc_crypto-f27d2c98a5a52ade.rlib: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/clmul.rs crates/crypto/src/mac.rs crates/crypto/src/nist.rs crates/crypto/src/otp.rs
+
+/root/repo/target/release/deps/librmcc_crypto-f27d2c98a5a52ade.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/clmul.rs crates/crypto/src/mac.rs crates/crypto/src/nist.rs crates/crypto/src/otp.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/clmul.rs:
+crates/crypto/src/mac.rs:
+crates/crypto/src/nist.rs:
+crates/crypto/src/otp.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rmcc_dram-8b95e77895592282.d: crates/dram/src/lib.rs crates/dram/src/channel.rs crates/dram/src/config.rs crates/dram/src/mapping.rs
+
+/root/repo/target/release/deps/librmcc_dram-8b95e77895592282.rlib: crates/dram/src/lib.rs crates/dram/src/channel.rs crates/dram/src/config.rs crates/dram/src/mapping.rs
+
+/root/repo/target/release/deps/librmcc_dram-8b95e77895592282.rmeta: crates/dram/src/lib.rs crates/dram/src/channel.rs crates/dram/src/config.rs crates/dram/src/mapping.rs
+
+crates/dram/src/lib.rs:
+crates/dram/src/channel.rs:
+crates/dram/src/config.rs:
+crates/dram/src/mapping.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rmcc_secmem-d23981172b3f34c7.d: crates/secmem/src/lib.rs crates/secmem/src/counters.rs crates/secmem/src/engine.rs crates/secmem/src/layout.rs crates/secmem/src/tree.rs
+
+/root/repo/target/release/deps/librmcc_secmem-d23981172b3f34c7.rlib: crates/secmem/src/lib.rs crates/secmem/src/counters.rs crates/secmem/src/engine.rs crates/secmem/src/layout.rs crates/secmem/src/tree.rs
+
+/root/repo/target/release/deps/librmcc_secmem-d23981172b3f34c7.rmeta: crates/secmem/src/lib.rs crates/secmem/src/counters.rs crates/secmem/src/engine.rs crates/secmem/src/layout.rs crates/secmem/src/tree.rs
+
+crates/secmem/src/lib.rs:
+crates/secmem/src/counters.rs:
+crates/secmem/src/engine.rs:
+crates/secmem/src/layout.rs:
+crates/secmem/src/tree.rs:

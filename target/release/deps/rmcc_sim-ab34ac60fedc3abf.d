@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/rmcc_sim-ab34ac60fedc3abf.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/detailed.rs crates/sim/src/engine.rs crates/sim/src/experiments.rs crates/sim/src/lifetime.rs crates/sim/src/mc.rs crates/sim/src/meta_engine.rs crates/sim/src/multicore.rs crates/sim/src/page_map.rs crates/sim/src/runner.rs
+
+/root/repo/target/release/deps/librmcc_sim-ab34ac60fedc3abf.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/detailed.rs crates/sim/src/engine.rs crates/sim/src/experiments.rs crates/sim/src/lifetime.rs crates/sim/src/mc.rs crates/sim/src/meta_engine.rs crates/sim/src/multicore.rs crates/sim/src/page_map.rs crates/sim/src/runner.rs
+
+/root/repo/target/release/deps/librmcc_sim-ab34ac60fedc3abf.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/detailed.rs crates/sim/src/engine.rs crates/sim/src/experiments.rs crates/sim/src/lifetime.rs crates/sim/src/mc.rs crates/sim/src/meta_engine.rs crates/sim/src/multicore.rs crates/sim/src/page_map.rs crates/sim/src/runner.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/core_model.rs:
+crates/sim/src/detailed.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/experiments.rs:
+crates/sim/src/lifetime.rs:
+crates/sim/src/mc.rs:
+crates/sim/src/meta_engine.rs:
+crates/sim/src/multicore.rs:
+crates/sim/src/page_map.rs:
+crates/sim/src/runner.rs:

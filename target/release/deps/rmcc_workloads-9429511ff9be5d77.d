@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rmcc_workloads-9429511ff9be5d77.d: crates/workloads/src/lib.rs crates/workloads/src/arena.rs crates/workloads/src/graph.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/graph.rs crates/workloads/src/kernels/spec.rs crates/workloads/src/trace.rs crates/workloads/src/workload.rs
+
+/root/repo/target/release/deps/librmcc_workloads-9429511ff9be5d77.rlib: crates/workloads/src/lib.rs crates/workloads/src/arena.rs crates/workloads/src/graph.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/graph.rs crates/workloads/src/kernels/spec.rs crates/workloads/src/trace.rs crates/workloads/src/workload.rs
+
+/root/repo/target/release/deps/librmcc_workloads-9429511ff9be5d77.rmeta: crates/workloads/src/lib.rs crates/workloads/src/arena.rs crates/workloads/src/graph.rs crates/workloads/src/kernels/mod.rs crates/workloads/src/kernels/graph.rs crates/workloads/src/kernels/spec.rs crates/workloads/src/trace.rs crates/workloads/src/workload.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/arena.rs:
+crates/workloads/src/graph.rs:
+crates/workloads/src/kernels/mod.rs:
+crates/workloads/src/kernels/graph.rs:
+crates/workloads/src/kernels/spec.rs:
+crates/workloads/src/trace.rs:
+crates/workloads/src/workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-c1f2ca264349550c.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-c1f2ca264349550c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -5,7 +5,11 @@ use rmcc::core::rmcc::{Rmcc, RmccConfig};
 use rmcc::secmem::counters::CounterOrg;
 use rmcc::secmem::engine::{CounterUpdatePolicy, PipelineKind, ReadError, SecureMemory};
 
-const ORGS: [CounterOrg; 3] = [CounterOrg::Mono8, CounterOrg::Sc64, CounterOrg::Morphable128];
+const ORGS: [CounterOrg; 3] = [
+    CounterOrg::Mono8,
+    CounterOrg::Sc64,
+    CounterOrg::Morphable128,
+];
 const PIPES: [PipelineKind; 2] = [PipelineKind::Sgx, PipelineKind::Rmcc];
 
 fn pattern(block: u64, salt: u8) -> [u8; 64] {
@@ -52,9 +56,16 @@ fn sc64_overflow_reencryption_preserves_all_covered_data() {
     for _ in 0..130 {
         mem.write(0, pattern(0, 9));
     }
-    assert!(mem.overflow_reencryptions() > 0, "relevel must have happened");
+    assert!(
+        mem.overflow_reencryptions() > 0,
+        "relevel must have happened"
+    );
     for b in 1..64u64 {
-        assert_eq!(mem.read(b).unwrap(), pattern(b, 7), "block {b} corrupted by relevel");
+        assert_eq!(
+            mem.read(b).unwrap(),
+            pattern(b, 7),
+            "block {b} corrupted by relevel"
+        );
     }
     assert_eq!(mem.read(0).unwrap(), pattern(0, 9));
 }
@@ -67,7 +78,11 @@ fn every_tamper_vector_is_detected() {
     // Ciphertext bit flips at every word boundary.
     for byte in [0usize, 15, 16, 31, 32, 47, 48, 63] {
         mem.tamper_data(10, byte, 0x01);
-        assert_eq!(mem.read(10), Err(ReadError::DataTampered { block: 10 }), "byte {byte}");
+        assert_eq!(
+            mem.read(10),
+            Err(ReadError::DataTampered { block: 10 }),
+            "byte {byte}"
+        );
         mem.tamper_data(10, byte, 0x01); // undo
         assert!(mem.read(10).is_ok(), "undo at byte {byte} failed");
     }
@@ -105,7 +120,11 @@ impl CounterUpdatePolicy for RmccPolicy {
     }
 
     fn relevel_target(&mut self, min_target: u64) -> u64 {
-        match self.0.table(0).nearest_memoized_above(min_target.saturating_sub(1)) {
+        match self
+            .0
+            .table(0)
+            .nearest_memoized_above(min_target.saturating_sub(1))
+        {
             Some(t) if t >= min_target => t,
             _ => min_target,
         }
@@ -152,5 +171,8 @@ fn distinct_keys_produce_distinct_ciphertexts() {
     assert!(b.read(0).is_ok());
     a.tamper_data(0, 0, 1);
     assert!(a.read(0).is_err());
-    assert!(b.read(0).is_ok(), "tampering one machine must not affect the other");
+    assert!(
+        b.read(0).is_ok(),
+        "tampering one machine must not affect the other"
+    );
 }

@@ -22,8 +22,18 @@ fn lifetime_cfg(scheme: Scheme) -> SystemConfig {
 /// §III / Figure 3: canneal's counter-miss rate dwarfs mcf's.
 #[test]
 fn counter_miss_ordering_canneal_vs_mcf() {
-    let canneal = run_lifetime(Workload::Canneal, Scale::Tiny, None, &lifetime_cfg(Scheme::Morphable));
-    let mcf = run_lifetime(Workload::Mcf, Scale::Tiny, None, &lifetime_cfg(Scheme::Morphable));
+    let canneal = run_lifetime(
+        Workload::Canneal,
+        Scale::Tiny,
+        None,
+        &lifetime_cfg(Scheme::Morphable),
+    );
+    let mcf = run_lifetime(
+        Workload::Mcf,
+        Scale::Tiny,
+        None,
+        &lifetime_cfg(Scheme::Morphable),
+    );
     // Tiny footprints mute the absolute rates, but the ordering holds.
     assert!(
         canneal.counter_miss_rate() >= mcf.counter_miss_rate(),
@@ -37,7 +47,12 @@ fn counter_miss_ordering_canneal_vs_mcf() {
 /// the overwhelming majority of counter lookups.
 #[test]
 fn memoization_hit_rate_is_high_from_converged_state() {
-    let r = run_lifetime(Workload::Canneal, Scale::Tiny, None, &lifetime_cfg(Scheme::Rmcc));
+    let r = run_lifetime(
+        Workload::Canneal,
+        Scale::Tiny,
+        None,
+        &lifetime_cfg(Scheme::Rmcc),
+    );
     let rate = r.meta.memo_l0.all_hit_rate();
     assert!(rate > 0.7, "hit rate {rate} too low from converged state");
 }
@@ -46,8 +61,18 @@ fn memoization_hit_rate_is_high_from_converged_state() {
 /// combined budget.
 #[test]
 fn traffic_overhead_is_bounded() {
-    let base = run_lifetime(Workload::Canneal, Scale::Tiny, None, &lifetime_cfg(Scheme::Morphable));
-    let rmcc = run_lifetime(Workload::Canneal, Scale::Tiny, None, &lifetime_cfg(Scheme::Rmcc));
+    let base = run_lifetime(
+        Workload::Canneal,
+        Scale::Tiny,
+        None,
+        &lifetime_cfg(Scheme::Morphable),
+    );
+    let rmcc = run_lifetime(
+        Workload::Canneal,
+        Scale::Tiny,
+        None,
+        &lifetime_cfg(Scheme::Rmcc),
+    );
     let overhead = rmcc.total_requests() as f64 / base.total_requests().max(1) as f64 - 1.0;
     assert!(overhead < 0.15, "overhead {overhead} runs away");
 }
@@ -91,8 +116,18 @@ fn rmcc_otps_pass_nist_like_aes() {
 /// of magnitude as the baseline (paper: +24%).
 #[test]
 fn max_counter_growth_is_modest() {
-    let base = run_lifetime(Workload::Canneal, Scale::Tiny, None, &lifetime_cfg(Scheme::Morphable));
-    let rmcc = run_lifetime(Workload::Canneal, Scale::Tiny, None, &lifetime_cfg(Scheme::Rmcc));
+    let base = run_lifetime(
+        Workload::Canneal,
+        Scale::Tiny,
+        None,
+        &lifetime_cfg(Scheme::Morphable),
+    );
+    let rmcc = run_lifetime(
+        Workload::Canneal,
+        Scale::Tiny,
+        None,
+        &lifetime_cfg(Scheme::Rmcc),
+    );
     let ratio = rmcc.max_counter as f64 / base.max_counter.max(1) as f64;
     assert!(ratio < 3.0, "RMCC max-counter ratio {ratio} exploded");
 }
@@ -100,6 +135,11 @@ fn max_counter_growth_is_modest() {
 /// Figure 4's premise: huge pages slash TLB misses.
 #[test]
 fn huge_pages_reduce_tlb_misses() {
-    let r = run_lifetime(Workload::Canneal, Scale::Tiny, None, &lifetime_cfg(Scheme::NonSecure));
+    let r = run_lifetime(
+        Workload::Canneal,
+        Scale::Tiny,
+        None,
+        &lifetime_cfg(Scheme::NonSecure),
+    );
     assert!(r.tlb_misses_2m <= r.tlb_misses_4k);
 }

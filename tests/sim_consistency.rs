@@ -21,17 +21,48 @@ fn functional_stats_agree_between_modes() {
         let l = run_lifetime(Workload::Canneal, Scale::Tiny, None, &cfg(scheme));
         let d = run_detailed(Workload::Canneal, Scale::Tiny, None, &cfg(scheme));
         assert_eq!(l.meta.data_reads, d.meta.data_reads, "{scheme}: reads");
-        assert_eq!(l.meta.counter_misses, d.meta.counter_misses, "{scheme}: ctr misses");
-        assert_eq!(l.meta.counter_fetches, d.meta.counter_fetches, "{scheme}: fetches");
+        assert_eq!(
+            l.meta.counter_misses, d.meta.counter_misses,
+            "{scheme}: ctr misses"
+        );
+        assert_eq!(
+            l.meta.counter_fetches, d.meta.counter_fetches,
+            "{scheme}: fetches"
+        );
         assert_eq!(l.meta.relevels_l0, d.meta.relevels_l0, "{scheme}: relevels");
         assert_eq!(l.meta.memo_l0, d.meta.memo_l0, "{scheme}: memo tallies");
     }
 }
 
 #[test]
+fn single_core_multicore_matches_detailed() {
+    // Both timing modes drive the same shared CoreEngine; with one core and
+    // the same placement seed they must be indistinguishable, down to the
+    // functional metadata statistics.
+    for scheme in [Scheme::Morphable, Scheme::Rmcc] {
+        let d = run_detailed(Workload::Canneal, Scale::Tiny, None, &cfg(scheme));
+        let m =
+            rmcc::sim::multicore::run_multicore(Workload::Canneal, Scale::Tiny, 1, &cfg(scheme));
+        assert_eq!(d.meta, m.meta, "{scheme}: metadata stats");
+        assert_eq!(d.elapsed_ps, m.elapsed_ps, "{scheme}: elapsed");
+        assert_eq!(d.instrs, m.instrs, "{scheme}: instrs");
+        assert_eq!(d.llc_misses, m.llc_misses, "{scheme}: LLC misses");
+        assert_eq!(
+            d.mean_miss_latency_ns, m.mean_miss_latency_ns,
+            "{scheme}: miss latency"
+        );
+    }
+}
+
+#[test]
 fn rmcc_and_morphable_see_identical_demand_streams() {
     // RMCC must not change what the *core* asks for — only metadata traffic.
-    let a = run_lifetime(Workload::Omnetpp, Scale::Tiny, None, &cfg(Scheme::Morphable));
+    let a = run_lifetime(
+        Workload::Omnetpp,
+        Scale::Tiny,
+        None,
+        &cfg(Scheme::Morphable),
+    );
     let b = run_lifetime(Workload::Omnetpp, Scale::Tiny, None, &cfg(Scheme::Rmcc));
     assert_eq!(a.accesses, b.accesses);
     assert_eq!(a.llc_misses, b.llc_misses);
@@ -41,7 +72,12 @@ fn rmcc_and_morphable_see_identical_demand_streams() {
 
 #[test]
 fn schemes_are_deterministic_end_to_end() {
-    for scheme in [Scheme::NonSecure, Scheme::Sc64, Scheme::Morphable, Scheme::Rmcc] {
+    for scheme in [
+        Scheme::NonSecure,
+        Scheme::Sc64,
+        Scheme::Morphable,
+        Scheme::Rmcc,
+    ] {
         let a = run_detailed(Workload::Mcf, Scale::Tiny, None, &cfg(scheme));
         let b = run_detailed(Workload::Mcf, Scale::Tiny, None, &cfg(scheme));
         assert_eq!(a, b, "{scheme} must be bit-reproducible");
@@ -50,11 +86,24 @@ fn schemes_are_deterministic_end_to_end() {
 
 #[test]
 fn non_secure_is_fastest_secure_lat_is_higher() {
-    let non = run_detailed(Workload::Canneal, Scale::Tiny, None, &cfg(Scheme::NonSecure));
-    let mo = run_detailed(Workload::Canneal, Scale::Tiny, None, &cfg(Scheme::Morphable));
+    let non = run_detailed(
+        Workload::Canneal,
+        Scale::Tiny,
+        None,
+        &cfg(Scheme::NonSecure),
+    );
+    let mo = run_detailed(
+        Workload::Canneal,
+        Scale::Tiny,
+        None,
+        &cfg(Scheme::Morphable),
+    );
     assert!(mo.elapsed_ps >= non.elapsed_ps);
     assert!(mo.mean_miss_latency_ns >= non.mean_miss_latency_ns);
-    assert!(mo.meta.total_requests > non.meta.total_requests, "metadata traffic must exist");
+    assert!(
+        mo.meta.total_requests > non.meta.total_requests,
+        "metadata traffic must exist"
+    );
 }
 
 #[test]
