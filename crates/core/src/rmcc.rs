@@ -194,6 +194,18 @@ impl Rmcc {
         level < self.cfg.levels
     }
 
+    /// Marks `value`'s memoized AES result at `level` as corrupted (fault
+    /// injection). Returns `true` if live table state was actually hit; the
+    /// next lookup of that value falls back to the full AES path and heals
+    /// the entry (fail-safe memoization). Uncovered levels have no table and
+    /// return `false`.
+    pub fn corrupt_entry(&mut self, level: usize, value: u64) -> bool {
+        if !self.covers_level(level) {
+            return false;
+        }
+        self.levels[level].table.corrupt_entry(value)
+    }
+
     /// Manually seeds a group (tests and warm-started experiments).
     pub fn seed_group(&mut self, level: usize, start: u64) {
         self.levels[level].table.insert_group(start);
@@ -550,6 +562,21 @@ mod tests {
         let mut cb = CounterBlock::new(CounterOrg::Morphable128);
         let out = r.update_counter(1, &mut cb, 0, false).unwrap();
         assert_eq!(out.new_value, 1);
+    }
+
+    #[test]
+    fn corrupted_entry_is_never_served_and_heals() {
+        let mut r = Rmcc::new(RmccConfig::paper());
+        r.seed_group(0, 100);
+        assert_eq!(r.lookup(0, 100), LookupResult::GroupHit);
+        assert!(r.corrupt_entry(0, 100));
+        // Fail-safe: full AES path, counted, never the corrupted result.
+        assert_eq!(r.lookup(0, 100), LookupResult::Miss);
+        assert_eq!(r.table_stats(0).fallbacks, 1);
+        // Healed by the recompute.
+        assert_eq!(r.lookup(0, 100), LookupResult::GroupHit);
+        // Uncovered levels have nothing to corrupt.
+        assert!(!r.corrupt_entry(5, 100));
     }
 
     #[test]

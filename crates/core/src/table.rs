@@ -8,7 +8,7 @@
 //! (default 16 groups × 8 values) so that memoization-aware updates usually
 //! increment counters by exactly one (§IV-C2).
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 /// Table geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,6 +107,10 @@ pub struct TableStats {
     pub misses: u64,
     /// Groups inserted over the table's lifetime.
     pub insertions: u64,
+    /// Lookups that *would* have hit but found a corrupted entry and fell
+    /// back to the full AES path instead (fail-safe memoization). Counted
+    /// inside `misses` as well, since the request pays the miss cost.
+    pub fallbacks: u64,
 }
 
 impl TableStats {
@@ -148,6 +152,11 @@ pub struct MemoizationTable {
     evicted: VecDeque<Group>,
     /// MRU single values (front = most recent).
     mru_values: VecDeque<u64>,
+    /// Values whose memoized AES results are known to be corrupted (fault
+    /// injection / detected SRAM upsets). A poisoned value must never be
+    /// served as a hit: the next lookup falls back to the full AES path,
+    /// recomputes, and thereby heals the entry.
+    poisoned: BTreeSet<u64>,
     stats: TableStats,
 }
 
@@ -160,6 +169,7 @@ impl MemoizationTable {
             groups: Vec::with_capacity(cfg.n_groups),
             evicted: VecDeque::with_capacity(cfg.n_evicted),
             mru_values: VecDeque::with_capacity(cfg.n_mru_values),
+            poisoned: BTreeSet::new(),
             stats: TableStats::default(),
         }
     }
@@ -195,10 +205,37 @@ impl MemoizationTable {
             .any(|g| value >= g.start && value < g.start + self.cfg.group_size)
     }
 
+    /// Marks `value`'s memoized AES result as corrupted (a fault-injection
+    /// hook modeling an SRAM upset in the table). Returns `true` if the
+    /// value was actually memoized — i.e. the corruption hit live state and
+    /// the fail-safe path will be exercised — and `false` if there was
+    /// nothing to corrupt.
+    pub fn corrupt_entry(&mut self, value: u64) -> bool {
+        if self.probe(value) {
+            self.poisoned.insert(value);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Looks up the counter-only result for `value`, updating use counters,
     /// MRU recency, and statistics.
+    ///
+    /// A corrupted entry is never served: the lookup reports a miss (so the
+    /// caller runs the full AES path), drops the bad single-value copy, and
+    /// clears the poison — the recomputed result re-memoizes the value,
+    /// healing the table.
     pub fn lookup(&mut self, value: u64) -> LookupResult {
         let size = self.cfg.group_size;
+        if self.poisoned.remove(&value) {
+            if let Some(pos) = self.mru_values.iter().position(|&v| v == value) {
+                self.mru_values.remove(pos);
+            }
+            self.stats.fallbacks += 1;
+            self.stats.misses += 1;
+            return LookupResult::Miss;
+        }
         if let Some(g) = self
             .groups
             .iter_mut()
@@ -232,14 +269,19 @@ impl MemoizationTable {
     }
 
     /// Peeks whether `value` is memoized without touching any state
-    /// (for policy decisions that shouldn't perturb use counters).
+    /// (for policy decisions that shouldn't perturb use counters). A
+    /// poisoned value reports `false`: its cached result is untrusted.
     pub fn probe(&self, value: u64) -> bool {
-        self.in_live_group(value) || self.mru_values.contains(&value)
+        !self.poisoned.contains(&value)
+            && (self.in_live_group(value) || self.mru_values.contains(&value))
     }
 
     /// The smallest *live-group* value strictly greater than `current` —
     /// the memoization-aware update target. MRU values are deliberately
     /// excluded: their composition churns with every access (§IV-C4).
+    /// Poisoned values are *not* excluded: this picks a counter target, not
+    /// a cached AES result — decryption under the target goes through
+    /// [`MemoizationTable::lookup`], which fails safe.
     pub fn nearest_memoized_above(&self, current: u64) -> Option<u64> {
         let size = self.cfg.group_size;
         self.groups
@@ -513,6 +555,54 @@ mod tests {
         t.insert_group(10);
         assert_eq!(t.stats().insertions, before);
         assert_eq!(t.groups().len(), 1);
+    }
+
+    #[test]
+    fn corrupted_group_entry_falls_back_then_heals() {
+        let mut t = table();
+        t.insert_group(100);
+        assert_eq!(t.lookup(103), LookupResult::GroupHit);
+        assert!(t.corrupt_entry(103), "value is memoized");
+        assert!(!t.probe(103), "corrupted result must not be trusted");
+        // The fail-safe path: a miss (full AES), counted as a fallback.
+        assert_eq!(t.lookup(103), LookupResult::Miss);
+        assert_eq!(t.stats().fallbacks, 1);
+        // The recompute healed the entry; subsequent lookups hit again.
+        assert_eq!(t.lookup(103), LookupResult::GroupHit);
+        assert_eq!(t.stats().fallbacks, 1);
+    }
+
+    #[test]
+    fn corrupted_mru_entry_falls_back() {
+        let mut t = table();
+        for i in 0..17 {
+            t.insert_group(i * 100); // evicts group 0
+        }
+        assert!(!t.in_live_group(0));
+        t.lookup(3); // promote into MRU
+        assert_eq!(t.lookup(3), LookupResult::MruHit);
+        assert!(t.corrupt_entry(3));
+        assert_eq!(t.lookup(3), LookupResult::Miss);
+        assert_eq!(t.stats().fallbacks, 1);
+    }
+
+    #[test]
+    fn corrupting_unmemoized_value_is_inert() {
+        let mut t = table();
+        t.insert_group(100);
+        assert!(!t.corrupt_entry(99_999));
+        assert_eq!(t.lookup(99_999), LookupResult::Miss);
+        assert_eq!(t.stats().fallbacks, 0);
+    }
+
+    #[test]
+    fn poison_does_not_block_update_targets() {
+        let mut t = table();
+        t.insert_group(100);
+        assert!(t.corrupt_entry(101));
+        // Counter-target selection still walks the group (it never serves
+        // the cached AES result); only lookup-side use is gated.
+        assert_eq!(t.nearest_memoized_above(100), Some(101));
     }
 
     #[test]

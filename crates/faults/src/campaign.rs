@@ -1,0 +1,187 @@
+//! Seeded fault campaigns: fire thousands of faults, tally per-class
+//! outcomes, and render a grep-able report.
+//!
+//! A campaign is fully determined by its [`CampaignConfig`] — same seed,
+//! same faults, same outcomes — so a CI failure reproduces locally with a
+//! one-line command.
+
+use rmcc_secmem::counters::CounterOrg;
+use rmcc_secmem::engine::PipelineKind;
+
+use crate::inject::{FaultHarness, FaultKind, FaultOutcome};
+
+/// Everything that determines a campaign run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// RNG seed; also seeds the memory's keys.
+    pub seed: u64,
+    /// Number of faults to inject.
+    pub faults: u64,
+    /// Counter organization under attack.
+    pub org: CounterOrg,
+    /// OTP pipeline under attack.
+    pub pipeline: PipelineKind,
+    /// Warm victim blocks.
+    pub working_set: u64,
+    /// Protected capacity in bytes.
+    pub data_bytes: u64,
+}
+
+impl CampaignConfig {
+    /// A sensible default campaign over `org` × `pipeline`: 1000 faults on
+    /// 64 warm blocks of a 4 MB memory, seed `0x52_4d_43_43` (`"RMCC"`).
+    pub fn new(org: CounterOrg, pipeline: PipelineKind) -> Self {
+        CampaignConfig {
+            seed: 0x524d_4343,
+            faults: 1_000,
+            org,
+            pipeline,
+            working_set: 64,
+            data_bytes: 1 << 22,
+        }
+    }
+}
+
+/// Outcome tally for one fault class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindTally {
+    /// Faults injected.
+    pub injected: u64,
+    /// Detected as a typed `ReadError`.
+    pub detected: u64,
+    /// Absorbed by a fail-safe fallback with correct plaintext.
+    pub fail_safe: u64,
+    /// Yielded silently wrong plaintext (must stay zero).
+    pub silent: u64,
+}
+
+/// What a campaign observed, per fault class and in total.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The configuration that produced this report.
+    pub config: CampaignConfig,
+    /// Tallies parallel to [`FaultKind::ALL`].
+    pub tallies: [KindTally; FaultKind::ALL.len()],
+    /// Whether every victim block read back byte-identical to its last
+    /// write once the campaign finished.
+    pub final_state_intact: bool,
+    /// RMCC fail-safe fallbacks counted by the memoization table.
+    pub table_fallbacks: u64,
+}
+
+impl CampaignReport {
+    /// Tally for one fault class.
+    pub fn tally(&self, kind: FaultKind) -> KindTally {
+        let i = FaultKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("kind is in ALL");
+        self.tallies[i]
+    }
+
+    /// Total faults injected.
+    pub fn total_injected(&self) -> u64 {
+        self.tallies.iter().map(|t| t.injected).sum()
+    }
+
+    /// Total silent plaintext corruptions (the invariant: always zero).
+    pub fn silent_corruptions(&self) -> u64 {
+        self.tallies.iter().map(|t| t.silent).sum()
+    }
+
+    /// Whether every integrity-affecting fault was detected as an error.
+    pub fn all_integrity_faults_detected(&self) -> bool {
+        FaultKind::ALL
+            .iter()
+            .filter(|k| k.integrity_affecting())
+            .all(|&k| {
+                let t = self.tally(k);
+                t.detected == t.injected
+            })
+    }
+}
+
+impl std::fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = &self.config;
+        writeln!(
+            f,
+            "fault campaign: org={} pipeline={:?} seed={:#x} faults={}",
+            c.org, c.pipeline, c.seed, c.faults
+        )?;
+        for (kind, t) in FaultKind::ALL.iter().zip(self.tallies.iter()) {
+            writeln!(
+                f,
+                "  {:<18} injected {:>6}  detected {:>6}  fail-safe {:>6}  silent {}",
+                kind.label(),
+                t.injected,
+                t.detected,
+                t.fail_safe,
+                t.silent
+            )?;
+        }
+        writeln!(f, "  table fallbacks: {}", self.table_fallbacks)?;
+        writeln!(f, "  final state intact: {}", self.final_state_intact)?;
+        write!(f, "  silent corruptions: {}", self.silent_corruptions())
+    }
+}
+
+/// Runs one seeded campaign to completion.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let mut harness = FaultHarness::new(
+        cfg.org,
+        cfg.pipeline,
+        cfg.seed,
+        cfg.working_set,
+        cfg.data_bytes,
+    );
+    let mut tallies = [KindTally::default(); FaultKind::ALL.len()];
+    for _ in 0..cfg.faults {
+        let (kind, outcome) = harness.inject_random();
+        let i = FaultKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("kind is in ALL");
+        let t = &mut tallies[i];
+        t.injected += 1;
+        match outcome {
+            FaultOutcome::Detected(_) => t.detected += 1,
+            FaultOutcome::FailSafe => t.fail_safe += 1,
+            FaultOutcome::SilentCorruption => t.silent += 1,
+        }
+    }
+    let final_state_intact = harness.verify_all();
+    CampaignReport {
+        config: *cfg,
+        tallies,
+        final_state_intact,
+        table_fallbacks: harness.rmcc().table_stats(0).fallbacks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_is_clean_and_deterministic() {
+        let mut cfg = CampaignConfig::new(CounterOrg::Morphable128, PipelineKind::Rmcc);
+        cfg.faults = 120;
+        let a = run_campaign(&cfg);
+        let b = run_campaign(&cfg);
+        assert_eq!(a.tallies, b.tallies, "same seed, same outcomes");
+        assert_eq!(a.silent_corruptions(), 0);
+        assert!(a.all_integrity_faults_detected());
+        assert!(a.final_state_intact);
+        assert_eq!(a.total_injected(), 120);
+    }
+
+    #[test]
+    fn report_prints_grepable_invariant_lines() {
+        let mut cfg = CampaignConfig::new(CounterOrg::Sc64, PipelineKind::Sgx);
+        cfg.faults = 60;
+        let text = run_campaign(&cfg).to_string();
+        assert!(text.contains("silent corruptions: 0"), "{text}");
+        assert!(text.contains("final state intact: true"), "{text}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Deterministic fault injection for the RMCC reproduction.
+//!
+//! The paper's whole claim is that the memoized OTP path is *exactly* as
+//! safe as the full counter-mode AES + MAC + integrity-tree path (§II,
+//! §IV-D). This crate turns that claim into a machine-checked invariant by
+//! injecting seeded, reproducible faults at every boundary the threat model
+//! names and classifying what the stack does with each one:
+//!
+//! * [`inject`] — the [`inject::FaultHarness`]: one secure memory + RMCC
+//!   engine + plaintext shadow copy, with a constructor for every
+//!   [`inject::FaultKind`] the threat model covers (ciphertext bit flips,
+//!   MAC forgery, counter rollback, full-block replay, dropped writebacks,
+//!   memoization-table corruption, counter saturation).
+//! * [`campaign`] — a seeded campaign driver that fires thousands of
+//!   faults across counter organizations and pipelines and tallies the
+//!   outcome per fault class.
+//!
+//! The invariant that matters, asserted by the campaign tests: **every
+//! integrity-affecting fault is detected as a `ReadError`, and no fault
+//! ever yields silently wrong plaintext.**
+//!
+//! # Example
+//!
+//! ```
+//! use rmcc_faults::campaign::{run_campaign, CampaignConfig};
+//! use rmcc_secmem::counters::CounterOrg;
+//! use rmcc_secmem::engine::PipelineKind;
+//!
+//! let mut cfg = CampaignConfig::new(CounterOrg::Morphable128, PipelineKind::Rmcc);
+//! cfg.faults = 50;
+//! let report = run_campaign(&cfg);
+//! assert_eq!(report.silent_corruptions(), 0);
+//! assert!(report.all_integrity_faults_detected());
+//! assert!(report.final_state_intact);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod inject;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, KindTally};
+pub use inject::{FaultHarness, FaultKind, FaultOutcome, FaultRng};

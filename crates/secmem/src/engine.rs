@@ -11,9 +11,10 @@
 use std::collections::HashMap;
 
 use rmcc_crypto::mac::{compute_mac, verify_mac, xor_with_pads, DataBlock, MacKeys};
-use rmcc_crypto::otp::{KeySet, OtpPipeline, RmccOtp, SgxOtp};
+use rmcc_crypto::otp::{KeySet, OtpPipeline, RmccOtp, SgxOtp, COUNTER_MAX};
 
 use crate::counters::{CounterBlock, CounterOrg};
+use crate::layout::{LayoutError, MetadataLayout, BLOCK_BYTES};
 use crate::tree::{InitPolicy, MetadataState};
 
 /// Chooses counter targets on writes — the seam where RMCC's
@@ -81,6 +82,92 @@ impl std::fmt::Display for ReadError {
 
 impl std::error::Error for ReadError {}
 
+/// Why a secure write was refused.
+///
+/// A refused write is fail-safe with respect to data: the old ciphertext and
+/// MAC images are untouched, so every previously written block still reads
+/// back byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteError {
+    /// The write addressed state outside the configured layout.
+    Layout(LayoutError),
+    /// The counter the write must raise has no room left in the 56-bit
+    /// counter space; proceeding would reuse a (block, counter) pair and
+    /// break OTP security. Real hardware renews keys and re-encrypts all of
+    /// memory at this point (§IV-D2); this engine refuses the write instead.
+    CounterSaturated {
+        /// The saturated counter's current value.
+        counter: u64,
+    },
+}
+
+impl From<LayoutError> for WriteError {
+    fn from(e: LayoutError) -> Self {
+        WriteError::Layout(e)
+    }
+}
+
+impl std::fmt::Display for WriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WriteError::Layout(e) => write!(f, "write rejected: {e}"),
+            WriteError::CounterSaturated { counter } => {
+                write!(
+                    f,
+                    "counter at {counter} cannot advance within the 56-bit space; \
+                     key renewal required"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WriteError {}
+
+/// Why an attacker-interface operation (tamper / snapshot / replay / forge)
+/// could not be performed. These report on the *untrusted image*, so they
+/// say nothing about security — only that there was no stored state at the
+/// requested location to manipulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TamperError {
+    /// The data block has no stored ciphertext image.
+    UnwrittenBlock {
+        /// The data block index.
+        block: u64,
+    },
+    /// The metadata node has no stored image (never written back) or lies
+    /// outside the layout entirely.
+    MissingNode {
+        /// The in-memory tree level.
+        level: usize,
+        /// The node index at that level.
+        index: u64,
+    },
+    /// The byte offset is beyond the 64 B block.
+    OffsetOutOfRange {
+        /// The offending byte offset.
+        byte: usize,
+    },
+}
+
+impl std::fmt::Display for TamperError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TamperError::UnwrittenBlock { block } => {
+                write!(f, "data block {block} has no stored image to manipulate")
+            }
+            TamperError::MissingNode { level, index } => {
+                write!(f, "no stored node image at level {level}, index {index}")
+            }
+            TamperError::OffsetOutOfRange { byte } => {
+                write!(f, "byte offset {byte} beyond the 64 B block")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TamperError {}
+
 /// Which OTP pipeline the engine uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PipelineKind {
@@ -114,6 +201,24 @@ pub struct ReplaySnapshot {
     l0: StoredNode,
 }
 
+/// A captured untrusted image of one metadata node — the raw material for a
+/// counter-rollback attack ([`SecureMemory::replay_node`]).
+#[derive(Debug, Clone)]
+pub struct NodeSnapshot {
+    level: usize,
+    index: u64,
+    node: StoredNode,
+}
+
+/// A captured untrusted image of one data block's (ciphertext, MAC) pair —
+/// the raw material for a dropped-writeback attack
+/// ([`SecureMemory::restore_data`]).
+#[derive(Debug, Clone, Copy)]
+pub struct DataSnapshot {
+    block: u64,
+    data: StoredData,
+}
+
 /// Serializes a counter block into the 64 B image the MAC covers. This is a
 /// digest of the architectural state rather than the exact wire format —
 /// collision-free for all practical purposes, and any change to any counter
@@ -142,7 +247,7 @@ fn node_image(cb: &CounterBlock) -> DataBlock {
 /// use rmcc_secmem::engine::{PipelineKind, SecureMemory};
 ///
 /// let mut mem = SecureMemory::new(CounterOrg::Morphable128, 1 << 24, PipelineKind::Rmcc, 42);
-/// mem.write(7, [0xabu8; 64]);
+/// mem.write(7, [0xabu8; 64]).unwrap();
 /// assert_eq!(mem.read(7).unwrap(), [0xabu8; 64]);
 /// ```
 pub struct SecureMemory {
@@ -218,13 +323,29 @@ impl SecureMemory {
     /// Encrypts `plaintext` and stores it as data block `block`, raising the
     /// block's counter according to the policy and keeping the tree image
     /// consistent.
-    pub fn write(&mut self, block: u64, plaintext: DataBlock) {
+    ///
+    /// # Errors
+    ///
+    /// * [`WriteError::Layout`] if `block` is beyond the protected capacity.
+    /// * [`WriteError::CounterSaturated`] if the block's counter cannot
+    ///   advance within the 56-bit space (key-renewal territory, §IV-D2).
+    ///
+    /// Both refusals happen *before* any state is mutated: previously
+    /// written blocks remain readable and byte-identical.
+    pub fn write(&mut self, block: u64, plaintext: DataBlock) -> Result<(), WriteError> {
+        self.meta.layout().check_data_block(block)?;
         let current = self.meta.data_counter(block);
         let target = self.policy.bump(current);
         assert!(target > current, "policy must increase the counter");
+        if target > COUNTER_MAX {
+            return Err(WriteError::CounterSaturated { counter: current });
+        }
         if let Err(overflow) = self.meta.write_data_counter(block, target) {
             let relevel_to = self.policy.relevel_target(overflow.min_relevel_target);
             assert!(relevel_to >= overflow.min_relevel_target);
+            if relevel_to > COUNTER_MAX {
+                return Err(WriteError::CounterSaturated { counter: current });
+            }
             let idx = self.meta.layout().l0_index(block);
             // Recover the plaintexts of every covered, already-written block
             // *before* the relevel erases their old counters.
@@ -258,7 +379,7 @@ impl SecureMemory {
         self.data.insert(block, StoredData { cipher, mac });
         // The L0 counter block changed: publish its new image up the tree.
         let idx = self.meta.layout().l0_index(block);
-        self.publish_node(0, idx);
+        self.publish_node(0, idx)
     }
 
     // --- read path ------------------------------------------------------
@@ -328,14 +449,25 @@ impl SecureMemory {
     /// Writes node (`level`, `idx`)'s current state out to the untrusted
     /// image, bumping its protecting counter and re-MACing ancestors as
     /// needed (write-through tree maintenance).
-    fn publish_node(&mut self, level: usize, idx: u64) {
+    ///
+    /// # Errors
+    ///
+    /// * [`WriteError::Layout`] if `(level, idx)` is outside the tree — a
+    ///   layout bug that must surface, never alias to another node.
+    /// * [`WriteError::CounterSaturated`] if a protecting counter has no
+    ///   room left in the 56-bit space.
+    fn publish_node(&mut self, level: usize, idx: u64) -> Result<(), WriteError> {
         let depth = self.meta.layout().depth();
+        let (parent_level, parent_idx) = self.meta.layout().parent_loc(level, idx)?;
         let current = self.meta.node_counter(level, idx);
-        let target = current + 1;
-        if let Err(overflow) = self.meta.write_node_counter(level, idx, target) {
+        if current >= COUNTER_MAX {
+            return Err(WriteError::CounterSaturated { counter: current });
+        }
+        if let Err(overflow) = self.meta.write_node_counter(level, idx, current + 1) {
             // Parent relevel: every sibling node image must be re-MACed.
-            let parent_level = level + 1;
-            let parent_idx = self.meta.layout().parent_index(level, idx).unwrap_or(0);
+            if overflow.min_relevel_target > COUNTER_MAX {
+                return Err(WriteError::CounterSaturated { counter: current });
+            }
             self.meta
                 .relevel(parent_level, parent_idx, overflow.min_relevel_target);
             let arity = self.meta.org().tree_arity() as u64;
@@ -350,14 +482,10 @@ impl SecureMemory {
         self.refresh_node_mac(level, idx);
         // The parent's state changed (its counters moved): publish it too,
         // unless the parent is the on-chip root.
-        if level + 1 < depth {
-            let parent_idx = self
-                .meta
-                .layout()
-                .parent_index(level, idx)
-                .expect("not root");
-            self.publish_node(level + 1, parent_idx);
+        if parent_level < depth {
+            self.publish_node(parent_level, parent_idx)?;
         }
+        Ok(())
     }
 
     /// Recomputes the stored MAC for node (`level`, `idx`) from its current
@@ -373,63 +501,196 @@ impl SecureMemory {
     }
 
     // --- attacker interface ------------------------------------------------
+    //
+    // Everything below manipulates only the *untrusted* memory image (stored
+    // ciphertexts, MACs, and node images) — exactly what an adversary with
+    // bus access controls. The trusted on-chip state (counter tree root,
+    // keys) is never touched; that asymmetry is the defense.
+
+    /// The address/coverage layout in use (attackers know the layout).
+    pub fn layout(&self) -> &MetadataLayout {
+        self.meta.layout()
+    }
+
+    /// The Observed-System-Max register value (§IV-D2) — an upper bound on
+    /// every data counter in the system.
+    pub fn observed_max(&self) -> u64 {
+        self.meta.max_observed()
+    }
 
     /// Flips bits in the stored ciphertext of `block` (physical tampering).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the block was never written.
-    pub fn tamper_data(&mut self, block: u64, byte: usize, mask: u8) {
+    /// [`TamperError::UnwrittenBlock`] if the block has no stored image;
+    /// [`TamperError::OffsetOutOfRange`] if `byte` is past the block.
+    pub fn tamper_data(&mut self, block: u64, byte: usize, mask: u8) -> Result<(), TamperError> {
+        if byte >= BLOCK_BYTES as usize {
+            return Err(TamperError::OffsetOutOfRange { byte });
+        }
         let stored = self
             .data
             .get_mut(&block)
-            .expect("block must exist to tamper");
+            .ok_or(TamperError::UnwrittenBlock { block })?;
         stored.cipher[byte] ^= mask;
+        Ok(())
     }
 
     /// Corrupts the stored MAC of `block`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the block was never written.
-    pub fn tamper_mac(&mut self, block: u64, mask: u64) {
+    /// [`TamperError::UnwrittenBlock`] if the block has no stored image.
+    pub fn tamper_mac(&mut self, block: u64, mask: u64) -> Result<(), TamperError> {
         let stored = self
             .data
             .get_mut(&block)
-            .expect("block must exist to tamper");
+            .ok_or(TamperError::UnwrittenBlock { block })?;
         stored.mac ^= mask;
+        Ok(())
     }
 
     /// Captures everything needed to replay `block` later: its ciphertext,
     /// MAC, and the covering counter-block image.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the block was never written.
-    pub fn snapshot(&self, block: u64) -> ReplaySnapshot {
-        let l0_idx = block / self.meta.layout().org().coverage() as u64;
-        ReplaySnapshot {
+    /// [`TamperError::UnwrittenBlock`] if the block has no stored image;
+    /// [`TamperError::MissingNode`] if its counter block was never written
+    /// back (nothing on the bus to capture).
+    pub fn snapshot(&self, block: u64) -> Result<ReplaySnapshot, TamperError> {
+        let l0_idx = self.meta.layout().l0_index(block);
+        Ok(ReplaySnapshot {
             block,
-            data: *self.data.get(&block).expect("block must exist to snapshot"),
+            data: *self
+                .data
+                .get(&block)
+                .ok_or(TamperError::UnwrittenBlock { block })?,
             l0: self
                 .nodes
                 .get(&(0, l0_idx))
-                .expect("counter image must exist")
+                .ok_or(TamperError::MissingNode {
+                    level: 0,
+                    index: l0_idx,
+                })?
                 .clone(),
-        }
+        })
     }
 
     /// Replays a snapshot: restores the stale ciphertext, MAC, *and* the
     /// stale counter-block image consistently — the strongest replay an
     /// attacker with full bus access can mount. The integrity tree catches
     /// it because the L1 counter has moved on.
-    pub fn replay(&mut self, snapshot: &ReplaySnapshot) {
+    ///
+    /// # Errors
+    ///
+    /// [`TamperError::MissingNode`] if the snapshot's counter block lies
+    /// outside this memory's layout (snapshot from an incompatible memory).
+    pub fn replay(&mut self, snapshot: &ReplaySnapshot) -> Result<(), TamperError> {
+        let l0_idx = self.meta.layout().l0_index(snapshot.block);
+        if l0_idx >= self.meta.layout().level_count(0) {
+            return Err(TamperError::MissingNode {
+                level: 0,
+                index: l0_idx,
+            });
+        }
         self.data.insert(snapshot.block, snapshot.data);
-        let l0_idx = snapshot.block / self.meta.layout().org().coverage() as u64;
         self.nodes.insert((0, l0_idx), snapshot.l0.clone());
         // The attacker also rolls back the MC's decoded view of the counter
         // (they control the bus, so the MC will decode the stale image).
         // The trusted tree state is NOT rolled back — that is the defense.
+        Ok(())
+    }
+
+    /// Captures the untrusted image of metadata node (`level`, `index`) —
+    /// counter-image rollback raw material.
+    ///
+    /// # Errors
+    ///
+    /// [`TamperError::MissingNode`] if the node has no stored image.
+    pub fn snapshot_node(&self, level: usize, index: u64) -> Result<NodeSnapshot, TamperError> {
+        Ok(NodeSnapshot {
+            level,
+            index,
+            node: self
+                .nodes
+                .get(&(level, index))
+                .ok_or(TamperError::MissingNode { level, index })?
+                .clone(),
+        })
+    }
+
+    /// Restores a stale node image — a counter-image rollback. The node's
+    /// protecting counter (in its parent, or the on-chip root) has moved on,
+    /// so subsequent reads under this node fail tree verification.
+    pub fn replay_node(&mut self, snapshot: &NodeSnapshot) {
+        self.nodes
+            .insert((snapshot.level, snapshot.index), snapshot.node.clone());
+    }
+
+    /// Overwrites the stored image of node (`level`, `index`) with a forged
+    /// counter block whose every slot reads `value` — e.g. the 56-bit
+    /// [`COUNTER_MAX`] bound, probing for saturation-handling bugs. The old
+    /// MAC is kept (or zero for never-written nodes): the attacker cannot
+    /// compute a valid MAC for the forged image.
+    ///
+    /// # Errors
+    ///
+    /// [`TamperError::MissingNode`] if `(level, index)` is outside the tree.
+    pub fn forge_node_counters(
+        &mut self,
+        level: usize,
+        index: u64,
+        value: u64,
+    ) -> Result<(), TamperError> {
+        let layout = self.meta.layout();
+        if level >= layout.depth() || index >= layout.level_count(level) {
+            return Err(TamperError::MissingNode { level, index });
+        }
+        let org = self.meta.org();
+        let forged = CounterBlock::with_state(org, value, vec![0; org.coverage()]);
+        let mac = self.nodes.get(&(level, index)).map_or(0, |n| n.mac);
+        self.nodes
+            .insert((level, index), StoredNode { state: forged, mac });
+        Ok(())
+    }
+
+    /// Captures the stored (ciphertext, MAC) pair of `block` — the bus image
+    /// an attacker sees before suppressing a writeback.
+    ///
+    /// # Errors
+    ///
+    /// [`TamperError::UnwrittenBlock`] if the block has no stored image.
+    pub fn data_snapshot(&self, block: u64) -> Result<DataSnapshot, TamperError> {
+        Ok(DataSnapshot {
+            block,
+            data: *self
+                .data
+                .get(&block)
+                .ok_or(TamperError::UnwrittenBlock { block })?,
+        })
+    }
+
+    /// Restores a stale data image *without* the counter image — models a
+    /// dropped/suppressed data writeback: the counter advanced, the data
+    /// did not. The stale ciphertext no longer verifies under the advanced
+    /// counter.
+    pub fn restore_data(&mut self, snapshot: &DataSnapshot) {
+        self.data.insert(snapshot.block, snapshot.data);
+    }
+
+    /// Discards the stored image of `block` entirely — a dropped initial
+    /// writeback. A subsequent read finds nothing to verify and reports
+    /// [`ReadError::Unwritten`].
+    ///
+    /// # Errors
+    ///
+    /// [`TamperError::UnwrittenBlock`] if there was no image to drop.
+    pub fn drop_stored(&mut self, block: u64) -> Result<(), TamperError> {
+        self.data
+            .remove(&block)
+            .map(|_| ())
+            .ok_or(TamperError::UnwrittenBlock { block })
     }
 }
 
@@ -446,7 +707,7 @@ mod tests {
         for kind in [PipelineKind::Sgx, PipelineKind::Rmcc] {
             let mut m = mem(kind);
             let pt = [0x5au8; 64];
-            m.write(3, pt);
+            m.write(3, pt).unwrap();
             assert_eq!(m.read(3).unwrap(), pt, "{:?}", kind);
         }
     }
@@ -454,9 +715,9 @@ mod tests {
     #[test]
     fn rewrite_changes_counter_and_still_roundtrips() {
         let mut m = mem(PipelineKind::Rmcc);
-        m.write(3, [1u8; 64]);
+        m.write(3, [1u8; 64]).unwrap();
         let c1 = m.counter_of(3);
-        m.write(3, [2u8; 64]);
+        m.write(3, [2u8; 64]).unwrap();
         let c2 = m.counter_of(3);
         assert!(c2 > c1);
         assert_eq!(m.read(3).unwrap(), [2u8; 64]);
@@ -471,26 +732,26 @@ mod tests {
     #[test]
     fn data_tampering_detected() {
         let mut m = mem(PipelineKind::Rmcc);
-        m.write(5, [7u8; 64]);
-        m.tamper_data(5, 17, 0x40);
+        m.write(5, [7u8; 64]).unwrap();
+        m.tamper_data(5, 17, 0x40).unwrap();
         assert_eq!(m.read(5), Err(ReadError::DataTampered { block: 5 }));
     }
 
     #[test]
     fn mac_tampering_detected() {
         let mut m = mem(PipelineKind::Sgx);
-        m.write(5, [7u8; 64]);
-        m.tamper_mac(5, 1);
+        m.write(5, [7u8; 64]).unwrap();
+        m.tamper_mac(5, 1).unwrap();
         assert_eq!(m.read(5), Err(ReadError::DataTampered { block: 5 }));
     }
 
     #[test]
     fn replay_attack_detected_by_tree() {
         let mut m = mem(PipelineKind::Rmcc);
-        m.write(5, [0x11u8; 64]);
-        let stale = m.snapshot(5);
-        m.write(5, [9u8; 64]); // victim updates the block
-        m.replay(&stale); // attacker restores old cipher+mac+counter image
+        m.write(5, [0x11u8; 64]).unwrap();
+        let stale = m.snapshot(5).unwrap();
+        m.write(5, [9u8; 64]).unwrap(); // victim updates the block
+        m.replay(&stale).unwrap(); // attacker restores old cipher+mac+counter image
         let err = m.read(5).unwrap_err();
         assert!(
             matches!(err, ReadError::MetadataTampered { level: 0 }),
@@ -501,9 +762,9 @@ mod tests {
     #[test]
     fn sibling_blocks_unaffected_by_writes() {
         let mut m = mem(PipelineKind::Rmcc);
-        m.write(0, [1u8; 64]);
-        m.write(1, [2u8; 64]);
-        m.write(0, [3u8; 64]);
+        m.write(0, [1u8; 64]).unwrap();
+        m.write(1, [2u8; 64]).unwrap();
+        m.write(0, [3u8; 64]).unwrap();
         assert_eq!(m.read(1).unwrap(), [2u8; 64]);
         assert_eq!(m.read(0).unwrap(), [3u8; 64]);
     }
@@ -515,11 +776,131 @@ mod tests {
             let mut pt = [0u8; 64];
             pt[0] = b as u8;
             pt[63] = (b >> 8) as u8;
-            m.write(b * 17 % 4096, pt);
+            m.write(b * 17 % 4096, pt).unwrap();
         }
         for b in (0..300u64).rev() {
             let got = m.read(b * 17 % 4096).unwrap();
             assert_eq!(got[0], b as u8);
         }
+    }
+
+    #[test]
+    fn tampering_unwritten_state_reports_errors_not_panics() {
+        let mut m = mem(PipelineKind::Rmcc);
+        assert_eq!(
+            m.tamper_data(9, 0, 1),
+            Err(TamperError::UnwrittenBlock { block: 9 })
+        );
+        assert_eq!(
+            m.tamper_mac(9, 1),
+            Err(TamperError::UnwrittenBlock { block: 9 })
+        );
+        assert!(m.snapshot(9).is_err());
+        assert!(m.snapshot_node(0, 0).is_err());
+        assert!(m.data_snapshot(9).is_err());
+        assert_eq!(
+            m.drop_stored(9),
+            Err(TamperError::UnwrittenBlock { block: 9 })
+        );
+        m.write(9, [1u8; 64]).unwrap();
+        assert_eq!(
+            m.tamper_data(9, 64, 1),
+            Err(TamperError::OffsetOutOfRange { byte: 64 })
+        );
+    }
+
+    #[test]
+    fn out_of_capacity_write_is_a_layout_error() {
+        let mut m = mem(PipelineKind::Rmcc);
+        let capacity = m.layout().data_blocks();
+        let err = m.write(capacity, [0u8; 64]).unwrap_err();
+        assert_eq!(
+            err,
+            WriteError::Layout(LayoutError::DataBlockOutOfRange {
+                block: capacity,
+                capacity,
+            })
+        );
+    }
+
+    #[test]
+    fn counter_rollback_via_node_snapshot_detected() {
+        let mut m = mem(PipelineKind::Rmcc);
+        m.write(5, [1u8; 64]).unwrap();
+        let l0 = m.layout().l0_index(5);
+        let stale = m.snapshot_node(0, l0).unwrap();
+        m.write(5, [2u8; 64]).unwrap();
+        m.replay_node(&stale);
+        assert_eq!(m.read(5), Err(ReadError::MetadataTampered { level: 0 }));
+        // Rewriting republishes a fresh image; the block recovers.
+        m.write(5, [3u8; 64]).unwrap();
+        assert_eq!(m.read(5).unwrap(), [3u8; 64]);
+    }
+
+    #[test]
+    fn dropped_data_writeback_detected() {
+        let mut m = mem(PipelineKind::Rmcc);
+        m.write(5, [1u8; 64]).unwrap();
+        let stale = m.data_snapshot(5).unwrap();
+        m.write(5, [2u8; 64]).unwrap();
+        m.restore_data(&stale); // the new data writeback never landed
+        assert_eq!(m.read(5), Err(ReadError::DataTampered { block: 5 }));
+    }
+
+    #[test]
+    fn dropped_initial_writeback_reads_unwritten() {
+        let mut m = mem(PipelineKind::Rmcc);
+        m.write(5, [1u8; 64]).unwrap();
+        m.drop_stored(5).unwrap();
+        assert_eq!(m.read(5), Err(ReadError::Unwritten { block: 5 }));
+    }
+
+    #[test]
+    fn forged_counter_image_at_max_detected_without_panic() {
+        let mut m = mem(PipelineKind::Rmcc);
+        m.write(5, [1u8; 64]).unwrap();
+        let l0 = m.layout().l0_index(5);
+        for forged in [m.observed_max() + 1, COUNTER_MAX] {
+            m.forge_node_counters(0, l0, forged).unwrap();
+            assert_eq!(m.read(5), Err(ReadError::MetadataTampered { level: 0 }));
+        }
+        // Outside the tree: error, not panic or aliasing.
+        let depth = m.layout().depth();
+        assert_eq!(
+            m.forge_node_counters(depth, 0, 1),
+            Err(TamperError::MissingNode {
+                level: depth,
+                index: 0
+            })
+        );
+    }
+
+    /// A policy that jumps straight to the 56-bit bound to probe saturation.
+    struct SaturatingPolicy;
+    impl CounterUpdatePolicy for SaturatingPolicy {
+        fn bump(&mut self, current: u64) -> u64 {
+            (current + 1).max(COUNTER_MAX + 1)
+        }
+        fn relevel_target(&mut self, min_target: u64) -> u64 {
+            min_target
+        }
+    }
+
+    #[test]
+    fn saturated_counter_fails_write_safely() {
+        let mut m = mem(PipelineKind::Rmcc);
+        m.write(5, [1u8; 64]).unwrap();
+        let mut sat = SecureMemory::with_policy(
+            CounterOrg::Morphable128,
+            1 << 24,
+            PipelineKind::Rmcc,
+            99,
+            Box::new(SaturatingPolicy),
+        );
+        // First write under the saturating policy is refused up front…
+        let err = sat.write(5, [2u8; 64]).unwrap_err();
+        assert!(matches!(err, WriteError::CounterSaturated { .. }));
+        // …and refusal is fail-safe: nothing was stored, nothing corrupted.
+        assert_eq!(sat.read(5), Err(ReadError::Unwritten { block: 5 }));
     }
 }

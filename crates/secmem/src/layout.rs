@@ -16,6 +16,43 @@ use crate::counters::CounterOrg;
 /// Bytes per memory block / cache line.
 pub const BLOCK_BYTES: u64 = 64;
 
+/// A request addressed state outside the configured layout — always a bug
+/// in the caller (or injected corruption), never a recoverable condition of
+/// the memory itself, so it must surface as an error rather than silently
+/// aliasing to some in-range location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutError {
+    /// A data-block index at or beyond the protected capacity.
+    DataBlockOutOfRange {
+        /// The offending data-block index.
+        block: u64,
+        /// Protected capacity in 64 B blocks.
+        capacity: u64,
+    },
+    /// A metadata-node coordinate outside the tree.
+    NodeOutOfRange {
+        /// The in-memory level addressed.
+        level: usize,
+        /// The node index addressed.
+        index: u64,
+    },
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::DataBlockOutOfRange { block, capacity } => {
+                write!(f, "data block {block} beyond capacity of {capacity} blocks")
+            }
+            LayoutError::NodeOutOfRange { level, index } => {
+                write!(f, "no metadata node at level {level}, index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
 /// Address-space layout for one counter organization.
 ///
 /// # Examples
@@ -139,6 +176,50 @@ impl MetadataLayout {
         }
     }
 
+    /// The *storage* coordinates `(level, index)` of the counter block
+    /// protecting node `index` at `level` — for the top in-memory level that
+    /// is the on-chip root block, stored at `(depth(), 0)`.
+    ///
+    /// Unlike [`MetadataLayout::parent_index`], this validates the child
+    /// coordinate: an out-of-layout node has no parent, and asking for one
+    /// is a layout bug that surfaces as [`LayoutError::NodeOutOfRange`]
+    /// instead of silently aliasing to index 0.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::NodeOutOfRange`] when `(level, index)` is not a node
+    /// of this layout.
+    pub fn parent_loc(&self, level: usize, index: u64) -> Result<(usize, u64), LayoutError> {
+        if level >= self.depth() || index >= self.level_counts[level] {
+            return Err(LayoutError::NodeOutOfRange { level, index });
+        }
+        Ok(match self.parent_index(level, index) {
+            Some(p) => (level + 1, p),
+            None => (self.depth(), 0),
+        })
+    }
+
+    /// Protected capacity in 64 B data blocks.
+    pub fn data_blocks(&self) -> u64 {
+        self.data_bytes / BLOCK_BYTES
+    }
+
+    /// Validates that `data_block` lies within the protected capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::DataBlockOutOfRange`] when it does not.
+    pub fn check_data_block(&self, data_block: u64) -> Result<(), LayoutError> {
+        if data_block < self.data_blocks() {
+            Ok(())
+        } else {
+            Err(LayoutError::DataBlockOutOfRange {
+                block: data_block,
+                capacity: self.data_blocks(),
+            })
+        }
+    }
+
     /// The slot within the parent (on-chip root included) that holds the
     /// counter of node `index` at `level`.
     pub fn parent_slot(&self, index: u64) -> usize {
@@ -229,6 +310,48 @@ mod tests {
         }
         assert_eq!(hops, l.depth() - 1);
         assert!(l.parent_slot(idx) < l.org().tree_arity());
+    }
+
+    #[test]
+    fn parent_loc_matches_parent_index_and_maps_root() {
+        let l = MetadataLayout::new(CounterOrg::Morphable128, 128 << 30);
+        // Interior node: same answer as parent_index, one level up.
+        assert_eq!(
+            l.parent_loc(0, 129),
+            Ok((1, l.parent_index(0, 129).unwrap()))
+        );
+        // Top in-memory level: parent is the on-chip root block.
+        assert_eq!(l.parent_loc(l.depth() - 1, 3), Ok((l.depth(), 0)));
+        // Out-of-layout coordinates are an error, not an alias to index 0.
+        assert_eq!(
+            l.parent_loc(0, l.level_count(0)),
+            Err(LayoutError::NodeOutOfRange {
+                level: 0,
+                index: l.level_count(0)
+            })
+        );
+        assert_eq!(
+            l.parent_loc(l.depth(), 0),
+            Err(LayoutError::NodeOutOfRange {
+                level: l.depth(),
+                index: 0
+            })
+        );
+    }
+
+    #[test]
+    fn data_block_bounds_are_validated() {
+        let l = MetadataLayout::new(CounterOrg::Sc64, 1 << 20);
+        assert_eq!(l.data_blocks(), (1 << 20) / BLOCK_BYTES);
+        assert_eq!(l.check_data_block(0), Ok(()));
+        assert_eq!(l.check_data_block(l.data_blocks() - 1), Ok(()));
+        assert_eq!(
+            l.check_data_block(l.data_blocks()),
+            Err(LayoutError::DataBlockOutOfRange {
+                block: l.data_blocks(),
+                capacity: l.data_blocks(),
+            })
+        );
     }
 
     #[test]

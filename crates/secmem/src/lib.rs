@@ -21,8 +21,8 @@
 //! use rmcc_secmem::engine::{PipelineKind, SecureMemory};
 //!
 //! let mut mem = SecureMemory::new(CounterOrg::Sc64, 1 << 24, PipelineKind::Rmcc, 7);
-//! mem.write(0, [1u8; 64]);
-//! mem.tamper_data(0, 5, 0x80);
+//! mem.write(0, [1u8; 64]).unwrap();
+//! mem.tamper_data(0, 5, 0x80).unwrap();
 //! assert!(mem.read(0).is_err()); // integrity violation detected
 //! ```
 
@@ -34,6 +34,9 @@ pub mod layout;
 pub mod tree;
 
 pub use counters::{CounterBlock, CounterOrg, WouldOverflow};
-pub use engine::{CounterUpdatePolicy, IncrementPolicy, PipelineKind, ReadError, SecureMemory};
-pub use layout::{MetadataLayout, BLOCK_BYTES};
+pub use engine::{
+    CounterUpdatePolicy, DataSnapshot, IncrementPolicy, NodeSnapshot, PipelineKind, ReadError,
+    SecureMemory, TamperError, WriteError,
+};
+pub use layout::{LayoutError, MetadataLayout, BLOCK_BYTES};
 pub use tree::{InitPolicy, MetadataState, RANDOM_INIT_MEAN};

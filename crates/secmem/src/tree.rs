@@ -209,8 +209,10 @@ impl MetadataState {
     /// value held in its parent (which may be the on-chip root).
     pub fn node_counter(&mut self, level: usize, index: u64) -> u64 {
         let slot = self.layout.parent_slot(index);
-        let parent_level = level + 1;
-        let parent_idx = self.layout.parent_index(level, index).unwrap_or(0);
+        let (parent_level, parent_idx) = self
+            .layout
+            .parent_loc(level, index)
+            .expect("node_counter addressed a node outside the layout");
         self.block_mut(parent_level, parent_idx).value(slot)
     }
 
@@ -227,8 +229,10 @@ impl MetadataState {
         target: u64,
     ) -> Result<(), WouldOverflow> {
         let slot = self.layout.parent_slot(index);
-        let parent_level = level + 1;
-        let parent_idx = self.layout.parent_index(level, index).unwrap_or(0);
+        let (parent_level, parent_idx) = self
+            .layout
+            .parent_loc(level, index)
+            .expect("write_node_counter addressed a node outside the layout");
         self.block_mut(parent_level, parent_idx)
             .try_write(slot, target)
     }

@@ -40,7 +40,7 @@ proptest! {
             match op {
                 Op::Write(b, v) => {
                     let data = [v; 64];
-                    mem.write(b, data);
+                    mem.write(b, data).unwrap();
                     model.insert(b, data);
                     deltas.insert(b, [0u8; 64]);
                 }
@@ -60,7 +60,7 @@ proptest! {
                 }
                 Op::Tamper(b, off, mask) => {
                     if model.contains_key(&b) {
-                        mem.tamper_data(b, off, mask);
+                        mem.tamper_data(b, off, mask).unwrap();
                         deltas.entry(b).or_insert([0u8; 64])[off] ^= mask;
                     }
                 }

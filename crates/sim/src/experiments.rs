@@ -12,7 +12,13 @@
 //! output is byte-identical to a serial run. The pool width defaults to the
 //! host's available parallelism and can be pinned with the `RMCC_JOBS`
 //! environment variable (or [`Experiments::with_jobs`]).
+//!
+//! Each cell runs under `catch_unwind`, so a panicking workload poisons only
+//! its own row: the [`Series`] records it as a [`CellFailure`] (the row
+//! prints as `FAILED` and is excluded from the mean) and every other cell
+//! still completes and commits in order.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -26,6 +32,16 @@ use crate::config::{Scheme, SystemConfig};
 use crate::detailed::{run_detailed, DetailedReport};
 use crate::lifetime::{run_lifetime, LifetimeReport};
 
+/// One experiment cell whose workload panicked. The harness isolates the
+/// panic: the cell is reported failed, every other cell completes normally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// The workload whose cell panicked.
+    pub workload: String,
+    /// The panic message.
+    pub message: String,
+}
+
 /// A labeled table of results: one row per workload, one column per series.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Series {
@@ -33,8 +49,10 @@ pub struct Series {
     pub title: String,
     /// Column headers.
     pub columns: Vec<String>,
-    /// `(row label, one value per column)`.
+    /// `(row label, one value per column)`. Failed rows hold NaN.
     pub rows: Vec<(String, Vec<f64>)>,
+    /// `(row label, panic message)` for every failed cell.
+    pub failures: Vec<(String, String)>,
 }
 
 impl Series {
@@ -44,6 +62,7 @@ impl Series {
             title: title.into(),
             columns: columns.iter().map(|c| c.to_string()).collect(),
             rows: Vec::new(),
+            failures: Vec::new(),
         }
     }
 
@@ -57,15 +76,30 @@ impl Series {
         self.rows.push((label.into(), values));
     }
 
+    /// Appends a failed row (all NaN) and records the panic message.
+    pub fn push_failed(&mut self, label: impl Into<String>, message: impl Into<String>) {
+        let label = label.into();
+        self.rows
+            .push((label.clone(), vec![f64::NAN; self.columns.len()]));
+        self.failures.push((label, message.into()));
+    }
+
     /// Appends an arithmetic-mean row labeled `mean` (the paper's final
-    /// bar in every per-workload figure).
+    /// bar in every per-workload figure). Failed (NaN) rows are excluded
+    /// from the mean; with no finite rows at all, no mean row is added.
     pub fn with_mean(mut self) -> Self {
-        if self.rows.is_empty() {
+        let finite: Vec<&Vec<f64>> = self
+            .rows
+            .iter()
+            .filter(|(_, v)| v.iter().all(|x| x.is_finite()))
+            .map(|(_, v)| v)
+            .collect();
+        if finite.is_empty() {
             return self;
         }
-        let n = self.rows.len() as f64;
+        let n = finite.len() as f64;
         let means: Vec<f64> = (0..self.columns.len())
-            .map(|c| self.rows.iter().map(|(_, v)| v[c]).sum::<f64>() / n)
+            .map(|c| finite.iter().map(|v| v[c]).sum::<f64>() / n)
             .collect();
         self.rows.push(("mean".to_string(), means));
         self
@@ -98,11 +132,30 @@ impl std::fmt::Display for Series {
         for (label, values) in &self.rows {
             write!(f, "{label:label_w$}")?;
             for v in values {
-                write!(f, "  {v:>14.4}")?;
+                if v.is_nan() {
+                    write!(f, "  {:>14}", "FAILED")?;
+                } else {
+                    write!(f, "  {v:>14.4}")?;
+                }
             }
             writeln!(f)?;
         }
+        for (label, message) in &self.failures {
+            writeln!(f, "!! {label}: cell panicked: {message}")?;
+        }
         Ok(())
+    }
+}
+
+/// Renders a caught panic payload as text (panics carry `&str` or `String`
+/// payloads in practice).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -163,17 +216,28 @@ impl Experiments {
     /// `Workload::ALL` order no matter which worker computed them, and
     /// each `f(w)` is deterministic, so output is identical to a serial
     /// map.
-    fn per_workload<T, F>(&self, f: F) -> Vec<T>
+    ///
+    /// Every cell runs under `catch_unwind`: a panic in `f(w)` becomes an
+    /// `Err(CellFailure)` for that cell alone — it never poisons a slot
+    /// lock, kills a worker, or aborts the rest of the sweep.
+    fn per_workload<T, F>(&self, f: F) -> Vec<Result<T, CellFailure>>
     where
         T: Send,
         F: Fn(Workload) -> T + Sync,
     {
+        let cell = |w: Workload| {
+            catch_unwind(AssertUnwindSafe(|| f(w))).map_err(|payload| CellFailure {
+                workload: w.name().to_string(),
+                message: panic_message(payload),
+            })
+        };
         let jobs = self.jobs.min(Workload::ALL.len());
         if jobs <= 1 {
-            return Workload::ALL.iter().map(|&w| f(w)).collect();
+            return Workload::ALL.iter().map(|&w| cell(w)).collect();
         }
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<T>>> = Workload::ALL.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<Result<T, CellFailure>>>> =
+            Workload::ALL.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..jobs {
                 scope.spawn(|| loop {
@@ -181,8 +245,8 @@ impl Experiments {
                     let Some(&w) = Workload::ALL.get(i) else {
                         break;
                     };
-                    let row = f(w);
-                    *slots[i].lock().expect("worker panicked holding a slot") = Some(row);
+                    let row = cell(w);
+                    *slots[i].lock().expect("slot lock poisoned") = Some(row);
                 });
             }
         });
@@ -190,7 +254,7 @@ impl Experiments {
             .into_iter()
             .map(|m| {
                 m.into_inner()
-                    .expect("worker panicked holding a slot")
+                    .expect("slot lock poisoned")
                     .expect("every slot filled")
             })
             .collect()
@@ -198,14 +262,17 @@ impl Experiments {
 
     /// Builds a per-workload series: runs `f` through the pool, then
     /// commits one row per workload in `Workload::ALL` order plus the
-    /// mean row.
+    /// mean row. Panicking cells become `FAILED` rows.
     fn series_of<F>(&self, title: &str, columns: &[&str], f: F) -> Series
     where
         F: Fn(Workload) -> Vec<f64> + Sync,
     {
         let mut s = Series::new(title, columns);
         for (w, row) in Workload::ALL.iter().zip(self.per_workload(f)) {
-            s.push(w.name(), row);
+            match row {
+                Ok(values) => s.push(w.name(), values),
+                Err(e) => s.push_failed(w.name(), e.message),
+            }
         }
         s.with_mean()
     }
@@ -313,9 +380,17 @@ impl Experiments {
                 ],
             )
         });
-        for (w, (prow, lrow)) in Workload::ALL.iter().zip(rows) {
-            perf.push(w.name(), prow);
-            lat.push(w.name(), lrow);
+        for (w, cell) in Workload::ALL.iter().zip(rows) {
+            match cell {
+                Ok((prow, lrow)) => {
+                    perf.push(w.name(), prow);
+                    lat.push(w.name(), lrow);
+                }
+                Err(e) => {
+                    perf.push_failed(w.name(), e.message.clone());
+                    lat.push_failed(w.name(), e.message);
+                }
+            }
         }
         (perf.with_mean(), lat.with_mean())
     }
@@ -423,9 +498,17 @@ impl Experiments {
             }
             (hrow, trow)
         });
-        for (w, (hrow, trow)) in Workload::ALL.iter().zip(rows) {
-            hits.push(w.name(), hrow);
-            traffic.push(w.name(), trow);
+        for (w, cell) in Workload::ALL.iter().zip(rows) {
+            match cell {
+                Ok((hrow, trow)) => {
+                    hits.push(w.name(), hrow);
+                    traffic.push(w.name(), trow);
+                }
+                Err(e) => {
+                    hits.push_failed(w.name(), e.message.clone());
+                    traffic.push_failed(w.name(), e.message);
+                }
+            }
         }
         (hits.with_mean(), traffic.with_mean())
     }
@@ -457,9 +540,17 @@ impl Experiments {
             }
             (hrow, trow)
         });
-        for (w, (hrow, trow)) in Workload::ALL.iter().zip(rows) {
-            hits.push(w.name(), hrow);
-            traffic.push(w.name(), trow);
+        for (w, cell) in Workload::ALL.iter().zip(rows) {
+            match cell {
+                Ok((hrow, trow)) => {
+                    hits.push(w.name(), hrow);
+                    traffic.push(w.name(), trow);
+                }
+                Err(e) => {
+                    hits.push_failed(w.name(), e.message.clone());
+                    traffic.push_failed(w.name(), e.message);
+                }
+            }
         }
         (hits.with_mean(), traffic.with_mean())
     }
@@ -634,5 +725,52 @@ mod tests {
         let serial = Experiments::with_jobs(Scale::Tiny, 1);
         let pooled = Experiments::with_jobs(Scale::Tiny, 4);
         assert_eq!(serial.fig03_counter_miss(), pooled.fig03_counter_miss());
+    }
+
+    #[test]
+    fn series_mean_skips_failed_rows_and_display_marks_them() {
+        let mut s = Series::new("t", &["a"]);
+        s.push("x", vec![1.0]);
+        s.push_failed("y", "boom");
+        s.push("z", vec![3.0]);
+        let s = s.with_mean();
+        assert_eq!(s.row("mean"), Some(&[2.0][..]));
+        assert!(s.row("y").unwrap()[0].is_nan());
+        let text = s.to_string();
+        assert!(text.contains("FAILED"));
+        assert!(text.contains("!! y: cell panicked: boom"));
+    }
+
+    #[test]
+    fn panicking_cell_is_isolated_and_other_rows_match_serial() {
+        // Fault-free serial reference: exactly what fig03 computes.
+        let clean = Experiments::with_jobs(Scale::Tiny, 1).fig03_counter_miss();
+
+        // Same sweep through the pool, with one cell rigged to panic.
+        let pooled = Experiments::with_jobs(Scale::Tiny, 4);
+        let cfg = SystemConfig::lifetime(Scheme::Morphable);
+        let faulty = pooled.series_of("fig03 with a poisoned cell", &["ctr miss rate"], |w| {
+            if w == Workload::Mcf {
+                panic!("injected workload panic");
+            }
+            vec![pooled.lifetime(w, &cfg).counter_miss_rate()]
+        });
+
+        // Every surviving row is byte-identical to the serial fault-free
+        // run; the panicking cell neither aborted the sweep nor perturbed
+        // its neighbours.
+        for (label, values) in &clean.rows {
+            if label == "mcf" || label == "mean" {
+                continue;
+            }
+            assert_eq!(faulty.row(label), Some(values.as_slice()), "row {label}");
+        }
+        assert!(faulty.row("mcf").unwrap().iter().all(|v| v.is_nan()));
+        assert_eq!(
+            faulty.failures,
+            vec![("mcf".to_string(), "injected workload panic".to_string())]
+        );
+        // The mean is computed over the surviving rows only.
+        assert!(faulty.row("mean").unwrap().iter().all(|v| v.is_finite()));
     }
 }

@@ -55,7 +55,7 @@ pub use config::{Scheme, SystemConfig};
 pub use core_model::{CoreModel, CoreStats};
 pub use detailed::{run_detailed, DetailedReport};
 pub use engine::CoreEngine;
-pub use experiments::{table1, Experiments, Series};
+pub use experiments::{table1, CellFailure, Experiments, Series};
 pub use lifetime::{run_lifetime, LifetimeReport, LifetimeRunner};
 pub use mc::{LatencyStats, MemoryController};
 pub use meta_engine::{

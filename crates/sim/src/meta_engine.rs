@@ -397,8 +397,10 @@ impl MetaEngine {
         });
         self.stats.counter_writebacks += 1;
 
-        let parent_level = level + 1;
-        let parent_index = meta.layout().parent_index(level, index).unwrap_or(0);
+        let (parent_level, parent_index) = meta
+            .layout()
+            .parent_loc(level, index)
+            .expect("writeback addressed a node outside the layout");
         let slot = meta.layout().parent_slot(index);
         let arity = meta.org().tree_arity() as u64;
         let depth = meta.layout().depth();

@@ -12,33 +12,49 @@
 
 use rmcc::crypto::aes::Aes;
 use rmcc::crypto::nist::{pass_rate, BitStream};
-use rmcc::crypto::otp::{KeySet, PadPurpose, RmccOtp};
+use rmcc::crypto::otp::{KeySet, PadPurpose, RmccOtp, COUNTER_MAX};
 use rmcc::secmem::counters::CounterOrg;
 use rmcc::secmem::engine::{PipelineKind, ReadError, SecureMemory};
 
 fn main() {
     let mut mem = SecureMemory::new(CounterOrg::Morphable128, 1 << 24, PipelineKind::Rmcc, 99);
     let block = 1234;
-    mem.write(block, block_of(b"wire $1,000,000 to account 7731"));
+    mem.write(block, block_of(b"wire $1,000,000 to account 7731"))
+        .expect("write within capacity");
 
     println!("=== Attack 1: flip one ciphertext bit on the bus ===");
-    mem.tamper_data(block, 31, 0x01);
+    mem.tamper_data(block, 31, 0x01).expect("block is written");
     report(mem.read(block));
     // Restore by rewriting.
-    mem.write(block, block_of(b"wire $1,000,000 to account 7731"));
+    mem.write(block, block_of(b"wire $1,000,000 to account 7731"))
+        .expect("write within capacity");
 
     println!("\n=== Attack 2: forge the MAC too ===");
-    mem.tamper_data(block, 31, 0x01);
-    mem.tamper_mac(block, 0xdead_beef);
+    mem.tamper_data(block, 31, 0x01).expect("block is written");
+    mem.tamper_mac(block, 0xdead_beef)
+        .expect("block is written");
     report(mem.read(block));
-    mem.write(block, block_of(b"wire $1,000,000 to account 7731"));
+    mem.write(block, block_of(b"wire $1,000,000 to account 7731"))
+        .expect("write within capacity");
 
     println!("\n=== Attack 3: full replay (stale data + MAC + counter image) ===");
-    let stale = mem.snapshot(block);
-    mem.write(block, block_of(b"wire $1 to account 7731"));
+    let stale = mem.snapshot(block).expect("block is on the bus");
+    mem.write(block, block_of(b"wire $1 to account 7731"))
+        .expect("write within capacity");
     println!("  victim updated the block; attacker replays the old snapshot");
-    mem.replay(&stale);
+    mem.replay(&stale).expect("snapshot is from this memory");
     report(mem.read(block));
+
+    println!("\n=== Attack 4: forge the counter image at the 56-bit bound ===");
+    // Probe for saturation-handling bugs: jam every counter in the covering
+    // block to the Observed-System-Max bound, then to COUNTER_MAX itself.
+    let l0 = mem.layout().l0_index(block);
+    for forged in [mem.observed_max() + 1, COUNTER_MAX] {
+        mem.forge_node_counters(0, l0, forged)
+            .expect("node is in the layout");
+        println!("  attacker forges the counter image to {forged}");
+        report(mem.read(block));
+    }
 
     println!("\n=== §IV-D1: are RMCC's OTPs still random? ===");
     let keys = KeySet::from_master(7);

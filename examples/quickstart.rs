@@ -20,13 +20,13 @@ fn main() {
     banner("1. Counter-mode secure memory, functionally");
     let mut mem = SecureMemory::new(CounterOrg::Morphable128, 1 << 24, PipelineKind::Rmcc, 2024);
     let secret = block_of(b"attack at dawn");
-    mem.write(7, secret);
+    mem.write(7, secret).expect("write within capacity");
     println!("  wrote block 7, counter is now {}", mem.counter_of(7));
     println!(
         "  read back: {:?}",
         std::str::from_utf8(&mem.read(7).unwrap()[..14]).unwrap()
     );
-    mem.tamper_data(7, 3, 0x80);
+    mem.tamper_data(7, 3, 0x80).expect("block 7 is written");
     println!(
         "  after a bus-level bit flip: {:?}",
         mem.read(7).unwrap_err()

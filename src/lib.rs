@@ -17,6 +17,7 @@
 //! | [`workloads`] | `rmcc-workloads` | instrumented GraphBig/canneal/omnetpp/mcf kernels |
 //! | [`secmem`] | `rmcc-secmem` | SGX/SC-64/Morphable counters, integrity tree, functional secure memory |
 //! | [`core`] | `rmcc-core` | the memoization table, budgets, candidate monitor, update policy |
+//! | [`faults`] | `rmcc-faults` | seeded fault injection at every threat-model boundary + campaign driver |
 //! | [`sim`] | `rmcc-sim` | memory controller, core model, lifetime & detailed runners, experiments |
 //!
 //! ## Quickstart
@@ -27,11 +28,11 @@
 //!
 //! // A functional secure memory with RMCC's split-OTP pipeline.
 //! let mut mem = SecureMemory::new(CounterOrg::Morphable128, 1 << 24, PipelineKind::Rmcc, 7);
-//! mem.write(42, [0xc0u8; 64]);
+//! mem.write(42, [0xc0u8; 64]).unwrap();
 //! assert_eq!(mem.read(42).unwrap(), [0xc0u8; 64]);
 //!
 //! // Tampering is detected.
-//! mem.tamper_data(42, 0, 0x01);
+//! mem.tamper_data(42, 0, 0x01).unwrap();
 //! assert!(mem.read(42).is_err());
 //! ```
 //!
@@ -48,6 +49,7 @@ pub use rmcc_cache as cache;
 pub use rmcc_core as core;
 pub use rmcc_crypto as crypto;
 pub use rmcc_dram as dram;
+pub use rmcc_faults as faults;
 pub use rmcc_secmem as secmem;
 pub use rmcc_sim as sim;
 pub use rmcc_workloads as workloads;

@@ -22,7 +22,7 @@ fn roundtrip_every_org_and_pipeline() {
         for pipe in PIPES {
             let mut mem = SecureMemory::new(org, 1 << 22, pipe, 1);
             for block in [0u64, 1, 63, 64, 127, 128, 1000] {
-                mem.write(block, pattern(block, 0));
+                mem.write(block, pattern(block, 0)).unwrap();
             }
             for block in [0u64, 1, 63, 64, 127, 128, 1000] {
                 assert_eq!(
@@ -39,7 +39,7 @@ fn roundtrip_every_org_and_pipeline() {
 fn overwrites_always_return_latest_value() {
     let mut mem = SecureMemory::new(CounterOrg::Morphable128, 1 << 22, PipelineKind::Rmcc, 2);
     for round in 0..20u8 {
-        mem.write(5, pattern(5, round));
+        mem.write(5, pattern(5, round)).unwrap();
         assert_eq!(mem.read(5).unwrap(), pattern(5, round));
     }
 }
@@ -51,10 +51,10 @@ fn sc64_overflow_reencryption_preserves_all_covered_data() {
     // decrypts correctly (re-encryption must be transparent).
     let mut mem = SecureMemory::new(CounterOrg::Sc64, 1 << 22, PipelineKind::Rmcc, 3);
     for b in 0..64u64 {
-        mem.write(b, pattern(b, 7));
+        mem.write(b, pattern(b, 7)).unwrap();
     }
     for _ in 0..130 {
-        mem.write(0, pattern(0, 9));
+        mem.write(0, pattern(0, 9)).unwrap();
     }
     assert!(
         mem.overflow_reencryptions() > 0,
@@ -73,22 +73,22 @@ fn sc64_overflow_reencryption_preserves_all_covered_data() {
 #[test]
 fn every_tamper_vector_is_detected() {
     let mut mem = SecureMemory::new(CounterOrg::Morphable128, 1 << 22, PipelineKind::Rmcc, 4);
-    mem.write(10, pattern(10, 1));
+    mem.write(10, pattern(10, 1)).unwrap();
 
     // Ciphertext bit flips at every word boundary.
     for byte in [0usize, 15, 16, 31, 32, 47, 48, 63] {
-        mem.tamper_data(10, byte, 0x01);
+        mem.tamper_data(10, byte, 0x01).unwrap();
         assert_eq!(
             mem.read(10),
             Err(ReadError::DataTampered { block: 10 }),
             "byte {byte}"
         );
-        mem.tamper_data(10, byte, 0x01); // undo
+        mem.tamper_data(10, byte, 0x01).unwrap(); // undo
         assert!(mem.read(10).is_ok(), "undo at byte {byte} failed");
     }
 
     // MAC corruption.
-    mem.tamper_mac(10, 1 << 40);
+    mem.tamper_mac(10, 1 << 40).unwrap();
     assert!(mem.read(10).is_err());
 }
 
@@ -96,10 +96,10 @@ fn every_tamper_vector_is_detected() {
 fn replay_detected_across_pipelines() {
     for pipe in PIPES {
         let mut mem = SecureMemory::new(CounterOrg::Morphable128, 1 << 22, pipe, 5);
-        mem.write(77, pattern(77, 1));
-        let stale = mem.snapshot(77);
-        mem.write(77, pattern(77, 2));
-        mem.replay(&stale);
+        mem.write(77, pattern(77, 1)).unwrap();
+        let stale = mem.snapshot(77).unwrap();
+        mem.write(77, pattern(77, 2)).unwrap();
+        mem.replay(&stale).unwrap();
         assert!(
             matches!(mem.read(77), Err(ReadError::MetadataTampered { .. })),
             "{pipe:?}: replay must be caught by the tree"
@@ -146,7 +146,7 @@ fn functional_engine_with_real_rmcc_policy() {
     // Writes land on memoized values (1000, 1001, ...) and data is intact.
     for round in 0..5u8 {
         for b in 0..32u64 {
-            mem.write(b, pattern(b, round));
+            mem.write(b, pattern(b, round)).unwrap();
         }
     }
     for b in 0..32u64 {
@@ -162,14 +162,14 @@ fn distinct_keys_produce_distinct_ciphertexts() {
     // images must differ (no key-independent leakage). Observable via MACs.
     let mut a = SecureMemory::new(CounterOrg::Sc64, 1 << 22, PipelineKind::Rmcc, 100);
     let mut b = SecureMemory::new(CounterOrg::Sc64, 1 << 22, PipelineKind::Rmcc, 101);
-    a.write(0, [1u8; 64]);
-    b.write(0, [1u8; 64]);
+    a.write(0, [1u8; 64]).unwrap();
+    b.write(0, [1u8; 64]).unwrap();
     // Cross-reading is impossible through the public API; instead confirm
     // both verify under their own keys and tamper-detection still works
     // independently.
     assert!(a.read(0).is_ok());
     assert!(b.read(0).is_ok());
-    a.tamper_data(0, 0, 1);
+    a.tamper_data(0, 0, 1).unwrap();
     assert!(a.read(0).is_err());
     assert!(
         b.read(0).is_ok(),

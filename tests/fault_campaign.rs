@@ -1,0 +1,122 @@
+//! Seeded fault-injection campaigns over the full threat-model matrix.
+//!
+//! The headline robustness claim, asserted here end to end: across 10,000
+//! seeded faults spanning both counter organizations of interest and both
+//! OTP pipelines, every integrity-affecting fault is detected as a typed
+//! `ReadError`, no fault ever yields silently wrong plaintext, and every
+//! victim block reads back byte-identical to its last write once the
+//! campaign ends.
+
+use rmcc::faults::{run_campaign, CampaignConfig, CampaignReport, FaultKind};
+use rmcc::secmem::counters::CounterOrg;
+use rmcc::secmem::engine::PipelineKind;
+
+/// The campaign matrix: counter organizations × OTP pipelines.
+const MATRIX: [(CounterOrg, PipelineKind); 4] = [
+    (CounterOrg::Morphable128, PipelineKind::Rmcc),
+    (CounterOrg::Morphable128, PipelineKind::Sgx),
+    (CounterOrg::Sc64, PipelineKind::Rmcc),
+    (CounterOrg::Sc64, PipelineKind::Sgx),
+];
+
+fn assert_clean(report: &CampaignReport) {
+    let cfg = &report.config;
+    assert_eq!(
+        report.total_injected(),
+        cfg.faults,
+        "{} / {:?}: campaign lost faults",
+        cfg.org,
+        cfg.pipeline
+    );
+    assert_eq!(
+        report.silent_corruptions(),
+        0,
+        "{} / {:?}: silent corruption\n{report}",
+        cfg.org,
+        cfg.pipeline
+    );
+    assert!(
+        report.all_integrity_faults_detected(),
+        "{} / {:?}: undetected integrity fault\n{report}",
+        cfg.org,
+        cfg.pipeline
+    );
+    assert!(
+        report.final_state_intact,
+        "{} / {:?}: final state diverged from the shadow copy\n{report}",
+        cfg.org, cfg.pipeline
+    );
+    // Memoization-table corruption is the one non-integrity class: it must
+    // always be absorbed fail-safe, and each absorption must have charged a
+    // full-AES fallback in the table stats.
+    let memo = report.tally(FaultKind::MemoCorruption);
+    assert_eq!(memo.fail_safe, memo.injected, "memo faults not fail-safe");
+    if cfg.pipeline == PipelineKind::Rmcc {
+        assert!(report.table_fallbacks >= memo.injected);
+    }
+}
+
+/// 2,500 faults per (org, pipeline) cell — 10,000 total — under one fixed
+/// seed, so any failure reproduces exactly.
+#[test]
+fn ten_thousand_seeded_faults_are_all_detected_or_fail_safe() {
+    let mut total = 0;
+    for (org, pipeline) in MATRIX {
+        let mut cfg = CampaignConfig::new(org, pipeline);
+        cfg.faults = 2_500;
+        let report = run_campaign(&cfg);
+        assert_clean(&report);
+        // Every fault class fired in a campaign this size.
+        for kind in FaultKind::ALL {
+            assert!(
+                report.tally(kind).injected > 0,
+                "{org} / {pipeline:?}: {} never injected",
+                kind.label()
+            );
+        }
+        total += report.total_injected();
+    }
+    assert_eq!(total, 10_000);
+}
+
+/// Campaigns are bit-for-bit reproducible: same config, same tallies.
+#[test]
+fn campaigns_are_deterministic_across_runs() {
+    let mut cfg = CampaignConfig::new(CounterOrg::Morphable128, PipelineKind::Rmcc);
+    cfg.faults = 500;
+    let a = run_campaign(&cfg);
+    let b = run_campaign(&cfg);
+    assert_eq!(a.tallies, b.tallies);
+    assert_eq!(a.final_state_intact, b.final_state_intact);
+    assert_eq!(a.table_fallbacks, b.table_fallbacks);
+}
+
+/// Changing the seed changes the fault schedule but never the verdict.
+#[test]
+fn every_seed_upholds_the_invariant() {
+    for seed in 0..8 {
+        let mut cfg = CampaignConfig::new(CounterOrg::Morphable128, PipelineKind::Rmcc);
+        cfg.seed = 0x9e37_79b9 ^ seed;
+        cfg.faults = 250;
+        assert_clean(&run_campaign(&cfg));
+    }
+}
+
+/// Heavier sweep for manual runs: 100k faults per cell, Mono8 included.
+/// `cargo test --release --test fault_campaign -- --ignored`
+#[test]
+#[ignore = "stress campaign; run explicitly in release"]
+fn stress_campaign_hundred_thousand_faults_per_cell() {
+    for org in [
+        CounterOrg::Mono8,
+        CounterOrg::Sc64,
+        CounterOrg::Morphable128,
+    ] {
+        for pipeline in [PipelineKind::Sgx, PipelineKind::Rmcc] {
+            let mut cfg = CampaignConfig::new(org, pipeline);
+            cfg.faults = 100_000;
+            cfg.working_set = 256;
+            assert_clean(&run_campaign(&cfg));
+        }
+    }
+}

@@ -6,7 +6,9 @@ use rmcc::core::table::{MemoizationTable, TableConfig};
 use rmcc::crypto::clmul::{clmul128, clmul64};
 use rmcc::crypto::mac::{compute_mac, gf64_mul, verify_mac, xor_with_pads, MacKeys};
 use rmcc::crypto::otp::{KeySet, OtpPipeline, RmccOtp, SgxOtp};
+use rmcc::faults::{FaultHarness, FaultKind};
 use rmcc::secmem::counters::{CounterBlock, CounterOrg};
+use rmcc::secmem::engine::{PipelineKind, SecureMemory};
 
 proptest! {
     /// Encrypt-then-decrypt is the identity for any plaintext, address, and
@@ -146,5 +148,77 @@ proptest! {
             prop_assert!(next > probe);
             prop_assert!(t.probe(next));
         }
+    }
+
+    /// Threat-model invariant (the failure-semantics table in DESIGN.md):
+    /// after any single injected fault, reading the victim block either
+    /// returns a typed error or the exact last-written plaintext — never a
+    /// silently different value.
+    #[test]
+    fn single_fault_is_detected_or_harmless(
+        seed in any::<u64>(),
+        org_sel in 0usize..3,
+        sgx in any::<bool>(),
+        block in 0u64..256,
+        fault in 0usize..6,
+        byte in 0usize..64,
+        bit in 0u8..8,
+    ) {
+        let org = [CounterOrg::Mono8, CounterOrg::Sc64, CounterOrg::Morphable128][org_sel];
+        let pipeline = if sgx { PipelineKind::Sgx } else { PipelineKind::Rmcc };
+        let mut mem = SecureMemory::new(org, 1 << 20, pipeline, seed);
+
+        // First write: the stale images every rollback/replay fault restores.
+        let mut old = [0u8; 64];
+        for (i, b) in old.iter_mut().enumerate() {
+            *b = (seed as u8) ^ (i as u8);
+        }
+        mem.write(block, old).unwrap();
+        let replay_snap = mem.snapshot(block).unwrap();
+        let l0 = mem.layout().l0_index(block);
+        let node_snap = mem.snapshot_node(0, l0).unwrap();
+        let data_snap = mem.data_snapshot(block).unwrap();
+
+        // Second write: the plaintext a correct read must return.
+        let mut last = old;
+        last[byte] ^= 0xa5;
+        mem.write(block, last).unwrap();
+
+        match fault {
+            0 => mem.tamper_data(block, byte, 1 << bit).unwrap(),
+            1 => mem.tamper_mac(block, 1u64 << bit).unwrap(),
+            2 => mem.replay(&replay_snap).unwrap(),
+            3 => mem.replay_node(&node_snap),
+            4 => mem.restore_data(&data_snap),
+            _ => {
+                let forged = mem.observed_max() + 1;
+                mem.forge_node_counters(0, l0, forged).unwrap();
+            }
+        }
+
+        match mem.read(block) {
+            Err(_) => {}
+            Ok(got) => prop_assert_eq!(got, last),
+        }
+    }
+
+    /// The harness-level statement of the same invariant, which also covers
+    /// the RMCC memoization-table fault class: every fault classifies as
+    /// detected or fail-safe, never as silent corruption, and the memory
+    /// reads back intact after each healed fault.
+    #[test]
+    fn harness_faults_are_always_safe(
+        seed in any::<u64>(),
+        sgx in any::<bool>(),
+        kinds in prop::collection::vec(0usize..FaultKind::ALL.len(), 1..10),
+    ) {
+        let pipeline = if sgx { PipelineKind::Sgx } else { PipelineKind::Rmcc };
+        let mut h = FaultHarness::new(CounterOrg::Morphable128, pipeline, seed, 16, 1 << 20);
+        for k in kinds {
+            let kind = FaultKind::ALL[k];
+            let outcome = h.inject(kind);
+            prop_assert!(outcome.is_safe(), "{:?} classified {:?}", kind, outcome);
+        }
+        prop_assert!(h.verify_all());
     }
 }
