@@ -1,0 +1,351 @@
+//! Parsing and resolution of `audit:allow` waiver directives.
+//!
+//! A directive lives in a comment and silences findings for specific rules
+//! over a declared scope:
+//!
+//! ```text
+//! // audit:allow(R1, reason = "length asserted two lines up")
+//! // audit:allow(R1, R2, scope = fn, reason = "fixed-size round keys")
+//! // audit:allow(R4, scope = file, reason = "test-only compat shim")
+//! ```
+//!
+//! `reason` is mandatory: a waiver without a rationale is itself reported
+//! (as a `W0` warning) and suppresses nothing. Scopes:
+//!
+//! * `line` (default) — covers the directive's own line and the next line,
+//!   so both trailing (`foo(); // audit:allow(...)`) and preceding
+//!   placements work.
+//! * `fn` — covers from the directive to the end of the next
+//!   brace-delimited block (typically the annotated function or impl).
+//! * `file` — covers the whole file.
+//!
+//! Every directive is counted: the CLI prints how many findings each one
+//! suppressed, and a directive that suppresses nothing is reported as an
+//! unused waiver so stale escape hatches cannot accumulate silently.
+
+use crate::lexer::{CommentLine, Tok};
+use crate::{Finding, Rule};
+
+/// How much source a directive covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// The directive's line and the following line.
+    Line,
+    /// From the directive to the end of the next brace-delimited block.
+    Fn,
+    /// The entire file.
+    File,
+}
+
+impl Scope {
+    /// The scope's spelling in a directive.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scope::Line => "line",
+            Scope::Fn => "fn",
+            Scope::File => "file",
+        }
+    }
+}
+
+/// A parsed, scope-resolved `audit:allow` directive.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// 1-based line the directive's comment starts on.
+    pub line: u32,
+    /// Rules this directive silences.
+    pub rules: Vec<Rule>,
+    /// Declared scope.
+    pub scope: Scope,
+    /// Mandatory human rationale.
+    pub reason: String,
+    /// First line covered (inclusive).
+    pub start: u32,
+    /// Last line covered (inclusive).
+    pub end: u32,
+    /// Number of findings this directive suppressed (filled in by the
+    /// waiver pass).
+    pub suppressed: usize,
+}
+
+/// Extracts directives from a file's comments, resolving scopes against the
+/// token stream. Malformed directives are returned as `W0` findings on
+/// `rel` and do not suppress anything.
+pub fn parse(
+    rel: &str,
+    comments: &[CommentLine],
+    tokens: &[Tok],
+) -> (Vec<Directive>, Vec<Finding>) {
+    let mut directives = Vec::new();
+    let mut malformed = Vec::new();
+    for c in comments {
+        // A directive must be the first thing in its comment; this keeps
+        // prose mentions of `audit:allow` (and doc-comment examples, whose
+        // text starts with the extra `/` or `!`) from parsing as waivers.
+        let trimmed = c.text.trim_start();
+        let Some(rest) = trimmed.strip_prefix("audit:allow") else {
+            continue;
+        };
+        match parse_one(rest.trim_start()) {
+            Ok((rules, scope, reason)) => {
+                let (start, end) = resolve(scope, c.line, tokens);
+                directives.push(Directive {
+                    line: c.line,
+                    rules,
+                    scope,
+                    reason,
+                    start,
+                    end,
+                    suppressed: 0,
+                });
+            }
+            Err(why) => malformed.push(Finding {
+                file: rel.to_string(),
+                line: c.line,
+                rule: Rule::W0,
+                message: format!("malformed audit:allow directive: {why}"),
+            }),
+        }
+    }
+    (directives, malformed)
+}
+
+/// Parses the argument list of one directive starting at its `(`.
+fn parse_one(rest: &str) -> Result<(Vec<Rule>, Scope, String), String> {
+    let mut chars = rest.chars().peekable();
+    if chars.next() != Some('(') {
+        return Err("expected `(` after audit:allow".to_string());
+    }
+    // Collect the balanced, quote-aware argument body.
+    let mut body = String::new();
+    let mut depth = 1usize;
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    let mut closed = false;
+    for ch in chars {
+        if in_str {
+            if prev_backslash {
+                prev_backslash = false;
+            } else if ch == '\\' {
+                prev_backslash = true;
+            } else if ch == '"' {
+                in_str = false;
+            }
+            body.push(ch);
+            continue;
+        }
+        match ch {
+            '"' => {
+                in_str = true;
+                body.push(ch);
+            }
+            '(' => {
+                depth += 1;
+                body.push(ch);
+            }
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    closed = true;
+                    break;
+                }
+                body.push(ch);
+            }
+            _ => body.push(ch),
+        }
+    }
+    if !closed {
+        return Err("unbalanced parentheses".to_string());
+    }
+
+    let mut rules = Vec::new();
+    let mut scope = Scope::Line;
+    let mut reason: Option<String> = None;
+    for arg in split_top_level(&body) {
+        let arg = arg.trim();
+        if arg.is_empty() {
+            continue;
+        }
+        if let Some(rule) = Rule::parse(arg) {
+            rules.push(rule);
+        } else if let Some(v) = key_value(arg, "scope") {
+            scope = match v.trim() {
+                "line" => Scope::Line,
+                "fn" => Scope::Fn,
+                "file" => Scope::File,
+                other => return Err(format!("unknown scope `{other}`")),
+            };
+        } else if let Some(v) = key_value(arg, "reason") {
+            let v = v.trim();
+            if v.len() < 2 || !v.starts_with('"') || !v.ends_with('"') {
+                return Err("reason must be a quoted string".to_string());
+            }
+            let inner = &v[1..v.len() - 1];
+            if inner.trim().is_empty() {
+                return Err("reason must not be empty".to_string());
+            }
+            reason = Some(inner.to_string());
+        } else {
+            return Err(format!("unknown argument `{arg}`"));
+        }
+    }
+    if rules.is_empty() {
+        return Err("no rules named (expected R1..R4)".to_string());
+    }
+    let Some(reason) = reason else {
+        return Err("missing required reason".to_string());
+    };
+    Ok((rules, scope, reason))
+}
+
+/// Splits `body` on commas that sit outside quoted strings.
+fn split_top_level(body: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for ch in body.chars() {
+        if in_str {
+            if prev_backslash {
+                prev_backslash = false;
+            } else if ch == '\\' {
+                prev_backslash = true;
+            } else if ch == '"' {
+                in_str = false;
+            }
+            cur.push(ch);
+            continue;
+        }
+        match ch {
+            '"' => {
+                in_str = true;
+                cur.push(ch);
+            }
+            ',' => parts.push(std::mem::take(&mut cur)),
+            _ => cur.push(ch),
+        }
+    }
+    parts.push(cur);
+    parts
+}
+
+/// Parses `key = value` arguments.
+fn key_value<'a>(arg: &'a str, key: &str) -> Option<&'a str> {
+    let rest = arg.strip_prefix(key)?;
+    let rest = rest.trim_start();
+    rest.strip_prefix('=')
+}
+
+/// Turns a declared scope into a concrete inclusive line range.
+fn resolve(scope: Scope, line: u32, tokens: &[Tok]) -> (u32, u32) {
+    match scope {
+        Scope::File => (1, u32::MAX),
+        Scope::Line => (line, line.saturating_add(1)),
+        Scope::Fn => {
+            // Cover from the directive to the close of the next braced
+            // block — usually the function or impl the comment annotates.
+            let mut idx = None;
+            for (i, t) in tokens.iter().enumerate() {
+                if t.line >= line && t.is_punct("{") {
+                    idx = Some(i);
+                    break;
+                }
+            }
+            let Some(open) = idx else {
+                return (line, line.saturating_add(1));
+            };
+            let mut depth = 0usize;
+            for t in &tokens[open..] {
+                if t.is_punct("{") {
+                    depth += 1;
+                } else if t.is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        return (line, t.line);
+                    }
+                }
+            }
+            (line, u32::MAX)
+        }
+    }
+}
+
+/// Applies `directives` to `findings`: waived findings are removed and the
+/// matching directive's `suppressed` count is incremented. Findings and
+/// directives must belong to the same file.
+pub fn apply(directives: &mut [Directive], findings: Vec<Finding>) -> Vec<Finding> {
+    let mut kept = Vec::new();
+    'next: for f in findings {
+        if f.rule != Rule::W0 {
+            for d in directives.iter_mut() {
+                if d.rules.contains(&f.rule) && f.line >= d.start && f.line <= d.end {
+                    d.suppressed += 1;
+                    continue 'next;
+                }
+            }
+        }
+        kept.push(f);
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    #[test]
+    fn parses_line_scope_with_reason() {
+        let s = scan("// audit:allow(R1, reason = \"checked above\")\nfoo();\n");
+        let (ds, bad) = parse("f.rs", &s.comments, &s.tokens);
+        assert!(bad.is_empty());
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].rules, vec![Rule::R1]);
+        assert_eq!((ds[0].start, ds[0].end), (1, 2));
+        assert_eq!(ds[0].reason, "checked above");
+    }
+
+    #[test]
+    fn parses_fn_scope_over_next_block() {
+        let src = "// audit:allow(R1, R2, scope = fn, reason = \"x, (y)\")\nfn f() {\n    g();\n}\nfn h() {}\n";
+        let s = scan(src);
+        let (ds, bad) = parse("f.rs", &s.comments, &s.tokens);
+        assert!(bad.is_empty());
+        assert_eq!(ds[0].scope, Scope::Fn);
+        assert_eq!((ds[0].start, ds[0].end), (1, 4));
+        assert_eq!(ds[0].rules, vec![Rule::R1, Rule::R2]);
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let s = scan("// audit:allow(R1)\n");
+        let (ds, bad) = parse("f.rs", &s.comments, &s.tokens);
+        assert!(ds.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("missing required reason"));
+    }
+
+    #[test]
+    fn apply_waives_and_counts() {
+        let s = scan("// audit:allow(R1, scope = file, reason = \"demo\")\n");
+        let (mut ds, _) = parse("f.rs", &s.comments, &s.tokens);
+        let findings = vec![
+            Finding {
+                file: "f.rs".into(),
+                line: 9,
+                rule: Rule::R1,
+                message: "x".into(),
+            },
+            Finding {
+                file: "f.rs".into(),
+                line: 9,
+                rule: Rule::R2,
+                message: "y".into(),
+            },
+        ];
+        let kept = apply(&mut ds, findings);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rule, Rule::R2);
+        assert_eq!(ds[0].suppressed, 1);
+    }
+}

@@ -1,0 +1,417 @@
+//! A minimal, comment- and string-aware token scanner for Rust source.
+//!
+//! The audit rules only need a faithful *lexical* view of a file: which
+//! identifiers, punctuation, and literals appear on which line, with
+//! comments and string contents excluded from rule matching (so an
+//! `unwrap()` inside a doc example or an error message never trips R1).
+//! Line comments are still inspected for `audit:allow` directives before
+//! being discarded.
+//!
+//! This is intentionally not a parser: no `syn`, no grammar. Every rule in
+//! [`crate::rules`] is written against token adjacency, which keeps the
+//! tool dependency-free and fast enough to run on every CI push.
+
+/// What kind of token was scanned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`foo`, `if`, `as`, `r#type`).
+    Ident,
+    /// A numeric literal (`42`, `0xff_u64`, `1.5e3`).
+    Num,
+    /// A string literal of any flavor (`"…"`, `r#"…"#`, `b"…"`), content
+    /// preserved for format-capture scanning but never treated as code.
+    Str,
+    /// A character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'_`), kept distinct so it is never confused with
+    /// an unterminated char literal.
+    Lifetime,
+    /// Punctuation, with maximal munch for the multi-char operators the
+    /// rules care about (`<<`, `+=`, `::`, `..=`, `->`, …).
+    Punct,
+}
+
+/// One scanned token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// The token's text. For [`TokKind::Str`] this is the literal's inner
+    /// content (quotes and raw-string hashes stripped).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A line comment's text and location, surfaced so the directive layer can
+/// look for `audit:allow` annotations.
+#[derive(Debug, Clone)]
+pub struct CommentLine {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text after the `//` (or `/*`), one entry per source line.
+    pub text: String,
+}
+
+/// The result of scanning one file.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// Code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Every comment line, in source order (doc comments included).
+    pub comments: Vec<CommentLine>,
+}
+
+/// Multi-character punctuation the scanner munches greedily, longest first.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Scans `src` into tokens and comments.
+///
+/// The scanner understands line comments, nested block comments, string
+/// and raw-string literals (any `#` depth), byte strings, char and byte
+/// literals, and lifetimes. Anything it cannot classify advances one
+/// character as punctuation, so a pathological file degrades gracefully
+/// instead of looping.
+pub fn scan(src: &str) -> Scan {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Scan::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = bytes.len();
+
+    let char_at = |idx: usize| -> char {
+        if idx < n {
+            bytes[idx]
+        } else {
+            '\0'
+        }
+    };
+
+    while i < n {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (//, ///, //!).
+        if c == '/' && char_at(i + 1) == '/' {
+            let start_line = line;
+            let mut text = String::new();
+            i += 2;
+            while i < n && bytes[i] != '\n' {
+                text.push(bytes[i]);
+                i += 1;
+            }
+            out.comments.push(CommentLine {
+                line: start_line,
+                text,
+            });
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == '/' && char_at(i + 1) == '*' {
+            let start_line = line;
+            let mut depth = 1usize;
+            let mut text = String::new();
+            i += 2;
+            while i < n && depth > 0 {
+                if bytes[i] == '/' && char_at(i + 1) == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == '*' && char_at(i + 1) == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    text.push(bytes[i]);
+                    i += 1;
+                }
+            }
+            out.comments.push(CommentLine {
+                line: start_line,
+                text,
+            });
+            continue;
+        }
+        // Raw strings: r"…", r#"…"#, br#"…"#, …
+        if (c == 'r' || (c == 'b' && char_at(i + 1) == 'r'))
+            && matches!(char_at(i + if c == 'b' { 2 } else { 1 }), '"' | '#')
+        {
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while char_at(j) == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if char_at(j) == '"' {
+                j += 1;
+                let start_line = line;
+                let mut text = String::new();
+                'raw: while j < n {
+                    if bytes[j] == '"' {
+                        let mut k = j + 1;
+                        let mut seen = 0usize;
+                        while seen < hashes && char_at(k) == '#' {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            j = k;
+                            break 'raw;
+                        }
+                    }
+                    if bytes[j] == '\n' {
+                        line += 1;
+                    }
+                    text.push(bytes[j]);
+                    j += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+            // `r` / `br` not followed by a raw string: fall through to the
+            // identifier path below.
+        }
+        // Plain and byte strings.
+        if c == '"' || (c == 'b' && char_at(i + 1) == '"') {
+            let start_line = line;
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            let mut text = String::new();
+            while j < n && bytes[j] != '"' {
+                if bytes[j] == '\\' {
+                    text.push(bytes[j]);
+                    if !bytes[j + 1..].is_empty() {
+                        if char_at(j + 1) == '\n' {
+                            line += 1;
+                        }
+                        text.push(char_at(j + 1));
+                        j += 2;
+                        continue;
+                    }
+                }
+                if bytes[j] == '\n' {
+                    line += 1;
+                }
+                text.push(bytes[j]);
+                j += 1;
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line: start_line,
+            });
+            i = j.saturating_add(1);
+            continue;
+        }
+        // Lifetimes vs char literals. `'a` / `'_` with no closing quote is
+        // a lifetime; `'x'` / `'\n'` is a char literal.
+        if c == '\'' {
+            let c1 = char_at(i + 1);
+            if c1 == '\\' || (char_at(i + 2) == '\'' && c1 != '\'') {
+                // Char literal; consume through the closing quote.
+                let mut j = i + 1;
+                if char_at(j) == '\\' {
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+                while j < n && bytes[j] != '\'' {
+                    j += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                });
+                i = j.saturating_add(1);
+                continue;
+            }
+            if c1 == '_' || c1.is_alphabetic() {
+                let mut j = i + 1;
+                let mut text = String::from("'");
+                while j < n && (bytes[j] == '_' || bytes[j].is_alphanumeric()) {
+                    text.push(bytes[j]);
+                    j += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            // Bare quote; treat as punctuation and move on.
+            out.tokens.push(Tok {
+                kind: TokKind::Punct,
+                text: "'".to_string(),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+        // Numbers (loose: consume alphanumerics, `_`, `.` between digits).
+        if c.is_ascii_digit() {
+            let mut j = i;
+            let mut text = String::new();
+            while j < n
+                && (bytes[j].is_ascii_alphanumeric()
+                    || bytes[j] == '_'
+                    || (bytes[j] == '.' && char_at(j + 1).is_ascii_digit()))
+            {
+                text.push(bytes[j]);
+                j += 1;
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Num,
+                text,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Identifiers and keywords (raw identifiers included).
+        if c == '_' || c.is_alphabetic() {
+            let mut j = i;
+            let mut text = String::new();
+            if c == 'r' && char_at(i + 1) == '#' {
+                j += 2; // raw identifier prefix
+            }
+            while j < n && (bytes[j] == '_' || bytes[j].is_alphanumeric()) {
+                text.push(bytes[j]);
+                j += 1;
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Multi-char punctuation, longest match first.
+        let mut matched = false;
+        for p in MULTI_PUNCT {
+            if src_slice_matches(&bytes, i, p) {
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (*p).to_string(),
+                    line,
+                });
+                i += p.chars().count();
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        out.tokens.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Whether the characters at `start` equal `pat`.
+fn src_slice_matches(bytes: &[char], start: usize, pat: &str) -> bool {
+    for (idx, pc) in (start..).zip(pat.chars()) {
+        if bytes.get(idx) != Some(&pc) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let s = scan("// unwrap()\nlet x = \"unwrap()\"; /* panic! */\n");
+        assert!(s.tokens.iter().all(|t| !t.is_ident("unwrap")));
+        assert_eq!(s.comments.len(), 2);
+        assert_eq!(s.comments[0].text.trim(), "unwrap()");
+        // The string literal's content is kept, but as a Str token.
+        assert!(s
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "unwrap()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scan("/* a /* b */ c */ fn x() {}");
+        assert!(s.tokens.iter().any(|t| t.is_ident("fn")));
+        assert!(!s.tokens.iter().any(|t| t.is_ident("a")));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let s = scan("let x: &'static str = r#\"panic!()\"#; let c = 'y';");
+        assert!(s
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'static"));
+        assert!(s
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "panic!()"));
+        assert!(s.tokens.iter().any(|t| t.kind == TokKind::Char));
+        assert!(!s.tokens.iter().any(|t| t.is_ident("panic")));
+    }
+
+    #[test]
+    fn multi_char_punctuation_is_munched() {
+        let s = scan("a <<= 1; b += 2; c << 3; d..=e");
+        let puncts: Vec<&str> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(puncts.contains(&"<<="));
+        assert!(puncts.contains(&"+="));
+        assert!(puncts.contains(&"<<"));
+        assert!(puncts.contains(&"..="));
+    }
+
+    #[test]
+    fn lines_are_tracked_across_constructs() {
+        let s = scan("fn a() {}\n// c\nfn b() {}\n");
+        let b = s.tokens.iter().find(|t| t.is_ident("b")).map(|t| t.line);
+        assert_eq!(b, Some(3));
+        assert_eq!(s.comments[0].line, 2);
+    }
+}

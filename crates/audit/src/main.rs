@@ -1,0 +1,67 @@
+//! CLI for the RMCC static-invariant audit.
+//!
+//! ```text
+//! cargo run -p rmcc-audit -- [--root PATH] [--deny-warnings]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` unwaived findings (errors always; warnings
+//! only under `--deny-warnings`), `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny_warnings = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(p) = args.next() else {
+                    eprintln!("rmcc-audit: --root requires a path");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(p);
+            }
+            "--deny-warnings" => deny_warnings = true,
+            "--help" | "-h" => {
+                println!("usage: rmcc-audit [--root PATH] [--deny-warnings]");
+                println!();
+                println!("Statically enforces the RMCC trusted-path invariants:");
+                println!(
+                    "  R1  panic-freedom in crypto/secmem/core (no unwrap/expect/panic!/indexing)"
+                );
+                println!("  R2  counter-arithmetic safety (no truncating casts or unchecked +/<<)");
+                println!("  R3  secret-flow hygiene in crypto (no secret-dependent branches/indexes/logs)");
+                println!(
+                    "  R4  crate roots pin #![forbid(unsafe_code)] and #![deny(missing_docs)]"
+                );
+                println!();
+                println!("Waive intentional findings with `// audit:allow(R1, reason = \"...\")`.");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("rmcc-audit: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match rmcc_audit::audit_tree(&root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            match report.exit_code(deny_warnings) {
+                0 => ExitCode::SUCCESS,
+                code => ExitCode::from(code.clamp(0, 255) as u8),
+            }
+        }
+        Err(e) => {
+            eprintln!("rmcc-audit: failed to scan {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,666 @@
+//! The RMCC rule catalogue (R1–R4) over the lexical token stream.
+//!
+//! Each check is written against token adjacency, not an AST, so the rules
+//! are deliberately conservative pattern matchers. False positives are the
+//! accepted cost — they are silenced with a counted, reasoned
+//! `audit:allow` directive — while the patterns themselves are tuned so the
+//! trusted-path constructs the threat model cares about cannot slip
+//! through renamed or reformatted.
+
+use crate::lexer::{Tok, TokKind};
+use crate::{FileCtx, Finding, Rule};
+
+/// Identifier fragments that mark a binding as counter-like for R2.
+const COUNTERISH: &[&str] = &["counter", "ctr", "epoch", "budget", "major", "minor"];
+
+/// Identifier fragments that mark a binding as secret-bearing for R3.
+const SECRETISH: &[&str] = &["key", "pad", "otp", "plaintext", "secret"];
+
+/// Casts narrower than `u64` that can drop counter bits.
+const TRUNCATING: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Macro-call identifiers banned outright on the trusted path.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Format-family macros R3 inspects for secret captures.
+const FORMAT_MACROS: &[&str] = &[
+    "format", "print", "println", "eprint", "eprintln", "write", "writeln", "debug", "trace",
+    "info", "warn", "error",
+];
+
+/// Keywords after which a `[` opens an array literal, pattern, or type —
+/// not an index expression.
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "return", "break", "continue", "else", "match", "if", "while",
+    "loop", "for", "move", "box", "dyn", "impl", "where", "const", "static", "pub", "use", "mod",
+    "enum", "struct", "trait", "type", "fn", "unsafe", "await", "async", "as", "yield",
+];
+
+/// Whether `ident` (case-insensitively) contains any fragment in `set`.
+fn mentions(ident: &str, set: &[&str]) -> bool {
+    let lower = ident.to_ascii_lowercase();
+    set.iter().any(|f| lower.contains(f))
+}
+
+/// Computes the inclusion mask: `true` for tokens in audit scope, `false`
+/// for tokens under `#[cfg(test)]` / `#[test]` items.
+///
+/// An attribute group containing the identifier `test` (and not `not`, so
+/// `#[cfg(not(test))]` stays in scope) excludes the item it annotates: all
+/// tokens through the matching close of the item's brace block, or through
+/// the terminating `;` for block-less items like `mod tests;`.
+pub fn test_mask(tokens: &[Tok]) -> Vec<bool> {
+    let mut excluded = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct("#") && matches!(tokens.get(i + 1), Some(t) if t.is_punct("["))) {
+            i += 1;
+            continue;
+        }
+        let Some(close) = matching(tokens, i + 1, "[", "]") else {
+            break;
+        };
+        let attr = &tokens[i + 2..close];
+        let has_test = attr
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "test");
+        let negated = attr
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "not");
+        if !has_test || negated {
+            i = close + 1;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut k = close + 1;
+        while k < tokens.len()
+            && tokens[k].is_punct("#")
+            && matches!(tokens.get(k + 1), Some(t) if t.is_punct("["))
+        {
+            match matching(tokens, k + 1, "[", "]") {
+                Some(c) => k = c + 1,
+                None => break,
+            }
+        }
+        // The attributed item ends at its brace block's close, or at the
+        // first `;` that appears before any `{`.
+        let mut end = tokens.len().saturating_sub(1);
+        let mut j = k;
+        while j < tokens.len() {
+            if tokens[j].is_punct(";") {
+                end = j;
+                break;
+            }
+            if tokens[j].is_punct("{") {
+                end = matching(tokens, j, "{", "}").unwrap_or(tokens.len() - 1);
+                break;
+            }
+            j += 1;
+        }
+        for slot in excluded.iter_mut().take(end + 1).skip(i) {
+            *slot = true;
+        }
+        i = end + 1;
+    }
+    excluded.iter().map(|e| !e).collect()
+}
+
+/// Index of the delimiter matching `tokens[open]`, which must be `open_s`.
+fn matching(tokens: &[Tok], open: usize, open_s: &str, close_s: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct(open_s) {
+            depth += 1;
+        } else if t.is_punct(close_s) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// R1 — panic-freedom on the trusted path.
+pub fn check_r1(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if !ctx.included[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            // `.unwrap()` / `.expect(`
+            if (t.text == "unwrap" || t.text == "expect")
+                && i > 0
+                && toks[i - 1].is_punct(".")
+                && matches!(toks.get(i + 1), Some(n) if n.is_punct("("))
+            {
+                out.push(ctx.finding(
+                    Rule::R1,
+                    t.line,
+                    format!(
+                        "`{}()` on trusted path (use typed errors or infallible patterns)",
+                        t.text
+                    ),
+                ));
+                continue;
+            }
+            // `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+            if PANIC_MACROS.contains(&t.text.as_str())
+                && matches!(toks.get(i + 1), Some(n) if n.is_punct("!"))
+            {
+                out.push(ctx.finding(
+                    Rule::R1,
+                    t.line,
+                    format!(
+                        "`{}!` on trusted path (return a typed error instead)",
+                        t.text
+                    ),
+                ));
+                continue;
+            }
+        }
+        // Bare slice/array indexing: `expr[...]`.
+        if t.is_punct("[") && i > 0 {
+            let prev = &toks[i - 1];
+            let indexes_expr = match prev.kind {
+                TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                TokKind::Punct => prev.text == "]" || prev.text == ")",
+                _ => false,
+            };
+            if !indexes_expr {
+                continue;
+            }
+            // `&buf[..]` re-slices the whole buffer and cannot panic.
+            let full_range = matches!(toks.get(i + 1), Some(a) if a.is_punct(".."))
+                && matches!(toks.get(i + 2), Some(b) if b.is_punct("]"));
+            if full_range {
+                continue;
+            }
+            out.push(ctx.finding(
+                Rule::R1,
+                t.line,
+                "bare slice indexing on trusted path (use `get`/`get_mut`, iterators, or slice patterns)".to_string(),
+            ));
+        }
+    }
+}
+
+/// R2 — counter-arithmetic safety.
+pub fn check_r2(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if !ctx.included[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            // Truncating `as` casts are handled at the `as` keyword below.
+            "+" | "+=" => {
+                // `a + b` / `a += b`: flag when either operand is a
+                // counter-like identifier. A `)` on the left is skipped —
+                // a parenthesised or checked_* left operand already went
+                // through an audited construction.
+                if let Some(name) = operand_ident_before(toks, i) {
+                    if mentions(&name, COUNTERISH) {
+                        out.push(ctx.finding(
+                            Rule::R2,
+                            t.line,
+                            format!(
+                                "unchecked `{}` on counter-like identifier `{name}` (use checked_add/wrapping_add with a rationale)",
+                                t.text
+                            ),
+                        ));
+                        continue;
+                    }
+                }
+                if t.text == "+" {
+                    if let Some(name) = operand_ident_after(toks, i) {
+                        if mentions(&name, COUNTERISH) {
+                            out.push(ctx.finding(
+                                Rule::R2,
+                                t.line,
+                                format!(
+                                    "unchecked `+` on counter-like identifier `{name}` (use checked_add/wrapping_add with a rationale)"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            "<<" | "<<=" => {
+                // Only the shifted (left) operand loses bits.
+                if let Some(name) = operand_ident_before(toks, i) {
+                    if mentions(&name, COUNTERISH) {
+                        out.push(ctx.finding(
+                            Rule::R2,
+                            t.line,
+                            format!(
+                                "unchecked `{}` on counter-like identifier `{name}` (use checked_shl/wrapping_shl with a rationale)",
+                                t.text
+                            ),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // Truncating casts: `<counter-ish expr> as u8/u16/u32/...`.
+    for i in 0..toks.len() {
+        if !ctx.included[i] || !toks[i].is_ident("as") {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else {
+            continue;
+        };
+        if target.kind != TokKind::Ident || !TRUNCATING.contains(&target.text.as_str()) {
+            continue;
+        }
+        if let Some(name) = cast_source_ident(toks, i) {
+            if mentions(&name, COUNTERISH) {
+                out.push(ctx.finding(
+                    Rule::R2,
+                    toks[i].line,
+                    format!(
+                        "truncating `as {}` cast on counter-like identifier `{name}` (use try_from or mask explicitly with a rationale)",
+                        target.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The identifier naming the operand that ends at `i - 1`, if any.
+///
+/// Handles `ident`, `self.field`, and `base[index]` shapes; gives up on
+/// parenthesised operands (already-audited constructions).
+fn operand_ident_before(toks: &[Tok], i: usize) -> Option<String> {
+    let mut j = i.checked_sub(1)?;
+    // `base[index] + …`: skip back over the index to the base's name.
+    if toks[j].is_punct("]") {
+        let mut depth = 0usize;
+        loop {
+            if toks[j].is_punct("]") {
+                depth += 1;
+            } else if toks[j].is_punct("[") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j = j.checked_sub(1)?;
+        }
+        j = j.checked_sub(1)?;
+    }
+    let t = toks.get(j)?;
+    if t.kind == TokKind::Ident && !NON_INDEX_KEYWORDS.contains(&t.text.as_str()) {
+        return Some(t.text.clone());
+    }
+    None
+}
+
+/// The identifier starting the operand at `i + 1`, if any (skipping a
+/// leading `self.` / `&` / `*`).
+fn operand_ident_after(toks: &[Tok], i: usize) -> Option<String> {
+    let mut j = i + 1;
+    loop {
+        let t = toks.get(j)?;
+        match t.kind {
+            TokKind::Ident if t.text == "self" => {
+                // `self.field`
+                if matches!(toks.get(j + 1), Some(d) if d.is_punct(".")) {
+                    j += 2;
+                    continue;
+                }
+                return None;
+            }
+            TokKind::Ident => return Some(t.text.clone()),
+            TokKind::Punct if t.text == "&" || t.text == "*" => {
+                j += 1;
+                continue;
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// The identifier most plausibly being cast by the `as` at `i`.
+fn cast_source_ident(toks: &[Tok], i: usize) -> Option<String> {
+    let j = i.checked_sub(1)?;
+    let prev = toks.get(j)?;
+    match prev.kind {
+        TokKind::Ident => Some(prev.text.clone()),
+        TokKind::Punct if prev.text == "]" || prev.text == ")" => {
+            // `base[idx] as T` / `(expr) as T`: any identifier inside (or
+            // the base just before an index) can be the truncated value.
+            let (open_s, close_s) = if prev.text == "]" {
+                ("[", "]")
+            } else {
+                ("(", ")")
+            };
+            let mut depth = 0usize;
+            let mut k = j;
+            let open = loop {
+                if toks[k].is_punct(close_s) {
+                    depth += 1;
+                } else if toks[k].is_punct(open_s) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break k;
+                    }
+                }
+                k = k.checked_sub(1)?;
+            };
+            let inner = toks
+                .get(open..=j)?
+                .iter()
+                .find(|t| t.kind == TokKind::Ident && mentions(&t.text, COUNTERISH))
+                .map(|t| t.text.clone());
+            if inner.is_some() {
+                return inner;
+            }
+            if prev.text == "]" {
+                // The indexed base itself, e.g. `minors[slot] as u8`.
+                let b = toks.get(open.checked_sub(1)?)?;
+                if b.kind == TokKind::Ident {
+                    return Some(b.text.clone());
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// R3 — secret-flow hygiene (crypto crate only).
+pub fn check_r3(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if !ctx.included[i] {
+            continue;
+        }
+        let t = &toks[i];
+        // Branch conditions: `if` / `while` / `match` up to the body `{`.
+        if t.kind == TokKind::Ident && matches!(t.text.as_str(), "if" | "while" | "match") {
+            let mut depth = 0usize;
+            for cond in toks.iter().skip(i + 1) {
+                if cond.kind == TokKind::Punct {
+                    match cond.text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth = depth.saturating_sub(1),
+                        "{" if depth == 0 => break,
+                        ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                if cond.kind == TokKind::Ident && mentions(&cond.text, SECRETISH) {
+                    out.push(ctx.finding(
+                        Rule::R3,
+                        t.line,
+                        format!(
+                            "`{}` condition mentions secret-named binding `{}` (secret-dependent branch)",
+                            t.text, cond.text
+                        ),
+                    ));
+                    break;
+                }
+            }
+            continue;
+        }
+        // Index expressions: secret-named identifiers inside `[...]` of an
+        // index expression are secret-dependent memory addresses.
+        if t.is_punct("[") && i > 0 {
+            let prev = &toks[i - 1];
+            let indexes_expr = match prev.kind {
+                TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                TokKind::Punct => prev.text == "]" || prev.text == ")",
+                _ => false,
+            };
+            if !indexes_expr {
+                continue;
+            }
+            if let Some(close) = matching(toks, i, "[", "]") {
+                for inner in &toks[i + 1..close] {
+                    if inner.kind == TokKind::Ident && mentions(&inner.text, SECRETISH) {
+                        out.push(ctx.finding(
+                            Rule::R3,
+                            t.line,
+                            format!(
+                                "index expression mentions secret-named binding `{}` (secret-dependent address)",
+                                inner.text
+                            ),
+                        ));
+                        break;
+                    }
+                }
+            }
+            continue;
+        }
+        // `#[derive(..., Debug, ...)]` on a type with a secret-named field.
+        if t.is_punct("#") && matches!(toks.get(i + 1), Some(n) if n.is_punct("[")) {
+            let Some(close) = matching(toks, i + 1, "[", "]") else {
+                continue;
+            };
+            let attr = &toks[i + 2..close];
+            let is_derive_debug = attr.first().is_some_and(|a| a.is_ident("derive"))
+                && attr.iter().any(|a| a.is_ident("Debug"));
+            if !is_derive_debug {
+                continue;
+            }
+            // Find the annotated item's brace block and scan field names.
+            let mut j = close + 1;
+            while j < toks.len() && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+                j += 1;
+            }
+            if j >= toks.len() || !toks[j].is_punct("{") {
+                continue;
+            }
+            let Some(body_close) = matching(toks, j, "{", "}") else {
+                continue;
+            };
+            for (k, field) in toks.iter().enumerate().take(body_close).skip(j + 1) {
+                if field.kind == TokKind::Ident
+                    && mentions(&field.text, SECRETISH)
+                    && matches!(toks.get(k + 1), Some(c) if c.is_punct(":"))
+                {
+                    out.push(ctx.finding(
+                        Rule::R3,
+                        t.line,
+                        format!(
+                            "derive(Debug) on type with secret-named field `{}` (write a redacting impl)",
+                            field.text
+                        ),
+                    ));
+                    break;
+                }
+            }
+            continue;
+        }
+        // Format-family macros whose arguments or captures name a secret.
+        if t.kind == TokKind::Ident
+            && FORMAT_MACROS.contains(&t.text.as_str())
+            && matches!(toks.get(i + 1), Some(n) if n.is_punct("!"))
+            && matches!(toks.get(i + 2), Some(n) if n.is_punct("(") || n.is_punct("["))
+        {
+            let open_s = if toks[i + 2].is_punct("(") { "(" } else { "[" };
+            let close_s = if open_s == "(" { ")" } else { "]" };
+            let Some(close) = matching(toks, i + 2, open_s, close_s) else {
+                continue;
+            };
+            for arg in &toks[i + 3..close] {
+                let hit = match arg.kind {
+                    TokKind::Ident => mentions(&arg.text, SECRETISH).then(|| arg.text.clone()),
+                    TokKind::Str => str_capture_secret(&arg.text),
+                    _ => None,
+                };
+                if let Some(name) = hit {
+                    out.push(ctx.finding(
+                        Rule::R3,
+                        t.line,
+                        format!(
+                            "`{}!` formats secret-named binding `{name}` (log-leak guard)",
+                            t.text
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Scans a format string's `{...}` captures for secret-named identifiers.
+/// `{{` escapes are respected.
+fn str_capture_secret(s: &str) -> Option<String> {
+    let chars: Vec<char> = s.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        if chars[i] == '{' {
+            if chars.get(i + 1) == Some(&'{') {
+                i += 2;
+                continue;
+            }
+            let mut name = String::new();
+            let mut j = i + 1;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                name.push(chars[j]);
+                j += 1;
+            }
+            if !name.is_empty() && mentions(&name, SECRETISH) {
+                return Some(name);
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// R4 — crate roots must pin `#![forbid(unsafe_code)]` and
+/// `#![deny(missing_docs)]`.
+pub fn check_r4(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.is_crate_root {
+        return;
+    }
+    if !has_inner_lint(ctx.tokens, &["forbid"], "unsafe_code") {
+        out.push(ctx.finding(
+            Rule::R4,
+            1,
+            "crate root missing `#![forbid(unsafe_code)]`".to_string(),
+        ));
+    }
+    if !has_inner_lint(ctx.tokens, &["deny", "forbid"], "missing_docs") {
+        out.push(ctx.finding(
+            Rule::R4,
+            1,
+            "crate root missing `#![deny(missing_docs)]`".to_string(),
+        ));
+    }
+}
+
+/// Whether the token stream carries `#![<level>(<lint>)]` for one of the
+/// accepted levels.
+fn has_inner_lint(toks: &[Tok], levels: &[&str], lint: &str) -> bool {
+    for i in 0..toks.len() {
+        if toks[i].is_punct("#")
+            && matches!(toks.get(i + 1), Some(t) if t.is_punct("!"))
+            && matches!(toks.get(i + 2), Some(t) if t.is_punct("["))
+        {
+            if let Some(close) = matching(toks, i + 2, "[", "]") {
+                let attr = &toks[i + 3..close];
+                let level_ok = attr
+                    .first()
+                    .is_some_and(|t| t.kind == TokKind::Ident && levels.contains(&t.text.as_str()));
+                if level_ok && attr.iter().any(|t| t.is_ident(lint)) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit_source;
+
+    fn run(rel: &str, crate_name: &str, src: &str) -> Vec<Finding> {
+        let (findings, _dirs) = audit_source(rel, crate_name, rel.ends_with("lib.rs"), src);
+        findings
+    }
+
+    #[test]
+    fn r1_flags_unwrap_expect_and_macros() {
+        let f = run(
+            "crates/secmem/src/x.rs",
+            "secmem",
+            "fn f(x: Option<u8>) { x.unwrap(); x.expect(\"m\"); panic!(\"no\"); }",
+        );
+        let rules: Vec<_> = f.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec![Rule::R1, Rule::R1, Rule::R1]);
+    }
+
+    #[test]
+    fn r1_ignores_test_modules_and_comments() {
+        let src = "// x.unwrap()\n#[cfg(test)]\nmod tests {\n fn f() { None::<u8>.unwrap(); }\n}\n";
+        assert!(run("crates/secmem/src/x.rs", "secmem", src).is_empty());
+    }
+
+    #[test]
+    fn r1_indexing_but_not_array_literals_or_full_ranges() {
+        let f = run(
+            "crates/core/src/x.rs",
+            "core",
+            "fn f(v: &[u8]) -> u8 { let a = [0u8; 4]; let _ = &v[..]; v[1] }",
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("bare slice indexing"));
+    }
+
+    #[test]
+    fn r2_flags_counter_arithmetic_and_casts() {
+        let src = "fn f(major_counter: u64, x: u64) -> u64 { let y = major_counter + x; let _ = major_counter as u32; y }";
+        let f = run("crates/secmem/src/x.rs", "secmem", src);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|f| f.rule == Rule::R2));
+    }
+
+    #[test]
+    fn r2_accepts_checked_forms() {
+        let src = "fn f(counter: u64) -> Option<u64> { counter.checked_add(1) }";
+        assert!(run("crates/secmem/src/x.rs", "secmem", src).is_empty());
+    }
+
+    #[test]
+    fn r3_flags_secret_branches_indexes_and_derive_debug() {
+        let src = "#[derive(Debug)]\nstruct K { keys: [u64; 2] }\nfn f(key: u64, t: &[u8]) -> u8 { if key > 0 { return 1; } t[key as usize] }";
+        let f = run("crates/crypto/src/x.rs", "crypto", src);
+        // R1 also fires on the bare index; R3 fires on the derive, the
+        // branch, and the secret-dependent index.
+        let r3 = f.iter().filter(|f| f.rule == Rule::R3).count();
+        assert_eq!(r3, 3, "{f:?}");
+    }
+
+    #[test]
+    fn r3_only_applies_to_crypto() {
+        let src = "fn f(key: u64) -> u64 { if key > 0 { 1 } else { 0 } }";
+        assert!(run("crates/secmem/src/x.rs", "secmem", src).is_empty());
+    }
+
+    #[test]
+    fn r4_requires_both_attributes_on_crate_roots() {
+        let f = run("crates/dram/src/lib.rs", "dram", "//! docs\npub fn f() {}");
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| x.rule == Rule::R4 && x.line == 1));
+        let clean = "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n//! d\n";
+        assert!(run("crates/dram/src/lib.rs", "dram", clean).is_empty());
+    }
+}

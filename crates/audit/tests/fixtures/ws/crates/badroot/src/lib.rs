@@ -1,0 +1,3 @@
+//! R4 fixture: a crate root missing both hygiene attributes.
+
+pub fn no_attrs_here() {}

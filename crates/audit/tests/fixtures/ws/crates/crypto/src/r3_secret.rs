@@ -1,0 +1,23 @@
+//! R3 fixture: secret-dependent control flow, secret-indexed loads, and
+//! secret values escaping through Debug/format machinery.
+
+pub fn catches_secret_branch(key_byte: u8) -> u8 {
+    if key_byte > 128 {
+        return 0;
+    }
+    key_byte
+}
+
+pub fn catches_secret_index(table: &[u8; 256], pad: u8) -> u8 {
+    table[pad as usize]
+}
+
+/// A key-holding struct must not derive Debug.
+#[derive(Debug)]
+pub struct Keys {
+    pub key: [u8; 16],
+}
+
+pub fn catches_secret_format(key: u64) -> String {
+    format!("leaked: {key}")
+}

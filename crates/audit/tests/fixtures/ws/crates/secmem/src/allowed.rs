@@ -1,0 +1,17 @@
+//! Directive fixture: one used waiver, one unused waiver (W0), and one
+//! malformed directive (W0, and it must not suppress anything).
+
+pub fn waived_indexing(xs: &[u64]) -> u64 {
+    // audit:allow(R1, reason = "fixture: index is bounds-checked by the caller")
+    xs[0]
+}
+
+pub fn unused_waiver(x: u64) -> u64 {
+    // audit:allow(R1, reason = "fixture: nothing on the next line violates R1")
+    x + 1
+}
+
+// audit:allow(R1)
+pub fn malformed_waiver_missing_reason(v: Option<u64>) -> u64 {
+    v.unwrap_or(0)
+}

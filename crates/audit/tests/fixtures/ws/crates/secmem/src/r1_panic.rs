@@ -1,0 +1,29 @@
+//! R1 fixture: every panic path the rule must catch, one per construct.
+
+pub fn catches_unwrap(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+pub fn catches_expect(v: Option<u64>) -> u64 {
+    v.expect("boom")
+}
+
+pub fn catches_panic_macro(x: u64) -> u64 {
+    if x > 10 {
+        panic!("too big");
+    }
+    x
+}
+
+pub fn catches_indexing(xs: &[u64], i: usize) -> u64 {
+    xs[i]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v: Option<u64> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,8 @@
+//! A fully clean mini-workspace: hygienic crate root, total code.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Panic-free lookup.
+pub fn total_lookup(xs: &[u64], i: usize) -> Option<u64> {
+    xs.get(i).copied()
+}

@@ -1,0 +1,22 @@
+//! R2 fixture: unchecked arithmetic and truncating casts on counter-like
+//! identifiers (warnings — the naming heuristic is fallible).
+
+pub struct Epochs {
+    pub epoch_count: u64,
+}
+
+pub fn catches_add(e: &mut Epochs) {
+    e.epoch_count += 1;
+}
+
+pub fn catches_shift(counter: u64) -> u64 {
+    counter << 3
+}
+
+pub fn catches_truncating_cast(budget: u64) -> u32 {
+    budget as u32
+}
+
+pub fn checked_paths_are_fine(counter: u64) -> Option<u64> {
+    counter.checked_add(1)
+}

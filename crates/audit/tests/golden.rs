@@ -1,0 +1,162 @@
+//! Golden tests: pin the auditor's exact `file:line: rule: message` output,
+//! exit codes, and waiver accounting against the fixture mini-workspaces,
+//! then self-audit the real workspace (the acceptance gate CI enforces).
+
+use std::path::{Path, PathBuf};
+use std::process::Output;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_audit(root: &Path, deny_warnings: bool) -> Output {
+    let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_rmcc-audit"));
+    cmd.arg("--root").arg(root);
+    if deny_warnings {
+        cmd.arg("--deny-warnings");
+    }
+    cmd.output().expect("auditor binary runs")
+}
+
+fn stdout_lines(out: &Output) -> Vec<String> {
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn violating_workspace_reports_every_rule_and_exits_nonzero() {
+    let out = run_audit(&fixture("ws"), false);
+    assert_eq!(out.status.code(), Some(1), "errors present → exit 1");
+
+    let expected = [
+        "crates/badroot/src/lib.rs:1: R4: crate root missing `#![forbid(unsafe_code)]`",
+        "crates/badroot/src/lib.rs:1: R4: crate root missing `#![deny(missing_docs)]`",
+        "crates/crypto/src/r3_secret.rs:5: R3: `if` condition mentions secret-named binding \
+         `key_byte` (secret-dependent branch)",
+        "crates/crypto/src/r3_secret.rs:12: R1: bare slice indexing on trusted path (use \
+         `get`/`get_mut`, iterators, or slice patterns)",
+        "crates/crypto/src/r3_secret.rs:12: R3: index expression mentions secret-named binding \
+         `pad` (secret-dependent address)",
+        "crates/crypto/src/r3_secret.rs:16: R3: derive(Debug) on type with secret-named field \
+         `key` (write a redacting impl)",
+        "crates/crypto/src/r3_secret.rs:22: R3: `format!` formats secret-named binding `key` \
+         (log-leak guard)",
+        "crates/secmem/src/allowed.rs:10: W0: unused audit:allow(R1) directive (nothing to \
+         waive — remove it)",
+        "crates/secmem/src/allowed.rs:14: W0: malformed audit:allow directive: missing required \
+         reason",
+        "crates/secmem/src/r1_panic.rs:4: R1: `unwrap()` on trusted path (use typed errors or \
+         infallible patterns)",
+        "crates/secmem/src/r1_panic.rs:8: R1: `expect()` on trusted path (use typed errors or \
+         infallible patterns)",
+        "crates/secmem/src/r1_panic.rs:13: R1: `panic!` on trusted path (return a typed error \
+         instead)",
+        "crates/secmem/src/r1_panic.rs:19: R1: bare slice indexing on trusted path (use \
+         `get`/`get_mut`, iterators, or slice patterns)",
+    ];
+    let lines = stdout_lines(&out);
+    let findings: Vec<&String> = lines
+        .iter()
+        .take_while(|l| !l.starts_with("audit:"))
+        .collect();
+    assert_eq!(
+        findings,
+        expected
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .iter()
+            .collect::<Vec<_>>(),
+        "finding lines changed"
+    );
+    assert!(
+        lines.iter().any(|l| l
+            == "audit: scanned 5 files: 11 error(s), 2 warning(s), 1 finding(s) waived by 2 directive(s)"),
+        "summary line changed: {lines:?}"
+    );
+}
+
+#[test]
+fn waiver_accounting_reports_used_and_unused_directives() {
+    let out = run_audit(&fixture("ws"), false);
+    let lines = stdout_lines(&out);
+    assert!(lines.iter().any(|l| l.trim_start()
+        == "crates/secmem/src/allowed.rs:5: allow(R1) scope=line suppressed 1 finding(s) — \
+            \"fixture: index is bounds-checked by the caller\""));
+    assert!(lines.iter().any(|l| l.trim_start()
+        == "crates/secmem/src/allowed.rs:10: allow(R1) scope=line suppressed 0 finding(s) — \
+            \"fixture: nothing on the next line violates R1\""));
+    // The malformed directive must not appear as a waiver at all.
+    assert!(!lines.iter().any(|l| l.contains("allowed.rs:14: allow")));
+}
+
+#[test]
+fn warnings_only_workspace_gates_on_deny_warnings() {
+    let root = fixture("ws_warn");
+    let lenient = run_audit(&root, false);
+    assert_eq!(lenient.status.code(), Some(0), "warnings pass by default");
+
+    let strict = run_audit(&root, true);
+    assert_eq!(strict.status.code(), Some(1), "--deny-warnings fails them");
+
+    let expected = [
+        "crates/core/src/r2_counter.rs:9: R2: unchecked `+=` on counter-like identifier \
+         `epoch_count` (use checked_add/wrapping_add with a rationale)",
+        "crates/core/src/r2_counter.rs:13: R2: unchecked `<<` on counter-like identifier \
+         `counter` (use checked_shl/wrapping_shl with a rationale)",
+        "crates/core/src/r2_counter.rs:17: R2: truncating `as u32` cast on counter-like \
+         identifier `budget` (use try_from or mask explicitly with a rationale)",
+    ];
+    let lines = stdout_lines(&strict);
+    for e in expected {
+        assert!(lines.iter().any(|l| l == e), "missing: {e}");
+    }
+}
+
+#[test]
+fn clean_workspace_exits_zero_even_under_deny_warnings() {
+    let out = run_audit(&fixture("ws_clean"), true);
+    assert_eq!(out.status.code(), Some(0));
+    let lines = stdout_lines(&out);
+    assert_eq!(
+        lines,
+        vec!["audit: scanned 1 files: 0 error(s), 0 warning(s), 0 finding(s) waived by 0 directive(s)"]
+    );
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_rmcc-audit"));
+    let out = cmd.arg("--no-such-flag").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// The acceptance gate: the real workspace must audit clean, warnings
+/// included, with every escape hatch recorded as a counted waiver.
+#[test]
+fn real_workspace_self_audit_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let out = run_audit(&root, true);
+    let lines = stdout_lines(&out);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace audit regressed:\n{}",
+        lines.join("\n")
+    );
+    let summary = lines
+        .iter()
+        .find(|l| l.starts_with("audit: scanned"))
+        .expect("summary present");
+    assert!(
+        summary.contains("0 error(s), 0 warning(s)"),
+        "unexpected findings: {summary}"
+    );
+}

@@ -13,6 +13,9 @@
 //! worker pool sized by `RMCC_JOBS` (default: all host cores); results are
 //! byte-identical at any width.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use rmcc_sim::experiments::{table1, Experiments, Series};
 use rmcc_workloads::workload::Scale;
 

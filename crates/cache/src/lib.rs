@@ -21,7 +21,8 @@
 //! assert!(miss.is_llc_miss());
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod hierarchy;
 pub mod set_assoc;

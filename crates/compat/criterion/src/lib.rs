@@ -10,6 +10,9 @@
 //! to rank the hot primitives against each other; not a substitute for real
 //! criterion runs.
 
+#![forbid(unsafe_code)]
+// audit:allow(R4, scope = file, reason = "test-only compat shim: mirrors the upstream crate API, missing_docs waived")
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

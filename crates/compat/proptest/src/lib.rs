@@ -10,6 +10,9 @@
 //! name.  There is no shrinking; a failing case panics with the sampled
 //! inputs left to the assertion message.
 
+#![forbid(unsafe_code)]
+// audit:allow(R4, scope = file, reason = "test-only compat shim: mirrors the upstream crate API, missing_docs waived")
+
 pub mod test_runner {
     /// Mirror of `proptest::test_runner::Config` (the fields we use).
     #[derive(Clone, Debug)]

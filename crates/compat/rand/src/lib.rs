@@ -9,6 +9,9 @@
 //! only relies on *run-to-run* determinism for a given seed, never on the
 //! upstream byte stream.
 
+#![forbid(unsafe_code)]
+// audit:allow(R4, scope = file, reason = "test-only compat shim: mirrors the upstream crate API, missing_docs waived")
+
 pub mod rngs {
     /// Deterministic 64-bit generator (SplitMix64).
     #[derive(Clone, Debug)]

@@ -50,7 +50,7 @@ impl AreaModel {
             clmul_xor_gates: xor_gates,
             clmul_inverters: inverters,
             clmul_xor_depth: 128u32.ilog2(),
-            clmul_inv_depth: 128f64.log(4.0) as u32, // paper: log4(128) = 3
+            clmul_inv_depth: 128u32.ilog2() / 2, // paper: log4(128) = 3
         }
     }
 

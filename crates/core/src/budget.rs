@@ -98,10 +98,12 @@ impl TrafficBudget {
     /// its end-of-epoch maintenance (table reselection) then.
     pub fn on_access(&mut self) -> bool {
         self.total_accesses += 1;
-        self.epoch_progress += 1;
+        // Saturating: progress resets every epoch and epochs is monotone, so
+        // neither can approach u64::MAX in any realistic run.
+        self.epoch_progress = self.epoch_progress.saturating_add(1);
         if self.epoch_progress >= EPOCH_ACCESSES {
             self.epoch_progress = 0;
-            self.epochs += 1;
+            self.epochs = self.epochs.saturating_add(1);
             // Carry-over: leftover adds to the new allowance (§IV-C1).
             self.available += self.fraction * EPOCH_ACCESSES as f64;
             true

@@ -90,6 +90,7 @@ impl HighValueMonitor {
     /// even it covers less. The result is clamped to `system_max + 1`
     /// (§IV-D2) so the fastest-growing counter still advances by only one
     /// at a time in the worst case.
+    #[allow(clippy::cast_possible_truncation)] // high_reads ≪ 2^53, ceil() is exact
     pub fn select_start(&self, system_max: u64) -> u64 {
         let need = (self.high_reads as f64 * COVERAGE_REQUIREMENT).ceil() as u64;
         let pick = self
@@ -98,7 +99,10 @@ impl HighValueMonitor {
             .zip(self.counts_below.iter())
             .find(|(_, &c)| c >= need)
             .map(|(&t, _)| t)
-            .unwrap_or_else(|| *self.thresholds.last().expect("ladder is non-empty"));
+            .or_else(|| self.thresholds.last().copied())
+            // An empty ladder never occurs in practice; clamping below then
+            // yields the most conservative start, `system_max + 1`.
+            .unwrap_or(u64::MAX);
         pick.min(system_max.saturating_add(1))
     }
 

@@ -39,7 +39,10 @@
 //! assert!(rmcc.lookup(0, 20_000_000).is_hit());
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Test code may use lossy casts freely; clippy.toml has no in-tests knob for them.
+#![cfg_attr(test, allow(clippy::cast_possible_truncation))]
+#![deny(missing_docs)]
 
 pub mod area;
 pub mod budget;

@@ -42,6 +42,7 @@ impl TableConfig {
     /// # Panics
     ///
     /// Panics unless `group_size` divides 128.
+    #[allow(clippy::cast_possible_truncation)] // quotient of 128 fits any usize
     pub fn with_group_size(group_size: u64) -> Self {
         assert!(
             group_size > 0 && 128 % group_size == 0,
@@ -312,10 +313,11 @@ impl MemoizationTable {
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, g)| g.use_count)
-                .map(|(i, _)| i)
-                .expect("table is non-empty");
-            let victim = self.groups.swap_remove(lfu);
-            self.push_evicted(victim);
+                .map(|(i, _)| i);
+            if let Some(lfu) = lfu {
+                let victim = self.groups.swap_remove(lfu);
+                self.push_evicted(victim);
+            }
         }
         // A freshly inserted group starts with a modest score so it isn't
         // immediately re-evicted before proving itself.

@@ -33,6 +33,7 @@ pub struct Product256 {
 /// // (x+1)^2 = x^2 + 1 (cross terms cancel without carries).
 /// assert_eq!(clmul64(3, 3), 5);
 /// ```
+#[allow(clippy::indexing_slicing)] // index masked to 4 bits into a 16-entry table
 pub fn clmul64(a: u64, b: u64) -> u128 {
     // Process 4 bits of `b` at a time against precomputed shifts of `a`.
     let a = a as u128;
@@ -49,6 +50,7 @@ pub fn clmul64(a: u64, b: u64) -> u128 {
     let mut result = 0u128;
     for nibble in 0..16 {
         let idx = ((b >> (4 * nibble)) & 0xf) as usize;
+        // audit:allow(R1, reason = "index masked to 4 bits into a 16-entry table is total")
         result ^= table[idx] << (4 * nibble);
     }
     result
@@ -56,6 +58,7 @@ pub fn clmul64(a: u64, b: u64) -> u128 {
 
 /// Carry-less multiply of two 128-bit values into a 256-bit product,
 /// using the Karatsuba-free schoolbook decomposition over 64-bit halves.
+#[allow(clippy::cast_possible_truncation)] // deliberate low-half extraction
 pub fn clmul128(a: u128, b: u128) -> Product256 {
     let a_lo = a as u64;
     let a_hi = (a >> 64) as u64;

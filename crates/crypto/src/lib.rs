@@ -38,7 +38,10 @@
 //! assert_eq!(xor_with_pads(&ciphertext, &pads), plaintext);
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Test code may use lossy casts freely; clippy.toml has no in-tests knob for them.
+#![cfg_attr(test, allow(clippy::cast_possible_truncation))]
+#![deny(missing_docs)]
 
 pub mod aes;
 pub mod clmul;

@@ -7,7 +7,7 @@
 //! the slow part that counter caching / memoization hides.
 
 use crate::clmul::clmul64;
-use crate::otp::{BlockPads, WORDS_PER_BLOCK};
+use crate::otp::BlockPads;
 
 /// Bytes in a memory data block.
 pub const BLOCK_BYTES: usize = 64;
@@ -29,6 +29,7 @@ pub fn gf64_mul(a: u64, b: u64) -> u64 {
 }
 
 /// Reduces a 128-bit carry-less product modulo `x^64 + x^4 + x^3 + x + 1`.
+#[allow(clippy::cast_possible_truncation)] // two folds leave the high half zero
 fn reduce_gf64(mut wide: u128) -> u64 {
     // x^64 ≡ x^4 + x^3 + x + 1 (0b11011 = 0x1b).
     for _ in 0..2 {
@@ -83,9 +84,11 @@ impl MacKeys {
     /// The GF dot product of a block's eight 64-bit words with the keys.
     pub fn dot_product(&self, block: &DataBlock) -> u64 {
         let mut acc = 0u64;
-        for (i, chunk) in block.chunks_exact(8).enumerate() {
-            let word = u64::from_be_bytes(chunk.try_into().expect("chunk is 8 bytes"));
-            acc ^= gf64_mul(word, self.keys[i]);
+        for (chunk, key) in block.chunks_exact(8).zip(self.keys.iter()) {
+            // Big-endian byte fold — same value as `u64::from_be_bytes`
+            // without the fallible slice-to-array conversion.
+            let word = chunk.iter().fold(0u64, |w, &b| (w << 8) | u64::from(b));
+            acc ^= gf64_mul(word, *key);
         }
         acc
     }
@@ -102,6 +105,7 @@ impl MacKeys {
 /// let mac = compute_mac(&keys, &[0u8; 64], 0xdead_beef);
 /// assert!(mac <= MAC_MASK);
 /// ```
+#[allow(clippy::cast_possible_truncation)] // the fold below is the truncation
 pub fn compute_mac(keys: &MacKeys, block: &DataBlock, mac_pad: u128) -> u64 {
     // XOR-and-truncate (Figure 2b): fold the 128-bit pad to 64 bits, XOR
     // with the dot product, keep 56 bits.
@@ -118,10 +122,17 @@ pub fn verify_mac(keys: &MacKeys, block: &DataBlock, mac_pad: u128, stored: u64)
 /// same operation in counter mode.
 pub fn xor_with_pads(block: &DataBlock, pads: &BlockPads) -> DataBlock {
     let mut out = [0u8; BLOCK_BYTES];
-    for w in 0..WORDS_PER_BLOCK {
-        let pad = pads.words[w].to_be_bytes();
-        for b in 0..16 {
-            out[w * 16 + b] = block[w * 16 + b] ^ pad[b];
+    for ((dst, src), word) in out
+        .chunks_exact_mut(16)
+        .zip(block.chunks_exact(16))
+        .zip(pads.words.iter())
+    {
+        for ((d, s), p) in dst
+            .iter_mut()
+            .zip(src.iter())
+            .zip(word.to_be_bytes().iter())
+        {
+            *d = s ^ p;
         }
     }
     out

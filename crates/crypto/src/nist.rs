@@ -89,10 +89,11 @@ fn ln_gamma(x: f64) -> f64 {
             - ln_gamma(1.0 - x);
     }
     let x = x - 1.0;
-    let mut a = COEF[0];
+    let [a0, tail @ ..] = COEF;
+    let mut a = a0;
     let t = x + 7.5;
-    for (i, &c) in COEF.iter().enumerate().skip(1) {
-        a += c / (x + i as f64);
+    for (i, &c) in tail.iter().enumerate() {
+        a += c / (x + (i + 1) as f64);
     }
     0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
 }
@@ -177,13 +178,17 @@ pub fn frequency(s: &BitStream) -> TestResult {
 
 /// Frequency within a block — SP 800-22 §2.2.
 pub fn block_frequency(s: &BitStream, block_len: usize) -> TestResult {
+    if block_len == 0 || s.len() < block_len {
+        // Degenerate parameters carry no evidence against randomness.
+        return TestResult {
+            name: "block-frequency",
+            p_value: 1.0,
+        };
+    }
     let n_blocks = s.len() / block_len;
     let mut chi2 = 0.0;
-    for i in 0..n_blocks {
-        let ones: usize = s.bits[i * block_len..(i + 1) * block_len]
-            .iter()
-            .map(|&b| b as usize)
-            .sum();
+    for chunk in s.bits.chunks_exact(block_len) {
+        let ones: usize = chunk.iter().map(|&b| b as usize).sum();
         let pi = ones as f64 / block_len as f64;
         chi2 += (pi - 0.5) * (pi - 0.5);
     }
@@ -207,8 +212,10 @@ pub fn runs(s: &BitStream) -> TestResult {
     }
     let mut v_obs = 1u64;
     for w in s.bits.windows(2) {
-        if w[0] != w[1] {
-            v_obs += 1;
+        if let [a, b] = w {
+            if a != b {
+                v_obs += 1;
+            }
         }
     }
     let num = (v_obs as f64 - 2.0 * n * pi * (1.0 - pi)).abs();
@@ -227,10 +234,10 @@ pub fn longest_run(s: &BitStream) -> TestResult {
     const PI: [f64; K + 1] = [0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124];
     let n_blocks = s.len() / M;
     let mut v = [0u64; K + 1];
-    for i in 0..n_blocks {
+    for chunk in s.bits.chunks_exact(M) {
         let mut longest = 0usize;
         let mut run = 0usize;
-        for &b in &s.bits[i * M..(i + 1) * M] {
+        for &b in chunk {
             if b == 1 {
                 run += 1;
                 longest = longest.max(run);
@@ -246,13 +253,15 @@ pub fn longest_run(s: &BitStream) -> TestResult {
             8 => 4,
             _ => 5,
         };
-        v[class] += 1;
+        if let Some(slot) = v.get_mut(class) {
+            *slot += 1;
+        }
     }
     let n = n_blocks as f64;
     let mut chi2 = 0.0;
-    for i in 0..=K {
-        let expected = n * PI[i];
-        chi2 += (v[i] as f64 - expected) * (v[i] as f64 - expected) / expected;
+    for (&vi, &pi) in v.iter().zip(PI.iter()) {
+        let expected = n * pi;
+        chi2 += (vi as f64 - expected) * (vi as f64 - expected) / expected;
     }
     TestResult {
         name: "longest-run",
@@ -261,6 +270,7 @@ pub fn longest_run(s: &BitStream) -> TestResult {
 }
 
 /// Cumulative sums (forward) — SP 800-22 §2.13.
+#[allow(clippy::cast_possible_truncation)] // floor() of k-bounds fits i64 for any real stream
 pub fn cumulative_sums(s: &BitStream) -> TestResult {
     let n = s.len() as f64;
     let mut sum = 0i64;
@@ -304,14 +314,17 @@ fn psi_sq(s: &BitStream, m: usize) -> f64 {
     let mut counts = vec![0u64; 1 << m];
     let mut idx = 0usize;
     // Prime with the first m-1 bits.
-    for i in 0..(m - 1) {
-        idx = (idx << 1) | s.bits[i] as usize;
+    for &b in s.bits.iter().take(m - 1) {
+        idx = (idx << 1) | b as usize;
     }
     let mask = (1 << m) - 1;
-    for i in 0..n {
-        let bit = s.bits[(i + m - 1) % n] as usize;
-        idx = ((idx << 1) | bit) & mask;
-        counts[idx] += 1;
+    // Walk bits m-1, m, …, n-1, then wrap to 0, …, m-2 (overlapping
+    // patterns are counted circularly per the spec).
+    for &b in s.bits.iter().cycle().skip(m - 1).take(n) {
+        idx = ((idx << 1) | b as usize) & mask;
+        if let Some(c) = counts.get_mut(idx) {
+            *c += 1;
+        }
     }
     let nf = n as f64;
     let sum: f64 = counts.iter().map(|&c| (c as f64) * (c as f64)).sum();
@@ -319,6 +332,7 @@ fn psi_sq(s: &BitStream, m: usize) -> f64 {
 }
 
 /// Serial test — SP 800-22 §2.11, returning the first p-value (∇ψ²).
+#[allow(clippy::cast_possible_truncation)] // block length m is single-digit
 pub fn serial(s: &BitStream, m: usize) -> TestResult {
     let d1 = psi_sq(s, m) - psi_sq(s, m - 1);
     let d2 = psi_sq(s, m) - 2.0 * psi_sq(s, m - 1) + psi_sq(s, m.saturating_sub(2));
@@ -331,6 +345,7 @@ pub fn serial(s: &BitStream, m: usize) -> TestResult {
 }
 
 /// Approximate entropy test — SP 800-22 §2.12.
+#[allow(clippy::cast_possible_truncation)] // block length m is single-digit
 pub fn approximate_entropy(s: &BitStream, m: usize) -> TestResult {
     let n = s.len();
     let phi = |m: usize| -> f64 {
@@ -340,13 +355,14 @@ pub fn approximate_entropy(s: &BitStream, m: usize) -> TestResult {
         let mut counts = vec![0u64; 1 << m];
         let mask = (1 << m) - 1;
         let mut idx = 0usize;
-        for i in 0..(m - 1) {
-            idx = (idx << 1) | s.bits[i] as usize;
+        for &b in s.bits.iter().take(m - 1) {
+            idx = (idx << 1) | b as usize;
         }
-        for i in 0..n {
-            let bit = s.bits[(i + m - 1) % n] as usize;
-            idx = ((idx << 1) | bit) & mask;
-            counts[idx] += 1;
+        for &b in s.bits.iter().cycle().skip(m - 1).take(n) {
+            idx = ((idx << 1) | b as usize) & mask;
+            if let Some(c) = counts.get_mut(idx) {
+                *c += 1;
+            }
         }
         counts
             .iter()

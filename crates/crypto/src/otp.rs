@@ -77,8 +77,9 @@ impl KeySet {
     /// 22 ns); this constructor makes the functional engine match.
     pub fn from_master_with(master: u64, variant: crate::aes::AesVariant) -> Self {
         let mut mk = [0u8; 16];
-        mk[..8].copy_from_slice(&master.to_be_bytes());
-        mk[8..].copy_from_slice(&(!master).to_be_bytes());
+        let (mk_lo, mk_hi) = mk.split_at_mut(8);
+        mk_lo.copy_from_slice(&master.to_be_bytes());
+        mk_hi.copy_from_slice(&(!master).to_be_bytes());
         let root = Aes::new_128(&mk);
         let derive = |label: u128| {
             let lo = root.encrypt_u128(label);
@@ -87,8 +88,9 @@ impl KeySet {
                 crate::aes::AesVariant::Aes256 => {
                     let hi = root.encrypt_u128(label | 1 << 64);
                     let mut key = [0u8; 32];
-                    key[..16].copy_from_slice(&lo.to_be_bytes());
-                    key[16..].copy_from_slice(&hi.to_be_bytes());
+                    let (key_lo, key_hi) = key.split_at_mut(16);
+                    key_lo.copy_from_slice(&lo.to_be_bytes());
+                    key_hi.copy_from_slice(&hi.to_be_bytes());
                     Aes::new_256(&key)
                 }
             }
@@ -184,9 +186,16 @@ fn sgx_tweak(block_addr: u64, word_index: u8, ctr: u64) -> u128 {
 /// // Different counters give completely different pads for the same block.
 /// assert_ne!(pads, pipe.block_pads(0x1000, 8));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SgxOtp {
     keys: KeySet,
+}
+
+impl std::fmt::Debug for SgxOtp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never expose the key set through Debug output.
+        f.debug_struct("SgxOtp").finish_non_exhaustive()
+    }
 }
 
 impl SgxOtp {
@@ -200,11 +209,8 @@ impl OtpPipeline for SgxOtp {
     fn block_pads(&self, block_addr: u64, ctr: u64) -> BlockPads {
         assert!(ctr <= COUNTER_MAX, "counter overflows 56 bits");
         let mut words = [0u128; WORDS_PER_BLOCK];
-        for (i, w) in words.iter_mut().enumerate() {
-            *w = self
-                .keys
-                .enc
-                .encrypt_u128(sgx_tweak(block_addr, i as u8, ctr));
+        for (i, w) in (0u8..).zip(words.iter_mut()) {
+            *w = self.keys.enc.encrypt_u128(sgx_tweak(block_addr, i, ctr));
         }
         let mac = self.keys.mac.encrypt_u128(sgx_tweak(block_addr, 0xff, ctr));
         BlockPads { words, mac }
@@ -221,9 +227,16 @@ impl OtpPipeline for SgxOtp {
 /// *prefixed* with 72 zero bits while the address is *suffixed* with 64 zero
 /// bits — which eliminates the commutativity repeat class (§IV-D1: the OTP
 /// for (addr = x, ctr = y) must differ from (addr = y, ctr = x)).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct RmccOtp {
     keys: KeySet,
+}
+
+impl std::fmt::Debug for RmccOtp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never expose the key set through Debug output.
+        f.debug_struct("RmccOtp").finish_non_exhaustive()
+    }
 }
 
 impl RmccOtp {
@@ -279,10 +292,10 @@ impl OtpPipeline for RmccOtp {
         let ctr_enc = self.counter_only(ctr, PadPurpose::Encryption);
         let ctr_mac = self.counter_only(ctr, PadPurpose::Mac);
         let mut words = [0u128; WORDS_PER_BLOCK];
-        for (i, w) in words.iter_mut().enumerate() {
+        for (i, w) in (0u8..).zip(words.iter_mut()) {
             *w = Self::combine(
                 ctr_enc,
-                self.address_only(block_addr, i as u8, PadPurpose::Encryption),
+                self.address_only(block_addr, i, PadPurpose::Encryption),
             );
         }
         let mac = Self::combine(ctr_mac, self.address_only(block_addr, 0, PadPurpose::Mac));

@@ -21,7 +21,8 @@
 //! assert!(done.done > 0);
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod channel;
 pub mod config;

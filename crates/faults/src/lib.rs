@@ -34,7 +34,8 @@
 //! assert!(report.final_state_intact);
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod campaign;
 pub mod inject;

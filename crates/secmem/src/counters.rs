@@ -21,6 +21,9 @@
 
 use rmcc_crypto::otp::COUNTER_MAX;
 
+/// SC-64's per-minor ceiling: 7-bit minors (SGX-style split counters).
+const SC64_MINOR_LIMIT: u64 = 127;
+
 /// Which counter organization a counter block uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CounterOrg {
@@ -54,19 +57,6 @@ impl CounterOrg {
             CounterOrg::Mono8 => 0,
             CounterOrg::Sc64 => 1_000,
             CounterOrg::Morphable128 => 3_000,
-        }
-    }
-
-    /// Maximum value a minor counter may hold before it must relevel
-    /// (`None` for unconstrained monolithic counters).
-    fn minor_limit(self) -> Option<u64> {
-        match self {
-            CounterOrg::Mono8 => None,
-            CounterOrg::Sc64 => Some(127),
-            // Morphable's effective per-minor ceiling given its widest
-            // zero-compressed format (field width caps at 9 bits in our
-            // ladder).
-            CounterOrg::Morphable128 => Some(511),
         }
     }
 }
@@ -158,18 +148,25 @@ impl CounterBlock {
     /// # Panics
     ///
     /// Panics if `slot` is out of range for the organization.
+    #[allow(clippy::indexing_slicing)] // documented panic contract
     pub fn value(&self, slot: usize) -> u64 {
-        self.major + self.minors[slot]
+        // Encoded values are capped at COUNTER_MAX (< 2^56) by every write
+        // path, so the sum cannot overflow; saturating makes that explicit.
+        // audit:allow(R1, reason = "slot bounds are this accessor's documented panic contract")
+        self.major.saturating_add(self.minors[slot])
     }
 
     /// The largest encoded value in the block.
     pub fn max_value(&self) -> u64 {
-        self.major + self.minors.iter().copied().max().unwrap_or(0)
+        self.major
+            .saturating_add(self.minors.iter().copied().max().unwrap_or(0))
     }
 
     /// Iterates over all encoded values.
     pub fn values(&self) -> impl Iterator<Item = u64> + '_ {
-        self.minors.iter().map(move |m| self.major + m)
+        self.minors
+            .iter()
+            .map(move |m| self.major.saturating_add(*m))
     }
 
     /// Attempts to raise slot `slot` to `target`.
@@ -201,12 +198,17 @@ impl CounterBlock {
         let new_minor = target - self.major;
         match self.org {
             CounterOrg::Mono8 => {
-                self.minors[slot] = new_minor;
+                // `slot` was bounds-checked by the `value(slot)` assert above.
+                if let Some(m) = self.minors.get_mut(slot) {
+                    *m = new_minor;
+                }
                 Ok(())
             }
             CounterOrg::Sc64 => {
-                if new_minor <= self.org.minor_limit().expect("sc64 has a limit") {
-                    self.minors[slot] = new_minor;
+                if new_minor <= SC64_MINOR_LIMIT {
+                    if let Some(m) = self.minors.get_mut(slot) {
+                        *m = new_minor;
+                    }
                     Ok(())
                 } else {
                     Err(WouldOverflow {
@@ -218,13 +220,17 @@ impl CounterBlock {
                 // Build the candidate minor multiset, apply min-rebase (free:
                 // it changes no encoded values), and commit only if it fits.
                 let mut candidate = self.minors.clone();
-                candidate[slot] = new_minor;
+                if let Some(m) = candidate.get_mut(slot) {
+                    *m = new_minor;
+                }
                 let min = candidate.iter().copied().min().unwrap_or(0);
                 if min > 0 {
                     candidate.iter_mut().for_each(|m| *m -= min);
                 }
                 if morphable_encodable(&candidate) {
-                    self.major += min;
+                    // The rebase folds `min` into the major without changing
+                    // any encoded value, so the sum stays under COUNTER_MAX.
+                    self.major = self.major.saturating_add(min);
                     self.minors = candidate;
                     Ok(())
                 } else {
@@ -246,10 +252,12 @@ impl CounterBlock {
         let new_minor = target - self.major;
         match self.org {
             CounterOrg::Mono8 => true,
-            CounterOrg::Sc64 => new_minor <= self.org.minor_limit().expect("sc64 has a limit"),
+            CounterOrg::Sc64 => new_minor <= SC64_MINOR_LIMIT,
             CounterOrg::Morphable128 => {
                 let mut candidate = self.minors.clone();
-                candidate[slot] = new_minor;
+                if let Some(m) = candidate.get_mut(slot) {
+                    *m = new_minor;
+                }
                 let min = candidate.iter().copied().min().unwrap_or(0);
                 if min > 0 {
                     candidate.iter_mut().for_each(|m| *m -= min);
@@ -287,7 +295,8 @@ impl CounterBlock {
         }
         let min = self.minors.iter().copied().min().unwrap_or(0);
         if min > 0 {
-            self.major += min;
+            // Rebase preserves encoded values, so the sum stays bounded.
+            self.major = self.major.saturating_add(min);
             self.minors.iter_mut().for_each(|m| *m -= min);
         }
     }

@@ -226,12 +226,13 @@ pub struct DataSnapshot {
 fn node_image(cb: &CounterBlock) -> DataBlock {
     let mut words = [0u64; 8];
     for (i, v) in cb.values().enumerate() {
-        let w = &mut words[i % 8];
-        *w = w.rotate_left(9) ^ v.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (i as u64);
+        if let Some(w) = words.get_mut(i % 8) {
+            *w = w.rotate_left(9) ^ v.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (i as u64);
+        }
     }
     let mut out = [0u8; 64];
-    for (i, w) in words.iter().enumerate() {
-        out[i * 8..(i + 1) * 8].copy_from_slice(&w.to_be_bytes());
+    for (chunk, w) in out.chunks_exact_mut(8).zip(words.iter()) {
+        chunk.copy_from_slice(&w.to_be_bytes());
     }
     out
 }
@@ -353,11 +354,13 @@ impl SecureMemory {
             let mut to_reencrypt = Vec::new();
             for slot in 0..coverage {
                 let b = idx * coverage + slot;
-                if b == block || !self.data.contains_key(&b) {
+                if b == block {
                     continue;
                 }
+                let Some(stored) = self.data.get(&b).copied() else {
+                    continue;
+                };
                 let old_counter = self.meta.data_counter(b);
-                let stored = self.data[&b];
                 let pads = self.pipeline.block_pads(b, old_counter);
                 to_reencrypt.push((b, xor_with_pads(&stored.cipher, &pads)));
             }
@@ -524,6 +527,7 @@ impl SecureMemory {
     ///
     /// [`TamperError::UnwrittenBlock`] if the block has no stored image;
     /// [`TamperError::OffsetOutOfRange`] if `byte` is past the block.
+    #[allow(clippy::cast_possible_truncation)] // BLOCK_BYTES (64) fits any usize
     pub fn tamper_data(&mut self, block: u64, byte: usize, mask: u8) -> Result<(), TamperError> {
         if byte >= BLOCK_BYTES as usize {
             return Err(TamperError::OffsetOutOfRange { byte });
@@ -532,7 +536,9 @@ impl SecureMemory {
             .data
             .get_mut(&block)
             .ok_or(TamperError::UnwrittenBlock { block })?;
-        stored.cipher[byte] ^= mask;
+        if let Some(b) = stored.cipher.get_mut(byte) {
+            *b ^= mask;
+        }
         Ok(())
     }
 

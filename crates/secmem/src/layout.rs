@@ -141,7 +141,9 @@ impl MetadataLayout {
     /// # Panics
     ///
     /// Panics if `level >= depth()`.
+    #[allow(clippy::indexing_slicing)] // documented panic contract
     pub fn level_count(&self, level: usize) -> u64 {
+        // audit:allow(R1, reason = "level bounds are this accessor's documented panic contract")
         self.level_counts[level]
     }
 
@@ -152,6 +154,7 @@ impl MetadataLayout {
     }
 
     /// The slot within its counter block that holds `data_block`'s counter.
+    #[allow(clippy::cast_possible_truncation)] // remainder < coverage (≤ 128)
     pub fn l0_slot(&self, data_block: u64) -> usize {
         (data_block % self.org.coverage() as u64) as usize
     }
@@ -161,6 +164,8 @@ impl MetadataLayout {
     /// # Panics
     ///
     /// Panics if `level >= depth()` or `index` is out of range.
+    // audit:allow(R1, scope = fn, reason = "level/index bounds are this accessor's documented panic contract")
+    #[allow(clippy::indexing_slicing)] // documented panic contract
     pub fn node_addr(&self, level: usize, index: u64) -> u64 {
         assert!(index < self.level_counts[level], "node index out of range");
         self.level_bases[level] + index * BLOCK_BYTES
@@ -190,8 +195,9 @@ impl MetadataLayout {
     /// [`LayoutError::NodeOutOfRange`] when `(level, index)` is not a node
     /// of this layout.
     pub fn parent_loc(&self, level: usize, index: u64) -> Result<(usize, u64), LayoutError> {
-        if level >= self.depth() || index >= self.level_counts[level] {
-            return Err(LayoutError::NodeOutOfRange { level, index });
+        match self.level_counts.get(level) {
+            Some(&count) if index < count => {}
+            _ => return Err(LayoutError::NodeOutOfRange { level, index }),
         }
         Ok(match self.parent_index(level, index) {
             Some(p) => (level + 1, p),
@@ -222,13 +228,14 @@ impl MetadataLayout {
 
     /// The slot within the parent (on-chip root included) that holds the
     /// counter of node `index` at `level`.
+    #[allow(clippy::cast_possible_truncation)] // remainder < arity (≤ 128)
     pub fn parent_slot(&self, index: u64) -> usize {
         (index % self.org.tree_arity() as u64) as usize
     }
 
     /// Whether `addr` falls in any metadata region.
     pub fn is_metadata_addr(&self, addr: u64) -> bool {
-        addr >= self.level_bases[0]
+        self.level_bases.first().is_some_and(|&base| addr >= base)
     }
 
     /// Maps a metadata byte address back to its `(level, index)` — the
@@ -238,10 +245,11 @@ impl MetadataLayout {
         if !self.is_metadata_addr(addr) {
             return None;
         }
-        for level in (0..self.depth()).rev() {
-            if addr >= self.level_bases[level] {
-                let index = (addr - self.level_bases[level]) / BLOCK_BYTES;
-                if index < self.level_counts[level] {
+        let levels = self.level_bases.iter().zip(self.level_counts.iter());
+        for (level, (&base, &count)) in levels.enumerate().rev() {
+            if addr >= base {
+                let index = (addr - base) / BLOCK_BYTES;
+                if index < count {
                     return Some((level, index));
                 }
                 return None;

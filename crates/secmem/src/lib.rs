@@ -26,7 +26,10 @@
 //! assert!(mem.read(0).is_err()); // integrity violation detected
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Test code may use lossy casts freely; clippy.toml has no in-tests knob for them.
+#![cfg_attr(test, allow(clippy::cast_possible_truncation))]
+#![deny(missing_docs)]
 
 pub mod counters;
 pub mod engine;

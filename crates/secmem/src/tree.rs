@@ -132,6 +132,8 @@ impl MetadataState {
                 let conformed = !h.is_multiple_of(8);
                 let ladder = canonical_group_starts();
                 let major = if conformed {
+                    #[allow(clippy::indexing_slicing)]
+                    // audit:allow(R1, reason = "index reduced modulo the 16-entry ladder length is total")
                     ladder[(h >> 8) as usize % ladder.len()]
                 } else {
                     RANDOM_INIT_MEAN / 2 + h % RANDOM_INIT_MEAN
@@ -172,6 +174,13 @@ impl MetadataState {
         self.block_mut(level, index)
     }
 
+    /// # Panics
+    ///
+    /// Panics when `level` exceeds the tree depth. Every public entry point
+    /// derives `level` from the layout, so an out-of-range level here is a
+    /// caller bug, not a reachable state.
+    // audit:allow(R1, scope = fn, reason = "level bounds are this accessor's documented panic contract")
+    #[allow(clippy::indexing_slicing)]
     fn block_mut(&mut self, level: usize, index: u64) -> &mut CounterBlock {
         let org = self.layout.org();
         let init = self.init;
@@ -207,11 +216,19 @@ impl MetadataState {
 
     /// The counter protecting metadata node `index` at `level` — i.e. the
     /// value held in its parent (which may be the on-chip root).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `level` / `index` fall outside the layout; callers that
+    /// need a fallible lookup should validate via
+    /// [`MetadataLayout::parent_loc`] first.
+    #[allow(clippy::expect_used)] // documented panic contract
     pub fn node_counter(&mut self, level: usize, index: u64) -> u64 {
         let slot = self.layout.parent_slot(index);
         let (parent_level, parent_idx) = self
             .layout
             .parent_loc(level, index)
+            // audit:allow(R1, reason = "out-of-layout nodes are this accessor's documented panic contract")
             .expect("node_counter addressed a node outside the layout");
         self.block_mut(parent_level, parent_idx).value(slot)
     }
@@ -222,6 +239,13 @@ impl MetadataState {
     /// # Errors
     ///
     /// Propagates [`WouldOverflow`] from the parent block.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `level` / `index` fall outside the layout; callers that
+    /// need a fallible lookup should validate via
+    /// [`MetadataLayout::parent_loc`] first.
+    #[allow(clippy::expect_used)] // documented panic contract
     pub fn write_node_counter(
         &mut self,
         level: usize,
@@ -232,6 +256,7 @@ impl MetadataState {
         let (parent_level, parent_idx) = self
             .layout
             .parent_loc(level, index)
+            // audit:allow(R1, reason = "out-of-layout nodes are this accessor's documented panic contract")
             .expect("write_node_counter addressed a node outside the layout");
         self.block_mut(parent_level, parent_idx)
             .try_write(slot, target)
@@ -259,9 +284,9 @@ impl MetadataState {
         f: impl FnOnce(&mut CounterBlock) -> R,
     ) -> R {
         let block = self.block_mut(level, index);
-        let r = f(block);
+        let r = f(&mut *block);
         if level == 0 {
-            let max = self.levels[0][&index].max_value();
+            let max = block.max_value();
             self.max_observed = self.max_observed.max(max);
         }
         r
@@ -269,7 +294,7 @@ impl MetadataState {
 
     /// Number of counter blocks materialized at `level` (diagnostics).
     pub fn touched_blocks(&self, level: usize) -> usize {
-        self.levels[level].len()
+        self.levels.get(level).map_or(0, HashMap::len)
     }
 
     /// Iterates over every *touched* data-block counter value along with the
@@ -277,9 +302,11 @@ impl MetadataState {
     /// paper's Figure 15 coverage metric.
     pub fn value_histogram(&self) -> HashMap<u64, u64> {
         let mut hist = HashMap::new();
-        for cb in self.levels[0].values() {
-            for v in cb.values() {
-                *hist.entry(v).or_insert(0) += 1;
+        if let Some(l0) = self.levels.first() {
+            for cb in l0.values() {
+                for v in cb.values() {
+                    *hist.entry(v).or_insert(0) += 1;
+                }
             }
         }
         hist

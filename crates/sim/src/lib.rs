@@ -37,7 +37,8 @@
 //! assert!(report.llc_misses > 0);
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod core_model;

@@ -21,7 +21,8 @@
 //! assert!(sink.reads > 0 && sink.writes > 0);
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod arena;
 pub mod graph;

@@ -43,7 +43,8 @@
 //! see `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for
 //! paper-vs-measured results.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub use rmcc_cache as cache;
 pub use rmcc_core as core;
