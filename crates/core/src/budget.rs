@@ -8,7 +8,9 @@
 //! the rest of the epoch, except on writes that would overflow anyway
 //! (releveling to a memoized value there costs nothing extra).
 
-/// Memory accesses per budget epoch (paper: 1,000,000).
+/// Memory accesses per budget epoch (paper: 1,000,000). Short-running
+/// simulations may shrink the epoch via [`TrafficBudget::with_epoch`] so
+/// that epoch-resolved telemetry still sees multiple boundaries.
 pub const EPOCH_ACCESSES: u64 = 1_000_000;
 
 /// A replenishing traffic budget.
@@ -29,12 +31,18 @@ pub const EPOCH_ACCESSES: u64 = 1_000_000;
 pub struct TrafficBudget {
     /// Fraction of per-epoch traffic grantable as overhead.
     fraction: f64,
+    /// Accesses per epoch (paper: [`EPOCH_ACCESSES`]).
+    epoch_accesses: u64,
     /// Requests still grantable.
     available: f64,
     /// Accesses seen in the current epoch.
     epoch_progress: u64,
     /// Total overhead requests ever granted.
     total_spent: u64,
+    /// Overhead requests granted in the current epoch.
+    epoch_spent: u64,
+    /// Leftover budget carried into the current epoch at its boundary.
+    carry_over: f64,
     /// Total accesses ever observed.
     total_accesses: u64,
     /// Completed epochs.
@@ -49,15 +57,31 @@ impl TrafficBudget {
     ///
     /// Panics if `fraction` is negative or not finite.
     pub fn new(fraction: f64) -> Self {
+        Self::with_epoch(fraction, EPOCH_ACCESSES)
+    }
+
+    /// Like [`TrafficBudget::new`] but with a custom epoch length in
+    /// accesses (tests and short telemetry runs; the paper uses
+    /// [`EPOCH_ACCESSES`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is negative or not finite, or if
+    /// `epoch_accesses` is zero.
+    pub fn with_epoch(fraction: f64, epoch_accesses: u64) -> Self {
         assert!(
             fraction.is_finite() && fraction >= 0.0,
             "fraction must be non-negative"
         );
+        assert!(epoch_accesses > 0, "epoch must span at least one access");
         TrafficBudget {
             fraction,
-            available: fraction * EPOCH_ACCESSES as f64,
+            epoch_accesses,
+            available: fraction * epoch_accesses as f64,
             epoch_progress: 0,
             total_spent: 0,
+            epoch_spent: 0,
+            carry_over: 0.0,
             total_accesses: 0,
             epochs: 0,
         }
@@ -66,6 +90,29 @@ impl TrafficBudget {
     /// The configured overhead fraction.
     pub fn fraction(&self) -> f64 {
         self.fraction
+    }
+
+    /// Accesses per epoch.
+    pub fn epoch_accesses(&self) -> u64 {
+        self.epoch_accesses
+    }
+
+    /// The fresh allowance granted at each epoch boundary, in requests.
+    pub fn allowance(&self) -> f64 {
+        self.fraction * self.epoch_accesses as f64
+    }
+
+    /// Overhead requests granted so far in the current epoch. Together with
+    /// [`Self::carry_over`] this is the telemetry invariant:
+    /// `epoch_spent <= allowance + carry_over` at all times.
+    pub fn epoch_spent(&self) -> u64 {
+        self.epoch_spent
+    }
+
+    /// Leftover budget that carried into the current epoch at its boundary
+    /// (zero during the first epoch: nothing has carried yet).
+    pub fn carry_over(&self) -> f64 {
+        self.carry_over
     }
 
     /// Requests currently grantable.
@@ -92,7 +139,7 @@ impl TrafficBudget {
         }
     }
 
-    /// Records one memory access; every [`EPOCH_ACCESSES`]-th access rolls
+    /// Records one memory access; every `epoch_accesses`-th access rolls
     /// the epoch and replenishes the budget (carrying leftover forward).
     /// Returns `true` when an epoch boundary was crossed — the caller runs
     /// its end-of-epoch maintenance (table reselection) then.
@@ -101,11 +148,13 @@ impl TrafficBudget {
         // Saturating: progress resets every epoch and epochs is monotone, so
         // neither can approach u64::MAX in any realistic run.
         self.epoch_progress = self.epoch_progress.saturating_add(1);
-        if self.epoch_progress >= EPOCH_ACCESSES {
+        if self.epoch_progress >= self.epoch_accesses {
             self.epoch_progress = 0;
             self.epochs = self.epochs.saturating_add(1);
             // Carry-over: leftover adds to the new allowance (§IV-C1).
-            self.available += self.fraction * EPOCH_ACCESSES as f64;
+            self.carry_over = self.available;
+            self.epoch_spent = 0;
+            self.available += self.allowance();
             true
         } else {
             false
@@ -123,6 +172,8 @@ impl TrafficBudget {
         if self.available >= requests as f64 {
             self.available -= requests as f64;
             self.total_spent += requests;
+            // Saturating: resets every epoch, cannot approach u64::MAX.
+            self.epoch_spent = self.epoch_spent.saturating_add(requests);
             true
         } else {
             false
@@ -181,6 +232,37 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_fraction_panics() {
         let _ = TrafficBudget::new(-0.5);
+    }
+
+    #[test]
+    fn epoch_spent_and_carry_over_track_boundaries() {
+        let mut b = TrafficBudget::with_epoch(0.01, 1_000); // allowance 10
+        assert_eq!(b.epoch_accesses(), 1_000);
+        assert!((b.allowance() - 10.0).abs() < 1e-12);
+        assert!(b.try_consume(4));
+        assert_eq!(b.epoch_spent(), 4);
+        assert_eq!(b.carry_over(), 0.0, "nothing carried before epoch 1");
+        let mut boundaries = 0;
+        for _ in 0..1_000 {
+            if b.on_access() {
+                boundaries += 1;
+            }
+        }
+        assert_eq!(boundaries, 1);
+        // 6 left over carried in; per-epoch spend reset.
+        assert!((b.carry_over() - 6.0).abs() < 1e-12);
+        assert_eq!(b.epoch_spent(), 0);
+        assert!((b.available() - 16.0).abs() < 1e-12);
+        // The telemetry invariant: spend never exceeds allowance + carry.
+        assert!(b.try_consume(16));
+        assert!(!b.try_consume(1));
+        assert!(b.epoch_spent() as f64 <= b.allowance() + b.carry_over() + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one access")]
+    fn zero_length_epoch_panics() {
+        let _ = TrafficBudget::with_epoch(0.01, 0);
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub struct RmccConfig {
     /// Whether read requests with unmemoized counters also receive
     /// memoization-aware updates (§IV-C1). Disable for ablation.
     pub read_triggered: bool,
+    /// Memory accesses per budget epoch (paper:
+    /// [`crate::budget::EPOCH_ACCESSES`]). Short telemetry runs shrink
+    /// this so epoch-resolved series still cross boundaries.
+    pub epoch_accesses: u64,
 }
 
 impl RmccConfig {
@@ -52,6 +56,7 @@ impl RmccConfig {
             budget_fraction: 0.01,
             levels: DEFAULT_LEVELS,
             read_triggered: true,
+            epoch_accesses: crate::budget::EPOCH_ACCESSES,
         }
     }
 
@@ -144,7 +149,7 @@ impl Rmcc {
             })
             .collect();
         let budgets = (0..cfg.levels)
-            .map(|_| TrafficBudget::new(cfg.budget_fraction))
+            .map(|_| TrafficBudget::with_epoch(cfg.budget_fraction, cfg.epoch_accesses))
             .collect();
         Rmcc {
             cfg,
@@ -224,7 +229,9 @@ impl Rmcc {
     /// Records one memory access (any kind). Rolls budget epochs and runs
     /// end-of-epoch table reselection + monitor reset when a boundary is
     /// crossed. Call exactly once per memory request the MC services.
-    pub fn on_memory_access(&mut self) {
+    /// Returns `true` when an epoch boundary was crossed, so callers can
+    /// snapshot epoch-resolved telemetry in lockstep with the budget.
+    pub fn on_memory_access(&mut self) -> bool {
         let mut boundary = false;
         for b in &mut self.budgets {
             boundary |= b.on_access();
@@ -243,6 +250,7 @@ impl Rmcc {
                 lvl.monitor.reset(max);
             }
         }
+        boundary
     }
 
     /// Whether the §IV-D2 DoS guard is currently pausing memoization-aware
@@ -264,6 +272,13 @@ impl Rmcc {
     /// (§IV-D2); new memoized groups never start above `system_max + 1`.
     pub fn note_system_max(&mut self, system_max: u64) {
         self.system_max = self.system_max.max(system_max);
+    }
+
+    /// The current Observed-System-Max register value. Monotonically
+    /// non-decreasing over a run — telemetry records it each epoch and the
+    /// property suite checks the monotonicity.
+    pub fn observed_system_max(&self) -> u64 {
+        self.system_max
     }
 
     /// Read-path lookup: is `value`'s counter-only AES result memoized at

@@ -108,6 +108,15 @@ pub struct TableStats {
     pub misses: u64,
     /// Groups inserted over the table's lifetime.
     pub insertions: u64,
+    /// Groups evicted from the live set into the shadow ring (LFU victims
+    /// and end-of-epoch demotions).
+    pub evictions: u64,
+    /// Shadow-ring groups rehabilitated into the live set at an epoch
+    /// boundary because their shadow use counters stayed hot (§IV-C3).
+    pub shadow_promotions: u64,
+    /// Values from evicted groups harvested into the MRU single-value store
+    /// after a miss recomputed their AES result (§IV-C4).
+    pub mru_harvests: u64,
     /// Lookups that *would* have hit but found a corrupted entry and fell
     /// back to the full AES path instead (fail-safe memoization). Counted
     /// inside `misses` as well, since the request pays the miss cost.
@@ -264,6 +273,7 @@ impl MemoizationTable {
             g.use_count += 1;
             self.mru_values.push_front(value);
             self.mru_values.truncate(self.cfg.n_mru_values);
+            self.stats.mru_harvests += 1;
         }
         self.stats.misses += 1;
         LookupResult::Miss
@@ -316,6 +326,7 @@ impl MemoizationTable {
                 .map(|(i, _)| i);
             if let Some(lfu) = lfu {
                 let victim = self.groups.swap_remove(lfu);
+                self.stats.evictions += 1;
                 self.push_evicted(victim);
             }
         }
@@ -348,19 +359,28 @@ impl MemoizationTable {
     /// candidate monitor's 98th-percentile pick) as one of the live set.
     /// All use counters are halved afterwards so the table stays adaptive.
     pub fn epoch_reselect(&mut self, new_group: Option<u64>) {
-        let mut pool: Vec<Group> = self.groups.drain(..).collect();
-        pool.extend(self.evicted.drain(..));
+        // Track each group's origin so the stats distinguish shadow-ring
+        // rehabilitations (promotions) from live-set demotions (evictions).
+        let mut pool: Vec<(Group, bool)> = self.groups.drain(..).map(|g| (g, false)).collect();
+        pool.extend(self.evicted.drain(..).map(|g| (g, true)));
         // Highest use count first; stable on start for determinism.
-        pool.sort_by(|a, b| b.use_count.cmp(&a.use_count).then(a.start.cmp(&b.start)));
-        pool.dedup_by_key(|g| g.start);
+        pool.sort_by(|a, b| {
+            b.0.use_count
+                .cmp(&a.0.use_count)
+                .then(a.0.start.cmp(&b.0.start))
+        });
+        pool.dedup_by_key(|g| g.0.start);
 
         let mut keep = self.cfg.n_groups;
         if let Some(start) = new_group {
-            if !pool.iter().take(keep).any(|g| g.start == start) {
+            if !pool.iter().take(keep).any(|g| g.0.start == start) {
                 keep -= 1;
             }
         }
-        for g in pool.iter().take(keep) {
+        for (g, from_shadow) in pool.iter().take(keep) {
+            if *from_shadow {
+                self.stats.shadow_promotions += 1;
+            }
             self.groups.push(*g);
         }
         if let Some(start) = new_group {
@@ -372,7 +392,10 @@ impl MemoizationTable {
                 });
             }
         }
-        for g in pool.into_iter().skip(keep) {
+        for (g, from_shadow) in pool.into_iter().skip(keep) {
+            if !from_shadow {
+                self.stats.evictions += 1;
+            }
             self.push_evicted(g);
         }
         // Age.
@@ -605,6 +628,31 @@ mod tests {
         // Counter-target selection still walks the group (it never serves
         // the cached AES result); only lookup-side use is gated.
         assert_eq!(t.nearest_memoized_above(100), Some(101));
+    }
+
+    #[test]
+    fn stats_count_evictions_promotions_and_harvests() {
+        let mut t = table();
+        for i in 0..17 {
+            t.insert_group(i * 100); // 17th insert evicts the LFU (group 0)
+        }
+        assert_eq!(t.stats().evictions, 1);
+        assert_eq!(t.stats().mru_harvests, 0);
+        // Miss in the evicted range harvests the value into the MRU store.
+        assert_eq!(t.lookup(3), LookupResult::Miss);
+        assert_eq!(t.stats().mru_harvests, 1);
+        assert_eq!(t.lookup(3), LookupResult::MruHit);
+        assert_eq!(t.stats().mru_harvests, 1, "hits do not re-harvest");
+        // Keep the shadow group hot; reselection promotes it back and
+        // demotes exactly one cold live group.
+        for _ in 0..50 {
+            t.lookup(5);
+        }
+        let evictions_before = t.stats().evictions;
+        t.epoch_reselect(None);
+        assert!(t.in_live_group(5));
+        assert_eq!(t.stats().shadow_promotions, 1);
+        assert_eq!(t.stats().evictions, evictions_before + 1);
     }
 
     #[test]

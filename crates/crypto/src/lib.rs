@@ -15,6 +15,8 @@
 //!   encryption/decryption (Figure 2).
 //! * [`nist`] — a subset of the NIST SP 800-22 randomness suite used to
 //!   reproduce the paper's §IV-D1 empirical randomness check.
+//! * [`stats`] — the static invocation-cost model (AES/clmul per block per
+//!   pipeline) and the deterministic paid/saved tally telemetry consumes.
 //!
 //! # Example: encrypt, MAC, verify, decrypt
 //!
@@ -48,8 +50,10 @@ pub mod clmul;
 pub mod mac;
 pub mod nist;
 pub mod otp;
+pub mod stats;
 
 pub use aes::{Aes, AesVariant};
 pub use clmul::{clmul128, clmul64, clmul_truncate_mid, Product256};
 pub use mac::{compute_mac, verify_mac, xor_with_pads, DataBlock, MacKeys};
 pub use otp::{BlockPads, KeySet, OtpPipeline, PadPurpose, RmccOtp, SgxOtp};
+pub use stats::{CryptoCost, CryptoStats};

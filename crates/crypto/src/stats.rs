@@ -1,0 +1,155 @@
+//! Static invocation-cost model for the OTP pipelines, and a running tally.
+//!
+//! Telemetry wants "AES invocations saved vs. paid" and clmul counts without
+//! instrumenting the AES core itself (whose call counts would double-count
+//! key-schedule work and test traffic). Instead this module states, per
+//! pipeline, how many primitive invocations one block's pads cost — derived
+//! from the pipeline structure in [`crate::otp`] — and provides
+//! [`CryptoStats`], the deterministic accumulator engines thread through
+//! their read/write paths.
+
+use crate::otp::WORDS_PER_BLOCK;
+
+/// Primitive-invocation cost of producing one block's pads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CryptoCost {
+    /// AES block-cipher invocations.
+    pub aes: u64,
+    /// Carry-less multiply + truncate combines.
+    pub clmul: u64,
+}
+
+impl CryptoCost {
+    /// The SGX-style baseline: one AES per word pad plus one for the MAC
+    /// pad, no combines.
+    pub const fn sgx_block() -> Self {
+        CryptoCost {
+            aes: WORDS_PER_BLOCK as u64 + 1,
+            clmul: 0,
+        }
+    }
+
+    /// RMCC's split pipeline, full path: two counter-only AES (encryption +
+    /// MAC purposes) plus one address-only AES and one combine per pad.
+    pub const fn rmcc_block() -> Self {
+        CryptoCost {
+            aes: 2 + WORDS_PER_BLOCK as u64 + 1,
+            clmul: WORDS_PER_BLOCK as u64 + 1,
+        }
+    }
+
+    /// The counter-only share of [`Self::rmcc_block`] — exactly what a
+    /// memoization-table hit skips (§IV-B): the address-only AES and the
+    /// combines still run, because they depend on the request's address.
+    pub const fn rmcc_counter_share() -> Self {
+        CryptoCost { aes: 2, clmul: 0 }
+    }
+}
+
+/// Running tally of primitive invocations, split into paid and saved.
+///
+/// Deterministic by construction: plain counters, no clocks, no interior
+/// mutability. `saved` counts the invocations a memoization hit avoided;
+/// `paid + saved` is therefore the cost the baseline would have incurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CryptoStats {
+    /// AES invocations actually executed.
+    pub aes_paid: u64,
+    /// AES invocations avoided by memoization hits.
+    pub aes_saved: u64,
+    /// Combines actually executed.
+    pub clmul_ops: u64,
+    /// MAC verifications performed.
+    pub mac_verifies: u64,
+}
+
+impl CryptoStats {
+    /// A zeroed tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a fully paid pad computation of the given cost.
+    pub fn pay(&mut self, cost: CryptoCost) {
+        self.aes_paid = self.aes_paid.saturating_add(cost.aes);
+        self.clmul_ops = self.clmul_ops.saturating_add(cost.clmul);
+    }
+
+    /// Records a pad computation where `saved` of `full` was skipped
+    /// thanks to a memoization hit.
+    pub fn pay_with_hit(&mut self, full: CryptoCost, saved: CryptoCost) {
+        self.aes_paid = self
+            .aes_paid
+            .saturating_add(full.aes.saturating_sub(saved.aes));
+        self.aes_saved = self.aes_saved.saturating_add(saved.aes);
+        self.clmul_ops = self
+            .clmul_ops
+            .saturating_add(full.clmul.saturating_sub(saved.clmul));
+    }
+
+    /// Records one MAC verification.
+    pub fn verify_mac(&mut self) {
+        self.mac_verifies = self.mac_verifies.saturating_add(1);
+    }
+
+    /// Folds another tally into this one.
+    pub fn merge(&mut self, other: &CryptoStats) {
+        self.aes_paid = self.aes_paid.saturating_add(other.aes_paid);
+        self.aes_saved = self.aes_saved.saturating_add(other.aes_saved);
+        self.clmul_ops = self.clmul_ops.saturating_add(other.clmul_ops);
+        self.mac_verifies = self.mac_verifies.saturating_add(other.mac_verifies);
+    }
+
+    /// Fraction of would-be AES invocations that memoization saved, in
+    /// `[0, 1]`.
+    pub fn aes_saved_fraction(&self) -> f64 {
+        let would_be = self.aes_paid.saturating_add(self.aes_saved);
+        if would_be == 0 {
+            0.0
+        } else {
+            self.aes_saved as f64 / would_be as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_match_pipeline_structure() {
+        // 4 words per 64 B block: see otp::WORDS_PER_BLOCK.
+        assert_eq!(CryptoCost::sgx_block(), CryptoCost { aes: 5, clmul: 0 });
+        assert_eq!(CryptoCost::rmcc_block(), CryptoCost { aes: 7, clmul: 5 });
+        assert_eq!(
+            CryptoCost::rmcc_counter_share(),
+            CryptoCost { aes: 2, clmul: 0 }
+        );
+    }
+
+    #[test]
+    fn hit_accounting_conserves_the_baseline_total() {
+        let mut s = CryptoStats::new();
+        s.pay(CryptoCost::rmcc_block());
+        s.pay_with_hit(CryptoCost::rmcc_block(), CryptoCost::rmcc_counter_share());
+        assert_eq!(s.aes_paid, 7 + 5);
+        assert_eq!(s.aes_saved, 2);
+        assert_eq!(s.clmul_ops, 10);
+        // paid + saved equals two full-price blocks.
+        assert_eq!(s.aes_paid + s.aes_saved, 2 * 7);
+        assert!((s.aes_saved_fraction() - 2.0 / 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_and_verify_accumulate() {
+        let mut a = CryptoStats::new();
+        a.verify_mac();
+        let mut b = CryptoStats::new();
+        b.pay(CryptoCost::sgx_block());
+        b.verify_mac();
+        a.merge(&b);
+        assert_eq!(a.mac_verifies, 2);
+        assert_eq!(a.aes_paid, 5);
+        assert_eq!(CryptoStats::default().aes_saved_fraction(), 0.0);
+    }
+}

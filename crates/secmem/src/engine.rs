@@ -12,6 +12,7 @@ use std::collections::HashMap;
 
 use rmcc_crypto::mac::{compute_mac, verify_mac, xor_with_pads, DataBlock, MacKeys};
 use rmcc_crypto::otp::{KeySet, OtpPipeline, RmccOtp, SgxOtp, COUNTER_MAX};
+use rmcc_crypto::stats::{CryptoCost, CryptoStats};
 
 use crate::counters::{CounterBlock, CounterOrg};
 use crate::layout::{LayoutError, MetadataLayout, BLOCK_BYTES};
@@ -254,12 +255,16 @@ fn node_image(cb: &CounterBlock) -> DataBlock {
 pub struct SecureMemory {
     meta: MetadataState,
     pipeline: Box<dyn OtpPipeline>,
+    /// Per-block pad cost of `pipeline` (static, from the cost model).
+    pad_cost: CryptoCost,
     mac_keys: MacKeys,
     policy: Box<dyn CounterUpdatePolicy>,
     data: HashMap<u64, StoredData>,
     nodes: HashMap<(usize, u64), StoredNode>,
     /// Cumulative count of data blocks re-encrypted due to relevels.
     overflow_reencryptions: u64,
+    /// Primitive-invocation tally (AES, clmul, MAC verifies) for telemetry.
+    crypto: CryptoStats,
 }
 
 impl std::fmt::Debug for SecureMemory {
@@ -289,18 +294,20 @@ impl SecureMemory {
         policy: Box<dyn CounterUpdatePolicy>,
     ) -> Self {
         let keys = KeySet::from_master(key_seed);
-        let pipeline: Box<dyn OtpPipeline> = match kind {
-            PipelineKind::Sgx => Box::new(SgxOtp::new(keys)),
-            PipelineKind::Rmcc => Box::new(RmccOtp::new(keys)),
+        let (pipeline, pad_cost): (Box<dyn OtpPipeline>, CryptoCost) = match kind {
+            PipelineKind::Sgx => (Box::new(SgxOtp::new(keys)), CryptoCost::sgx_block()),
+            PipelineKind::Rmcc => (Box::new(RmccOtp::new(keys)), CryptoCost::rmcc_block()),
         };
         SecureMemory {
             meta: MetadataState::new(org, data_bytes, InitPolicy::Zero),
             pipeline,
+            pad_cost,
             mac_keys: MacKeys::from_seed(key_seed ^ 0x6d61_6373),
             policy,
             data: HashMap::new(),
             nodes: HashMap::new(),
             overflow_reencryptions: 0,
+            crypto: CryptoStats::new(),
         }
     }
 
@@ -312,6 +319,21 @@ impl SecureMemory {
     /// Data blocks re-encrypted by counter-overflow relevels so far.
     pub fn overflow_reencryptions(&self) -> u64 {
         self.overflow_reencryptions
+    }
+
+    /// Cumulative primitive-invocation tally: AES invocations, clmul
+    /// combines, and MAC verifications this engine has performed. This
+    /// functional engine has no memoization table, so `aes_saved` stays
+    /// zero here; the timing simulator's accounting adds the saved side.
+    pub fn crypto_stats(&self) -> CryptoStats {
+        self.crypto
+    }
+
+    /// Records one pad computation in the tally (every `block_pads` call
+    /// routes through here so the counts match the pipeline exactly).
+    fn pads_for(&mut self, block_addr: u64, ctr: u64) -> rmcc_crypto::otp::BlockPads {
+        self.crypto.pay(self.pad_cost);
+        self.pipeline.block_pads(block_addr, ctr)
     }
 
     /// The current write counter of `block` (trusted view).
@@ -361,14 +383,14 @@ impl SecureMemory {
                     continue;
                 };
                 let old_counter = self.meta.data_counter(b);
-                let pads = self.pipeline.block_pads(b, old_counter);
+                let pads = self.pads_for(b, old_counter);
                 to_reencrypt.push((b, xor_with_pads(&stored.cipher, &pads)));
             }
             self.meta.relevel(0, idx, relevel_to);
             // Re-encrypt under the new shared counter value.
             for (b, plaintext) in to_reencrypt {
                 let counter = self.meta.data_counter(b);
-                let pads = self.pipeline.block_pads(b, counter);
+                let pads = self.pads_for(b, counter);
                 let cipher = xor_with_pads(&plaintext, &pads);
                 let mac = compute_mac(&self.mac_keys, &cipher, pads.mac);
                 self.data.insert(b, StoredData { cipher, mac });
@@ -376,7 +398,7 @@ impl SecureMemory {
             }
         }
         let counter = self.meta.data_counter(block);
-        let pads = self.pipeline.block_pads(block, counter);
+        let pads = self.pads_for(block, counter);
         let cipher = xor_with_pads(&plaintext, &pads);
         let mac = compute_mac(&self.mac_keys, &cipher, pads.mac);
         self.data.insert(block, StoredData { cipher, mac });
@@ -405,11 +427,12 @@ impl SecureMemory {
         // Verify top-down: each node's image MAC under the trusted/verified
         // parent counter.
         for &(level, idx) in chain.iter().rev() {
-            if let Some(node) = self.nodes.get(&(level, idx)) {
+            if let Some(node) = self.nodes.get(&(level, idx)).cloned() {
                 let counter = self.meta.node_counter(level, idx);
                 let addr = self.meta.layout().node_addr(level, idx) >> 6;
-                let pads = self.pipeline.block_pads(addr, counter);
+                let pads = self.pads_for(addr, counter);
                 let image = node_image(&node.state);
+                self.crypto.verify_mac();
                 if !verify_mac(&self.mac_keys, &image, pads.mac, node.mac) {
                     return Err(ReadError::MetadataTampered { level });
                 }
@@ -440,7 +463,8 @@ impl SecureMemory {
         let l0_idx = self.meta.layout().l0_index(block);
         self.verify_path(l0_idx)?;
         let counter = self.meta.data_counter(block);
-        let pads = self.pipeline.block_pads(block, counter);
+        let pads = self.pads_for(block, counter);
+        self.crypto.verify_mac();
         if !verify_mac(&self.mac_keys, &stored.cipher, pads.mac, stored.mac) {
             return Err(ReadError::DataTampered { block });
         }
@@ -496,7 +520,7 @@ impl SecureMemory {
     fn refresh_node_mac(&mut self, level: usize, idx: u64) {
         let counter = self.meta.node_counter(level, idx);
         let addr = self.meta.layout().node_addr(level, idx) >> 6;
-        let pads = self.pipeline.block_pads(addr, counter);
+        let pads = self.pads_for(addr, counter);
         let state = self.meta.block(level, idx).clone();
         let image = node_image(&state);
         let mac = compute_mac(&self.mac_keys, &image, pads.mac);
@@ -879,6 +903,34 @@ mod tests {
                 index: 0
             })
         );
+    }
+
+    #[test]
+    fn crypto_stats_tally_writes_reads_and_verifies() {
+        let mut m = mem(PipelineKind::Rmcc);
+        assert_eq!(m.crypto_stats(), CryptoStats::default());
+        m.write(3, [1u8; 64]).unwrap();
+        let after_write = m.crypto_stats();
+        assert!(after_write.aes_paid > 0, "writes pay for pads");
+        assert!(after_write.clmul_ops > 0, "split pipeline combines");
+        assert_eq!(after_write.mac_verifies, 0, "writes verify nothing");
+        m.read(3).unwrap();
+        let after_read = m.crypto_stats();
+        assert!(
+            after_read.mac_verifies >= 2,
+            "tree chain plus the data block verify"
+        );
+        assert!(after_read.aes_paid > after_write.aes_paid);
+        assert_eq!(
+            after_read.aes_saved, 0,
+            "the functional engine has no memoization table"
+        );
+        // The baseline pipeline performs no combines.
+        let mut s = mem(PipelineKind::Sgx);
+        s.write(3, [1u8; 64]).unwrap();
+        s.read(3).unwrap();
+        assert_eq!(s.crypto_stats().clmul_ops, 0);
+        assert!(s.crypto_stats().mac_verifies > 0);
     }
 
     /// A policy that jumps straight to the 56-bit bound to probe saturation.

@@ -117,6 +117,12 @@ pub struct SystemConfig {
     /// calibrates LLC misses-per-kilo-instruction into the range the
     /// paper's native workloads exhibit.
     pub work_scale: u32,
+    /// Record epoch-resolved telemetry (metrics registry + JSONL series) in
+    /// the metadata engine. Off by default: when off, hot paths pay one
+    /// branch and the engine carries an inert [`rmcc_telemetry::NullSink`]
+    /// equivalent. The snapshot cadence is `rmcc.epoch_accesses` memory
+    /// requests, for every scheme (secure or not).
+    pub telemetry: bool,
 }
 
 impl SystemConfig {
@@ -147,6 +153,7 @@ impl SystemConfig {
             max_outstanding_overflows: 2,
             speculative_verify: false,
             work_scale: 16,
+            telemetry: false,
         }
     }
 

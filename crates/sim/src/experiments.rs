@@ -19,18 +19,21 @@
 //! still completes and commits in order.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use rmcc_cache::tlb::PageSize;
 use rmcc_dram::channel::TrafficClass;
 use rmcc_dram::config::ns;
+use rmcc_telemetry::PhaseProfiler;
 use rmcc_workloads::graph::Csr;
 use rmcc_workloads::workload::{graph_for, Scale, Workload};
 
 use crate::config::{Scheme, SystemConfig};
 use crate::detailed::{run_detailed, DetailedReport};
-use crate::lifetime::{run_lifetime, LifetimeReport};
+use crate::lifetime::{run_lifetime, LifetimeReport, LifetimeRunner};
+use crate::runner::Runner;
 
 /// One experiment cell whose workload panicked. The harness isolates the
 /// panic: the cell is reported failed, every other cell completes normally.
@@ -144,6 +147,54 @@ impl std::fmt::Display for Series {
             writeln!(f, "!! {label}: cell panicked: {message}")?;
         }
         Ok(())
+    }
+}
+
+/// Result of [`Experiments::telemetry_sweep`]: one epoch-resolved JSONL
+/// series per workload, plus a wall-time profile of the sweep.
+///
+/// The `cells` are deterministic — byte-identical whether the sweep ran
+/// serially or through the worker pool, and across same-seed reruns. The
+/// [`PhaseProfiler`] records real wall time and is explicitly *outside*
+/// that contract.
+#[derive(Debug)]
+pub struct TelemetrySweep {
+    /// `(workload name, JSONL series)` in `Workload::ALL` order; a
+    /// panicking cell carries its [`CellFailure`] instead.
+    pub cells: Vec<(String, Result<String, CellFailure>)>,
+    /// Wall-time phases of the sweep (not part of the determinism
+    /// contract).
+    pub profile: PhaseProfiler,
+}
+
+impl TelemetrySweep {
+    /// The JSONL series for `workload`, if that cell succeeded.
+    pub fn jsonl(&self, workload: &str) -> Option<&str> {
+        self.cells
+            .iter()
+            .find(|(name, _)| name == workload)
+            .and_then(|(_, r)| r.as_deref().ok())
+    }
+
+    /// Writes each successful cell to `dir/telemetry_<workload>.jsonl`
+    /// (creating `dir` if needed) and returns the paths written, in
+    /// `Workload::ALL` order. Failed cells are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from creating the directory or writing a
+    /// file.
+    pub fn write_to_dir(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut paths = Vec::new();
+        for (name, cell) in &self.cells {
+            if let Ok(jsonl) = cell {
+                let path = dir.join(format!("telemetry_{name}.jsonl"));
+                std::fs::write(&path, jsonl)?;
+                paths.push(path);
+            }
+        }
+        Ok(paths)
     }
 }
 
@@ -639,6 +690,42 @@ impl Experiments {
         )
     }
 
+    /// Epoch-resolved telemetry sweep: runs every workload under `scheme`
+    /// (lifetime methodology) with telemetry recording on and the epoch
+    /// shortened to `epoch_accesses` memory requests, and returns each
+    /// cell's JSONL series. Any trailing partial epoch is flushed, so a
+    /// cell that issued at least one memory request produces at least one
+    /// row.
+    ///
+    /// Cells fan across the same worker pool as every other harness; the
+    /// JSONL is byte-identical to a serial sweep. The returned
+    /// [`PhaseProfiler`] reports where the wall time went and is excluded
+    /// from that determinism contract.
+    pub fn telemetry_sweep(&self, scheme: Scheme, epoch_accesses: u64) -> TelemetrySweep {
+        let mut profile = PhaseProfiler::new();
+        profile.start("configure");
+        let mut cfg = SystemConfig::lifetime(scheme);
+        cfg.telemetry = true;
+        cfg.rmcc.epoch_accesses = epoch_accesses.max(1);
+        profile.start("simulate");
+        let rows = self.per_workload(|w| {
+            let graph = w.uses_graph().then_some(&self.graph);
+            let mut runner = LifetimeRunner::new(&cfg);
+            let _report = match graph {
+                Some(_) => runner.run(&mut w.source_on(graph, self.scale)),
+                None => runner.run(&mut w.source(self.scale)),
+            };
+            runner.engine().finish_telemetry().unwrap_or_default()
+        });
+        profile.finish();
+        let cells = Workload::ALL
+            .iter()
+            .zip(rows)
+            .map(|(w, r)| (w.name().to_string(), r))
+            .collect();
+        TelemetrySweep { cells, profile }
+    }
+
     /// The paper's 92% headline: fraction of counter misses whose
     /// decryption/verification is accelerated.
     pub fn accelerated_misses(&self) -> Series {
@@ -739,6 +826,41 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("FAILED"));
         assert!(text.contains("!! y: cell panicked: boom"));
+    }
+
+    #[test]
+    fn telemetry_sweep_is_deterministic_and_parses() {
+        let serial = Experiments::with_jobs(Scale::Tiny, 1).telemetry_sweep(Scheme::Rmcc, 2_000);
+        let pooled = Experiments::with_jobs(Scale::Tiny, 4).telemetry_sweep(Scheme::Rmcc, 2_000);
+        assert_eq!(serial.cells, pooled.cells, "pool order must not leak");
+        assert_eq!(serial.cells.len(), Workload::ALL.len());
+        for (name, cell) in &serial.cells {
+            let jsonl = cell.as_ref().unwrap_or_else(|e| panic!("{name}: {e:?}"));
+            let rows = rmcc_telemetry::parse_jsonl(jsonl).expect("valid JSONL");
+            assert!(!rows.is_empty(), "{name}: no epochs resolved");
+            let first = &rows[0];
+            for key in ["table_hit_rate", "aes_saved", "conformance_ratio"] {
+                assert!(first.get(key).is_some(), "{name}: missing column {key}");
+            }
+        }
+        // The profiler saw real phases (wall times themselves are not
+        // part of the contract).
+        assert!(serial.profile.phases().len() >= 2);
+    }
+
+    #[test]
+    fn telemetry_sweep_writes_files() {
+        let sweep =
+            Experiments::with_jobs(Scale::Tiny, 2).telemetry_sweep(Scheme::Morphable, 5_000);
+        let dir = std::env::temp_dir().join(format!("rmcc-telemetry-sweep-{}", std::process::id()));
+        let paths = sweep.write_to_dir(&dir).expect("write telemetry files");
+        assert_eq!(paths.len(), Workload::ALL.len());
+        for (path, (name, cell)) in paths.iter().zip(&sweep.cells) {
+            let on_disk = std::fs::read_to_string(path).expect("readable file");
+            assert_eq!(&on_disk, cell.as_ref().expect("cell succeeded"), "{name}");
+            assert_eq!(sweep.jsonl(name), Some(on_disk.as_str()));
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

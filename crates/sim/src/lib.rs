@@ -5,7 +5,10 @@
 //! * [`page_map`] — bijective virtual→physical page placement.
 //! * [`meta_engine`] — the shared functional metadata engine: counter
 //!   cache walks, counter updates (baseline or RMCC), overflows, dirty
-//!   evictions, memoization lookups.
+//!   evictions, memoization lookups, and (when enabled) epoch-resolved
+//!   telemetry snapshots.
+//! * [`dynamics`] — the seeded hot/cold write-heavy stream that reproduces
+//!   the Figure 6–8 self-reinforcement trajectory as a telemetry series.
 //! * [`multicore`] — n cores with private L1/L2 sharing one LLC, counter
 //!   cache, and DDR4 channel (§V's 4-thread GraphBig methodology).
 //! * [`mc`] — the timing memory controller over the DDR4 channel.
@@ -43,6 +46,7 @@
 pub mod config;
 pub mod core_model;
 pub mod detailed;
+pub mod dynamics;
 pub mod engine;
 pub mod experiments;
 pub mod lifetime;
@@ -55,8 +59,9 @@ pub mod runner;
 pub use config::{Scheme, SystemConfig};
 pub use core_model::{CoreModel, CoreStats};
 pub use detailed::{run_detailed, DetailedReport};
+pub use dynamics::{run_dynamics, DynamicsConfig, DynamicsResult};
 pub use engine::CoreEngine;
-pub use experiments::{table1, CellFailure, Experiments, Series};
+pub use experiments::{table1, CellFailure, Experiments, Series, TelemetrySweep};
 pub use lifetime::{run_lifetime, LifetimeReport, LifetimeRunner};
 pub use mc::{LatencyStats, MemoryController};
 pub use meta_engine::{

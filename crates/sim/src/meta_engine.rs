@@ -13,9 +13,11 @@ use std::collections::VecDeque;
 
 use rmcc_cache::set_assoc::SetAssocCache;
 use rmcc_core::rmcc::Rmcc;
-use rmcc_core::table::LookupResult;
+use rmcc_core::table::{LookupResult, TableStats};
+use rmcc_crypto::stats::{CryptoCost, CryptoStats};
 use rmcc_secmem::layout::BLOCK_BYTES;
 use rmcc_secmem::tree::MetadataState;
+use rmcc_telemetry::{CounterId, GaugeId, HistogramId, MetricsRegistry, Telemetry};
 
 use crate::config::{Scheme, SystemConfig};
 
@@ -211,6 +213,94 @@ impl MetaStats {
     }
 }
 
+/// Typed handles into the engine's metric registry, resolved once at
+/// construction so epoch snapshots are plain indexed stores (no name
+/// lookups on any path). Registration order in [`TeleIds::register`] *is*
+/// the JSONL/CSV column order — append new metrics at the end of their
+/// section, or golden exports change.
+struct TeleIds {
+    // Engine traffic, mirrored from `MetaStats` at each epoch boundary.
+    data_reads: CounterId,
+    data_writes: CounterId,
+    counter_misses: CounterId,
+    counter_fetches: CounterId,
+    counter_writebacks: CounterId,
+    relevels_l0: CounterId,
+    relevels_hi: CounterId,
+    read_triggered_writes: CounterId,
+    total_requests: CounterId,
+    // Counter cache.
+    cache_hits: CounterId,
+    cache_misses: CounterId,
+    // L0 memoization table.
+    table_group_hits: CounterId,
+    table_mru_hits: CounterId,
+    table_misses: CounterId,
+    table_insertions: CounterId,
+    table_evictions: CounterId,
+    table_shadow_promotions: CounterId,
+    table_mru_harvests: CounterId,
+    // Static crypto-invocation model.
+    aes_paid: CounterId,
+    aes_saved: CounterId,
+    clmul_ops: CounterId,
+    mac_verifies: CounterId,
+    // Budget / Observed-System-Max (level 0).
+    budget_spent_total: CounterId,
+    osm: CounterId,
+    // Point-sampled gauges.
+    cache_hit_rate: GaugeId,
+    table_hit_rate: GaugeId,
+    table_hit_rate_epoch: GaugeId,
+    conformance_ratio: GaugeId,
+    budget_spent_epoch: GaugeId,
+    budget_carry_over: GaugeId,
+    budget_available: GaugeId,
+    aes_saved_fraction: GaugeId,
+    // Histograms.
+    chain_depth: HistogramId,
+}
+
+impl TeleIds {
+    fn register(reg: &mut MetricsRegistry) -> Self {
+        TeleIds {
+            data_reads: reg.counter("data_reads"),
+            data_writes: reg.counter("data_writes"),
+            counter_misses: reg.counter("counter_misses"),
+            counter_fetches: reg.counter("counter_fetches"),
+            counter_writebacks: reg.counter("counter_writebacks"),
+            relevels_l0: reg.counter("relevels_l0"),
+            relevels_hi: reg.counter("relevels_hi"),
+            read_triggered_writes: reg.counter("read_triggered_writes"),
+            total_requests: reg.counter("total_requests"),
+            cache_hits: reg.counter("cache_hits"),
+            cache_misses: reg.counter("cache_misses"),
+            table_group_hits: reg.counter("table_group_hits"),
+            table_mru_hits: reg.counter("table_mru_hits"),
+            table_misses: reg.counter("table_misses"),
+            table_insertions: reg.counter("table_insertions"),
+            table_evictions: reg.counter("table_evictions"),
+            table_shadow_promotions: reg.counter("table_shadow_promotions"),
+            table_mru_harvests: reg.counter("table_mru_harvests"),
+            aes_paid: reg.counter("aes_paid"),
+            aes_saved: reg.counter("aes_saved"),
+            clmul_ops: reg.counter("clmul_ops"),
+            mac_verifies: reg.counter("mac_verifies"),
+            budget_spent_total: reg.counter("budget_spent_total"),
+            osm: reg.counter("osm"),
+            cache_hit_rate: reg.gauge("cache_hit_rate"),
+            table_hit_rate: reg.gauge("table_hit_rate"),
+            table_hit_rate_epoch: reg.gauge("table_hit_rate_epoch"),
+            conformance_ratio: reg.gauge("conformance_ratio"),
+            budget_spent_epoch: reg.gauge("budget_spent_epoch"),
+            budget_carry_over: reg.gauge("budget_carry_over"),
+            budget_available: reg.gauge("budget_available"),
+            aes_saved_fraction: reg.gauge("aes_saved_fraction"),
+            chain_depth: reg.histogram("chain_depth", &[0, 1, 2, 3, 4]),
+        }
+    }
+}
+
 /// The metadata engine.
 pub struct MetaEngine {
     scheme: Scheme,
@@ -218,6 +308,22 @@ pub struct MetaEngine {
     rmcc: Option<Rmcc>,
     counter_cache: SetAssocCache,
     stats: MetaStats,
+    /// Static-model crypto tally; only accumulates while telemetry is on.
+    crypto: CryptoStats,
+    /// Full pad cost of one block under this scheme's pipeline.
+    pad_full: CryptoCost,
+    /// Share of `pad_full` a memoization hit skips (zero for non-RMCC).
+    pad_memo_share: CryptoCost,
+    telemetry: Telemetry,
+    tele: Option<TeleIds>,
+    /// Snapshot cadence in memory requests (`RmccConfig::epoch_accesses`);
+    /// ticks in lockstep with the RMCC budgets' own epoch counters.
+    epoch_len: u64,
+    epoch_progress: u64,
+    accesses_seen: u64,
+    epochs_done: u64,
+    prev_table_hits: u64,
+    prev_table_lookups: u64,
 }
 
 impl std::fmt::Debug for MetaEngine {
@@ -254,6 +360,18 @@ impl MetaEngine {
             }
             r
         });
+        let (telemetry, tele) = if cfg.telemetry {
+            let mut reg = MetricsRegistry::new();
+            let ids = TeleIds::register(&mut reg);
+            (Telemetry::on(reg), Some(ids))
+        } else {
+            (Telemetry::off(), None)
+        };
+        let (pad_full, pad_memo_share) = match cfg.scheme {
+            Scheme::NonSecure => (CryptoCost::default(), CryptoCost::default()),
+            Scheme::Sc64 | Scheme::Morphable => (CryptoCost::sgx_block(), CryptoCost::default()),
+            Scheme::Rmcc => (CryptoCost::rmcc_block(), CryptoCost::rmcc_counter_share()),
+        };
         MetaEngine {
             scheme: cfg.scheme,
             meta,
@@ -263,6 +381,17 @@ impl MetaEngine {
                 cfg.counter_cache_ways,
             ),
             stats: MetaStats::default(),
+            crypto: CryptoStats::default(),
+            pad_full,
+            pad_memo_share,
+            telemetry,
+            tele,
+            epoch_len: cfg.rmcc.epoch_accesses.max(1),
+            epoch_progress: 0,
+            accesses_seen: 0,
+            epochs_done: 0,
+            prev_table_hits: 0,
+            prev_table_lookups: 0,
         }
     }
 
@@ -277,6 +406,7 @@ impl MetaEngine {
     pub fn reset_stats(&mut self) {
         self.stats = MetaStats::default();
         self.counter_cache.reset_stats();
+        self.crypto = CryptoStats::default();
     }
 
     /// The RMCC engine, when the scheme uses it.
@@ -304,11 +434,183 @@ impl MetaEngine {
 
     fn tick(&mut self, requests: u64) {
         self.stats.total_requests += requests;
-        if let Some(r) = self.rmcc.as_mut() {
+        if self.telemetry.is_on() {
+            for _ in 0..requests {
+                self.accesses_seen += 1;
+                self.epoch_progress += 1;
+                if self.epoch_progress >= self.epoch_len {
+                    // Snapshot *before* the boundary access reaches the
+                    // RMCC budgets: `epoch_spent` / `carry_over` still
+                    // describe the epoch that just finished, and the table
+                    // is in the state that served it (pre-reselection).
+                    self.epoch_progress = 0;
+                    self.snapshot_epoch();
+                }
+                if let Some(r) = self.rmcc.as_mut() {
+                    r.on_memory_access();
+                }
+            }
+        } else if let Some(r) = self.rmcc.as_mut() {
             for _ in 0..requests {
                 r.on_memory_access();
             }
         }
+    }
+
+    /// Charges the static crypto model for one data-block pad computation
+    /// (`block_memo_hit` = its counter-only AES came from the memoization
+    /// table) plus one verify-OTP per fetched chain node. `verify_data`
+    /// adds the data block's own MAC check (read path).
+    fn note_op_crypto(&mut self, block_memo_hit: bool, fetches: &[ChainFetch], verify_data: bool) {
+        if self.scheme == Scheme::NonSecure {
+            return;
+        }
+        if block_memo_hit {
+            self.crypto.pay_with_hit(self.pad_full, self.pad_memo_share);
+        } else {
+            self.crypto.pay(self.pad_full);
+        }
+        if verify_data {
+            self.crypto.verify_mac();
+        }
+        for f in fetches {
+            if f.verify_memo_hit {
+                self.crypto.pay_with_hit(self.pad_full, self.pad_memo_share);
+            } else {
+                self.crypto.pay(self.pad_full);
+            }
+            self.crypto.verify_mac();
+        }
+    }
+
+    /// Samples every metric into the registry and appends an epoch snapshot.
+    /// Counters are mirrored absolutely from the engine's own cumulative
+    /// tallies (so the hot path pays nothing between boundaries); gauges are
+    /// point-in-time.
+    fn snapshot_epoch(&mut self) {
+        if self.tele.is_none() {
+            return;
+        }
+        let stats = self.stats;
+        let crypto = self.crypto;
+        let cache = self.counter_cache.stats();
+        let (table, osm, budget) = match self.rmcc.as_ref() {
+            Some(r) => (
+                r.table_stats(0),
+                r.observed_system_max(),
+                Some(*r.budget(0)),
+            ),
+            None => (TableStats::default(), 0, None),
+        };
+        // Conformance: fraction of live (touched) data counters whose value
+        // the table can currently serve. Both sums are commutative, so the
+        // histogram's HashMap iteration order cannot affect the result.
+        let conformance = match (self.meta.as_ref(), self.rmcc.as_ref()) {
+            (Some(m), Some(r)) => {
+                let hist = m.value_histogram();
+                let mut total = 0u64;
+                let mut covered = 0u64;
+                for (v, n) in &hist {
+                    total = total.saturating_add(*n);
+                    if r.table(0).probe(*v) {
+                        covered = covered.saturating_add(*n);
+                    }
+                }
+                if total == 0 {
+                    0.0
+                } else {
+                    covered as f64 / total as f64
+                }
+            }
+            _ => 0.0,
+        };
+        let hits = table.group_hits + table.mru_hits;
+        let lookups = table.lookups();
+        let ep_hits = hits.saturating_sub(self.prev_table_hits);
+        let ep_lookups = lookups.saturating_sub(self.prev_table_lookups);
+        self.prev_table_hits = hits;
+        self.prev_table_lookups = lookups;
+        let epoch_hit_rate = if ep_lookups == 0 {
+            0.0
+        } else {
+            ep_hits as f64 / ep_lookups as f64
+        };
+
+        self.epochs_done += 1;
+        let (epoch, accesses) = (self.epochs_done, self.accesses_seen);
+        let Some(ids) = self.tele.as_ref() else {
+            return;
+        };
+        let Some(active) = self.telemetry.active_mut() else {
+            return;
+        };
+        let reg = &mut active.registry;
+        reg.set_counter(ids.data_reads, stats.data_reads);
+        reg.set_counter(ids.data_writes, stats.data_writes);
+        reg.set_counter(ids.counter_misses, stats.counter_misses);
+        reg.set_counter(ids.counter_fetches, stats.counter_fetches);
+        reg.set_counter(ids.counter_writebacks, stats.counter_writebacks);
+        reg.set_counter(ids.relevels_l0, stats.relevels_l0);
+        reg.set_counter(ids.relevels_hi, stats.relevels_hi);
+        reg.set_counter(ids.read_triggered_writes, stats.read_triggered_writes);
+        reg.set_counter(ids.total_requests, stats.total_requests);
+        reg.set_counter(ids.cache_hits, cache.hits);
+        reg.set_counter(ids.cache_misses, cache.misses);
+        reg.set_counter(ids.table_group_hits, table.group_hits);
+        reg.set_counter(ids.table_mru_hits, table.mru_hits);
+        reg.set_counter(ids.table_misses, table.misses);
+        reg.set_counter(ids.table_insertions, table.insertions);
+        reg.set_counter(ids.table_evictions, table.evictions);
+        reg.set_counter(ids.table_shadow_promotions, table.shadow_promotions);
+        reg.set_counter(ids.table_mru_harvests, table.mru_harvests);
+        reg.set_counter(ids.aes_paid, crypto.aes_paid);
+        reg.set_counter(ids.aes_saved, crypto.aes_saved);
+        reg.set_counter(ids.clmul_ops, crypto.clmul_ops);
+        reg.set_counter(ids.mac_verifies, crypto.mac_verifies);
+        reg.set_counter(
+            ids.budget_spent_total,
+            budget.map_or(0, |b| b.total_spent()),
+        );
+        reg.set_counter(ids.osm, osm);
+        reg.set_gauge(ids.cache_hit_rate, cache.hit_rate());
+        reg.set_gauge(ids.table_hit_rate, table.hit_rate());
+        reg.set_gauge(ids.table_hit_rate_epoch, epoch_hit_rate);
+        reg.set_gauge(ids.conformance_ratio, conformance);
+        reg.set_gauge(
+            ids.budget_spent_epoch,
+            budget.map_or(0.0, |b| b.epoch_spent() as f64),
+        );
+        reg.set_gauge(
+            ids.budget_carry_over,
+            budget.map_or(0.0, |b| b.carry_over()),
+        );
+        reg.set_gauge(ids.budget_available, budget.map_or(0.0, |b| b.available()));
+        reg.set_gauge(ids.aes_saved_fraction, crypto.aes_saved_fraction());
+        active.snapshot(epoch, accesses);
+    }
+
+    /// Flushes a trailing partial epoch (if any requests arrived since the
+    /// last boundary) and renders the recorded series as JSONL. Returns
+    /// `None` when the engine was built without telemetry. Calling it again
+    /// without further traffic re-renders the same series.
+    pub fn finish_telemetry(&mut self) -> Option<String> {
+        if self.telemetry.is_on() && self.epoch_progress > 0 {
+            self.epoch_progress = 0;
+            self.snapshot_epoch();
+        }
+        self.telemetry.to_jsonl()
+    }
+
+    /// The engine's telemetry handle (the `Off` variant unless
+    /// [`SystemConfig::telemetry`] enabled it).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The static-model crypto tally. Only accumulates while telemetry is
+    /// on; zero otherwise.
+    pub fn crypto_stats(&self) -> CryptoStats {
+        self.crypto
     }
 
     /// Walks the counter cache from level 0 upward until a hit (or the
@@ -543,6 +845,13 @@ impl MetaEngine {
             }
         }
 
+        if self.telemetry.is_on() {
+            self.note_op_crypto(out.l0_memo_hit, &out.fetches, true);
+            let depth = out.fetches.len() as u64;
+            if let (Some(active), Some(ids)) = (self.telemetry.active_mut(), self.tele.as_ref()) {
+                active.registry.observe(ids.chain_depth, depth);
+            }
+        }
         self.stats.counter_fetches += out.fetches.len() as u64;
         let requests = 1 + out.fetches.len() as u64 + out.side.len() as u64;
         self.tick(requests);
@@ -570,13 +879,18 @@ impl MetaEngine {
 
         // Counter update.
         let meta = self.meta.as_mut().expect("secure scheme");
-        let (new_value, releveled, charged) = match self.rmcc.as_mut() {
+        let (new_value, releveled, charged, landed_memoized) = match self.rmcc.as_mut() {
             Some(r) => {
                 r.note_system_max(meta.max_observed());
                 let u = meta
                     .with_block_mut(0, l0_index, |cb| r.update_counter(0, cb, slot, false))
                     .expect("writeback updates always apply");
-                (u.new_value, u.releveled, u.charged_requests)
+                (
+                    u.new_value,
+                    u.releveled,
+                    u.charged_requests,
+                    u.landed_on_memoized,
+                )
             }
             None => {
                 let (v, releveled) = meta.with_block_mut(0, l0_index, |cb| {
@@ -589,7 +903,7 @@ impl MetaEngine {
                         }
                     }
                 });
-                (v, releveled, 0)
+                (v, releveled, 0, false)
             }
         };
         out.counter_value = new_value;
@@ -616,6 +930,11 @@ impl MetaEngine {
             }
         }
 
+        if self.telemetry.is_on() {
+            // Writebacks re-encrypt under the new counter value; the
+            // counter-only AES is memoized when the update conformed.
+            self.note_op_crypto(landed_memoized, &out.fetches, false);
+        }
         self.stats.counter_fetches += out.fetches.len() as u64;
         let requests = 1 + out.fetches.len() as u64 + out.side.len() as u64;
         self.tick(requests);
@@ -627,6 +946,7 @@ impl MetaEngine {
 mod tests {
     use super::*;
     use rmcc_secmem::tree::InitPolicy;
+    use rmcc_telemetry::JsonValue;
 
     fn cfg(scheme: Scheme) -> SystemConfig {
         let mut c = SystemConfig::lifetime(scheme);
@@ -769,6 +1089,60 @@ mod tests {
         }
         assert!(saw_writeback, "dirty counter block never written back");
         assert!(e.stats().counter_writebacks > 0);
+    }
+
+    #[test]
+    fn telemetry_snapshots_at_epoch_boundaries() {
+        let mut c = cfg(Scheme::Rmcc);
+        c.telemetry = true;
+        c.rmcc.epoch_accesses = 64;
+        let mut e = MetaEngine::new(&c);
+        for i in 0..200u64 {
+            e.on_writeback(i * 64);
+            e.on_read(i * 64);
+        }
+        let jsonl = e.finish_telemetry().expect("telemetry on");
+        let rows = rmcc_telemetry::parse_jsonl(&jsonl).expect("self-emitted JSONL parses");
+        assert!(rows.len() >= 2, "several epochs elapsed");
+        // Epoch ordinals count up from 1; accesses are cumulative and land
+        // exactly on the boundary for all but a trailing partial epoch.
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(
+                row.get("epoch").and_then(JsonValue::as_f64),
+                Some((i + 1) as f64)
+            );
+        }
+        let accesses = |i: usize| {
+            rows[i]
+                .get("accesses")
+                .and_then(JsonValue::as_f64)
+                .expect("accesses column")
+        };
+        assert_eq!(accesses(0), 64.0);
+        assert_eq!(accesses(1), 128.0);
+        // Counters are cumulative (non-decreasing) across epochs.
+        for w in rows.windows(2) {
+            let a = w[0].get("mac_verifies").and_then(JsonValue::as_f64);
+            let b = w[1].get("mac_verifies").and_then(JsonValue::as_f64);
+            assert!(a <= b, "cumulative counters never decrease");
+        }
+        let last = rows.last().expect("non-empty");
+        let val = |k: &str| last.get(k).and_then(JsonValue::as_f64).unwrap_or(-1.0);
+        assert!(val("data_reads") >= 200.0);
+        assert!(val("aes_paid") > 0.0, "crypto model charged");
+        assert!(val("mac_verifies") > 0.0);
+        assert!(val("osm") >= 0.0, "osm column present");
+        let conf = val("conformance_ratio");
+        assert!((0.0..=1.0).contains(&conf), "conformance in [0,1]");
+    }
+
+    #[test]
+    fn telemetry_off_is_inert() {
+        let mut e = MetaEngine::new(&cfg(Scheme::Rmcc));
+        e.on_writeback(0);
+        assert!(!e.telemetry().is_on());
+        assert!(e.finish_telemetry().is_none());
+        assert_eq!(e.crypto_stats(), CryptoStats::default());
     }
 
     #[test]

@@ -92,6 +92,43 @@ fn main() {
         timed.llc_misses
     );
 
+    banner("5. Epoch-resolved telemetry (opt-in)");
+    if std::env::var_os("RMCC_TELEMETRY").is_some() {
+        let mut cfg = SystemConfig::lifetime(Scheme::Rmcc);
+        cfg.telemetry = true;
+        cfg.rmcc.epoch_accesses = 200; // short epochs so a tiny run resolves several
+        let mut runner = LifetimeRunner::new(&cfg);
+        runner.run(&mut Workload::Canneal.source(Scale::Tiny));
+        let jsonl = runner
+            .engine()
+            .finish_telemetry()
+            .expect("telemetry was on");
+        let rows = rmcc::telemetry::parse_jsonl(&jsonl).expect("well-formed JSONL");
+        println!("  {} epoch snapshots; the last one:", rows.len());
+        println!("  {}", jsonl.lines().last().unwrap_or_default());
+        let last = rows.last().expect("at least one epoch");
+        let col = |key: &str| {
+            last.get(key)
+                .and_then(rmcc::telemetry::JsonValue::as_f64)
+                .unwrap_or(0.0)
+        };
+        assert!(col("aes_paid") > 0.0, "AES work must be tallied");
+        assert!(col("total_requests") > 0.0, "requests must be counted");
+        assert!(
+            (0.0..=1.0).contains(&col("conformance_ratio")),
+            "conformance is a ratio"
+        );
+        println!(
+            "  telemetry-ok: {} epochs, {} AES paid, {} saved",
+            rows.len(),
+            col("aes_paid") as u64,
+            col("aes_saved") as u64
+        );
+    } else {
+        println!("  set RMCC_TELEMETRY=1 to record a JSONL series of this run");
+        println!("  (see also: cargo run --release --example convergence_report)");
+    }
+
     println!("\nNext: `cargo run --release -p rmcc-bench --bin figures` regenerates the paper.");
 }
 

@@ -18,6 +18,7 @@
 //! | [`secmem`] | `rmcc-secmem` | SGX/SC-64/Morphable counters, integrity tree, functional secure memory |
 //! | [`core`] | `rmcc-core` | the memoization table, budgets, candidate monitor, update policy |
 //! | [`faults`] | `rmcc-faults` | seeded fault injection at every threat-model boundary + campaign driver |
+//! | [`telemetry`] | `rmcc-telemetry` | deterministic metrics registry, epoch snapshots, JSONL/CSV export |
 //! | [`sim`] | `rmcc-sim` | memory controller, core model, lifetime & detailed runners, experiments |
 //!
 //! ## Quickstart
@@ -53,4 +54,5 @@ pub use rmcc_dram as dram;
 pub use rmcc_faults as faults;
 pub use rmcc_secmem as secmem;
 pub use rmcc_sim as sim;
+pub use rmcc_telemetry as telemetry;
 pub use rmcc_workloads as workloads;

@@ -1,0 +1,110 @@
+//! Convergence tests: lock down the paper's self-reinforcement dynamics
+//! (§IV-B, Figures 6–8) on the seeded dynamics workload.
+//!
+//! These assert the *shape* of the epoch series, not exact bytes (the
+//! golden test does that): conformance and the table hit rate must
+//! actually improve as the run proceeds, or the "self-reinforcing" part
+//! of RMCC has regressed even if everything still computes.
+
+use rmcc::sim::dynamics::{run_dynamics, DynamicsConfig};
+use rmcc::telemetry::{parse_jsonl, JsonValue};
+
+/// Parses the series and extracts one numeric column per epoch.
+fn column(jsonl: &str, key: &str) -> Vec<f64> {
+    parse_jsonl(jsonl)
+        .expect("well-formed telemetry JSONL")
+        .iter()
+        .map(|row| {
+            row.get(key)
+                .and_then(JsonValue::as_f64)
+                .unwrap_or_else(|| panic!("missing column {key}"))
+        })
+        .collect()
+}
+
+/// Rows covering only *full* epochs (the trailing snapshot flushed by
+/// `finish_telemetry` can cover a partial epoch, whose noisier per-epoch
+/// rates should not gate monotonicity).
+fn full_epochs(jsonl: &str, key: &str, epoch_accesses: u64) -> Vec<f64> {
+    let accesses = column(jsonl, "accesses");
+    column(jsonl, key)
+        .into_iter()
+        .zip(accesses)
+        .filter(|&(_, a)| (a as u64) % epoch_accesses == 0)
+        .map(|(v, _)| v)
+        .collect()
+}
+
+#[test]
+fn conformance_improves_from_first_to_final_epoch() {
+    let r = run_dynamics(&DynamicsConfig::small());
+    let conf = column(&r.jsonl, "conformance_ratio");
+    assert!(conf.len() >= 4, "only {} epochs resolved", conf.len());
+    let (first, last) = (conf[0], *conf.last().expect("non-empty"));
+    assert!(
+        last > first,
+        "conformance did not improve: {first:.4} -> {last:.4}"
+    );
+    // The working set ends up overwhelmingly on memoized values — the
+    // observed series converges to ~0.9 from ~0.3.
+    assert!(last > 0.5, "final conformance only {last:.4}");
+    for &c in &conf {
+        assert!((0.0..=1.0).contains(&c), "conformance {c} out of range");
+    }
+}
+
+#[test]
+fn cumulative_table_hit_rate_climbs_epoch_over_epoch() {
+    let cfg = DynamicsConfig::small();
+    let r = run_dynamics(&cfg);
+    let hit = full_epochs(&r.jsonl, "table_hit_rate", cfg.epoch_accesses);
+    assert!(hit.len() >= 4, "only {} full epochs", hit.len());
+    // Self-reinforcement: each full epoch's cumulative hit rate is at
+    // least the previous one's (writes keep conforming the working set
+    // to the table, so lookups keep getting luckier).
+    for pair in hit.windows(2) {
+        assert!(
+            pair[1] >= pair[0],
+            "cumulative hit rate regressed: {:.4} -> {:.4} (series {hit:?})",
+            pair[0],
+            pair[1]
+        );
+    }
+    let (first, last) = (hit[0], *hit.last().expect("non-empty"));
+    assert!(
+        last >= 2.0 * first,
+        "hit rate barely moved: {first:.4} -> {last:.4}"
+    );
+}
+
+#[test]
+fn table_population_and_osm_grow_monotonically() {
+    let r = run_dynamics(&DynamicsConfig::small());
+    for key in ["osm", "table_insertions", "aes_saved"] {
+        let series = column(&r.jsonl, key);
+        for pair in series.windows(2) {
+            assert!(
+                pair[1] >= pair[0],
+                "{key} went backwards: {:?} -> {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+    // The monitor actually inserted groups (the bootstrap worked).
+    let inserts = column(&r.jsonl, "table_insertions");
+    assert!(*inserts.last().expect("non-empty") >= 2.0);
+}
+
+#[test]
+fn rmcc_saves_aes_work_where_morphable_cannot() {
+    let rmcc = run_dynamics(&DynamicsConfig::small());
+    let mut base_cfg = DynamicsConfig::small();
+    base_cfg.scheme = rmcc::sim::config::Scheme::Morphable;
+    let base = run_dynamics(&base_cfg);
+    assert!(rmcc.crypto.aes_saved > 0, "RMCC saved nothing");
+    assert_eq!(
+        base.crypto.aes_saved, 0,
+        "a non-memoizing scheme cannot save AES work"
+    );
+}

@@ -50,20 +50,13 @@ fn parallel_harness_output_is_byte_identical_to_serial() {
     assert_eq!(lat_s, lat_p);
 }
 
-/// Wall-clock speedup of the pooled harness. Needs ≥ 4 host cores to mean
-/// anything, so it is `#[ignore]`d by default (the CI container exposes a
-/// single CPU — see EXPERIMENTS.md); run with
-/// `cargo test --release -- --ignored parallel_harness_speedup`.
+/// Wall-clock speedup of the pooled harness. Runs everywhere: the timing
+/// assertion gates itself on the host's advertised parallelism instead of
+/// `#[ignore]`, so multicore hosts check the speedup on every run while a
+/// single-core CI container still verifies pooled-equals-serial and skips
+/// only the wall-clock claim.
 #[test]
-#[ignore = "needs >=4 host cores; run explicitly on a multicore host"]
 fn parallel_harness_speedup() {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    assert!(
-        cores >= 4,
-        "host exposes only {cores} core(s); speedup not measurable"
-    );
     let serial = Experiments::with_jobs(Scale::Tiny, 1);
     let pooled = Experiments::with_jobs(Scale::Tiny, 4);
     // Warm both contexts (graph already built in the constructors).
@@ -74,8 +67,20 @@ fn parallel_harness_speedup() {
     let b = pooled.fig13_fig14();
     let t_pooled = t1.elapsed();
     assert_eq!(a, b);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores < 4 {
+        eprintln!(
+            "parallel_harness_speedup: host exposes only {cores} core(s); \
+             verified pooled == serial, skipping the wall-clock assertion"
+        );
+        return;
+    }
     let speedup = t_serial.as_secs_f64() / t_pooled.as_secs_f64();
-    assert!(speedup >= 1.5, "4-job speedup only {speedup:.2}x");
+    // Conservative bound: 4 jobs on >= 4 cores must beat serial clearly,
+    // even on a loaded host.
+    assert!(speedup >= 1.3, "4-job speedup only {speedup:.2}x");
 }
 
 #[test]

@@ -1,0 +1,143 @@
+//! Property tests over the epoch-resolved telemetry: the paper's dynamics
+//! must hold for *any* seeded access mix, not just the golden one.
+
+use proptest::prelude::*;
+use rmcc::core::rmcc::{Rmcc, RmccConfig};
+use rmcc::secmem::counters::{CounterBlock, CounterOrg};
+use rmcc::sim::dynamics::{run_dynamics, DynamicsConfig};
+use rmcc::telemetry::{parse_jsonl, JsonValue};
+
+/// Extracts one numeric column from a telemetry series.
+fn column(jsonl: &str, key: &str) -> Vec<f64> {
+    parse_jsonl(jsonl)
+        .expect("well-formed telemetry JSONL")
+        .iter()
+        .map(|row| {
+            row.get(key)
+                .and_then(JsonValue::as_f64)
+                .unwrap_or_else(|| panic!("missing column {key}"))
+        })
+        .collect()
+}
+
+/// A short dynamics run whose access mix is drawn by the property.
+fn cfg_for(seed: u64, hot_permille: u32, write_permille: u32) -> DynamicsConfig {
+    DynamicsConfig {
+        seed: seed | 1,
+        steps: 12_000,
+        epoch_accesses: 3_000,
+        hot_permille,
+        write_permille,
+        ..DynamicsConfig::small()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The observed system max only ever grows: counters never decrease,
+    /// so the largest value the monitor has seen cannot shrink — under any
+    /// access mix.
+    #[test]
+    fn osm_is_monotone_nondecreasing_across_epochs(
+        seed in any::<u64>(),
+        hot in 500u32..950,
+        wr in 200u32..800,
+    ) {
+        let r = run_dynamics(&cfg_for(seed, hot, wr));
+        let osm = column(&r.jsonl, "osm");
+        prop_assert!(!osm.is_empty());
+        for pair in osm.windows(2) {
+            prop_assert!(pair[1] >= pair[0], "osm shrank: {:?}", osm);
+        }
+    }
+
+    /// The budget ledger's telemetry invariant, per epoch: what RMCC spent
+    /// in an epoch never exceeds that epoch's fresh allowance plus the
+    /// carry-over it entered with (§IV-C1's 1% traffic bound).
+    #[test]
+    fn budget_spend_respects_allowance_plus_carry(
+        seed in any::<u64>(),
+        hot in 500u32..950,
+        wr in 200u32..800,
+    ) {
+        let cfg = cfg_for(seed, hot, wr);
+        let r = run_dynamics(&cfg);
+        let allowance = RmccConfig::paper().budget_fraction * cfg.epoch_accesses as f64;
+        let spent = column(&r.jsonl, "budget_spent_epoch");
+        let carry = column(&r.jsonl, "budget_carry_over");
+        for (i, (&s, &c)) in spent.iter().zip(&carry).enumerate() {
+            prop_assert!(
+                s <= allowance + c + 1e-9,
+                "epoch {}: spent {s} > allowance {allowance} + carry {c}",
+                i + 1
+            );
+            prop_assert!(c >= 0.0);
+        }
+    }
+
+    /// Conformance is always a ratio in [0, 1], whatever the mix does.
+    #[test]
+    fn conformance_stays_in_unit_interval(
+        seed in any::<u64>(),
+        hot in 500u32..950,
+        wr in 200u32..800,
+    ) {
+        let r = run_dynamics(&cfg_for(seed, hot, wr));
+        for c in column(&r.jsonl, "conformance_ratio") {
+            prop_assert!((0.0..=1.0).contains(&c), "conformance {c}");
+        }
+    }
+
+    /// Self-reinforcement at the mechanism level: with a memoized group
+    /// above the working set, write-only rounds only ever grow the set of
+    /// conforming counters. Bounded at 8 rounds — the group holds 8
+    /// consecutive values (Table II), so an on-ladder counter stepping +1
+    /// per round stays memoized for exactly that long before it can walk
+    /// off the group's end.
+    #[test]
+    fn conformance_is_monotone_under_bounded_write_only_rounds(
+        base in 1_000u64..50_000,
+        stride in 1u64..900,
+        n_blocks in 4usize..24,
+        rounds in 1usize..=8,
+    ) {
+        let mut rmcc = Rmcc::new(RmccConfig::paper());
+        // One live group well above every starting counter.
+        rmcc.seed_group(0, base + 100_000);
+        let mut blocks: Vec<CounterBlock> = (0..n_blocks as u64)
+            .map(|i| {
+                CounterBlock::with_state(
+                    CounterOrg::Morphable128,
+                    base + i * stride,
+                    vec![0; 128],
+                )
+            })
+            .collect();
+        let conformance = |rmcc: &Rmcc, blocks: &[CounterBlock]| {
+            blocks.iter().filter(|cb| rmcc.table(0).probe(cb.value(0))).count() as f64
+                / blocks.len() as f64
+        };
+        let mut prev = conformance(&rmcc, &blocks);
+        prop_assert_eq!(prev, 0.0, "nothing conforms before the first write");
+        for round in 0..rounds {
+            for cb in blocks.iter_mut() {
+                let out = rmcc.update_counter(0, cb, 0, false).unwrap();
+                prop_assert!(out.new_value > 0);
+            }
+            let now = conformance(&rmcc, &blocks);
+            prop_assert!(
+                (0.0..=1.0).contains(&now),
+                "round {round}: conformance {now} out of range"
+            );
+            prop_assert!(
+                now >= prev,
+                "round {round}: conformance regressed {prev} -> {now}"
+            );
+            prev = now;
+        }
+        // The budget granted the relevels something: at least one block
+        // made it onto the ladder.
+        prop_assert!(prev > 0.0, "no block ever conformed");
+    }
+}
