@@ -14,7 +14,17 @@ use rmcc_sim::experiments::Experiments;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = scale_from(args.first().map(String::as_str));
+    let scale_arg = args
+        .iter()
+        .map(String::as_str)
+        .find(|a| matches!(*a, "tiny" | "small" | "full"));
+    let scale = match scale_from(scale_arg) {
+        Ok(scale) => scale,
+        Err(err) => {
+            eprintln!("figures: {err}");
+            std::process::exit(2);
+        }
+    };
     let requested: Vec<&str> = args
         .iter()
         .map(String::as_str)
@@ -37,8 +47,16 @@ fn main() {
 
     for id in ids {
         let t = std::time::Instant::now();
-        for series in run_figure(&ex, id) {
-            println!("{series}");
+        match run_figure(&ex, id) {
+            Ok(series) => {
+                for s in series {
+                    println!("{s}");
+                }
+            }
+            Err(err) => {
+                eprintln!("figures: {err}");
+                std::process::exit(2);
+            }
         }
         eprintln!("[{id} done in {:.1}s]", t.elapsed().as_secs_f64());
     }

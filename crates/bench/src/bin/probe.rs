@@ -11,7 +11,13 @@ use rmcc_workloads::workload::Workload;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = scale_from(args.first().map(String::as_str));
+    let scale = match scale_from(args.first().map(String::as_str)) {
+        Ok(scale) => scale,
+        Err(err) => {
+            eprintln!("probe: {err}");
+            std::process::exit(2);
+        }
+    };
     let name = args.get(1).map(String::as_str).unwrap_or("canneal");
     let workload = Workload::ALL
         .into_iter()

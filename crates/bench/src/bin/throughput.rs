@@ -1,0 +1,73 @@
+//! Wall-clock hot-path throughput benchmark.
+//!
+//! ```text
+//! cargo run --release -p rmcc-bench --bin throughput [tiny|small|full]
+//! ```
+//!
+//! Measures host-side throughput of the three hot-path components — raw
+//! AES-128 encryption, memoization-table lookups, and end-to-end secure
+//! reads+writes (serial and pooled across `RMCC_JOBS` workers) — then
+//! writes the full report to `BENCH_hotpath.json` in the current
+//! directory and prints one `deterministic: {...}` line to stdout.
+//!
+//! The deterministic line carries only operation counts and checksums: it
+//! is byte-identical across runs, hosts, and pool widths, so CI diffs it
+//! between `RMCC_JOBS=1` and a wider run to prove the pooled path computes
+//! the same results. Timing fields live only in the JSON and vary run to
+//! run.
+
+use rmcc_bench::scale_from;
+use rmcc_bench::throughput;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = match scale_from(args.first().map(String::as_str)) {
+        Ok(scale) => scale,
+        Err(err) => {
+            eprintln!("throughput: {err}");
+            std::process::exit(2);
+        }
+    };
+    let jobs = std::env::var("RMCC_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&j| j >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from));
+
+    eprintln!("throughput: scale = {scale}, jobs = {jobs} (RMCC_JOBS=n overrides)");
+    let report = throughput::run(scale, jobs);
+
+    let json = report.to_json();
+    // Self-check: the emitted report must parse with the repo's own strict
+    // JSON reader before we write it anywhere.
+    let parsed = match rmcc_telemetry::export::parse_json_line(&json) {
+        Ok(value) => value,
+        Err(err) => {
+            eprintln!("throughput: emitted JSON failed to parse: {err}");
+            std::process::exit(1);
+        }
+    };
+    if parsed.get("schema").and_then(|v| v.as_str()) != Some("rmcc-bench-hotpath-v1") {
+        eprintln!("throughput: emitted JSON is missing the schema marker");
+        std::process::exit(1);
+    }
+
+    let path = "BENCH_hotpath.json";
+    if let Err(err) = std::fs::write(path, &json) {
+        eprintln!("throughput: failed to write {path}: {err}");
+        std::process::exit(1);
+    }
+
+    println!("deterministic: {}", report.deterministic_json());
+    eprintln!(
+        "throughput: aes {:.0}/s  table {:.0}/s  e2e serial {:.0}/s  e2e pooled {:.0}/s  → {path}",
+        report.aes.ops_per_s(),
+        report.table.ops_per_s(),
+        report.e2e_serial.ops_per_s(),
+        report.e2e_pooled.ops_per_s(),
+    );
+    if report.e2e_serial.checksum != report.e2e_pooled.checksum {
+        eprintln!("throughput: pooled end-to-end checksum diverged from serial");
+        std::process::exit(1);
+    }
+}

@@ -7,6 +7,8 @@
 //! * `cargo run --release -p rmcc-bench --bin figures [tiny|small|full] [figNN …]`
 //!   regenerates the figures at a chosen scale and prints the same series
 //!   the paper plots.
+//! * `cargo run --release -p rmcc-bench --bin throughput [tiny|small|full]`
+//!   measures wall-clock hot-path throughput and writes `BENCH_hotpath.json`.
 //!
 //! Figure harness logic lives in [`rmcc_sim::experiments`]; this crate only
 //! drives it and formats output. Per-workload cells fan out across a
@@ -16,20 +18,28 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod throughput;
+
 use rmcc_sim::experiments::{table1, Experiments, Series};
 use rmcc_workloads::workload::Scale;
 
 /// Parses a scale name, defaulting from the `RMCC_SCALE` environment
 /// variable and finally to `tiny`.
-pub fn scale_from(arg: Option<&str>) -> Scale {
+///
+/// Unknown names are an error, not a silent fallback: a typo like `"ful"`
+/// must not quietly run a tiny-scale benchmark and corrupt a comparison.
+pub fn scale_from(arg: Option<&str>) -> Result<Scale, String> {
     let name = arg
         .map(str::to_string)
         .or_else(|| std::env::var("RMCC_SCALE").ok())
         .unwrap_or_else(|| "tiny".to_string());
     match name.as_str() {
-        "full" => Scale::Full,
-        "small" => Scale::Small,
-        _ => Scale::Tiny,
+        "tiny" => Ok(Scale::Tiny),
+        "small" => Ok(Scale::Small),
+        "full" => Ok(Scale::Full),
+        other => Err(format!(
+            "unknown scale {other:?} (valid scales: tiny, small, full)"
+        )),
     }
 }
 
@@ -40,13 +50,10 @@ pub const ALL_FIGURES: [&str; 17] = [
 ];
 
 /// Runs one figure by id and returns its printable series (empty for
-/// `table1`, which is plain text).
-///
-/// # Panics
-///
-/// Panics on an unknown figure id.
-pub fn run_figure(ex: &Experiments, id: &str) -> Vec<Series> {
-    match id {
+/// `table1`, which is plain text), or an error naming the known ids when
+/// the id is not recognised.
+pub fn run_figure(ex: &Experiments, id: &str) -> Result<Vec<Series>, String> {
+    let series = match id {
         "table1" => {
             println!("{}", table1());
             vec![]
@@ -100,8 +107,13 @@ pub fn run_figure(ex: &Experiments, id: &str) -> Vec<Series> {
         "page4k" => vec![ex.page_size_sensitivity()],
         "relwork" => vec![ex.related_work_speculation()],
         "ablation" => vec![ex.ablation_read_triggered()],
-        other => panic!("unknown figure id {other:?} (known: {ALL_FIGURES:?})"),
-    }
+        other => {
+            return Err(format!(
+                "unknown figure id {other:?} (known: {ALL_FIGURES:?})"
+            ))
+        }
+    };
+    Ok(series)
 }
 
 /// Entry point shared by the per-figure bench targets: builds the context
@@ -109,13 +121,27 @@ pub fn run_figure(ex: &Experiments, id: &str) -> Vec<Series> {
 /// affordable; `small`/`full` regenerate publication-scale numbers), runs
 /// one figure, and prints its series.
 pub fn bench_main(id: &str) {
-    let scale = scale_from(None);
+    let scale = match scale_from(None) {
+        Ok(scale) => scale,
+        Err(err) => {
+            eprintln!("[{id}] {err}");
+            std::process::exit(2);
+        }
+    };
     eprintln!("[{id}] scale = {scale} (set RMCC_SCALE=small|full for paper-scale runs)");
     let t0 = std::time::Instant::now();
     let ex = Experiments::new(scale);
     eprintln!("[{id}] jobs = {} (set RMCC_JOBS=n to override)", ex.jobs());
-    for series in run_figure(&ex, id) {
-        println!("{series}");
+    match run_figure(&ex, id) {
+        Ok(series) => {
+            for s in series {
+                println!("{s}");
+            }
+        }
+        Err(err) => {
+            eprintln!("[{id}] {err}");
+            std::process::exit(2);
+        }
     }
     eprintln!("[{id}] done in {:.1}s", t0.elapsed().as_secs_f64());
 }
@@ -126,9 +152,21 @@ mod tests {
 
     #[test]
     fn scale_parsing() {
-        assert_eq!(scale_from(Some("full")), Scale::Full);
-        assert_eq!(scale_from(Some("small")), Scale::Small);
-        assert_eq!(scale_from(Some("bogus")), Scale::Tiny);
+        assert_eq!(scale_from(Some("full")), Ok(Scale::Full));
+        assert_eq!(scale_from(Some("small")), Ok(Scale::Small));
+        assert_eq!(scale_from(Some("tiny")), Ok(Scale::Tiny));
+    }
+
+    #[test]
+    fn scale_typos_are_rejected_with_the_valid_names() {
+        for typo in ["ful", "smal", "bogus", "TINY"] {
+            let err = scale_from(Some(typo)).expect_err("typo must not map to a scale");
+            assert!(err.contains(typo), "error names the offender: {err}");
+            assert!(
+                err.contains("tiny") && err.contains("small") && err.contains("full"),
+                "error lists the valid scales: {err}"
+            );
+        }
     }
 
     #[test]
@@ -137,14 +175,15 @@ mod tests {
         // The cheap, single-config figures; sweeps are covered by their own
         // bench targets.
         for id in ["table1", "fig03", "fig04", "fig15", "accel"] {
-            let _ = run_figure(&ex, id);
+            assert!(run_figure(&ex, id).is_ok());
         }
     }
 
     #[test]
-    #[should_panic(expected = "unknown figure")]
-    fn unknown_figure_panics() {
+    fn unknown_figure_is_an_error_not_a_panic() {
         let ex = Experiments::new(Scale::Tiny);
-        let _ = run_figure(&ex, "fig99");
+        let err = run_figure(&ex, "fig99").expect_err("fig99 is not a figure");
+        assert!(err.contains("fig99"), "{err}");
+        assert!(err.contains("table1"), "error lists known ids: {err}");
     }
 }

@@ -1,0 +1,416 @@
+//! Wall-clock throughput harness for the crypto hot path.
+//!
+//! Every other harness in this crate measures *simulated* quantities
+//! (cycles, hit rates, traffic). This one measures the simulator itself:
+//! how many AES blocks, memoization-table lookups, and end-to-end secure
+//! reads+writes the host executes per wall-clock second. The numbers seed
+//! the perf trajectory in `BENCH_hotpath.json` at the repo root, so every
+//! later hot-path change is judged against a reproducible baseline.
+//!
+//! Two kinds of output are strictly separated:
+//!
+//! * **Deterministic results** — operation counts and checksums of the
+//!   computed values. These are byte-identical across runs, hosts, and
+//!   `RMCC_JOBS` widths; CI diffs them between a serial and a pooled run.
+//! * **Timing** — wall-clock rates. These vary run to run and are reported
+//!   for trend tracking only.
+
+use std::time::Instant;
+
+use rmcc_core::table::{MemoizationTable, TableConfig};
+use rmcc_crypto::aes::Aes;
+use rmcc_secmem::counters::CounterOrg;
+use rmcc_secmem::engine::{PipelineKind, SecureMemory};
+use rmcc_workloads::workload::Scale;
+
+/// SplitMix64 step — the deterministic stream driving every component.
+fn splitmix(z: &mut u64) -> u64 {
+    *z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut x = *z;
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Work sizes for one throughput run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThroughputConfig {
+    /// AES-128 blocks encrypted in the AES component.
+    pub aes_blocks: u64,
+    /// Memoization-table lookups in the table component.
+    pub table_lookups: u64,
+    /// Secure-memory accesses (reads + writes) per shard.
+    pub accesses_per_shard: u64,
+    /// Independent secure-memory shards; fixed per config so results do not
+    /// depend on the worker-pool width.
+    pub shards: usize,
+    /// Protected bytes per shard's secure memory.
+    pub shard_bytes: u64,
+    /// Distinct data blocks the access stream touches per shard.
+    pub working_blocks: u64,
+}
+
+impl ThroughputConfig {
+    /// The configuration for a workload scale.
+    pub fn from_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Tiny => ThroughputConfig {
+                aes_blocks: 20_000,
+                table_lookups: 200_000,
+                accesses_per_shard: 2_000,
+                shards: 4,
+                shard_bytes: 1 << 22,
+                working_blocks: 512,
+            },
+            Scale::Small => ThroughputConfig {
+                aes_blocks: 200_000,
+                table_lookups: 2_000_000,
+                accesses_per_shard: 20_000,
+                shards: 8,
+                shard_bytes: 1 << 24,
+                working_blocks: 4_096,
+            },
+            Scale::Full => ThroughputConfig {
+                aes_blocks: 1_000_000,
+                table_lookups: 10_000_000,
+                accesses_per_shard: 100_000,
+                shards: 8,
+                shard_bytes: 1 << 26,
+                working_blocks: 16_384,
+            },
+        }
+    }
+}
+
+/// One component's measurement: how much work ran, how long it took, and a
+/// checksum over the computed values (the deterministic part).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentResult {
+    /// Operations performed.
+    pub ops: u64,
+    /// Wall-clock seconds the component ran for.
+    pub seconds: f64,
+    /// Order-independent digest of every value the component computed.
+    pub checksum: u64,
+}
+
+impl ComponentResult {
+    /// Operations per wall-clock second.
+    pub fn ops_per_s(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.ops as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A full throughput run: per-component results plus the pool width used
+/// for the pooled end-to-end pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputReport {
+    /// Scale name the run was configured from.
+    pub scale: String,
+    /// Worker-pool width used for the pooled end-to-end pass.
+    pub jobs: usize,
+    /// Raw AES-128 block encryption.
+    pub aes: ComponentResult,
+    /// Memoization-table lookups over a seeded table.
+    pub table: ComponentResult,
+    /// End-to-end secure-memory reads+writes, all shards on one thread.
+    pub e2e_serial: ComponentResult,
+    /// The same shards fanned across the worker pool.
+    pub e2e_pooled: ComponentResult,
+}
+
+impl ThroughputReport {
+    /// The deterministic results as one canonical JSON line — byte-identical
+    /// across runs and pool widths. CI diffs this between serial and pooled
+    /// invocations.
+    pub fn deterministic_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"schema\":\"rmcc-bench-hotpath-v1\",",
+                "\"aes_blocks\":{},\"aes_checksum\":\"{:#018x}\",",
+                "\"table_lookups\":{},\"table_checksum\":\"{:#018x}\",",
+                "\"e2e_accesses\":{},\"e2e_checksum\":\"{:#018x}\",",
+                "\"pooled_matches_serial\":{}}}"
+            ),
+            self.aes.ops,
+            self.aes.checksum,
+            self.table.ops,
+            self.table.checksum,
+            self.e2e_serial.ops,
+            self.e2e_serial.checksum,
+            self.e2e_serial.checksum == self.e2e_pooled.checksum
+                && self.e2e_serial.ops == self.e2e_pooled.ops,
+        )
+    }
+
+    /// The full report (deterministic results + timing) as pretty JSON, the
+    /// content of `BENCH_hotpath.json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"rmcc-bench-hotpath-v1\",\n");
+        out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str("  \"deterministic\": ");
+        out.push_str(&self.deterministic_json());
+        out.push_str(",\n  \"timing\": {\n");
+        out.push_str(&format!(
+            "    \"aes_blocks_per_s\": {:.1},\n",
+            self.aes.ops_per_s()
+        ));
+        out.push_str(&format!(
+            "    \"table_lookups_per_s\": {:.1},\n",
+            self.table.ops_per_s()
+        ));
+        out.push_str(&format!(
+            "    \"e2e_serial_accesses_per_s\": {:.1},\n",
+            self.e2e_serial.ops_per_s()
+        ));
+        out.push_str(&format!(
+            "    \"e2e_pooled_accesses_per_s\": {:.1}\n",
+            self.e2e_pooled.ops_per_s()
+        ));
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+/// Raw AES throughput: a data-dependent encryption chain (each input is the
+/// previous ciphertext XOR a counter), so the compiler cannot batch or
+/// elide blocks.
+fn bench_aes(blocks: u64) -> ComponentResult {
+    let aes = Aes::new_128(&[0x42u8; 16]);
+    let start = Instant::now();
+    let mut state = 0x0123_4567_89ab_cdef_u128;
+    let mut checksum = 0u64;
+    for i in 0..blocks {
+        state = aes.encrypt_u128(state ^ u128::from(i));
+        checksum = checksum
+            .rotate_left(1)
+            .wrapping_add((state >> 64) as u64 ^ state as u64);
+    }
+    ComponentResult {
+        ops: blocks,
+        seconds: start.elapsed().as_secs_f64(),
+        checksum,
+    }
+}
+
+/// Memoization-table lookup throughput over the paper's 16×8 geometry,
+/// driven by a seeded value stream concentrated around the live groups
+/// (realistic hit mix: mostly group hits, a tail of misses).
+fn bench_table(lookups: u64) -> ComponentResult {
+    let mut table = MemoizationTable::new(TableConfig::paper());
+    table.seed_groups((0..16u64).map(|g| 50_000 + g * 6_400));
+    let mut rng = 0x0007_ab1e_5eed_u64;
+    let start = Instant::now();
+    let mut checksum = 0u64;
+    for _ in 0..lookups {
+        let r = splitmix(&mut rng);
+        // 7 in 8 lookups land inside a live group; the rest scatter.
+        let value = if !r.is_multiple_of(8) {
+            50_000 + (r >> 8) % 16 * 6_400 + (r >> 16) % 8
+        } else {
+            (r >> 8) % 200_000
+        };
+        let hit = table.lookup(value).is_hit();
+        checksum = checksum.rotate_left(1).wrapping_add(u64::from(hit));
+    }
+    ComponentResult {
+        ops: lookups,
+        seconds: start.elapsed().as_secs_f64(),
+        checksum,
+    }
+}
+
+/// Runs one end-to-end shard to completion and returns its checksum: a
+/// digest over every decrypted byte and final counter the shard produced.
+fn run_shard(cfg: &ThroughputConfig, shard: usize) -> u64 {
+    let mut mem = SecureMemory::new(
+        CounterOrg::Morphable128,
+        cfg.shard_bytes,
+        PipelineKind::Rmcc,
+        0x5eed_0000 + shard as u64,
+    );
+    let blocks = cfg.working_blocks.min(cfg.shard_bytes / 64);
+    let mut rng = 0xfeed_f00d ^ (shard as u64) << 32;
+    let mut checksum = 0u64;
+    // Warm-up: every block in the working set gets an initial write, so the
+    // measured loop runs in steady state (all metadata materialized).
+    for b in 0..blocks {
+        let mut pt = [0u8; 64];
+        pt[0] = b as u8;
+        pt[7] = shard as u8;
+        if mem.write(b, pt).is_err() {
+            return 0;
+        }
+    }
+    for i in 0..cfg.accesses_per_shard {
+        let r = splitmix(&mut rng);
+        let block = r % blocks;
+        if r & 0x100 == 0 {
+            let mut pt = [0u8; 64];
+            pt[..8].copy_from_slice(&r.to_be_bytes());
+            pt[56..].copy_from_slice(&i.to_be_bytes());
+            if mem.write(block, pt).is_err() {
+                return 0;
+            }
+            checksum = checksum.rotate_left(3).wrapping_add(r);
+        } else {
+            match mem.read(block) {
+                Ok(data) => {
+                    let folded = data.chunks_exact(8).fold(0u64, |acc, c| {
+                        acc ^ c.iter().fold(0u64, |w, &b| (w << 8) | u64::from(b))
+                    });
+                    checksum = checksum.rotate_left(3).wrapping_add(folded);
+                }
+                Err(_) => return 0,
+            }
+        }
+    }
+    checksum.wrapping_add(mem.counter_of(0))
+}
+
+/// Runs every shard on the calling thread, in order.
+fn bench_e2e_serial(cfg: &ThroughputConfig) -> ComponentResult {
+    let start = Instant::now();
+    let mut checksum = 0u64;
+    for shard in 0..cfg.shards {
+        checksum ^= run_shard(cfg, shard).rotate_left(shard as u32);
+    }
+    ComponentResult {
+        ops: cfg.accesses_per_shard * cfg.shards as u64,
+        seconds: start.elapsed().as_secs_f64(),
+        checksum,
+    }
+}
+
+/// Fans the same shards across `jobs` workers. Shards are independent and
+/// combined with a shard-indexed rotation, so the digest is identical to
+/// the serial pass at any pool width.
+fn bench_e2e_pooled(cfg: &ThroughputConfig, jobs: usize) -> ComponentResult {
+    let jobs = jobs.clamp(1, cfg.shards);
+    if jobs == 1 {
+        return bench_e2e_serial(cfg);
+    }
+    let start = Instant::now();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<u64>> =
+        (0..cfg.shards).map(|_| std::sync::Mutex::new(0)).collect();
+    std::thread::scope(|scope| {
+        let next = &next;
+        let slots = &slots;
+        for _ in 0..jobs {
+            scope.spawn(move || loop {
+                let shard = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if shard >= cfg.shards {
+                    break;
+                }
+                let digest = run_shard(cfg, shard);
+                if let Some(slot) = slots.get(shard) {
+                    if let Ok(mut guard) = slot.lock() {
+                        *guard = digest;
+                    }
+                }
+            });
+        }
+    });
+    let checksum = slots.iter().enumerate().fold(0u64, |acc, (shard, slot)| {
+        acc ^ slot.lock().map_or(0, |g| *g).rotate_left(shard as u32)
+    });
+    ComponentResult {
+        ops: cfg.accesses_per_shard * cfg.shards as u64,
+        seconds: start.elapsed().as_secs_f64(),
+        checksum,
+    }
+}
+
+/// Runs the full harness: AES, table, end-to-end serial, end-to-end pooled.
+pub fn run(scale: Scale, jobs: usize) -> ThroughputReport {
+    let cfg = ThroughputConfig::from_scale(scale);
+    ThroughputReport {
+        scale: scale.to_string(),
+        jobs,
+        aes: bench_aes(cfg.aes_blocks),
+        table: bench_table(cfg.table_lookups),
+        e2e_serial: bench_e2e_serial(&cfg),
+        e2e_pooled: bench_e2e_pooled(&cfg, jobs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_are_deterministic_and_distinct() {
+        let cfg = ThroughputConfig {
+            aes_blocks: 10,
+            table_lookups: 10,
+            accesses_per_shard: 50,
+            shards: 2,
+            shard_bytes: 1 << 20,
+            working_blocks: 32,
+        };
+        let a = run_shard(&cfg, 0);
+        assert_eq!(a, run_shard(&cfg, 0), "same shard, same digest");
+        assert_ne!(a, run_shard(&cfg, 1), "different shards diverge");
+        assert_ne!(a, 0, "a zero digest signals an engine error");
+    }
+
+    #[test]
+    fn pooled_matches_serial_at_any_width() {
+        let cfg = ThroughputConfig {
+            aes_blocks: 10,
+            table_lookups: 10,
+            accesses_per_shard: 40,
+            shards: 3,
+            shard_bytes: 1 << 20,
+            working_blocks: 16,
+        };
+        let serial = bench_e2e_serial(&cfg);
+        for jobs in [1, 2, 7] {
+            let pooled = bench_e2e_pooled(&cfg, jobs);
+            assert_eq!(serial.checksum, pooled.checksum, "jobs = {jobs}");
+            assert_eq!(serial.ops, pooled.ops);
+        }
+    }
+
+    #[test]
+    fn report_json_has_the_schema_markers() {
+        let report = ThroughputReport {
+            scale: "tiny".to_string(),
+            jobs: 1,
+            aes: ComponentResult {
+                ops: 1,
+                seconds: 0.5,
+                checksum: 2,
+            },
+            table: ComponentResult {
+                ops: 3,
+                seconds: 0.5,
+                checksum: 4,
+            },
+            e2e_serial: ComponentResult {
+                ops: 5,
+                seconds: 0.5,
+                checksum: 6,
+            },
+            e2e_pooled: ComponentResult {
+                ops: 5,
+                seconds: 0.25,
+                checksum: 6,
+            },
+        };
+        let det = report.deterministic_json();
+        assert!(det.contains("\"schema\":\"rmcc-bench-hotpath-v1\""));
+        assert!(det.contains("\"pooled_matches_serial\":true"));
+        let full = report.to_json();
+        assert!(full.contains("\"aes_blocks_per_s\": 2.0"));
+        assert!(full.contains("\"e2e_pooled_accesses_per_s\": 20.0"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Smoke test for the wall-clock throughput harness: the emitted
+//! `BENCH_hotpath.json` must parse, carry the documented schema, and keep
+//! its deterministic section byte-identical across worker-pool widths.
+
+use rmcc_bench::throughput::{self, ThroughputConfig};
+use rmcc_telemetry::export::{parse_json_line, JsonValue};
+use rmcc_workloads::workload::Scale;
+
+fn run_tiny(jobs: usize) -> throughput::ThroughputReport {
+    throughput::run(Scale::Tiny, jobs)
+}
+
+#[test]
+fn report_json_matches_schema() {
+    let report = run_tiny(2);
+    let parsed = parse_json_line(&report.to_json()).expect("BENCH_hotpath.json must parse");
+
+    assert_eq!(
+        parsed.get("schema").and_then(JsonValue::as_str),
+        Some("rmcc-bench-hotpath-v1")
+    );
+    assert_eq!(
+        parsed.get("scale").and_then(JsonValue::as_str),
+        Some("tiny")
+    );
+    assert_eq!(parsed.get("jobs").and_then(JsonValue::as_f64), Some(2.0));
+
+    let det = parsed.get("deterministic").expect("deterministic section");
+    let cfg = ThroughputConfig::from_scale(Scale::Tiny);
+    assert_eq!(
+        det.get("aes_blocks").and_then(JsonValue::as_f64),
+        Some(cfg.aes_blocks as f64)
+    );
+    assert_eq!(
+        det.get("table_lookups").and_then(JsonValue::as_f64),
+        Some(cfg.table_lookups as f64)
+    );
+    assert_eq!(
+        det.get("e2e_accesses").and_then(JsonValue::as_f64),
+        Some((cfg.accesses_per_shard * cfg.shards as u64) as f64)
+    );
+    assert_eq!(
+        det.get("pooled_matches_serial"),
+        Some(&JsonValue::Bool(true))
+    );
+    for checksum in ["aes_checksum", "table_checksum", "e2e_checksum"] {
+        let value = det
+            .get(checksum)
+            .and_then(JsonValue::as_str)
+            .unwrap_or_else(|| panic!("{checksum} missing"));
+        assert!(
+            value.starts_with("0x") && value.len() == 18,
+            "{checksum} must be a fixed-width hex literal, got {value}"
+        );
+    }
+
+    let timing = parsed.get("timing").expect("timing section");
+    for rate in [
+        "aes_blocks_per_s",
+        "table_lookups_per_s",
+        "e2e_serial_accesses_per_s",
+        "e2e_pooled_accesses_per_s",
+    ] {
+        let value = timing
+            .get(rate)
+            .and_then(JsonValue::as_f64)
+            .unwrap_or_else(|| panic!("{rate} missing"));
+        assert!(value > 0.0, "{rate} must be positive, got {value}");
+    }
+}
+
+#[test]
+fn deterministic_line_is_identical_across_pool_widths() {
+    let serial = run_tiny(1).deterministic_json();
+    let pooled = run_tiny(4).deterministic_json();
+    assert_eq!(
+        serial, pooled,
+        "pool width leaked into deterministic output"
+    );
+    // The line itself is single-line JSON, fit for diffing in CI.
+    assert!(!serial.contains('\n'));
+    parse_json_line(&serial).expect("deterministic line must parse");
+}

@@ -13,6 +13,31 @@
 /// that epoch-resolved telemetry still sees multiple boundaries.
 pub const EPOCH_ACCESSES: u64 = 1_000_000;
 
+/// Fractional bits of the fixed-point ledger. The budget accumulates in
+/// integer units of 2^-32 requests so that carry-over across epochs is
+/// exact: repeated `available += allowance` in `f64` drifts once the
+/// allowance has a non-terminating binary fraction, and over enough epochs
+/// the drift can grant (or withhold) whole requests.
+const FP_BITS: u32 = 32;
+
+/// One request in fixed-point ledger units.
+const FP_ONE: u128 = 1 << FP_BITS;
+
+/// Converts a non-negative request count (possibly fractional) into
+/// fixed-point ledger units. Performed once per budget at construction;
+/// every subsequent ledger operation is exact integer arithmetic.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // rounded non-negative finite value; `as` saturates
+fn to_fixed_point(requests: f64) -> u128 {
+    (requests * FP_ONE as f64).round() as u128
+}
+
+/// Converts fixed-point ledger units back to (fractional) requests for
+/// reporting.
+#[allow(clippy::cast_precision_loss)] // reporting only; the ledger stays integral
+fn from_fixed_point(units: u128) -> f64 {
+    units as f64 / FP_ONE as f64
+}
+
 /// A replenishing traffic budget.
 ///
 /// All quantities are in units of 64 B memory requests.
@@ -29,20 +54,24 @@ pub const EPOCH_ACCESSES: u64 = 1_000_000;
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrafficBudget {
-    /// Fraction of per-epoch traffic grantable as overhead.
+    /// Fraction of per-epoch traffic grantable as overhead (reporting
+    /// only; the ledger below never touches it after construction).
     fraction: f64,
     /// Accesses per epoch (paper: [`EPOCH_ACCESSES`]).
     epoch_accesses: u64,
-    /// Requests still grantable.
-    available: f64,
+    /// Fresh allowance granted at each epoch boundary, fixed-point.
+    allowance_fp: u128,
+    /// Requests still grantable, fixed-point.
+    available_fp: u128,
     /// Accesses seen in the current epoch.
     epoch_progress: u64,
     /// Total overhead requests ever granted.
     total_spent: u64,
     /// Overhead requests granted in the current epoch.
     epoch_spent: u64,
-    /// Leftover budget carried into the current epoch at its boundary.
-    carry_over: f64,
+    /// Leftover budget carried into the current epoch at its boundary,
+    /// fixed-point.
+    carry_over_fp: u128,
     /// Total accesses ever observed.
     total_accesses: u64,
     /// Completed epochs.
@@ -74,14 +103,17 @@ impl TrafficBudget {
             "fraction must be non-negative"
         );
         assert!(epoch_accesses > 0, "epoch must span at least one access");
+        #[allow(clippy::cast_precision_loss)] // one-time allowance sizing
+        let allowance_fp = to_fixed_point(fraction * epoch_accesses as f64);
         TrafficBudget {
             fraction,
             epoch_accesses,
-            available: fraction * epoch_accesses as f64,
+            allowance_fp,
+            available_fp: allowance_fp,
             epoch_progress: 0,
             total_spent: 0,
             epoch_spent: 0,
-            carry_over: 0.0,
+            carry_over_fp: 0,
             total_accesses: 0,
             epochs: 0,
         }
@@ -99,12 +131,13 @@ impl TrafficBudget {
 
     /// The fresh allowance granted at each epoch boundary, in requests.
     pub fn allowance(&self) -> f64 {
-        self.fraction * self.epoch_accesses as f64
+        from_fixed_point(self.allowance_fp)
     }
 
     /// Overhead requests granted so far in the current epoch. Together with
     /// [`Self::carry_over`] this is the telemetry invariant:
-    /// `epoch_spent <= allowance + carry_over` at all times.
+    /// `epoch_spent <= allowance + carry_over` at all times — see
+    /// [`Self::invariant_holds`] for the exact integer form.
     pub fn epoch_spent(&self) -> u64 {
         self.epoch_spent
     }
@@ -112,12 +145,20 @@ impl TrafficBudget {
     /// Leftover budget that carried into the current epoch at its boundary
     /// (zero during the first epoch: nothing has carried yet).
     pub fn carry_over(&self) -> f64 {
-        self.carry_over
+        from_fixed_point(self.carry_over_fp)
     }
 
     /// Requests currently grantable.
     pub fn available(&self) -> f64 {
-        self.available
+        from_fixed_point(self.available_fp)
+    }
+
+    /// The budget invariant, checked in exact fixed-point arithmetic with
+    /// no floating-point tolerance: overhead granted within an epoch never
+    /// exceeds the fresh allowance plus what carried in at the boundary.
+    pub fn invariant_holds(&self) -> bool {
+        u128::from(self.epoch_spent) << FP_BITS
+            <= self.allowance_fp.saturating_add(self.carry_over_fp)
     }
 
     /// Total overhead requests granted over the run.
@@ -152,9 +193,10 @@ impl TrafficBudget {
             self.epoch_progress = 0;
             self.epochs = self.epochs.saturating_add(1);
             // Carry-over: leftover adds to the new allowance (§IV-C1).
-            self.carry_over = self.available;
+            // Integer ledger units, so the carry is exact at any epoch count.
+            self.carry_over_fp = self.available_fp;
             self.epoch_spent = 0;
-            self.available += self.allowance();
+            self.available_fp = self.available_fp.saturating_add(self.allowance_fp);
             true
         } else {
             false
@@ -169,9 +211,10 @@ impl TrafficBudget {
     /// Attempts to spend `requests` of overhead traffic; `false` (and no
     /// spend) if the remaining budget cannot cover it.
     pub fn try_consume(&mut self, requests: u64) -> bool {
-        if self.available >= requests as f64 {
-            self.available -= requests as f64;
-            self.total_spent += requests;
+        let requests_fp = u128::from(requests) << FP_BITS;
+        if self.available_fp >= requests_fp {
+            self.available_fp -= requests_fp;
+            self.total_spent = self.total_spent.saturating_add(requests);
             // Saturating: resets every epoch, cannot approach u64::MAX.
             self.epoch_spent = self.epoch_spent.saturating_add(requests);
             true
@@ -253,10 +296,46 @@ mod tests {
         assert!((b.carry_over() - 6.0).abs() < 1e-12);
         assert_eq!(b.epoch_spent(), 0);
         assert!((b.available() - 16.0).abs() < 1e-12);
-        // The telemetry invariant: spend never exceeds allowance + carry.
+        // The telemetry invariant: spend never exceeds allowance + carry,
+        // checked exactly — no epsilon.
         assert!(b.try_consume(16));
         assert!(!b.try_consume(1));
-        assert!(b.epoch_spent() as f64 <= b.allowance() + b.carry_over() + 1e-9);
+        assert!(b.invariant_holds());
+    }
+
+    #[test]
+    fn fractional_allowance_carries_exactly() {
+        // Allowance 2.5 requests/epoch: the half-request remainder must
+        // accumulate without floating-point drift, affording exactly five
+        // requests every two epochs at any epoch count.
+        let mut b = TrafficBudget::with_epoch(0.5, 5);
+        let mut granted = 0u64;
+        for epoch in 1..=10_000u64 {
+            while b.try_consume(1) {
+                granted += 1;
+            }
+            assert!(b.invariant_holds(), "invariant broke in epoch {epoch}");
+            for _ in 0..5 {
+                b.on_access();
+            }
+            // After `epoch` epochs the ledger has granted floor(2.5 * epoch).
+            assert_eq!(granted, epoch * 5 / 2, "drift after {epoch} epochs");
+        }
+    }
+
+    #[test]
+    fn non_dyadic_allowance_never_drifts() {
+        // 0.1 has no finite binary expansion; the fixed-point ledger
+        // quantizes it once at construction and then stays exact: after any
+        // number of unspent epochs the affordable request count is the
+        // floor of (epochs + 1) times the quantized allowance.
+        let mut b = TrafficBudget::with_epoch(0.1, 1);
+        for _ in 0..99_999 {
+            b.on_access();
+        }
+        // 100_000 allowances of round(0.1 * 2^32) / 2^32 requests each.
+        assert!(b.try_consume(10_000));
+        assert!(!b.try_consume(1));
     }
 
     #[test]

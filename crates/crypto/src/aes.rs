@@ -3,10 +3,19 @@
 //! Secure memory systems in the RMCC paper use AES in counter mode: the
 //! cipher is only ever run in the *encrypt* direction to produce one-time
 //! pads (OTPs), so this module deliberately implements encryption only.
-//! The implementation is a straightforward, table-light S-box design —
-//! clarity over throughput — because the simulator models AES *latency*
-//! architecturally (15 ns / 22 ns knobs) and only needs functional AES for
-//! end-to-end correctness tests, examples, and the NIST randomness checks.
+//! The simulator models AES *latency* architecturally (15 ns / 22 ns
+//! knobs) and only needs functional AES for end-to-end correctness tests,
+//! examples, and the NIST randomness checks — but that functional AES sits
+//! on the simulation's hottest path (every pad of every access), so it is
+//! implemented with encryption T-tables: four 256-entry `u32` tables that
+//! fuse `SubBytes`, `ShiftRows`, and `MixColumns` into one lookup + XOR
+//! per state byte per round (see DESIGN.md §10 for the equivalence
+//! argument). The tables are derived from the S-box once, at first key
+//! expansion, and shared by every schedule.
+//!
+//! The data-dependent table access is the documented tradeoff of any
+//! table-based software AES (DESIGN.md §8 under R3): the simulator needs
+//! functional AES, not a bitsliced constant-time implementation.
 
 /// The AES block size in bytes. AES has a fixed 128-bit block regardless of
 /// key size (see §II-A of the paper: "AES has a fixed input and output size
@@ -56,6 +65,73 @@ fn xtime(b: u8) -> u8 {
 fn sbox(b: u8) -> u8 {
     // audit:allow(R1, reason = "u8 index into a 256-entry table is total")
     SBOX[usize::from(b)]
+}
+
+/// The four encryption T-tables.
+///
+/// `te0[x]` packs the `MixColumns` image of `SubBytes(x)` as a big-endian
+/// word `[2·s, s, s, 3·s]` (GF(2^8) products); `te1`–`te3` are byte
+/// rotations of `te0`, so one table lookup per state byte performs the
+/// fused `SubBytes` + `ShiftRows` + `MixColumns` contribution of that byte
+/// to its output column.
+struct TTables {
+    te0: [u32; 256],
+    te1: [u32; 256],
+    te2: [u32; 256],
+    te3: [u32; 256],
+}
+
+/// The tables are pure functions of the (public) S-box: computed once at
+/// first key expansion, shared by all schedules forever after.
+static TTABLES: std::sync::OnceLock<TTables> = std::sync::OnceLock::new();
+
+fn build_ttables() -> TTables {
+    let mut te0 = [0u32; 256];
+    for (slot, x) in te0.iter_mut().zip(0u8..=255) {
+        let s = sbox(x);
+        let s2 = xtime(s);
+        let s3 = s2 ^ s;
+        *slot = u32::from_be_bytes([s2, s, s, s3]);
+    }
+    TTables {
+        te1: te0.map(|w| w.rotate_right(8)),
+        te2: te0.map(|w| w.rotate_right(16)),
+        te3: te0.map(|w| w.rotate_right(24)),
+        te0,
+    }
+}
+
+/// Total table lookup: a `u8` index into a 256-entry table cannot miss, so
+/// the `unwrap_or` arm is unreachable (and branch-free after inlining).
+#[inline]
+fn lut(table: &[u32; 256], b: u8) -> u32 {
+    table.get(usize::from(b)).copied().unwrap_or(0)
+}
+
+impl TTables {
+    /// One output column of a middle round: the diagonal
+    /// `(byte0 of a, byte1 of b, byte2 of c, byte3 of d)` is the column's
+    /// post-`ShiftRows` content, and the table XOR applies `SubBytes` +
+    /// `MixColumns` to it.
+    #[inline]
+    fn column(&self, a: u32, b: u32, c: u32, d: u32) -> u32 {
+        let [a0, _, _, _] = a.to_be_bytes();
+        let [_, b1, _, _] = b.to_be_bytes();
+        let [_, _, c2, _] = c.to_be_bytes();
+        let [_, _, _, d3] = d.to_be_bytes();
+        lut(&self.te0, a0) ^ lut(&self.te1, b1) ^ lut(&self.te2, c2) ^ lut(&self.te3, d3)
+    }
+}
+
+/// One output column of the final round: same diagonal byte selection as
+/// [`TTables::column`], but `SubBytes` only (no `MixColumns`).
+#[inline]
+fn final_column(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    let [a0, _, _, _] = a.to_be_bytes();
+    let [_, b1, _, _] = b.to_be_bytes();
+    let [_, _, c2, _] = c.to_be_bytes();
+    let [_, _, _, d3] = d.to_be_bytes();
+    u32::from_be_bytes([sbox(a0), sbox(b1), sbox(c2), sbox(d3)])
 }
 
 /// Which AES variant a key schedule was expanded for.
@@ -111,9 +187,12 @@ impl std::fmt::Display for AesVariant {
 /// ```
 #[derive(Clone)]
 pub struct Aes {
-    /// Expanded round keys: `(rounds + 1) * 16` bytes.
-    round_keys: Vec<[u8; 16]>,
+    /// Expanded round keys, packed as big-endian `u32` columns:
+    /// `rounds + 1` keys of 4 words each.
+    round_keys: Vec<[u32; 4]>,
     variant: AesVariant,
+    /// The shared encryption T-tables (built on first expansion).
+    tables: &'static TTables,
 }
 
 impl std::fmt::Debug for Aes {
@@ -182,9 +261,9 @@ impl Aes {
         let round_keys = w
             .chunks_exact(4)
             .map(|c| {
-                let mut rk = [0u8; 16];
-                for (dst, src) in rk.chunks_exact_mut(4).zip(c.iter()) {
-                    dst.copy_from_slice(src);
+                let mut rk = [0u32; 4];
+                for (dst, src) in rk.iter_mut().zip(c.iter()) {
+                    *dst = u32::from_be_bytes(*src);
                 }
                 rk
             })
@@ -192,6 +271,7 @@ impl Aes {
         Aes {
             round_keys,
             variant,
+            tables: TTABLES.get_or_init(build_ttables),
         }
     }
 
@@ -201,25 +281,54 @@ impl Aes {
     }
 
     /// Encrypts one 128-bit block.
+    ///
+    /// The state lives in four big-endian `u32` columns; each middle round
+    /// is 16 T-table lookups and 16 XORs, the final round substitutes
+    /// through the S-box only (see the module docs and DESIGN.md §10).
     pub fn encrypt_block(&self, input: Block) -> Block {
-        let mut state = input;
+        let [p0, p1, p2, p3, p4, p5, p6, p7, p8, p9, p10, p11, p12, p13, p14, p15] = input;
+        let mut s0 = u32::from_be_bytes([p0, p1, p2, p3]);
+        let mut s1 = u32::from_be_bytes([p4, p5, p6, p7]);
+        let mut s2 = u32::from_be_bytes([p8, p9, p10, p11]);
+        let mut s3 = u32::from_be_bytes([p12, p13, p14, p15]);
         // `round_keys` holds `rounds + 1` keys: the whitening key, one key
         // per middle round, and the final-round key. Destructuring keeps
         // the round structure explicit without any index arithmetic.
         // audit:allow(R3, reason = "slice pattern branches on schedule length (always rounds + 1), never on key bytes")
         if let [first, middle @ .., last] = self.round_keys.as_slice() {
-            add_round_key(&mut state, first);
+            let [k0, k1, k2, k3] = *first;
+            s0 ^= k0;
+            s1 ^= k1;
+            s2 ^= k2;
+            s3 ^= k3;
             for rk in middle {
-                sub_bytes(&mut state);
-                shift_rows(&mut state);
-                mix_columns(&mut state);
-                add_round_key(&mut state, rk);
+                let [k0, k1, k2, k3] = *rk;
+                let t0 = self.tables.column(s0, s1, s2, s3) ^ k0;
+                let t1 = self.tables.column(s1, s2, s3, s0) ^ k1;
+                let t2 = self.tables.column(s2, s3, s0, s1) ^ k2;
+                let t3 = self.tables.column(s3, s0, s1, s2) ^ k3;
+                s0 = t0;
+                s1 = t1;
+                s2 = t2;
+                s3 = t3;
             }
-            sub_bytes(&mut state);
-            shift_rows(&mut state);
-            add_round_key(&mut state, last);
+            let [k0, k1, k2, k3] = *last;
+            let t0 = final_column(s0, s1, s2, s3) ^ k0;
+            let t1 = final_column(s1, s2, s3, s0) ^ k1;
+            let t2 = final_column(s2, s3, s0, s1) ^ k2;
+            let t3 = final_column(s3, s0, s1, s2) ^ k3;
+            s0 = t0;
+            s1 = t1;
+            s2 = t2;
+            s3 = t3;
         }
-        state
+        let [o0, o1, o2, o3] = s0.to_be_bytes();
+        let [o4, o5, o6, o7] = s1.to_be_bytes();
+        let [o8, o9, o10, o11] = s2.to_be_bytes();
+        let [o12, o13, o14, o15] = s3.to_be_bytes();
+        [
+            o0, o1, o2, o3, o4, o5, o6, o7, o8, o9, o10, o11, o12, o13, o14, o15,
+        ]
     }
 
     /// Encrypts a 128-bit value given as a `u128` (big-endian byte order).
@@ -230,58 +339,116 @@ impl Aes {
     }
 }
 
-#[inline]
-fn add_round_key(state: &mut Block, rk: &[u8; 16]) {
-    for (s, k) in state.iter_mut().zip(rk.iter()) {
-        *s ^= k;
-    }
-}
-
-#[inline]
-fn sub_bytes(state: &mut Block) {
-    for b in state.iter_mut() {
-        *b = sbox(*b);
-    }
-}
-
-/// FIPS-197 state is column-major: byte `state[r + 4c]` sits at row `r`,
-/// column `c`. `ShiftRows` rotates row `r` left by `r`.
-///
-/// Each rotation is expressed as a swap chain: chaining `swap(a, b)`,
-/// `swap(b, c)`, `swap(c, d)` left-rotates the cycle `a → b → c → d`.
-#[inline]
-fn shift_rows(state: &mut Block) {
-    // Row 1: left rotate by 1.
-    state.swap(1, 5);
-    state.swap(5, 9);
-    state.swap(9, 13);
-    // Row 2: left rotate by 2 (two swaps).
-    state.swap(2, 10);
-    state.swap(6, 14);
-    // Row 3: left rotate by 3 (= right rotate by 1).
-    state.swap(3, 7);
-    state.swap(3, 11);
-    state.swap(3, 15);
-}
-
-#[inline]
-fn mix_columns(state: &mut Block) {
-    for col in state.chunks_exact_mut(4) {
-        if let [a, b, c, d] = *col {
-            let t = a ^ b ^ c ^ d;
-            col.copy_from_slice(&[
-                a ^ t ^ xtime(a ^ b),
-                b ^ t ^ xtime(b ^ c),
-                c ^ t ^ xtime(c ^ d),
-                d ^ t ^ xtime(d ^ a),
-            ]);
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Byte-wise FIPS-197 reference round primitives, kept only as the
+    /// independent oracle for [`ttable_rounds_match_bytewise_reference`]:
+    /// the production path is the T-table form, and this is the textbook
+    /// `SubBytes`/`ShiftRows`/`MixColumns` it must equal.
+    mod reference {
+        use super::{sbox, xtime, Block};
+
+        pub fn add_round_key(state: &mut Block, rk: &[u8; 16]) {
+            for (s, k) in state.iter_mut().zip(rk.iter()) {
+                *s ^= k;
+            }
+        }
+
+        pub fn sub_bytes(state: &mut Block) {
+            for b in state.iter_mut() {
+                *b = sbox(*b);
+            }
+        }
+
+        /// FIPS-197 state is column-major: byte `state[r + 4c]` sits at
+        /// row `r`, column `c`. `ShiftRows` rotates row `r` left by `r`;
+        /// each rotation is a swap chain.
+        pub fn shift_rows(state: &mut Block) {
+            // Row 1: left rotate by 1.
+            state.swap(1, 5);
+            state.swap(5, 9);
+            state.swap(9, 13);
+            // Row 2: left rotate by 2 (two swaps).
+            state.swap(2, 10);
+            state.swap(6, 14);
+            // Row 3: left rotate by 3 (= right rotate by 1).
+            state.swap(3, 7);
+            state.swap(3, 11);
+            state.swap(3, 15);
+        }
+
+        pub fn mix_columns(state: &mut Block) {
+            for col in state.chunks_exact_mut(4) {
+                if let [a, b, c, d] = *col {
+                    let t = a ^ b ^ c ^ d;
+                    col.copy_from_slice(&[
+                        a ^ t ^ xtime(a ^ b),
+                        b ^ t ^ xtime(b ^ c),
+                        c ^ t ^ xtime(c ^ d),
+                        d ^ t ^ xtime(d ^ a),
+                    ]);
+                }
+            }
+        }
+
+        /// Full byte-wise encryption with round keys given as bytes.
+        pub fn encrypt(round_keys: &[[u8; 16]], input: Block) -> Block {
+            let mut state = input;
+            if let [first, middle @ .., last] = round_keys {
+                add_round_key(&mut state, first);
+                for rk in middle {
+                    sub_bytes(&mut state);
+                    shift_rows(&mut state);
+                    mix_columns(&mut state);
+                    add_round_key(&mut state, rk);
+                }
+                sub_bytes(&mut state);
+                shift_rows(&mut state);
+                add_round_key(&mut state, last);
+            }
+            state
+        }
+    }
+
+    /// The T-table path must agree with the byte-wise reference on every
+    /// round structure, for both variants, across many pseudo-random
+    /// keys and blocks.
+    #[test]
+    fn ttable_rounds_match_bytewise_reference() {
+        let mut z = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut x = z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^ (x >> 31)
+        };
+        for _ in 0..64 {
+            let key128: [u8; 16] = core::array::from_fn(|_| next() as u8);
+            let key256: [u8; 32] = core::array::from_fn(|_| next() as u8);
+            let block: Block = core::array::from_fn(|_| next() as u8);
+            for aes in [Aes::new_128(&key128), Aes::new_256(&key256)] {
+                let byte_keys: Vec<[u8; 16]> = aes
+                    .round_keys
+                    .iter()
+                    .map(|rk| {
+                        let [k0, k1, k2, k3] = *rk;
+                        let mut out = [0u8; 16];
+                        for (dst, word) in out.chunks_exact_mut(4).zip([k0, k1, k2, k3]) {
+                            dst.copy_from_slice(&word.to_be_bytes());
+                        }
+                        out
+                    })
+                    .collect();
+                assert_eq!(
+                    aes.encrypt_block(block),
+                    reference::encrypt(&byte_keys, block),
+                );
+            }
+        }
+    }
 
     /// FIPS-197 Appendix B / C.1: AES-128.
     #[test]

@@ -31,22 +31,31 @@ pub fn gf64_mul(a: u64, b: u64) -> u64 {
 /// Reduces a 128-bit carry-less product modulo `x^64 + x^4 + x^3 + x + 1`.
 #[allow(clippy::cast_possible_truncation)] // two folds leave the high half zero
 fn reduce_gf64(mut wide: u128) -> u64 {
-    // x^64 ≡ x^4 + x^3 + x + 1 (0b11011 = 0x1b).
+    // x^64 ≡ x^4 + x^3 + x + 1 (0b11011 = 0x1b). Multiplying the high half
+    // by that sparse constant is four shifted copies — no general clmul.
     for _ in 0..2 {
-        let hi = (wide >> 64) as u64;
+        let hi = wide >> 64;
         if hi == 0 {
             break;
         }
-        let folded = clmul64(hi, 0x1b);
+        let folded = hi ^ (hi << 1) ^ (hi << 3) ^ (hi << 4);
         wide = (wide & 0xffff_ffff_ffff_ffff) ^ folded;
     }
     wide as u64
 }
 
-/// The eight GF(2^64) keys used in the MAC dot product.
+/// The eight GF(2^64) keys used in the MAC dot product, plus precomputed
+/// 4-bit-window multiplication tables.
+///
+/// `tables[w][j][n]` holds `(n · x^(4j)) ⊗ keys[w]` — the GF(2^64) product
+/// of nibble value `n` placed at nibble position `j` of a word with key
+/// `w`. Multiplication distributes over XOR, so a word's full key product
+/// is the XOR of its sixteen windowed entries: the per-block MAC path does
+/// table lookups and XORs only, with no carry-less multiply at all.
 #[derive(Clone)]
 pub struct MacKeys {
     keys: [u64; 8],
+    tables: Box<[[[u64; 16]; 16]; 8]>,
 }
 
 impl std::fmt::Debug for MacKeys {
@@ -78,17 +87,34 @@ impl MacKeys {
                 }
             }
         }
-        MacKeys { keys }
+        let mut tables = Box::new([[[0u64; 16]; 16]; 8]);
+        for (k, word_tables) in keys.iter().zip(tables.iter_mut()) {
+            for (j, nibble_table) in word_tables.iter_mut().enumerate() {
+                for (n, slot) in nibble_table.iter_mut().enumerate() {
+                    *slot = gf64_mul((n as u64) << (4 * j), *k);
+                }
+            }
+        }
+        MacKeys { keys, tables }
     }
 
-    /// The GF dot product of a block's eight 64-bit words with the keys.
+    /// The raw dot-product keys, one per 64-bit word of the block.
+    pub fn words(&self) -> &[u64; 8] {
+        &self.keys
+    }
+
+    /// The GF dot product of a block's eight 64-bit words with the keys,
+    /// via the precomputed window tables (see the type docs).
     pub fn dot_product(&self, block: &DataBlock) -> u64 {
         let mut acc = 0u64;
-        for (chunk, key) in block.chunks_exact(8).zip(self.keys.iter()) {
+        for (chunk, word_tables) in block.chunks_exact(8).zip(self.tables.iter()) {
             // Big-endian byte fold — same value as `u64::from_be_bytes`
             // without the fallible slice-to-array conversion.
             let word = chunk.iter().fold(0u64, |w, &b| (w << 8) | u64::from(b));
-            acc ^= gf64_mul(word, *key);
+            for (j, nibble_table) in word_tables.iter().enumerate() {
+                let n = ((word >> (4 * j)) & 0xf) as usize;
+                acc ^= nibble_table.get(n).copied().unwrap_or(0);
+            }
         }
         acc
     }
@@ -165,6 +191,32 @@ mod tests {
         assert_eq!(gf64_mul(gf64_mul(a, b), c), gf64_mul(a, gf64_mul(b, c)));
         // Distributivity over XOR.
         assert_eq!(gf64_mul(a, b ^ c), gf64_mul(a, b) ^ gf64_mul(a, c));
+    }
+
+    #[test]
+    fn windowed_dot_product_matches_direct_gf_fold() {
+        // The window tables are an optimization only: the dot product must
+        // equal the direct word-by-word GF multiply against the raw keys.
+        for seed in [0u64, 1, 0xfeed, u64::MAX] {
+            let keys = MacKeys::from_seed(seed);
+            for fill in 0..8u8 {
+                let mut block = [0u8; BLOCK_BYTES];
+                for (i, b) in block.iter_mut().enumerate() {
+                    *b = (i as u8)
+                        .wrapping_mul(37)
+                        .wrapping_add(fill.wrapping_mul(53));
+                }
+                let direct =
+                    block
+                        .chunks_exact(8)
+                        .zip(keys.words().iter())
+                        .fold(0u64, |acc, (chunk, k)| {
+                            let word = chunk.iter().fold(0u64, |w, &b| (w << 8) | u64::from(b));
+                            acc ^ gf64_mul(word, *k)
+                        });
+                assert_eq!(keys.dot_product(&block), direct, "seed {seed} fill {fill}");
+            }
+        }
     }
 
     #[test]

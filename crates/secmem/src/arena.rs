@@ -1,0 +1,219 @@
+//! Flat, page-granular storage arenas for metadata and data images.
+//!
+//! The engine and the counter tree address their state with dense integer
+//! indices computed by layout arithmetic ([`crate::layout`]), so hash maps
+//! add hashing and probe work to every access for no benefit. A
+//! [`PagedArena`] instead resolves an index with two shifts and two
+//! pointer hops: a page directory (`Vec` of optional page boxes) over
+//! fixed-size pages of optional slots. Pages materialize on first touch —
+//! sparse workloads over huge layouts stay cheap — and once a page exists,
+//! reads, writes, and overwrites of its slots perform **zero heap
+//! allocations**, which is what makes the engine's steady-state access
+//! loop allocation-free (DESIGN.md §10).
+//!
+//! Every accessor is total: out-of-page lookups return `None`, and the
+//! mutable slot accessor is structured so no index can panic. The arena
+//! therefore needs no audit waivers despite living on the trusted path.
+
+/// log2 of the page size (1024 slots per page).
+const PAGE_BITS: u32 = 10;
+
+/// Slots per page.
+const PAGE_SLOTS: usize = 1 << PAGE_BITS;
+
+/// Mask selecting the in-page slot bits of an index.
+const SLOT_MASK: u64 = (1u64 << PAGE_BITS) - 1;
+
+/// Splits an index into (page number, in-page slot). The slot is masked to
+/// `PAGE_BITS` bits, so it always addresses inside a page.
+#[inline]
+fn split(index: u64) -> (usize, usize) {
+    let page = usize::try_from(index >> PAGE_BITS).unwrap_or(usize::MAX);
+    let slot = usize::try_from(index & SLOT_MASK).unwrap_or(0);
+    (page, slot)
+}
+
+/// A sparse array of `T` addressed by `u64` indices, organized as lazily
+/// allocated fixed-size pages.
+///
+/// # Examples
+///
+/// ```
+/// use rmcc_secmem::arena::PagedArena;
+///
+/// let mut arena: PagedArena<u32> = PagedArena::new();
+/// assert_eq!(arena.get(7), None);
+/// arena.insert(7, 42);
+/// assert_eq!(arena.get(7), Some(&42));
+/// assert_eq!(arena.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PagedArena<T> {
+    /// Page directory: `pages[p]` holds slots `p * 1024 ..`.
+    pages: Vec<Option<Box<[Option<T>]>>>,
+    /// Number of occupied slots.
+    occupied: usize,
+    /// Fallback target for the structurally unreachable arms of
+    /// [`PagedArena::slot_mut`]; never read on any reachable path. It
+    /// exists so the accessor is total without a panic (and therefore
+    /// without an audit waiver).
+    spare: Option<T>,
+}
+
+impl<T> Default for PagedArena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PagedArena<T> {
+    /// An empty arena. Allocates nothing until the first insertion.
+    pub fn new() -> Self {
+        PagedArena {
+            pages: Vec::new(),
+            occupied: 0,
+            spare: None,
+        }
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.occupied
+    }
+
+    /// Whether no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+
+    /// The value at `index`, if occupied.
+    #[inline]
+    pub fn get(&self, index: u64) -> Option<&T> {
+        let (page, slot) = split(index);
+        self.pages.get(page)?.as_ref()?.get(slot)?.as_ref()
+    }
+
+    /// Mutable access to the value at `index`, if occupied.
+    #[inline]
+    pub fn get_mut(&mut self, index: u64) -> Option<&mut T> {
+        let (page, slot) = split(index);
+        self.pages.get_mut(page)?.as_mut()?.get_mut(slot)?.as_mut()
+    }
+
+    /// The slot holding `index`, materializing its page on first touch.
+    /// Once the page exists, this performs no heap allocation.
+    fn slot_mut(&mut self, index: u64) -> &mut Option<T> {
+        let (page, slot) = split(index);
+        if self.pages.len() <= page {
+            self.pages.resize_with(page + 1, || None);
+        }
+        let Some(dir) = self.pages.get_mut(page) else {
+            // Unreachable: the directory was just grown past `page`.
+            return &mut self.spare;
+        };
+        let boxed = dir.get_or_insert_with(|| {
+            let mut fresh = Vec::new();
+            fresh.resize_with(PAGE_SLOTS, || None);
+            fresh.into_boxed_slice()
+        });
+        match boxed.get_mut(slot) {
+            Some(s) => s,
+            // Unreachable: `slot` is masked below the page size.
+            None => &mut self.spare,
+        }
+    }
+
+    /// Stores `value` at `index`, returning the previous occupant.
+    pub fn insert(&mut self, index: u64, value: T) -> Option<T> {
+        let prev = self.slot_mut(index).replace(value);
+        if prev.is_none() {
+            self.occupied += 1;
+        }
+        prev
+    }
+
+    /// Removes and returns the value at `index`.
+    pub fn remove(&mut self, index: u64) -> Option<T> {
+        let (page, slot) = split(index);
+        let removed = self.pages.get_mut(page)?.as_mut()?.get_mut(slot)?.take();
+        if removed.is_some() {
+            self.occupied = self.occupied.saturating_sub(1);
+        }
+        removed
+    }
+
+    /// The value at `index`, inserting `default()` first when the slot is
+    /// vacant.
+    pub fn get_or_insert_with(&mut self, index: u64, default: impl FnOnce() -> T) -> &mut T {
+        if self.get(index).is_none() {
+            self.occupied += 1;
+        }
+        self.slot_mut(index).get_or_insert_with(default)
+    }
+
+    /// Iterates over the occupied values in index order.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.pages
+            .iter()
+            .flatten()
+            .flat_map(|page| page.iter().flatten())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_arena_reads_none() {
+        let arena: PagedArena<u8> = PagedArena::new();
+        assert_eq!(arena.get(0), None);
+        assert_eq!(arena.get(u64::MAX & SLOT_MASK), None);
+        assert!(arena.is_empty());
+    }
+
+    #[test]
+    fn insert_read_overwrite_remove() {
+        let mut arena = PagedArena::new();
+        assert_eq!(arena.insert(5, "a"), None);
+        assert_eq!(arena.insert(5, "b"), Some("a"));
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.get(5), Some(&"b"));
+        assert_eq!(arena.remove(5), Some("b"));
+        assert_eq!(arena.remove(5), None);
+        assert!(arena.is_empty());
+    }
+
+    #[test]
+    fn sparse_indices_use_separate_pages() {
+        let mut arena = PagedArena::new();
+        arena.insert(0, 1u32);
+        arena.insert(1 << 20, 2);
+        arena.insert((1 << 20) + 1, 3);
+        assert_eq!(arena.len(), 3);
+        assert_eq!(arena.get(0), Some(&1));
+        assert_eq!(arena.get(1 << 20), Some(&2));
+        assert_eq!(arena.get((1 << 20) - 1), None);
+        let all: Vec<u32> = arena.values().copied().collect();
+        assert_eq!(all, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn get_or_insert_with_inserts_once() {
+        let mut arena = PagedArena::new();
+        *arena.get_or_insert_with(9, || 10u64) += 1;
+        *arena.get_or_insert_with(9, || 99) += 1;
+        assert_eq!(arena.get(9), Some(&12));
+        assert_eq!(arena.len(), 1);
+    }
+
+    #[test]
+    fn get_mut_edits_in_place() {
+        let mut arena = PagedArena::new();
+        arena.insert(3, vec![1u8]);
+        if let Some(v) = arena.get_mut(3) {
+            v.push(2);
+        }
+        assert_eq!(arena.get(3), Some(&vec![1u8, 2]));
+    }
+}

@@ -217,21 +217,14 @@ impl CounterBlock {
                 }
             }
             CounterOrg::Morphable128 => {
-                // Build the candidate minor multiset, apply min-rebase (free:
-                // it changes no encoded values), and commit only if it fits.
-                let mut candidate = self.minors.clone();
-                if let Some(m) = candidate.get_mut(slot) {
-                    *m = new_minor;
-                }
-                let min = candidate.iter().copied().min().unwrap_or(0);
-                if min > 0 {
-                    candidate.iter_mut().for_each(|m| *m -= min);
-                }
-                if morphable_encodable(&candidate) {
-                    // The rebase folds `min` into the major without changing
-                    // any encoded value, so the sum stays under COUNTER_MAX.
-                    self.major = self.major.saturating_add(min);
-                    self.minors = candidate;
+                // Check the candidate multiset analytically (no clone, no
+                // allocation on the write path), then commit in place and
+                // min-rebase — free: it changes no encoded values.
+                if morphable_write_fits(&self.minors, slot, new_minor) {
+                    if let Some(m) = self.minors.get_mut(slot) {
+                        *m = new_minor;
+                    }
+                    self.rebase();
                     Ok(())
                 } else {
                     Err(WouldOverflow {
@@ -253,17 +246,7 @@ impl CounterBlock {
         match self.org {
             CounterOrg::Mono8 => true,
             CounterOrg::Sc64 => new_minor <= SC64_MINOR_LIMIT,
-            CounterOrg::Morphable128 => {
-                let mut candidate = self.minors.clone();
-                if let Some(m) = candidate.get_mut(slot) {
-                    *m = new_minor;
-                }
-                let min = candidate.iter().copied().min().unwrap_or(0);
-                if min > 0 {
-                    candidate.iter_mut().for_each(|m| *m -= min);
-                }
-                morphable_encodable(&candidate)
-            }
+            CounterOrg::Morphable128 => morphable_write_fits(&self.minors, slot, new_minor),
         }
     }
 
@@ -302,13 +285,28 @@ impl CounterBlock {
     }
 }
 
-/// Whether a minor multiset fits one of Morphable's formats.
-fn morphable_encodable(minors: &[u64]) -> bool {
-    let max = minors.iter().copied().max().unwrap_or(0);
-    if max == 0 {
+/// Whether replacing `minors[slot]` with `new_minor` yields a multiset that
+/// still fits one of Morphable's formats *after min-rebase*.
+///
+/// Computed analytically over the existing minors — the candidate is never
+/// materialized, so the hot write path performs no heap allocation. The
+/// rebase subtracts the candidate minimum from every minor, so the widest
+/// post-rebase field is `max − min` and a minor is non-zero post-rebase iff
+/// it exceeds the candidate minimum.
+fn morphable_write_fits(minors: &[u64], slot: usize, new_minor: u64) -> bool {
+    let mut low = new_minor;
+    let mut high = new_minor;
+    for (i, &m) in minors.iter().enumerate() {
+        if i != slot {
+            low = low.min(m);
+            high = high.max(m);
+        }
+    }
+    let rebased_max = high - low;
+    if rebased_max == 0 {
         return true;
     }
-    let width = 64 - max.leading_zeros() as usize; // bits to hold max
+    let width = 64 - rebased_max.leading_zeros() as usize; // bits to hold max
     if width > 9 {
         return false; // beyond the widest field in the ladder
     }
@@ -317,8 +315,13 @@ fn morphable_encodable(minors: &[u64]) -> bool {
         return true;
     }
     // Zero-compressed format: 1 presence bit per minor + `width` bits per
-    // non-zero minor.
-    let nonzero = minors.iter().filter(|&&m| m != 0).count();
+    // non-zero (post-rebase) minor.
+    let mut nonzero = usize::from(new_minor > low);
+    for (i, &m) in minors.iter().enumerate() {
+        if i != slot && m > low {
+            nonzero += 1;
+        }
+    }
     minors.len() + nonzero * width <= MORPHABLE_PAYLOAD_BITS
 }
 
@@ -457,6 +460,65 @@ mod tests {
         assert!(cb.try_write(0, 1 << 20).is_err());
         let after: Vec<u64> = cb.values().collect();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn analytic_write_fits_matches_materialized_reference() {
+        // The old implementation: clone the minors, apply the write, rebase,
+        // then check the formats. The analytic version must agree exactly.
+        fn reference(minors: &[u64], slot: usize, new_minor: u64) -> bool {
+            let mut cand = minors.to_vec();
+            cand[slot] = new_minor;
+            let min = cand.iter().copied().min().unwrap_or(0);
+            cand.iter_mut().for_each(|m| *m -= min);
+            let max = cand.iter().copied().max().unwrap_or(0);
+            if max == 0 {
+                return true;
+            }
+            let width = 64 - max.leading_zeros() as usize;
+            if width > 9 {
+                return false;
+            }
+            if cand.len() * width <= MORPHABLE_PAYLOAD_BITS {
+                return true;
+            }
+            let nonzero = cand.iter().filter(|&&m| m != 0).count();
+            cand.len() + nonzero * width <= MORPHABLE_PAYLOAD_BITS
+        }
+        let mut z = 0x5eed_1234_u64;
+        let mut next = move || {
+            z = z
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            z >> 33
+        };
+        let mut fits = 0u32;
+        for case in 0..2_000 {
+            // Mix sparse, dense, narrow, and wide minor sets.
+            let magnitude = [1u64, 7, 63, 511, 4095][case % 5];
+            let density = [1u64, 3, 8][case % 3];
+            let minors: Vec<u64> = (0..128)
+                .map(|_| {
+                    if next() % 8 < density {
+                        next() % (magnitude + 1)
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            let slot = (next() % 128) as usize;
+            let new_minor = next() % (2 * magnitude + 2);
+            let got = morphable_write_fits(&minors, slot, new_minor);
+            assert_eq!(
+                got,
+                reference(&minors, slot, new_minor),
+                "case {case}: slot {slot} new_minor {new_minor} minors {minors:?}"
+            );
+            fits += u32::from(got);
+        }
+        // The sweep must exercise both outcomes to mean anything.
+        assert!(fits > 100, "only {fits} accepted");
+        assert!(fits < 1_900, "only {} rejected", 2_000 - fits);
     }
 
     #[test]

@@ -8,12 +8,11 @@
 //! attacks (restoring stale ciphertext *and* stale counters consistently)
 //! are caught by the integrity tree rooted on-chip.
 
-use std::collections::HashMap;
-
 use rmcc_crypto::mac::{compute_mac, verify_mac, xor_with_pads, DataBlock, MacKeys};
 use rmcc_crypto::otp::{KeySet, OtpPipeline, RmccOtp, SgxOtp, COUNTER_MAX};
 use rmcc_crypto::stats::{CryptoCost, CryptoStats};
 
+use crate::arena::PagedArena;
 use crate::counters::{CounterBlock, CounterOrg};
 use crate::layout::{LayoutError, MetadataLayout, BLOCK_BYTES};
 use crate::tree::{InitPolicy, MetadataState};
@@ -185,11 +184,13 @@ struct StoredData {
     mac: u64,
 }
 
-/// The untrusted image of one metadata node: its decoded state as it sits
-/// in DRAM plus its MAC.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The untrusted image of one metadata node: the 64 B serialized image the
+/// MAC covers, as it sits in DRAM, plus its MAC. Storing the image rather
+/// than the decoded [`CounterBlock`] keeps the type `Copy`, so the verify
+/// path reads it without a heap-allocating clone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct StoredNode {
-    state: CounterBlock,
+    image: DataBlock,
     mac: u64,
 }
 
@@ -259,12 +260,19 @@ pub struct SecureMemory {
     pad_cost: CryptoCost,
     mac_keys: MacKeys,
     policy: Box<dyn CounterUpdatePolicy>,
-    data: HashMap<u64, StoredData>,
-    nodes: HashMap<(usize, u64), StoredNode>,
+    data: PagedArena<StoredData>,
+    /// `nodes[level]` holds the stored node images at in-memory tree level
+    /// `level` (the on-chip root is never stored). Arena-per-level: lookup
+    /// is layout arithmetic, and steady-state access allocates nothing.
+    nodes: Vec<PagedArena<StoredNode>>,
     /// Cumulative count of data blocks re-encrypted due to relevels.
     overflow_reencryptions: u64,
     /// Primitive-invocation tally (AES, clmul, MAC verifies) for telemetry.
     crypto: CryptoStats,
+    /// Reusable buffer for the verify path's (level, index) chain.
+    scratch_chain: Vec<(usize, u64)>,
+    /// Reusable buffer for relevel re-encryption plaintexts.
+    scratch_reencrypt: Vec<(u64, DataBlock)>,
 }
 
 impl std::fmt::Debug for SecureMemory {
@@ -298,16 +306,35 @@ impl SecureMemory {
             PipelineKind::Sgx => (Box::new(SgxOtp::new(keys)), CryptoCost::sgx_block()),
             PipelineKind::Rmcc => (Box::new(RmccOtp::new(keys)), CryptoCost::rmcc_block()),
         };
+        let meta = MetadataState::new(org, data_bytes, InitPolicy::Zero);
+        let mut nodes = Vec::new();
+        nodes.resize_with(meta.layout().depth(), PagedArena::new);
         SecureMemory {
-            meta: MetadataState::new(org, data_bytes, InitPolicy::Zero),
+            meta,
             pipeline,
             pad_cost,
             mac_keys: MacKeys::from_seed(key_seed ^ 0x6d61_6373),
             policy,
-            data: HashMap::new(),
-            nodes: HashMap::new(),
+            data: PagedArena::new(),
+            nodes,
             overflow_reencryptions: 0,
             crypto: CryptoStats::new(),
+            scratch_chain: Vec::new(),
+            scratch_reencrypt: Vec::new(),
+        }
+    }
+
+    /// The stored untrusted image of metadata node (`level`, `index`), if
+    /// one was ever written back.
+    fn stored_node(&self, level: usize, index: u64) -> Option<&StoredNode> {
+        self.nodes.get(level)?.get(index)
+    }
+
+    /// Stores an untrusted node image. Levels outside the tree are ignored
+    /// (no reachable caller produces one).
+    fn store_node(&mut self, level: usize, index: u64, node: StoredNode) {
+        if let Some(arena) = self.nodes.get_mut(level) {
+            arena.insert(index, node);
         }
     }
 
@@ -373,13 +400,14 @@ impl SecureMemory {
             // Recover the plaintexts of every covered, already-written block
             // *before* the relevel erases their old counters.
             let coverage = self.meta.org().coverage() as u64;
-            let mut to_reencrypt = Vec::new();
+            let mut to_reencrypt = std::mem::take(&mut self.scratch_reencrypt);
+            to_reencrypt.clear();
             for slot in 0..coverage {
                 let b = idx * coverage + slot;
                 if b == block {
                     continue;
                 }
-                let Some(stored) = self.data.get(&b).copied() else {
+                let Some(stored) = self.data.get(b).copied() else {
                     continue;
                 };
                 let old_counter = self.meta.data_counter(b);
@@ -388,7 +416,7 @@ impl SecureMemory {
             }
             self.meta.relevel(0, idx, relevel_to);
             // Re-encrypt under the new shared counter value.
-            for (b, plaintext) in to_reencrypt {
+            for (b, plaintext) in to_reencrypt.drain(..) {
                 let counter = self.meta.data_counter(b);
                 let pads = self.pads_for(b, counter);
                 let cipher = xor_with_pads(&plaintext, &pads);
@@ -396,6 +424,7 @@ impl SecureMemory {
                 self.data.insert(b, StoredData { cipher, mac });
                 self.overflow_reencryptions += 1;
             }
+            self.scratch_reencrypt = to_reencrypt;
         }
         let counter = self.meta.data_counter(block);
         let pads = self.pads_for(block, counter);
@@ -412,10 +441,10 @@ impl SecureMemory {
     /// Verifies the tree path for L0 node `idx` from the root down, then
     /// returns `Ok` if every image matches its MAC under its parent counter.
     fn verify_path(&mut self, l0_idx: u64) -> Result<(), ReadError> {
-        let depth = self.meta.layout().depth();
         // Collect the chain of (level, index) from L0 up to the top
-        // in-memory level.
-        let mut chain = Vec::with_capacity(depth);
+        // in-memory level, reusing the scratch buffer (no per-read alloc).
+        let mut chain = std::mem::take(&mut self.scratch_chain);
+        chain.clear();
         let mut idx = l0_idx;
         let mut level = 0;
         chain.push((level, idx));
@@ -426,26 +455,30 @@ impl SecureMemory {
         }
         // Verify top-down: each node's image MAC under the trusted/verified
         // parent counter.
+        let mut outcome = Ok(());
         for &(level, idx) in chain.iter().rev() {
-            if let Some(node) = self.nodes.get(&(level, idx)).cloned() {
+            if let Some(node) = self.stored_node(level, idx).copied() {
                 let counter = self.meta.node_counter(level, idx);
                 let addr = self.meta.layout().node_addr(level, idx) >> 6;
                 let pads = self.pads_for(addr, counter);
-                let image = node_image(&node.state);
                 self.crypto.verify_mac();
-                if !verify_mac(&self.mac_keys, &image, pads.mac, node.mac) {
-                    return Err(ReadError::MetadataTampered { level });
+                if !verify_mac(&self.mac_keys, &node.image, pads.mac, node.mac) {
+                    outcome = Err(ReadError::MetadataTampered { level });
+                    break;
                 }
-                // The image is authentic: adopt it as the working state
-                // (models the MC decoding the fetched counter block).
-                if node.state != *self.meta.block(level, idx) {
-                    return Err(ReadError::MetadataTampered { level });
+                // The image is authentic: it must match the trusted state
+                // (models the MC decoding the fetched counter block); a
+                // stale-but-authentic image is a replay.
+                if node.image != node_image(self.meta.block(level, idx)) {
+                    outcome = Err(ReadError::MetadataTampered { level });
+                    break;
                 }
             }
             // Nodes with no image were never written back; their state is
             // the trusted initial state.
         }
-        Ok(())
+        self.scratch_chain = chain;
+        outcome
     }
 
     /// Reads and decrypts data block `block`, verifying the full chain.
@@ -456,10 +489,7 @@ impl SecureMemory {
     /// * [`ReadError::MetadataTampered`] if a counter image fails to verify.
     /// * [`ReadError::DataTampered`] if the data MAC fails.
     pub fn read(&mut self, block: u64) -> Result<DataBlock, ReadError> {
-        let stored = *self
-            .data
-            .get(&block)
-            .ok_or(ReadError::Unwritten { block })?;
+        let stored = *self.data.get(block).ok_or(ReadError::Unwritten { block })?;
         let l0_idx = self.meta.layout().l0_index(block);
         self.verify_path(l0_idx)?;
         let counter = self.meta.data_counter(block);
@@ -500,7 +530,7 @@ impl SecureMemory {
             let arity = self.meta.org().tree_arity() as u64;
             for slot in 0..arity {
                 let sibling = parent_idx * arity + slot;
-                if sibling != idx && self.nodes.contains_key(&(level, sibling)) {
+                if sibling != idx && self.stored_node(level, sibling).is_some() {
                     self.refresh_node_mac(level, sibling);
                     self.overflow_reencryptions += 1;
                 }
@@ -521,10 +551,9 @@ impl SecureMemory {
         let counter = self.meta.node_counter(level, idx);
         let addr = self.meta.layout().node_addr(level, idx) >> 6;
         let pads = self.pads_for(addr, counter);
-        let state = self.meta.block(level, idx).clone();
-        let image = node_image(&state);
+        let image = node_image(self.meta.block(level, idx));
         let mac = compute_mac(&self.mac_keys, &image, pads.mac);
-        self.nodes.insert((level, idx), StoredNode { state, mac });
+        self.store_node(level, idx, StoredNode { image, mac });
     }
 
     // --- attacker interface ------------------------------------------------
@@ -558,7 +587,7 @@ impl SecureMemory {
         }
         let stored = self
             .data
-            .get_mut(&block)
+            .get_mut(block)
             .ok_or(TamperError::UnwrittenBlock { block })?;
         if let Some(b) = stored.cipher.get_mut(byte) {
             *b ^= mask;
@@ -574,7 +603,7 @@ impl SecureMemory {
     pub fn tamper_mac(&mut self, block: u64, mask: u64) -> Result<(), TamperError> {
         let stored = self
             .data
-            .get_mut(&block)
+            .get_mut(block)
             .ok_or(TamperError::UnwrittenBlock { block })?;
         stored.mac ^= mask;
         Ok(())
@@ -594,16 +623,15 @@ impl SecureMemory {
             block,
             data: *self
                 .data
-                .get(&block)
+                .get(block)
                 .ok_or(TamperError::UnwrittenBlock { block })?,
             l0: self
-                .nodes
-                .get(&(0, l0_idx))
+                .stored_node(0, l0_idx)
+                .copied()
                 .ok_or(TamperError::MissingNode {
                     level: 0,
                     index: l0_idx,
-                })?
-                .clone(),
+                })?,
         })
     }
 
@@ -625,7 +653,7 @@ impl SecureMemory {
             });
         }
         self.data.insert(snapshot.block, snapshot.data);
-        self.nodes.insert((0, l0_idx), snapshot.l0.clone());
+        self.store_node(0, l0_idx, snapshot.l0);
         // The attacker also rolls back the MC's decoded view of the counter
         // (they control the bus, so the MC will decode the stale image).
         // The trusted tree state is NOT rolled back — that is the defense.
@@ -643,10 +671,9 @@ impl SecureMemory {
             level,
             index,
             node: self
-                .nodes
-                .get(&(level, index))
-                .ok_or(TamperError::MissingNode { level, index })?
-                .clone(),
+                .stored_node(level, index)
+                .copied()
+                .ok_or(TamperError::MissingNode { level, index })?,
         })
     }
 
@@ -654,8 +681,7 @@ impl SecureMemory {
     /// protecting counter (in its parent, or the on-chip root) has moved on,
     /// so subsequent reads under this node fail tree verification.
     pub fn replay_node(&mut self, snapshot: &NodeSnapshot) {
-        self.nodes
-            .insert((snapshot.level, snapshot.index), snapshot.node.clone());
+        self.store_node(snapshot.level, snapshot.index, snapshot.node);
     }
 
     /// Overwrites the stored image of node (`level`, `index`) with a forged
@@ -679,9 +705,9 @@ impl SecureMemory {
         }
         let org = self.meta.org();
         let forged = CounterBlock::with_state(org, value, vec![0; org.coverage()]);
-        let mac = self.nodes.get(&(level, index)).map_or(0, |n| n.mac);
-        self.nodes
-            .insert((level, index), StoredNode { state: forged, mac });
+        let mac = self.stored_node(level, index).map_or(0, |n| n.mac);
+        let image = node_image(&forged);
+        self.store_node(level, index, StoredNode { image, mac });
         Ok(())
     }
 
@@ -696,7 +722,7 @@ impl SecureMemory {
             block,
             data: *self
                 .data
-                .get(&block)
+                .get(block)
                 .ok_or(TamperError::UnwrittenBlock { block })?,
         })
     }
@@ -718,7 +744,7 @@ impl SecureMemory {
     /// [`TamperError::UnwrittenBlock`] if there was no image to drop.
     pub fn drop_stored(&mut self, block: u64) -> Result<(), TamperError> {
         self.data
-            .remove(&block)
+            .remove(block)
             .map(|_| ())
             .ok_or(TamperError::UnwrittenBlock { block })
     }

@@ -31,6 +31,7 @@
 #![cfg_attr(test, allow(clippy::cast_possible_truncation))]
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod counters;
 pub mod engine;
 pub mod layout;

@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 
+use crate::arena::PagedArena;
 use crate::counters::{CounterBlock, CounterOrg, WouldOverflow};
 use crate::layout::MetadataLayout;
 
@@ -71,9 +72,11 @@ fn splitmix(mut z: u64) -> u64 {
 #[derive(Debug, Clone)]
 pub struct MetadataState {
     layout: MetadataLayout,
-    /// `levels[k][node_index]` is the counter block at in-memory level `k`;
-    /// the last entry is the on-chip root.
-    levels: Vec<HashMap<u64, CounterBlock>>,
+    /// `levels[k]` holds the counter blocks at in-memory level `k`, indexed
+    /// by node index; the last entry is the on-chip root. Arenas rather
+    /// than hash maps: node indices are dense layout arithmetic, so lookup
+    /// is two pointer hops and steady-state access allocates nothing.
+    levels: Vec<PagedArena<CounterBlock>>,
     init: InitPolicy,
     /// Observed System Max Counter Value Register (§IV-D2): the largest
     /// data-block counter value ever produced.
@@ -85,7 +88,8 @@ impl MetadataState {
     pub fn new(org: CounterOrg, data_bytes: u64, init: InitPolicy) -> Self {
         let layout = MetadataLayout::new(org, data_bytes);
         // depth() in-memory levels + 1 on-chip root level.
-        let levels = vec![HashMap::new(); layout.depth() + 1];
+        let mut levels = Vec::new();
+        levels.resize_with(layout.depth() + 1, PagedArena::new);
         let max_observed = match init {
             InitPolicy::Zero => 0,
             // Randomized majors are drawn from [mean/2, 3*mean/2); minors
@@ -184,9 +188,7 @@ impl MetadataState {
     fn block_mut(&mut self, level: usize, index: u64) -> &mut CounterBlock {
         let org = self.layout.org();
         let init = self.init;
-        self.levels[level]
-            .entry(index)
-            .or_insert_with(|| Self::materialize(org, init, level, index))
+        self.levels[level].get_or_insert_with(index, || Self::materialize(org, init, level, index))
     }
 
     /// The write counter of data block `data_block`.
@@ -294,7 +296,7 @@ impl MetadataState {
 
     /// Number of counter blocks materialized at `level` (diagnostics).
     pub fn touched_blocks(&self, level: usize) -> usize {
-        self.levels.get(level).map_or(0, HashMap::len)
+        self.levels.get(level).map_or(0, PagedArena::len)
     }
 
     /// Iterates over every *touched* data-block counter value along with the

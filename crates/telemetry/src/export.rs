@@ -163,6 +163,14 @@ impl JsonValue {
         }
     }
 
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
     /// The object's keys in written order, if this is an object.
     pub fn keys(&self) -> Option<Vec<&str>> {
         match self {
