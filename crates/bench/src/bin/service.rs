@@ -1,0 +1,69 @@
+//! Sustained-load service benchmark.
+//!
+//! ```text
+//! cargo run --release -p rmcc-bench --bin service [tiny|small|full]
+//! ```
+//!
+//! Drives a zipfian multi-tenant access mix through the sharded
+//! `SecureMemoryService` batched API — a serial-reference pass and a
+//! pooled pass over the identical workload — then writes the full report
+//! to `BENCH_service.json` in the current directory and prints one
+//! `deterministic: {...}` line to stdout.
+//!
+//! The deterministic line carries only counts, checksums, and memoization
+//! tallies: it is byte-identical across runs, hosts, and `RMCC_JOBS`
+//! widths, so CI diffs it between a serial and a pooled invocation —
+//! proving the concurrent service computes exactly the serial results.
+//! Timing fields live only in the JSON and vary run to run.
+
+use rmcc_bench::scale_from;
+use rmcc_bench::service;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = match scale_from(args.first().map(String::as_str)) {
+        Ok(scale) => scale,
+        Err(err) => {
+            eprintln!("service: {err}");
+            std::process::exit(2);
+        }
+    };
+    let jobs = rmcc_secmem::service::jobs_from_env();
+
+    eprintln!("service: scale = {scale}, jobs = {jobs} (RMCC_JOBS=n overrides)");
+    let report = service::run(scale, jobs);
+
+    let json = report.to_json();
+    // Self-check: the emitted report must parse with the repo's own strict
+    // JSON reader before we write it anywhere.
+    let parsed = match rmcc_telemetry::export::parse_json_line(&json) {
+        Ok(value) => value,
+        Err(err) => {
+            eprintln!("service: emitted JSON failed to parse: {err}");
+            std::process::exit(1);
+        }
+    };
+    if parsed.get("schema").and_then(|v| v.as_str()) != Some("rmcc-bench-service-v1") {
+        eprintln!("service: emitted JSON is missing the schema marker");
+        std::process::exit(1);
+    }
+
+    let path = "BENCH_service.json";
+    if let Err(err) = std::fs::write(path, &json) {
+        eprintln!("service: failed to write {path}: {err}");
+        std::process::exit(1);
+    }
+
+    println!("deterministic: {}", report.deterministic_json());
+    eprintln!(
+        "service: {} shards, {} regions  serial {:.0}/s  sustained {:.0}/s  → {path}",
+        report.shards,
+        report.regions,
+        report.serial.ops_per_s(),
+        report.pooled.ops_per_s(),
+    );
+    if !report.pooled_matches_serial() {
+        eprintln!("service: pooled results diverged from the serial reference");
+        std::process::exit(1);
+    }
+}

@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod service;
 pub mod throughput;
 
 use rmcc_sim::experiments::{table1, Experiments, Series};

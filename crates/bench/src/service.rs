@@ -1,0 +1,350 @@
+//! Sustained-load service benchmark: a zipfian multi-tenant mix driven
+//! through the sharded [`SecureMemoryService`]'s batched `submit` API.
+//!
+//! Where [`crate::throughput`] measures the single-engine hot path, this
+//! harness measures the serving-scale question: aggregate accesses/s when
+//! many tenants' traffic — skewed the way real tenant populations are —
+//! lands on one service as batches. The keyspace is sized in *keyed
+//! regions* (one counter-coverage group per region, ~1 M at small scale
+//! and up); tenant popularity and per-tenant region popularity are both
+//! zipfian, octave-sampled with pure integer arithmetic so the stream is
+//! bit-identical on every host.
+//!
+//! Two passes run over the identical pre-generated workload: `submit` at
+//! width 1 (the serial reference) and at the requested `RMCC_JOBS` width.
+//! The deterministic line carries access counts, the order-sensitive
+//! result checksum, and the memoization tallies — all byte-identical
+//! across runs, hosts, and pool widths — so CI diffs it between a serial
+//! and a pooled invocation exactly as it does for `BENCH_hotpath.json`.
+//! Timing lives only in the JSON (`BENCH_service.json`).
+
+use std::time::Instant;
+
+use rmcc_core::shard::{aggregate_stats, memo_policy, MemoHandle, ShardMemoConfig, ShardMemoStats};
+use rmcc_secmem::service::{digest_results, Access, SecureMemoryService, ServiceConfig};
+use rmcc_workloads::workload::Scale;
+
+use crate::throughput::ComponentResult;
+
+/// Workload geometry for one scale. Every field participates in the
+/// deterministic result; none depend on the worker width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceBenchConfig {
+    /// Shards in the service under test.
+    pub shards: usize,
+    /// Distinct tenants (zipfian popularity).
+    pub tenants: u64,
+    /// Keyed regions per tenant (zipfian popularity within the tenant).
+    pub regions_per_tenant: u64,
+    /// Batches submitted.
+    pub batches: u64,
+    /// Accesses per batch.
+    pub batch_size: usize,
+    /// Probability, in per-mille, that an access is a write.
+    pub write_permille: u32,
+    /// Protected-region capacity in bytes (spans every tenant's regions;
+    /// the arenas are sparse so only touched regions materialize).
+    pub data_bytes: u64,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl ServiceBenchConfig {
+    /// Geometry per scale. `tiny` is the CI smoke (a few thousand
+    /// accesses); `small` covers ~1 M keyed regions in a few seconds;
+    /// `full` pushes ~2 M accesses over the same keyspace.
+    pub fn from_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Tiny => ServiceBenchConfig {
+                shards: 4,
+                tenants: 64,
+                regions_per_tenant: 16,
+                batches: 12,
+                batch_size: 256,
+                write_permille: 250,
+                data_bytes: 1 << 26,
+                seed: 0x5EC5_7AFF_0000_0001,
+            },
+            Scale::Small => ServiceBenchConfig {
+                shards: 8,
+                tenants: 4_096,
+                regions_per_tenant: 256,
+                batches: 48,
+                batch_size: 4_096,
+                write_permille: 250,
+                data_bytes: 1 << 33,
+                seed: 0x5EC5_7AFF_0000_0002,
+            },
+            Scale::Full => ServiceBenchConfig {
+                shards: 16,
+                tenants: 8_192,
+                regions_per_tenant: 128,
+                batches: 256,
+                batch_size: 8_192,
+                write_permille: 250,
+                data_bytes: 1 << 33,
+                seed: 0x5EC5_7AFF_0000_0003,
+            },
+        }
+    }
+
+    /// Total keyed regions in the keyspace.
+    pub fn total_regions(&self) -> u64 {
+        self.tenants * self.regions_per_tenant
+    }
+
+    /// Total accesses the workload submits.
+    pub fn total_accesses(&self) -> u64 {
+        self.batches * self.batch_size as u64
+    }
+}
+
+/// The benchmark's output: serial-reference and pooled passes over the
+/// identical workload, plus the pooled pass's memoization tallies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceBenchReport {
+    /// Scale name the run was configured from.
+    pub scale: String,
+    /// Worker-pool width of the pooled pass.
+    pub jobs: usize,
+    /// Shards in the service under test.
+    pub shards: usize,
+    /// Keyed regions in the keyspace.
+    pub regions: u64,
+    /// Distinct tenants in the mix.
+    pub tenants: u64,
+    /// `submit` at width 1 over the workload.
+    pub serial: ComponentResult,
+    /// `submit` at the requested width over the same workload.
+    pub pooled: ComponentResult,
+    /// Memoization tallies of the pooled pass, folded across shards.
+    pub memo: ShardMemoStats,
+}
+
+impl ServiceBenchReport {
+    /// The deterministic results as one canonical JSON line —
+    /// byte-identical across runs, hosts, and pool widths.
+    pub fn deterministic_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"schema\":\"rmcc-bench-service-v1\",",
+                "\"shards\":{},\"regions\":{},\"tenants\":{},",
+                "\"accesses\":{},\"result_checksum\":\"{:#018x}\",",
+                "\"conformed_writes\":{},\"budget_ok\":{},",
+                "\"pooled_matches_serial\":{}}}"
+            ),
+            self.shards,
+            self.regions,
+            self.tenants,
+            self.serial.ops,
+            self.serial.checksum,
+            self.memo.conformed_writes,
+            self.memo.budget_ok,
+            self.pooled_matches_serial(),
+        )
+    }
+
+    /// Whether the pooled pass reproduced the serial reference exactly.
+    pub fn pooled_matches_serial(&self) -> bool {
+        self.serial.checksum == self.pooled.checksum && self.serial.ops == self.pooled.ops
+    }
+
+    /// The full report (deterministic results + timing), the content of
+    /// `BENCH_service.json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"rmcc-bench-service-v1\",\n");
+        out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str("  \"deterministic\": ");
+        out.push_str(&self.deterministic_json());
+        out.push_str(",\n  \"timing\": {\n");
+        out.push_str(&format!(
+            "    \"serial_accesses_per_s\": {:.1},\n",
+            self.serial.ops_per_s()
+        ));
+        out.push_str(&format!(
+            "    \"sustained_accesses_per_s\": {:.1}\n",
+            self.pooled.ops_per_s()
+        ));
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// ~1/x-distributed rank in `[0, n)`: a uniformly chosen binary octave,
+/// then a uniform element inside it. Integer-only, so identical on every
+/// platform.
+fn zipf_rank(r1: u64, r2: u64, n: u64) -> u64 {
+    let n = n.max(1);
+    let octaves = u64::from(64 - n.leading_zeros());
+    let base = 1u64 << (r1 % octaves);
+    (base - 1 + (r2 % base)).min(n - 1)
+}
+
+/// Pre-generates the whole workload so the timed loop measures the service
+/// alone, not stream synthesis.
+fn generate_batches(cfg: &ServiceBenchConfig, coverage: u64) -> Vec<Vec<Access>> {
+    let mut rng = cfg.seed | 1;
+    let mut next = move || {
+        rng = splitmix64(rng);
+        rng
+    };
+    (0..cfg.batches)
+        .map(|_| {
+            (0..cfg.batch_size)
+                .map(|_| {
+                    let tenant = zipf_rank(next(), next(), cfg.tenants);
+                    let region = zipf_rank(next(), next(), cfg.regions_per_tenant);
+                    // Offsets are zipfian too: real tenants hammer a few hot
+                    // lines per region, which keeps the steady-state working
+                    // set cache-resident instead of smearing every access
+                    // across the full coverage span.
+                    let offset = zipf_rank(next(), next(), coverage.max(1));
+                    let block = (tenant * cfg.regions_per_tenant + region) * coverage + offset;
+                    if next() % 1_000 < u64::from(cfg.write_permille) {
+                        Access::Write {
+                            block,
+                            data: [(next() & 0xFF) as u8; 64],
+                        }
+                    } else {
+                        Access::Read { block }
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Builds a fresh memoizing service for one pass.
+fn build_service(cfg: &ServiceBenchConfig) -> (SecureMemoryService, Vec<MemoHandle>) {
+    let memo_cfg = {
+        let mut m = ShardMemoConfig::paper().with_epoch(4_096);
+        m.budget_fraction = 0.05;
+        m
+    };
+    let mut handles = Vec::with_capacity(cfg.shards);
+    let service =
+        SecureMemoryService::with_policies(&ServiceConfig::new(cfg.shards, cfg.data_bytes), |_| {
+            let (policy, handle) = memo_policy(&memo_cfg);
+            handle.seed_groups([4]);
+            handles.push(handle);
+            policy
+        });
+    (service, handles)
+}
+
+/// One pass: a fresh service, then the workload twice — an *untimed* warm
+/// traversal that materializes every touched region's counters and tree
+/// path (first-touch cost, not sustained cost), then the identical
+/// workload timed. `ops` counts the timed traversal; the checksum folds
+/// both traversals so the warm phase is pinned by CI too. The warm
+/// traversal always runs at full shard width — the service's determinism
+/// contract makes results width-invariant, so this only affects wall
+/// clock.
+fn run_pass(
+    cfg: &ServiceBenchConfig,
+    batches: &[Vec<Access>],
+    jobs: usize,
+) -> (ComponentResult, ShardMemoStats) {
+    let (service, handles) = build_service(cfg);
+    let mut checksum = 0u64;
+    for batch in batches {
+        let results = service.submit_with_jobs(batch, cfg.shards);
+        checksum = checksum.rotate_left(9) ^ digest_results(&results);
+    }
+    let start = Instant::now();
+    let mut ops = 0u64;
+    for batch in batches {
+        let results = service.submit_with_jobs(batch, jobs);
+        checksum = checksum.rotate_left(9) ^ digest_results(&results);
+        ops += results.len() as u64;
+    }
+    (
+        ComponentResult {
+            ops,
+            seconds: start.elapsed().as_secs_f64(),
+            checksum,
+        },
+        aggregate_stats(&handles),
+    )
+}
+
+/// Runs the sustained-load benchmark: serial reference then pooled pass
+/// over the identical workload.
+pub fn run(scale: Scale, jobs: usize) -> ServiceBenchReport {
+    let cfg = ServiceBenchConfig::from_scale(scale);
+    let coverage = rmcc_secmem::counters::CounterOrg::Morphable128.coverage() as u64;
+    let batches = generate_batches(&cfg, coverage);
+    let (serial, _) = run_pass(&cfg, &batches, 1);
+    let (pooled, memo) = run_pass(&cfg, &batches, jobs.max(1));
+    ServiceBenchReport {
+        scale: scale.to_string(),
+        jobs: jobs.max(1),
+        shards: cfg.shards,
+        regions: cfg.total_regions(),
+        tenants: cfg.tenants,
+        serial,
+        pooled,
+        memo,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_is_deterministic_and_width_invariant() {
+        let a = run(Scale::Tiny, 1);
+        let b = run(Scale::Tiny, 4);
+        assert_eq!(a.deterministic_json(), b.deterministic_json());
+        assert!(a.pooled_matches_serial());
+        assert!(b.pooled_matches_serial());
+        assert_eq!(
+            a.serial.ops,
+            ServiceBenchConfig::from_scale(Scale::Tiny).total_accesses()
+        );
+    }
+
+    #[test]
+    fn tiny_run_memoizes_and_respects_budget() {
+        let r = run(Scale::Tiny, 2);
+        assert!(r.memo.conformed_writes > 0, "{:?}", r.memo);
+        assert!(r.memo.budget_ok);
+    }
+
+    #[test]
+    fn emitted_json_parses_with_repo_reader() {
+        let r = run(Scale::Tiny, 2);
+        let parsed = rmcc_telemetry::export::parse_json_line(&r.to_json()).expect("valid JSON");
+        assert_eq!(
+            parsed.get("schema").and_then(|v| v.as_str()),
+            Some("rmcc-bench-service-v1")
+        );
+        let det = rmcc_telemetry::export::parse_json_line(&r.deterministic_json())
+            .expect("valid deterministic line");
+        assert!(det.get("pooled_matches_serial").is_some());
+    }
+
+    #[test]
+    fn zipf_rank_stays_in_range() {
+        let mut s = 7u64;
+        for n in [1u64, 2, 3, 1_000, 1 << 20] {
+            for _ in 0..2_000 {
+                s = splitmix64(s);
+                let r1 = s;
+                s = splitmix64(s);
+                assert!(zipf_rank(r1, s, n) < n);
+            }
+        }
+    }
+}

@@ -49,10 +49,14 @@ pub mod budget;
 pub mod candidates;
 pub mod rmcc;
 pub mod security;
+pub mod shard;
 pub mod table;
 
 pub use area::AreaModel;
 pub use budget::{TrafficBudget, EPOCH_ACCESSES};
 pub use candidates::{HighValueMonitor, COVERAGE_REQUIREMENT, HIGH_READ_TRIGGER};
 pub use rmcc::{Rmcc, RmccConfig, UpdateOutcome, DEFAULT_LEVELS};
+pub use shard::{
+    aggregate_stats, memo_policy, MemoHandle, MemoPolicy, ShardMemoConfig, ShardMemoStats,
+};
 pub use table::{Group, LookupResult, MemoizationTable, TableConfig, TableStats};

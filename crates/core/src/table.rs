@@ -129,6 +129,26 @@ impl TableStats {
         self.group_hits + self.mru_hits + self.misses
     }
 
+    /// Field-wise sum of two tallies — how per-shard tables fold into a
+    /// service-wide aggregate. Commutative and associative, so any fold
+    /// order gives the same totals; the shard aggregator still folds in
+    /// shard-index order by convention.
+    #[must_use]
+    pub fn merged(self, other: TableStats) -> TableStats {
+        TableStats {
+            group_hits: self.group_hits.saturating_add(other.group_hits),
+            mru_hits: self.mru_hits.saturating_add(other.mru_hits),
+            misses: self.misses.saturating_add(other.misses),
+            insertions: self.insertions.saturating_add(other.insertions),
+            evictions: self.evictions.saturating_add(other.evictions),
+            shadow_promotions: self
+                .shadow_promotions
+                .saturating_add(other.shadow_promotions),
+            mru_harvests: self.mru_harvests.saturating_add(other.mru_harvests),
+            fallbacks: self.fallbacks.saturating_add(other.fallbacks),
+        }
+    }
+
     /// Overall hit rate in `[0, 1]`.
     pub fn hit_rate(&self) -> f64 {
         let n = self.lookups();

@@ -15,6 +15,8 @@
 //! generation** by using distinct AES keys, as SGX does (paper Figure 11
 //! caption).
 
+use std::cell::RefCell;
+
 use crate::aes::Aes;
 use crate::clmul::clmul_truncate_mid;
 
@@ -149,7 +151,7 @@ pub struct BlockPads {
 /// pads for a block.
 ///
 /// The trait is object-safe so simulators can switch pipelines at runtime.
-pub trait OtpPipeline {
+pub trait OtpPipeline: Send {
     /// Computes all pads for the 64-byte block at `block_addr` (a *block*
     /// address, i.e. byte address / 64) with write counter `ctr`.
     ///
@@ -157,6 +159,21 @@ pub trait OtpPipeline {
     ///
     /// Implementations may panic if `ctr` exceeds [`COUNTER_MAX`].
     fn block_pads(&self, block_addr: u64, ctr: u64) -> BlockPads;
+
+    /// Computes only the MAC pad: exactly `block_pads(block_addr, ctr).mac`.
+    ///
+    /// Integrity-tree verification authenticates node images without ever
+    /// decrypting them, so it needs none of the data-word pads. The default
+    /// derives the full block and discards the words; implementations
+    /// override it with the narrow pipeline so tree walks do not pay
+    /// [`WORDS_PER_BLOCK`] wasted pad derivations per node.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `ctr` exceeds [`COUNTER_MAX`].
+    fn mac_pad(&self, block_addr: u64, ctr: u64) -> u128 {
+        self.block_pads(block_addr, ctr).mac
+    }
 
     /// A short human-readable name for diagnostics.
     fn name(&self) -> &'static str;
@@ -216,8 +233,74 @@ impl OtpPipeline for SgxOtp {
         BlockPads { words, mac }
     }
 
+    fn mac_pad(&self, block_addr: u64, ctr: u64) -> u128 {
+        assert!(ctr <= COUNTER_MAX, "counter overflows 56 bits");
+        self.keys.mac.encrypt_u128(sgx_tweak(block_addr, 0xff, ctr))
+    }
+
     fn name(&self) -> &'static str {
         "sgx-baseline"
+    }
+}
+
+/// Number of slots in each way of the transparent pad memo (power of two).
+const MEMO_SLOTS: usize = 1 << 14;
+
+/// Direct-mapped slot index for `(block_addr, ctr)`: a multiplicative mix,
+/// taking the top bits so nearby addresses and counters spread apart.
+fn memo_index(block_addr: u64, ctr: u64) -> usize {
+    let mixed = (block_addr ^ ctr.rotate_left(29)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    usize::try_from(mixed >> 50).unwrap_or(0)
+}
+
+/// One direct-mapped entry of the full-block pad memo. `ctr == u64::MAX`
+/// marks an empty slot — write counters are 56-bit, so no real key collides
+/// with the sentinel.
+#[derive(Clone, Copy)]
+struct PadSlot {
+    addr: u64,
+    ctr: u64,
+    pads: BlockPads,
+}
+
+/// One direct-mapped entry of the MAC-pad-only memo.
+#[derive(Clone, Copy)]
+struct MacSlot {
+    addr: u64,
+    ctr: u64,
+    mac: u128,
+}
+
+/// The pipeline's transparent memoization state — the paper's titular trick
+/// applied to the reproduction's own wall clock. Both ways live in the same
+/// trust domain as the [`KeySet`]: pads are secret material and never leave
+/// the modeled memory controller.
+#[derive(Clone)]
+struct PadMemo {
+    blocks: Vec<PadSlot>,
+    macs: Vec<MacSlot>,
+}
+
+impl PadMemo {
+    fn new() -> Self {
+        PadMemo {
+            blocks: vec![
+                PadSlot {
+                    addr: 0,
+                    ctr: u64::MAX,
+                    pads: BlockPads::default(),
+                };
+                MEMO_SLOTS
+            ],
+            macs: vec![
+                MacSlot {
+                    addr: 0,
+                    ctr: u64::MAX,
+                    mac: 0,
+                };
+                MEMO_SLOTS
+            ],
+        }
     }
 }
 
@@ -227,9 +310,17 @@ impl OtpPipeline for SgxOtp {
 /// *prefixed* with 72 zero bits while the address is *suffixed* with 64 zero
 /// bits — which eliminates the commutativity repeat class (§IV-D1: the OTP
 /// for (addr = x, ctr = y) must differ from (addr = y, ctr = x)).
+///
+/// The pipeline also memoizes its own outputs: a small direct-mapped cache
+/// keyed by `(address, counter)` short-circuits repeat derivations, exactly
+/// the self-reinforcing effect the paper builds the architecture around.
+/// The memo is *transparent* — hits return bit-identical pads, and the
+/// engine's modeled crypto tally is charged per request either way — so it
+/// only changes host wall clock, never results or accounting.
 #[derive(Clone)]
 pub struct RmccOtp {
     keys: KeySet,
+    memo: RefCell<PadMemo>,
 }
 
 impl std::fmt::Debug for RmccOtp {
@@ -242,7 +333,25 @@ impl std::fmt::Debug for RmccOtp {
 impl RmccOtp {
     /// Creates the split pipeline over `keys`.
     pub fn new(keys: KeySet) -> Self {
-        RmccOtp { keys }
+        RmccOtp {
+            keys,
+            memo: RefCell::new(PadMemo::new()),
+        }
+    }
+
+    /// The full derivation, bypassing the memo (also the miss path).
+    fn derive_block_pads(&self, block_addr: u64, ctr: u64) -> BlockPads {
+        let ctr_enc = self.counter_only(ctr, PadPurpose::Encryption);
+        let ctr_mac = self.counter_only(ctr, PadPurpose::Mac);
+        let mut words = [0u128; WORDS_PER_BLOCK];
+        for (i, w) in (0u8..).zip(words.iter_mut()) {
+            *w = Self::combine(
+                ctr_enc,
+                self.address_only(block_addr, i, PadPurpose::Encryption),
+            );
+        }
+        let mac = Self::combine(ctr_mac, self.address_only(block_addr, 0, PadPurpose::Mac));
+        BlockPads { words, mac }
     }
 
     /// The counter-only AES result for `ctr` — exactly the value RMCC's
@@ -289,17 +398,54 @@ impl RmccOtp {
 
 impl OtpPipeline for RmccOtp {
     fn block_pads(&self, block_addr: u64, ctr: u64) -> BlockPads {
-        let ctr_enc = self.counter_only(ctr, PadPurpose::Encryption);
-        let ctr_mac = self.counter_only(ctr, PadPurpose::Mac);
-        let mut words = [0u128; WORDS_PER_BLOCK];
-        for (i, w) in (0u8..).zip(words.iter_mut()) {
-            *w = Self::combine(
-                ctr_enc,
-                self.address_only(block_addr, i, PadPurpose::Encryption),
-            );
+        let idx = memo_index(block_addr, ctr);
+        // `try_borrow_mut` instead of `borrow_mut`: the memo is a pure
+        // accelerator, so on the (impossible today) reentrant path we just
+        // derive without it rather than risk a panic in a trusted crate.
+        let Ok(mut memo) = self.memo.try_borrow_mut() else {
+            return self.derive_block_pads(block_addr, ctr);
+        };
+        if let Some(slot) = memo.blocks.get(idx) {
+            if slot.addr == block_addr && slot.ctr == ctr {
+                return slot.pads;
+            }
         }
-        let mac = Self::combine(ctr_mac, self.address_only(block_addr, 0, PadPurpose::Mac));
-        BlockPads { words, mac }
+        let pads = self.derive_block_pads(block_addr, ctr);
+        if let Some(slot) = memo.blocks.get_mut(idx) {
+            *slot = PadSlot {
+                addr: block_addr,
+                ctr,
+                pads,
+            };
+        }
+        pads
+    }
+
+    fn mac_pad(&self, block_addr: u64, ctr: u64) -> u128 {
+        let idx = memo_index(block_addr, ctr);
+        let Ok(mut memo) = self.memo.try_borrow_mut() else {
+            return Self::combine(
+                self.counter_only(ctr, PadPurpose::Mac),
+                self.address_only(block_addr, 0, PadPurpose::Mac),
+            );
+        };
+        if let Some(slot) = memo.macs.get(idx) {
+            if slot.addr == block_addr && slot.ctr == ctr {
+                return slot.mac;
+            }
+        }
+        let mac = Self::combine(
+            self.counter_only(ctr, PadPurpose::Mac),
+            self.address_only(block_addr, 0, PadPurpose::Mac),
+        );
+        if let Some(slot) = memo.macs.get_mut(idx) {
+            *slot = MacSlot {
+                addr: block_addr,
+                ctr,
+                mac,
+            };
+        }
+        mac
     }
 
     fn name(&self) -> &'static str {
@@ -375,6 +521,27 @@ mod tests {
                 pads.words[i],
                 p.word_pad(77, i as u8, 9, PadPurpose::Encryption)
             );
+        }
+    }
+
+    #[test]
+    fn mac_pad_matches_full_block_pads() {
+        // The narrow verification pipeline must be bit-identical to the MAC
+        // pad of the full derivation, for every pipeline, across addresses
+        // and counters — otherwise tree walks and writes would disagree.
+        let pipes: [Box<dyn OtpPipeline>; 2] = [
+            Box::new(SgxOtp::new(keys())),
+            Box::new(RmccOtp::new(keys())),
+        ];
+        for p in &pipes {
+            for (addr, ctr) in [(0u64, 0u64), (77, 9), (1 << 40, 12345), (3, COUNTER_MAX)] {
+                assert_eq!(
+                    p.mac_pad(addr, ctr),
+                    p.block_pads(addr, ctr).mac,
+                    "{} diverged at addr={addr} ctr={ctr}",
+                    p.name()
+                );
+            }
         }
     }
 

@@ -14,6 +14,10 @@
 //! * [`campaign`] — a seeded campaign driver that fires thousands of
 //!   faults across counter organizations and pipelines and tallies the
 //!   outcome per fault class.
+//! * [`service`] — blast-radius checks for the sharded service: poisoning
+//!   one shard's memoization table must stay invisible to every other
+//!   shard while the victim degrades to counted full-AES fallbacks and
+//!   heals.
 //!
 //! The invariant that matters, asserted by the campaign tests: **every
 //! integrity-affecting fault is detected as a `ReadError`, and no fault
@@ -39,6 +43,8 @@
 
 pub mod campaign;
 pub mod inject;
+pub mod service;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, KindTally};
 pub use inject::{FaultHarness, FaultKind, FaultOutcome, FaultRng};
+pub use service::{RoundReport, ServiceFaultHarness, LADDER_SEED};

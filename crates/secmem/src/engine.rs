@@ -19,7 +19,7 @@ use crate::tree::{InitPolicy, MetadataState};
 
 /// Chooses counter targets on writes — the seam where RMCC's
 /// memoization-aware update plugs in.
-pub trait CounterUpdatePolicy {
+pub trait CounterUpdatePolicy: Send {
     /// The value to raise a counter to when its block is written
     /// (baseline: `current + 1`; RMCC: nearest memoized value above
     /// `current`). Must return a value strictly greater than `current`.
@@ -363,6 +363,16 @@ impl SecureMemory {
         self.pipeline.block_pads(block_addr, ctr)
     }
 
+    /// The MAC pad alone, for node-image authentication. The modeled cost is
+    /// the same as [`Self::pads_for`] — architecturally the MC still issues
+    /// the full pipeline — but the functional engine skips materializing the
+    /// data-word pads nobody reads on the verification path, which is where
+    /// deep-tree walks spend most of their wall clock.
+    fn mac_pad_for(&mut self, block_addr: u64, ctr: u64) -> u128 {
+        self.crypto.pay(self.pad_cost);
+        self.pipeline.mac_pad(block_addr, ctr)
+    }
+
     /// The current write counter of `block` (trusted view).
     pub fn counter_of(&mut self, block: u64) -> u64 {
         self.meta.data_counter(block)
@@ -460,9 +470,9 @@ impl SecureMemory {
             if let Some(node) = self.stored_node(level, idx).copied() {
                 let counter = self.meta.node_counter(level, idx);
                 let addr = self.meta.layout().node_addr(level, idx) >> 6;
-                let pads = self.pads_for(addr, counter);
+                let mac_pad = self.mac_pad_for(addr, counter);
                 self.crypto.verify_mac();
-                if !verify_mac(&self.mac_keys, &node.image, pads.mac, node.mac) {
+                if !verify_mac(&self.mac_keys, &node.image, mac_pad, node.mac) {
                     outcome = Err(ReadError::MetadataTampered { level });
                     break;
                 }
@@ -550,9 +560,9 @@ impl SecureMemory {
     fn refresh_node_mac(&mut self, level: usize, idx: u64) {
         let counter = self.meta.node_counter(level, idx);
         let addr = self.meta.layout().node_addr(level, idx) >> 6;
-        let pads = self.pads_for(addr, counter);
+        let mac_pad = self.mac_pad_for(addr, counter);
         let image = node_image(self.meta.block(level, idx));
-        let mac = compute_mac(&self.mac_keys, &image, pads.mac);
+        let mac = compute_mac(&self.mac_keys, &image, mac_pad);
         self.store_node(level, idx, StoredNode { image, mac });
     }
 

@@ -35,6 +35,7 @@ pub mod arena;
 pub mod counters;
 pub mod engine;
 pub mod layout;
+pub mod service;
 pub mod tree;
 
 pub use counters::{CounterBlock, CounterOrg, WouldOverflow};
@@ -43,4 +44,8 @@ pub use engine::{
     SecureMemory, TamperError, WriteError,
 };
 pub use layout::{LayoutError, MetadataLayout, BLOCK_BYTES};
+pub use service::{
+    digest_results, jobs_from_env, serial_reference, Access, AccessResult, SecureMemoryService,
+    ServiceConfig, ServiceSnapshot,
+};
 pub use tree::{InitPolicy, MetadataState, RANDOM_INIT_MEAN};

@@ -1,0 +1,698 @@
+//! Multi-tenant sharded secure-memory service: lock-free config reads and a
+//! batched access API over the single-owner [`SecureMemory`] engine.
+//!
+//! The engine in [`crate::engine`] is deliberately a one-tenant `&mut`
+//! structure — the shape the paper evaluates. Serving aggregate traffic from
+//! many tenants needs a different shape, and this module provides it without
+//! touching the engine's crypto:
+//!
+//! * **Shards.** A [`SecureMemoryService`] owns N independent shards, each a
+//!   full [`SecureMemory`] (its own `PagedArena` tree, counter state, and —
+//!   when built with [`SecureMemoryService::with_policies`] — its own
+//!   per-shard counter-update policy, e.g. a memoization table plus traffic
+//!   budget). Shards share nothing mutable; each is guarded by its own
+//!   `Mutex`, so traffic to different shards never serializes.
+//! * **Region-preserving routing.** A data block routes to a shard by
+//!   hashing its *L0 region* (the coverage group of blocks sharing one
+//!   counter block), never the raw block address. Overflow releveling
+//!   re-encrypts a whole region; keeping regions intact per shard keeps that
+//!   mechanic — and therefore every stored ciphertext and counter — exactly
+//!   what a single serial engine would produce. See
+//!   [`ServiceSnapshot::shard_of`].
+//! * **Lock-free read path for routing/config.** The routing table and
+//!   tunables live in an immutable [`ServiceSnapshot`] behind
+//!   `RwLock<Arc<_>>`: readers clone the `Arc` (a reference-count bump, no
+//!   exclusive lock, never blocked by shard mutation) and route from their
+//!   private snapshot. Reconfiguration ([`SecureMemoryService::set_jobs`])
+//!   builds a *new* snapshot and swaps the `Arc` copy-on-write; in-flight
+//!   batches keep the snapshot they started with.
+//! * **Batched API.** [`SecureMemoryService::submit`] partitions a batch by
+//!   shard, drives the shards concurrently on a scoped-thread pool (width
+//!   from the snapshot's `jobs`, overridable per call), and merges per-shard
+//!   results back in submission order. Per-shard order is submission order,
+//!   and shards are independent, so batched output is **byte-identical** to
+//!   running the same batch serially — at any worker width. Failures are
+//!   surfaced per entry as typed [`AccessResult`] variants; one bad access
+//!   (or even a panicking shard, isolated via `catch_unwind`) never fails
+//!   the whole batch.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::thread;
+
+use rmcc_crypto::mac::DataBlock;
+use rmcc_crypto::stats::CryptoStats;
+
+use crate::counters::CounterOrg;
+use crate::engine::{
+    CounterUpdatePolicy, IncrementPolicy, PipelineKind, ReadError, SecureMemory, WriteError,
+};
+
+/// One request in a batch submitted to the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Decrypt-and-verify the 64-byte block at `block`.
+    Read {
+        /// Data-block index (byte address / 64).
+        block: u64,
+    },
+    /// Encrypt-and-store `data` at `block`, bumping its counter.
+    Write {
+        /// Data-block index (byte address / 64).
+        block: u64,
+        /// Plaintext to store.
+        data: DataBlock,
+    },
+}
+
+impl Access {
+    /// The data-block index this access targets (what routing hashes).
+    pub fn block(&self) -> u64 {
+        match *self {
+            Access::Read { block } | Access::Write { block, .. } => block,
+        }
+    }
+}
+
+/// Per-entry outcome of a submitted batch, in submission order.
+///
+/// Every entry gets exactly one result; errors are typed and per entry, so a
+/// tampered or out-of-range access never fails the rest of the batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessResult {
+    /// Read succeeded: the decrypted, integrity-verified plaintext.
+    Data(DataBlock),
+    /// Write succeeded.
+    Written {
+        /// The block's write counter after this write.
+        counter: u64,
+    },
+    /// Read failed with the engine's typed error (tamper detection fires
+    /// here: [`ReadError::DataTampered`] / [`ReadError::MetadataTampered`]).
+    ReadFailed(ReadError),
+    /// Write refused with the engine's typed error; no state was mutated.
+    WriteFailed(WriteError),
+    /// The owning shard panicked while servicing this entry. The panic is
+    /// contained to the shard (other shards and other batches are
+    /// unaffected) and tallied in [`SecureMemoryService::fault_count`].
+    ShardFault,
+}
+
+impl AccessResult {
+    /// Whether the access succeeded.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, AccessResult::Data(_) | AccessResult::Written { .. })
+    }
+
+    /// Folds this result into a running order-sensitive digest.
+    fn fold_into(&self, acc: u64) -> u64 {
+        match *self {
+            AccessResult::Data(d) => {
+                let mut a = splitmix64(acc ^ 0xD1);
+                for chunk in d.chunks_exact(8) {
+                    let mut word = [0u8; 8];
+                    word.copy_from_slice(chunk);
+                    a = splitmix64(a ^ u64::from_le_bytes(word));
+                }
+                a
+            }
+            AccessResult::Written { counter } => splitmix64(acc ^ 0xA2 ^ splitmix64(counter)),
+            AccessResult::ReadFailed(e) => {
+                let (code, detail): (u64, u64) = match e {
+                    ReadError::Unwritten { block } => (1, block),
+                    ReadError::DataTampered { block } => (2, block),
+                    ReadError::MetadataTampered { level } => (3, level as u64),
+                };
+                splitmix64(acc ^ 0xE3 ^ (code << 8) ^ splitmix64(detail))
+            }
+            AccessResult::WriteFailed(e) => {
+                let (code, detail): (u64, u64) = match e {
+                    WriteError::Layout(_) => (1, 0),
+                    WriteError::CounterSaturated { counter } => (2, counter),
+                };
+                splitmix64(acc ^ 0xF4 ^ (code << 8) ^ splitmix64(detail))
+            }
+            AccessResult::ShardFault => splitmix64(acc ^ 0x0F),
+        }
+    }
+}
+
+/// Order-sensitive checksum of a whole result vector. Two result vectors are
+/// byte-identical iff their digests match (up to hash collisions); the
+/// batched-vs-serial regression tests and the sustained-load benchmark both
+/// compare through this.
+pub fn digest_results(results: &[AccessResult]) -> u64 {
+    results
+        .iter()
+        .enumerate()
+        .fold(0xCBF2_9CE4_8422_2325, |acc, (i, r)| {
+            r.fold_into(splitmix64(acc ^ i as u64))
+        })
+}
+
+/// How to build a [`SecureMemoryService`]. Two equal configs (plus equal
+/// policy factories) build services with byte-identical behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Number of independent shards (clamped to ≥ 1).
+    pub shards: usize,
+    /// Protected-region capacity in bytes; every shard spans the full
+    /// address space (the arenas are sparse, so untouched regions cost
+    /// nothing) and routing decides ownership.
+    pub data_bytes: u64,
+    /// Counter organization for every shard.
+    pub org: CounterOrg,
+    /// OTP pipeline kind for every shard.
+    pub pipeline: PipelineKind,
+    /// Key-derivation seed; all shards share it so stored ciphertexts match
+    /// the single-engine reference exactly.
+    pub key_seed: u64,
+    /// Default worker-pool width for [`SecureMemoryService::submit`]
+    /// (clamped to ≥ 1; tunable later via copy-on-write reconfiguration).
+    pub jobs: usize,
+}
+
+impl ServiceConfig {
+    /// A config with the paper's defaults: Morphable counters, the RMCC
+    /// split pipeline, and a serial (1-wide) submit pool.
+    pub fn new(shards: usize, data_bytes: u64) -> Self {
+        ServiceConfig {
+            shards,
+            data_bytes,
+            org: CounterOrg::Morphable128,
+            pipeline: PipelineKind::Rmcc,
+            key_seed: 0x0005_EED0_0F5E_C3E7,
+            jobs: 1,
+        }
+    }
+
+    /// The same config with a different default pool width.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+}
+
+/// Worker-pool width from the `RMCC_JOBS` environment variable (≥ 1), else
+/// the host's available parallelism. Benchmarks and the sim's service path
+/// share this so one knob pins every pool.
+pub fn jobs_from_env() -> usize {
+    match std::env::var("RMCC_JOBS") {
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&j| j >= 1)
+            .unwrap_or(1),
+        Err(_) => thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// The immutable routing/config snapshot readers clone.
+///
+/// Snapshots are plain `Copy` data behind an `Arc`; a reader's routing
+/// decisions stay coherent for the lifetime of its clone even across a
+/// concurrent [`SecureMemoryService::set_jobs`] swap. Topology (`shards`,
+/// `coverage`) never changes after construction — changing it would require
+/// migrating stored state between shards, which is out of scope here — so
+/// routing is stable across every snapshot version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceSnapshot {
+    shards: usize,
+    coverage: u64,
+    jobs: usize,
+    version: u64,
+}
+
+impl ServiceSnapshot {
+    /// Routes a data block to its owning shard.
+    ///
+    /// The hash input is the block's **L0 region** (`block / coverage`), not
+    /// the block itself: all blocks sharing a counter block land on one
+    /// shard, so overflow releveling — which re-encrypts the whole region —
+    /// stays shard-local and counters evolve exactly as in a serial engine.
+    /// The region index is mixed through SplitMix64 so consecutive regions
+    /// (and therefore hot tenants) scatter across shards.
+    pub fn shard_of(&self, block: u64) -> usize {
+        let region = block / self.coverage.max(1);
+        let mixed = splitmix64(region);
+        usize::try_from(mixed % self.shards.max(1) as u64).unwrap_or(0)
+    }
+
+    /// Number of shards this snapshot routes across.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Blocks per L0 region (the counter organization's coverage).
+    pub fn coverage(&self) -> u64 {
+        self.coverage
+    }
+
+    /// Default worker-pool width for `submit`.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Monotone version, bumped by every copy-on-write reconfiguration.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// One shard: a full engine plus its fault tally.
+struct ShardState {
+    mem: SecureMemory,
+    faults: u64,
+}
+
+/// A concurrent, sharded front end over N independent [`SecureMemory`]
+/// engines. See the [module docs](self) for the architecture; see
+/// [`Self::submit`] for the batched API and its determinism contract.
+pub struct SecureMemoryService {
+    snapshot: RwLock<Arc<ServiceSnapshot>>,
+    shards: Vec<Mutex<ShardState>>,
+}
+
+impl SecureMemoryService {
+    /// Builds a service whose shards all use the baseline
+    /// [`IncrementPolicy`]. With this policy the service is byte-identical
+    /// to a serial engine *across shard counts* (counters depend only on
+    /// per-region history, which routing keeps shard-local).
+    pub fn new(cfg: &ServiceConfig) -> Self {
+        Self::with_policies(cfg, |_| Box::new(IncrementPolicy))
+    }
+
+    /// Builds a service with one counter-update policy per shard, from a
+    /// factory called with each shard index in order. This is how the
+    /// memoizing stack plugs in: each shard gets its own memo table and
+    /// budget ledger, so policy state — like everything else mutable — is
+    /// shard-local.
+    pub fn with_policies<F>(cfg: &ServiceConfig, mut policy_for: F) -> Self
+    where
+        F: FnMut(usize) -> Box<dyn CounterUpdatePolicy>,
+    {
+        let shards = cfg.shards.max(1);
+        let snapshot = ServiceSnapshot {
+            shards,
+            coverage: cfg.org.coverage() as u64,
+            jobs: cfg.jobs.max(1),
+            version: 0,
+        };
+        let shard_states = (0..shards)
+            .map(|i| {
+                Mutex::new(ShardState {
+                    mem: SecureMemory::with_policy(
+                        cfg.org,
+                        cfg.data_bytes,
+                        cfg.pipeline,
+                        cfg.key_seed,
+                        policy_for(i),
+                    ),
+                    faults: 0,
+                })
+            })
+            .collect();
+        SecureMemoryService {
+            snapshot: RwLock::new(Arc::new(snapshot)),
+            shards: shard_states,
+        }
+    }
+
+    /// Clones the current routing/config snapshot — the lock-free read
+    /// path. This never blocks on shard mutation and a writer holds the
+    /// `RwLock` only for the duration of an `Arc` pointer swap.
+    pub fn snapshot(&self) -> Arc<ServiceSnapshot> {
+        Arc::clone(&self.snapshot.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Copy-on-write reconfiguration of the default pool width: builds a
+    /// new snapshot with a bumped version and swaps the `Arc`. Readers that
+    /// cloned the old snapshot keep routing from it undisturbed. Returns
+    /// the new version.
+    pub fn set_jobs(&self, jobs: usize) -> u64 {
+        let mut guard = self
+            .snapshot
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let next = ServiceSnapshot {
+            jobs: jobs.max(1),
+            version: guard.version.saturating_add(1),
+            ..**guard
+        };
+        *guard = Arc::new(next);
+        guard.version
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Services a batch: partitions by shard, drives shards concurrently at
+    /// the snapshot's pool width, merges results in submission order.
+    ///
+    /// **Determinism contract:** per-shard sub-batches preserve submission
+    /// order and shards share no mutable state, so the returned vector is
+    /// byte-identical to [`Self::submit_serial`] on the same service at any
+    /// worker width — and, for a service built with [`Self::new`], to a
+    /// plain serial [`SecureMemory`] over the same batch (see
+    /// [`serial_reference`]).
+    pub fn submit(&self, batch: &[Access]) -> Vec<AccessResult> {
+        let jobs = self.snapshot().jobs();
+        self.submit_with_jobs(batch, jobs)
+    }
+
+    /// [`Self::submit`] with an explicit worker width (1 = in-caller-thread
+    /// serial; the CI determinism smoke compares widths through this).
+    pub fn submit_with_jobs(&self, batch: &[Access], jobs: usize) -> Vec<AccessResult> {
+        let snap = self.snapshot();
+        let mut parts: Vec<Vec<usize>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (i, access) in batch.iter().enumerate() {
+            if let Some(part) = parts.get_mut(snap.shard_of(access.block())) {
+                part.push(i);
+            }
+        }
+        let busy = parts.iter().filter(|p| !p.is_empty()).count();
+        let workers = jobs.max(1).min(busy.max(1));
+        let mut merged = vec![AccessResult::ShardFault; batch.len()];
+        if workers <= 1 {
+            for (shard, indices) in parts.iter().enumerate() {
+                if indices.is_empty() {
+                    continue;
+                }
+                let results = self.run_shard(shard, indices, batch);
+                scatter(&mut merged, indices, &results);
+            }
+        } else {
+            let outs: Vec<Mutex<Vec<AccessResult>>> =
+                parts.iter().map(|_| Mutex::new(Vec::new())).collect();
+            let next = AtomicUsize::new(0);
+            thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let shard = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(indices) = parts.get(shard) else {
+                            break;
+                        };
+                        if indices.is_empty() {
+                            continue;
+                        }
+                        let results = self.run_shard(shard, indices, batch);
+                        if let Some(slot) = outs.get(shard) {
+                            *slot.lock().unwrap_or_else(PoisonError::into_inner) = results;
+                        }
+                    });
+                }
+            });
+            for (shard, indices) in parts.iter().enumerate() {
+                let Some(slot) = outs.get(shard) else {
+                    continue;
+                };
+                let results = slot.lock().unwrap_or_else(PoisonError::into_inner);
+                scatter(&mut merged, indices, &results);
+            }
+        }
+        merged
+    }
+
+    /// Services a batch with no thread pool at all — the reference path the
+    /// determinism tests compare against.
+    pub fn submit_serial(&self, batch: &[Access]) -> Vec<AccessResult> {
+        self.submit_with_jobs(batch, 1)
+    }
+
+    /// Runs one shard's sub-batch under its lock, isolating panics per
+    /// entry. A poisoned lock is recovered (`into_inner`): the shard keeps
+    /// serving, degraded, and the fault tally records the event.
+    fn run_shard(&self, shard: usize, indices: &[usize], batch: &[Access]) -> Vec<AccessResult> {
+        let mut out = Vec::with_capacity(indices.len());
+        let Some(slot) = self.shards.get(shard) else {
+            out.resize(indices.len(), AccessResult::ShardFault);
+            return out;
+        };
+        let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+        for &i in indices {
+            let Some(access) = batch.get(i) else {
+                out.push(AccessResult::ShardFault);
+                continue;
+            };
+            let state = &mut *guard;
+            match catch_unwind(AssertUnwindSafe(|| apply(&mut state.mem, access))) {
+                Ok(result) => out.push(result),
+                Err(_) => {
+                    state.faults = state.faults.saturating_add(1);
+                    out.push(AccessResult::ShardFault);
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs `f` with exclusive access to one shard's engine — the
+    /// inspection and fault-injection seam (the attacker model's per-shard
+    /// bus access). Returns `None` for an out-of-range shard.
+    pub fn with_shard<T>(&self, shard: usize, f: impl FnOnce(&mut SecureMemory) -> T) -> Option<T> {
+        let slot = self.shards.get(shard)?;
+        let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+        Some(f(&mut guard.mem))
+    }
+
+    /// How many panics this shard has absorbed ([`AccessResult::ShardFault`]
+    /// entries it produced). `None` for an out-of-range shard.
+    pub fn fault_count(&self, shard: usize) -> Option<u64> {
+        let slot = self.shards.get(shard)?;
+        let guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+        Some(guard.faults)
+    }
+
+    /// Static-model crypto tallies, one per shard in shard order — the
+    /// shard-labeled telemetry source.
+    pub fn crypto_stats(&self) -> Vec<CryptoStats> {
+        self.shards
+            .iter()
+            .map(|slot| {
+                let guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+                guard.mem.crypto_stats()
+            })
+            .collect()
+    }
+}
+
+/// Applies one access to an engine, mapping engine errors to per-entry
+/// results. Shared by the service shards and [`serial_reference`] so both
+/// paths are the same code.
+fn apply(mem: &mut SecureMemory, access: &Access) -> AccessResult {
+    match *access {
+        Access::Read { block } => match mem.read(block) {
+            Ok(data) => AccessResult::Data(data),
+            Err(e) => AccessResult::ReadFailed(e),
+        },
+        Access::Write { block, data } => match mem.write(block, data) {
+            Ok(()) => AccessResult::Written {
+                counter: mem.counter_of(block),
+            },
+            Err(e) => AccessResult::WriteFailed(e),
+        },
+    }
+}
+
+/// Scatters per-shard results back to their submission-order positions.
+fn scatter(merged: &mut [AccessResult], indices: &[usize], results: &[AccessResult]) {
+    for (&i, &r) in indices.iter().zip(results.iter()) {
+        if let Some(slot) = merged.get_mut(i) {
+            *slot = r;
+        }
+    }
+}
+
+/// Runs a batch through one plain serial [`SecureMemory`] built from `cfg` —
+/// the ground-truth reference the sharded service must match byte for byte
+/// (for increment-policy services).
+pub fn serial_reference(cfg: &ServiceConfig, batch: &[Access]) -> Vec<AccessResult> {
+    let mut mem = SecureMemory::new(cfg.org, cfg.data_bytes, cfg.pipeline, cfg.key_seed);
+    batch.iter().map(|a| apply(&mut mem, a)).collect()
+}
+
+/// SplitMix64 — the routing/digest mixer (also the bench suite's PRNG).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_of(tag: u8) -> DataBlock {
+        let mut b = [0u8; 64];
+        b[0] = tag;
+        b[63] = tag ^ 0xFF;
+        b
+    }
+
+    /// A mixed batch: writes, read-backs, an unwritten read, and an
+    /// out-of-capacity write, across many regions.
+    fn mixed_batch(cfg: &ServiceConfig) -> Vec<Access> {
+        let coverage = cfg.org.coverage() as u64;
+        let mut batch = Vec::new();
+        for r in 0..24u64 {
+            let block = r * coverage + (r % coverage);
+            batch.push(Access::Write {
+                block,
+                data: block_of(r as u8),
+            });
+            batch.push(Access::Read { block });
+            batch.push(Access::Write {
+                block,
+                data: block_of(r as u8 ^ 0x55),
+            });
+            batch.push(Access::Read { block });
+        }
+        batch.push(Access::Read { block: 9_999 }); // never written
+        batch.push(Access::Write {
+            block: u64::MAX / 64, // beyond capacity -> Layout error
+            data: block_of(1),
+        });
+        batch
+    }
+
+    #[test]
+    fn every_block_routes_to_exactly_one_in_range_shard() {
+        let svc = SecureMemoryService::new(&ServiceConfig::new(5, 1 << 24));
+        let snap = svc.snapshot();
+        for block in 0..4_096u64 {
+            let s = snap.shard_of(block);
+            assert!(s < snap.shards());
+            // Stable: same snapshot, same answer.
+            assert_eq!(s, snap.shard_of(block));
+            // Region-preserving: coverage-mates share a shard.
+            let region_base = (block / snap.coverage()) * snap.coverage();
+            assert_eq!(s, snap.shard_of(region_base));
+        }
+    }
+
+    #[test]
+    fn submit_matches_serial_engine_across_shard_counts_and_widths() {
+        let base = ServiceConfig::new(1, 1 << 24);
+        let batch = mixed_batch(&base);
+        let reference = serial_reference(&base, &batch);
+        assert!(reference.iter().any(|r| matches!(r, AccessResult::Data(_))));
+        assert!(reference
+            .iter()
+            .any(|r| matches!(r, AccessResult::ReadFailed(ReadError::Unwritten { .. }))));
+        assert!(reference
+            .iter()
+            .any(|r| matches!(r, AccessResult::WriteFailed(WriteError::Layout(_)))));
+        for shards in [1usize, 2, 3, 8] {
+            let svc = SecureMemoryService::new(&ServiceConfig::new(shards, 1 << 24));
+            for jobs in [1usize, 4] {
+                let fresh = SecureMemoryService::new(&ServiceConfig::new(shards, 1 << 24));
+                let got = fresh.submit_with_jobs(&batch, jobs);
+                assert_eq!(got, reference, "shards={shards} jobs={jobs}");
+                assert_eq!(digest_results(&got), digest_results(&reference));
+            }
+            drop(svc);
+        }
+    }
+
+    #[test]
+    fn cow_reconfiguration_leaves_old_snapshots_routing() {
+        let svc = SecureMemoryService::new(&ServiceConfig::new(4, 1 << 24).with_jobs(2));
+        let old = svc.snapshot();
+        assert_eq!(old.jobs(), 2);
+        let v = svc.set_jobs(7);
+        assert_eq!(v, 1);
+        let new = svc.snapshot();
+        assert_eq!(new.jobs(), 7);
+        assert_eq!(new.version(), 1);
+        // The old snapshot is untouched and still routes identically.
+        assert_eq!(old.jobs(), 2);
+        for block in 0..512u64 {
+            assert_eq!(old.shard_of(block), new.shard_of(block));
+        }
+    }
+
+    #[test]
+    fn per_entry_errors_do_not_fail_the_batch() {
+        let svc = SecureMemoryService::new(&ServiceConfig::new(3, 1 << 20));
+        let batch = vec![
+            Access::Write {
+                block: 0,
+                data: block_of(7),
+            },
+            Access::Read { block: 123 }, // unwritten
+            Access::Read { block: 0 },
+        ];
+        let results = svc.submit_serial(&batch);
+        assert!(matches!(results[0], AccessResult::Written { counter: 1 }));
+        assert_eq!(
+            results[1],
+            AccessResult::ReadFailed(ReadError::Unwritten { block: 123 }),
+            "typed per-entry error"
+        );
+        assert_eq!(results[2], AccessResult::Data(block_of(7)));
+    }
+
+    #[test]
+    fn tamper_in_one_shard_is_contained_to_its_entries() {
+        let cfg = ServiceConfig::new(4, 1 << 24);
+        let svc = SecureMemoryService::new(&cfg);
+        let snap = svc.snapshot();
+        let coverage = snap.coverage();
+        // One written block per shard.
+        let mut per_shard = vec![None; snap.shards()];
+        for region in 0..64u64 {
+            let block = region * coverage;
+            let s = snap.shard_of(block);
+            if per_shard[s].is_none() {
+                per_shard[s] = Some(block);
+            }
+        }
+        let blocks: Vec<u64> = per_shard.into_iter().map(|b| b.unwrap()).collect();
+        let writes: Vec<Access> = blocks
+            .iter()
+            .map(|&block| Access::Write {
+                block,
+                data: block_of(9),
+            })
+            .collect();
+        svc.submit(&writes);
+        // Flip a stored bit in shard 0's block only.
+        let victim = blocks[0];
+        svc.with_shard(snap.shard_of(victim), |mem| {
+            mem.tamper_data(victim, 5, 0x01).unwrap();
+        });
+        let reads: Vec<Access> = blocks.iter().map(|&block| Access::Read { block }).collect();
+        let results = svc.submit(&reads);
+        assert_eq!(
+            results[0],
+            AccessResult::ReadFailed(ReadError::DataTampered { block: victim })
+        );
+        for r in &results[1..] {
+            assert_eq!(*r, AccessResult::Data(block_of(9)), "other shards clean");
+        }
+        assert_eq!(
+            svc.fault_count(0),
+            Some(0),
+            "tamper is an error, not a panic"
+        );
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let a = [
+            AccessResult::Written { counter: 1 },
+            AccessResult::ReadFailed(ReadError::Unwritten { block: 0 }),
+        ];
+        let b = [
+            AccessResult::ReadFailed(ReadError::Unwritten { block: 0 }),
+            AccessResult::Written { counter: 1 },
+        ];
+        assert_ne!(digest_results(&a), digest_results(&b));
+        assert_eq!(digest_results(&a), digest_results(&a));
+    }
+}

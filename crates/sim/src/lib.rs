@@ -55,6 +55,7 @@ pub mod meta_engine;
 pub mod multicore;
 pub mod page_map;
 pub mod runner;
+pub mod service_run;
 
 pub use config::{Scheme, SystemConfig};
 pub use core_model::{CoreModel, CoreStats};

@@ -1,0 +1,339 @@
+//! Service-backed sustained-load dynamics: a multi-tenant zipfian stream
+//! driven through the sharded [`SecureMemoryService`] in batches, with
+//! shard-labeled telemetry folded into one deterministic registry.
+//!
+//! This is [`crate::dynamics`]'s sibling for the concurrent stack: where
+//! `run_dynamics` drives a single-owner [`crate::meta_engine::MetaEngine`],
+//! `run_service` builds an N-shard service whose shards each own a memo
+//! table and budget ledger (`rmcc_core::shard`), routes a tenant-skewed
+//! access stream through the batched `submit` API, and snapshots both
+//! global and per-shard counters into one `MetricsRegistry` — shard order =
+//! registration order = export column order, so the JSONL schema is stable.
+//!
+//! Everything is a pure function of [`ServiceRunConfig`]. In particular the
+//! worker-pool width is **not** part of the function: the service's
+//! determinism contract makes the results — and therefore the telemetry and
+//! checksum — byte-identical at any `jobs`, which the tests pin down.
+
+use rmcc_core::shard::{aggregate_stats, memo_policy, MemoHandle, ShardMemoConfig, ShardMemoStats};
+use rmcc_secmem::service::{
+    digest_results, Access, AccessResult, SecureMemoryService, ServiceConfig,
+};
+use rmcc_telemetry::{CounterId, MetricsRegistry, Telemetry};
+
+/// Parameters of a service run. Two equal configs yield byte-identical
+/// output at any worker width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceRunConfig {
+    /// Shard count for the service.
+    pub shards: usize,
+    /// Worker-pool width for `submit` (affects wall clock only, never
+    /// results).
+    pub jobs: usize,
+    /// Seed for the SplitMix64 access-stream generator.
+    pub seed: u64,
+    /// Distinct tenants; tenant popularity is zipfian (octave-sampled), so
+    /// a handful of tenants carry most of the traffic.
+    pub tenants: u64,
+    /// Keyed regions per tenant; a tenant's traffic is uniform over its
+    /// regions, and each region is one counter-coverage group.
+    pub regions_per_tenant: u64,
+    /// Batches to submit.
+    pub batches: u64,
+    /// Accesses per batch.
+    pub batch_size: usize,
+    /// Probability, in per-mille, that an access is a write.
+    pub write_permille: u32,
+    /// Protected-region capacity in bytes (must cover every tenant region).
+    pub data_bytes: u64,
+    /// Telemetry epoch length, in batches.
+    pub epoch_batches: u64,
+    /// Per-shard memo/budget epoch length, in that shard's accesses.
+    pub memo_epoch_accesses: u64,
+    /// Per-shard overhead-traffic budget fraction.
+    pub budget_fraction: f64,
+    /// Ladder seed: each shard's table starts with one group at this value
+    /// (0 = cold start, no seeding).
+    pub ladder_seed: u64,
+}
+
+impl ServiceRunConfig {
+    /// A small run — a few thousand accesses over a 4-shard service —
+    /// sized for tests and CI smoke.
+    pub fn small() -> Self {
+        ServiceRunConfig {
+            shards: 4,
+            jobs: 1,
+            seed: 0x00D1_5EA5_ED00_0006,
+            tenants: 64,
+            regions_per_tenant: 16,
+            batches: 24,
+            batch_size: 512,
+            write_permille: 600,
+            data_bytes: 1 << 28,
+            epoch_batches: 6,
+            memo_epoch_accesses: 512,
+            budget_fraction: 0.25,
+            ladder_seed: 4,
+        }
+    }
+}
+
+/// What a service run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceRunResult {
+    /// Epoch-resolved telemetry (global + `shard{i}_*` columns), as JSONL.
+    pub jsonl: String,
+    /// Order-sensitive checksum over every batch's results.
+    pub checksum: u64,
+    /// Total accesses submitted.
+    pub accesses: u64,
+    /// Accesses routed to each shard, in shard order.
+    pub shard_accesses: Vec<u64>,
+    /// Service-wide memoization tallies, folded in shard order.
+    pub aggregate: ShardMemoStats,
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A ~1/x-distributed rank in `[0, n)`: picks a binary octave uniformly,
+/// then a uniform element inside it, so each octave carries equal mass —
+/// the integer-only analogue of a Zipf(s = 1) inverse CDF. All-integer on
+/// purpose: no `exp`/`ln`, so the stream is bit-identical on every
+/// platform.
+fn zipf_rank(r1: u64, r2: u64, n: u64) -> u64 {
+    let n = n.max(1);
+    let octaves = u64::from(64 - n.leading_zeros());
+    let base = 1u64 << (r1 % octaves);
+    (base - 1 + (r2 % base)).min(n - 1)
+}
+
+/// Per-shard telemetry handles, registered in shard order.
+struct ShardIds {
+    accesses: Vec<CounterId>,
+    conformed: Vec<CounterId>,
+    budget_spent: Vec<CounterId>,
+    table_hits: Vec<CounterId>,
+    fallbacks: Vec<CounterId>,
+}
+
+/// Runs the sustained-load stream and returns telemetry plus tallies.
+pub fn run_service(cfg: &ServiceRunConfig) -> ServiceRunResult {
+    let memo_cfg = {
+        let mut m = ShardMemoConfig::paper().with_epoch(cfg.memo_epoch_accesses);
+        m.budget_fraction = cfg.budget_fraction;
+        m
+    };
+    let mut handles: Vec<MemoHandle> = Vec::with_capacity(cfg.shards.max(1));
+    let service = SecureMemoryService::with_policies(
+        &ServiceConfig::new(cfg.shards, cfg.data_bytes).with_jobs(cfg.jobs.max(1)),
+        |_| {
+            let (policy, handle) = memo_policy(&memo_cfg);
+            if cfg.ladder_seed > 0 {
+                handle.seed_groups([cfg.ladder_seed]);
+            }
+            handles.push(handle);
+            policy
+        },
+    );
+    let snap = service.snapshot();
+    let shards = snap.shards();
+    let coverage = snap.coverage();
+
+    // The exporter renders `epoch` and `accesses` as built-in leading
+    // columns of every snapshot, so the registry holds only the columns
+    // beyond those two.
+    let mut registry = MetricsRegistry::new();
+    let reads_id = registry.counter("reads");
+    let writes_id = registry.counter("writes");
+    let read_errors_id = registry.counter("read_errors");
+    let write_errors_id = registry.counter("write_errors");
+    let shard_faults_id = registry.counter("shard_faults");
+    let conformed_id = registry.counter("conformed_writes");
+    let baseline_id = registry.counter("baseline_writes");
+    let budget_id = registry.counter("budget_spent");
+    let ids = ShardIds {
+        accesses: registry.shard_counters("accesses", shards),
+        conformed: registry.shard_counters("conformed", shards),
+        budget_spent: registry.shard_counters("budget_spent", shards),
+        table_hits: registry.shard_counters("table_hits", shards),
+        fallbacks: registry.shard_counters("fallbacks", shards),
+    };
+    let mut tele = Telemetry::on(registry);
+
+    let mut rng = cfg.seed | 1;
+    let mut next = || {
+        rng = splitmix64(rng);
+        rng
+    };
+    let mut checksum = 0u64;
+    let mut accesses = 0u64;
+    let mut shard_accesses = vec![0u64; shards];
+    let mut batch = Vec::with_capacity(cfg.batch_size);
+    let mut epoch = 0u64;
+    for b in 0..cfg.batches {
+        batch.clear();
+        for _ in 0..cfg.batch_size {
+            let tenant = zipf_rank(next(), next(), cfg.tenants);
+            let region = next() % cfg.regions_per_tenant.max(1);
+            let offset = next() % coverage.max(1);
+            let block = (tenant * cfg.regions_per_tenant.max(1) + region) * coverage + offset;
+            if next() % 1_000 < u64::from(cfg.write_permille) {
+                let fill = next();
+                batch.push(Access::Write {
+                    block,
+                    data: [(fill & 0xFF) as u8; 64],
+                });
+            } else {
+                batch.push(Access::Read { block });
+            }
+        }
+        let results = service.submit(&batch);
+        checksum = checksum.rotate_left(9) ^ digest_results(&results);
+        accesses += results.len() as u64;
+        if let Some(active) = tele.active_mut() {
+            let reg = &mut active.registry;
+            for (access, result) in batch.iter().zip(results.iter()) {
+                let shard = snap.shard_of(access.block());
+                if let Some(n) = shard_accesses.get_mut(shard) {
+                    *n += 1;
+                }
+                if let Some(&id) = ids.accesses.get(shard) {
+                    reg.incr(id, 1);
+                }
+                match result {
+                    AccessResult::Data(_) => reg.incr(reads_id, 1),
+                    AccessResult::Written { .. } => reg.incr(writes_id, 1),
+                    AccessResult::ReadFailed(_) => {
+                        reg.incr(reads_id, 1);
+                        reg.incr(read_errors_id, 1);
+                    }
+                    AccessResult::WriteFailed(_) => {
+                        reg.incr(writes_id, 1);
+                        reg.incr(write_errors_id, 1);
+                    }
+                    AccessResult::ShardFault => reg.incr(shard_faults_id, 1),
+                }
+            }
+            // Mirror per-shard policy tallies absolutely (cumulative
+            // counters, like MetaEngine's epoch snapshot).
+            for (shard, handle) in handles.iter().enumerate() {
+                let s = handle.stats();
+                if let Some(&id) = ids.conformed.get(shard) {
+                    reg.set_counter(id, s.conformed_writes);
+                }
+                if let Some(&id) = ids.budget_spent.get(shard) {
+                    reg.set_counter(id, s.budget_spent);
+                }
+                if let Some(&id) = ids.table_hits.get(shard) {
+                    reg.set_counter(id, s.table.group_hits + s.table.mru_hits);
+                }
+                if let Some(&id) = ids.fallbacks.get(shard) {
+                    reg.set_counter(id, s.table.fallbacks);
+                }
+            }
+            let agg = aggregate_stats(&handles);
+            reg.set_counter(conformed_id, agg.conformed_writes);
+            reg.set_counter(baseline_id, agg.baseline_writes);
+            reg.set_counter(budget_id, agg.budget_spent);
+            if (b + 1) % cfg.epoch_batches.max(1) == 0 {
+                active.snapshot(epoch, accesses);
+                epoch += 1;
+            }
+        }
+    }
+
+    ServiceRunResult {
+        jsonl: tele.to_jsonl().unwrap_or_default(),
+        checksum,
+        accesses,
+        shard_accesses,
+        aggregate: aggregate_stats(&handles),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_function_of_config() {
+        let cfg = ServiceRunConfig::small();
+        let a = run_service(&cfg);
+        let b = run_service(&cfg);
+        assert_eq!(a, b);
+        assert!(!a.jsonl.is_empty());
+    }
+
+    #[test]
+    fn worker_width_never_changes_results() {
+        let mut cfg = ServiceRunConfig::small();
+        let serial = run_service(&cfg);
+        cfg.jobs = 4;
+        let pooled = run_service(&cfg);
+        assert_eq!(serial.checksum, pooled.checksum);
+        assert_eq!(serial.jsonl, pooled.jsonl, "telemetry is width-invariant");
+        assert_eq!(serial.aggregate, pooled.aggregate);
+    }
+
+    #[test]
+    fn shard_columns_partition_the_traffic() {
+        let r = run_service(&ServiceRunConfig::small());
+        assert_eq!(r.shard_accesses.iter().sum::<u64>(), r.accesses);
+        assert!(
+            r.shard_accesses.iter().filter(|&&n| n > 0).count() > 1,
+            "zipfian tenants still spread across shards: {:?}",
+            r.shard_accesses
+        );
+        let rows = rmcc_telemetry::parse_jsonl(&r.jsonl).expect("valid JSONL");
+        assert!(rows.len() >= 3, "several epochs resolved");
+        let last = rows.last().expect("nonempty");
+        let col = |k: &str| {
+            last.get(k)
+                .and_then(rmcc_telemetry::JsonValue::as_f64)
+                .unwrap_or(-1.0)
+        };
+        // Shard-labeled columns exist and sum to the global access count.
+        let shard_sum: f64 = (0..4).map(|i| col(&format!("shard{i}_accesses"))).sum();
+        assert!((shard_sum - col("accesses")).abs() < 0.5);
+        assert!(col("shard_faults") == 0.0);
+    }
+
+    #[test]
+    fn memoization_conforms_under_sustained_load() {
+        let r = run_service(&ServiceRunConfig::small());
+        assert!(
+            r.aggregate.conformed_writes > 0,
+            "seeded ladders steer some writes: {:?}",
+            r.aggregate
+        );
+        assert!(r.aggregate.budget_ok, "every shard ledger invariant holds");
+        assert!(r.aggregate.budget_epochs > 0, "per-shard epochs ticked");
+    }
+
+    #[test]
+    fn zipf_rank_is_in_range_and_skewed() {
+        let mut s = 1u64;
+        let mut next = || {
+            s = splitmix64(s);
+            s
+        };
+        let n = 1_000u64;
+        let mut low = 0u64;
+        for _ in 0..10_000 {
+            let r = zipf_rank(next(), next(), n);
+            assert!(r < n);
+            if r < 8 {
+                low += 1;
+            }
+        }
+        // Eight of a thousand keys carry far more than their uniform share
+        // (0.8%) of the traffic.
+        assert!(low > 2_000, "zipf head too light: {low}");
+    }
+}

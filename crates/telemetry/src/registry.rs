@@ -98,6 +98,17 @@ impl MetricsRegistry {
         CounterId(self.counters.len() - 1)
     }
 
+    /// Registers one counter per shard, named `shard{i}_{name}` in shard
+    /// order, and returns the handles in that same order. This is how a
+    /// sharded engine folds per-shard series into *one* registry while
+    /// keeping the export schema deterministic: shard order is registration
+    /// order is column order, independent of how shards were scheduled.
+    pub fn shard_counters(&mut self, name: &str, shards: usize) -> Vec<CounterId> {
+        (0..shards)
+            .map(|i| self.counter(&format!("shard{i}_{name}")))
+            .collect()
+    }
+
     /// Registers a gauge named `name`, starting at zero.
     pub fn gauge(&mut self, name: &str) -> GaugeId {
         debug_assert!(

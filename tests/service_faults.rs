@@ -1,0 +1,78 @@
+//! Per-shard fault isolation, end to end through the public facade.
+//!
+//! The sharded service's blast-radius contract: poisoning one shard's
+//! memoization table (the `MemoCorruption` threat, applied through the
+//! shard's policy handle) must be invisible to every other shard — same
+//! results, same tallies — while the victim degrades to counted full-AES
+//! fallbacks, keeps returning correct plaintext, and self-heals.
+
+use rmcc::faults::{ServiceFaultHarness, LADDER_SEED};
+
+#[test]
+fn poisoned_shard_is_contained_while_it_heals() {
+    let faulted = ServiceFaultHarness::new(6);
+    let control = ServiceFaultHarness::new(6);
+    assert_eq!(
+        faulted.write_read_round(0x5A),
+        control.write_read_round(0x5A),
+        "identical twins before the fault"
+    );
+
+    let victim = 4;
+    let rung = LADDER_SEED + 1; // what round 2's writes will consult
+    assert!(faulted.corrupt_shard_memo(victim, rung));
+    assert!(!faulted.shard_memo_trusted(victim, rung));
+
+    let f = faulted.write_read_round(0xC3);
+    let c = control.write_read_round(0xC3);
+    assert!(f.plaintexts_ok, "corruption never surfaces wrong plaintext");
+    for shard in 0..6 {
+        if shard == victim {
+            assert_eq!(
+                f.per_shard_stats[shard].table.fallbacks, 1,
+                "victim pays a counted full-AES fallback"
+            );
+        } else {
+            assert_eq!(
+                f.per_shard_digest[shard], c.per_shard_digest[shard],
+                "shard {shard}: results unchanged by another shard's fault"
+            );
+            assert_eq!(
+                f.per_shard_stats[shard], c.per_shard_stats[shard],
+                "shard {shard}: telemetry unchanged by another shard's fault"
+            );
+        }
+    }
+
+    // The fallback recomputed the entry and cleared the poison.
+    assert!(faulted.shard_memo_trusted(victim, rung));
+    let healed = faulted.write_read_round(0x77);
+    assert!(healed.plaintexts_ok);
+    assert_eq!(
+        healed.per_shard_stats[victim].table.fallbacks, 1,
+        "fallbacks stop growing once healed"
+    );
+    assert!(
+        healed.per_shard_stats[victim].conformed_writes
+            > f.per_shard_stats[victim].conformed_writes,
+        "healed shard conforms to the ladder again"
+    );
+}
+
+#[test]
+fn corrupting_every_shard_still_fails_safe() {
+    let h = ServiceFaultHarness::new(4);
+    let warm = h.write_read_round(0x01);
+    assert!(warm.plaintexts_ok);
+    for shard in 0..4 {
+        assert!(h.corrupt_shard_memo(shard, LADDER_SEED + 1));
+    }
+    let r = h.write_read_round(0x02);
+    assert!(
+        r.plaintexts_ok,
+        "all-shard corruption still yields correct data"
+    );
+    for shard in 0..4 {
+        assert_eq!(r.per_shard_stats[shard].table.fallbacks, 1);
+    }
+}
