@@ -17,11 +17,20 @@
 //! across runs, hosts, and pool widths — so CI diffs it between a serial
 //! and a pooled invocation exactly as it does for `BENCH_hotpath.json`.
 //! Timing lives only in the JSON (`BENCH_service.json`).
+//!
+//! Two lifecycle rows ride in the timing section: a **degraded-mode** pass
+//! (every shard forced `Degraded`, so writes take the counted full-AES
+//! fail-safe path and bypass the memo table — the floor a faulted tenant
+//! pays while the breaker decides) and a **recovery-cost** row (one shard
+//! quarantined and rebuilt, timing the integrity-tree + MAC re-verification
+//! pass). Neither touches the deterministic line.
 
 use std::time::Instant;
 
 use rmcc_core::shard::{aggregate_stats, memo_policy, MemoHandle, ShardMemoConfig, ShardMemoStats};
-use rmcc_secmem::service::{digest_results, Access, SecureMemoryService, ServiceConfig};
+use rmcc_secmem::service::{
+    digest_results, Access, HealthConfig, SecureMemoryService, ServiceConfig,
+};
 use rmcc_workloads::workload::Scale;
 
 use crate::throughput::ComponentResult;
@@ -117,8 +126,38 @@ pub struct ServiceBenchReport {
     pub serial: ComponentResult,
     /// `submit` at the requested width over the same workload.
     pub pooled: ComponentResult,
+    /// `submit` at the requested width with every shard forced `Degraded`
+    /// (memo bypassed, counted full-AES fail-safe writes).
+    pub degraded: ComponentResult,
+    /// Wall-clock cost of one shard's quarantine → rebuild → readmit pass.
+    pub recovery: RecoveryCost,
     /// Memoization tallies of the pooled pass, folded across shards.
     pub memo: ShardMemoStats,
+}
+
+/// Timing of one shard's full rebuild (integrity-tree node refresh plus a
+/// MAC re-verification sweep over every stored data block).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryCost {
+    /// Seconds the rebuild pass took.
+    pub seconds: f64,
+    /// Tree nodes whose images were re-derived from trusted counters.
+    pub nodes_rebuilt: u64,
+    /// Data blocks whose MACs re-verified against trusted state.
+    pub data_verified: u64,
+}
+
+impl RecoveryCost {
+    /// Re-verified data blocks per second (0 when the pass was too fast to
+    /// time).
+    pub fn blocks_per_s(&self) -> f64 {
+        if self.seconds > 0.0 {
+            // Lossless for any plausible block count.
+            self.data_verified as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
 }
 
 impl ServiceBenchReport {
@@ -165,8 +204,28 @@ impl ServiceBenchReport {
             self.serial.ops_per_s()
         ));
         out.push_str(&format!(
-            "    \"sustained_accesses_per_s\": {:.1}\n",
+            "    \"sustained_accesses_per_s\": {:.1},\n",
             self.pooled.ops_per_s()
+        ));
+        out.push_str(&format!(
+            "    \"degraded_accesses_per_s\": {:.1},\n",
+            self.degraded.ops_per_s()
+        ));
+        out.push_str(&format!(
+            "    \"rebuild_seconds\": {:.6},\n",
+            self.recovery.seconds
+        ));
+        out.push_str(&format!(
+            "    \"rebuild_nodes\": {},\n",
+            self.recovery.nodes_rebuilt
+        ));
+        out.push_str(&format!(
+            "    \"rebuild_blocks_verified\": {},\n",
+            self.recovery.data_verified
+        ));
+        out.push_str(&format!(
+            "    \"rebuild_blocks_per_s\": {:.1}\n",
+            self.recovery.blocks_per_s()
         ));
         out.push_str("  }\n}\n");
         out
@@ -224,22 +283,41 @@ fn generate_batches(cfg: &ServiceBenchConfig, coverage: u64) -> Vec<Vec<Access>>
         .collect()
 }
 
-/// Builds a fresh memoizing service for one pass.
-fn build_service(cfg: &ServiceBenchConfig) -> (SecureMemoryService, Vec<MemoHandle>) {
+/// Builds a fresh memoizing service for one pass, optionally with the
+/// health lifecycle enabled.
+fn build_service(
+    cfg: &ServiceBenchConfig,
+    health: Option<HealthConfig>,
+) -> (SecureMemoryService, Vec<MemoHandle>) {
     let memo_cfg = {
         let mut m = ShardMemoConfig::paper().with_epoch(4_096);
         m.budget_fraction = 0.05;
         m
     };
+    let mut svc_cfg = ServiceConfig::new(cfg.shards, cfg.data_bytes);
+    if let Some(h) = health {
+        svc_cfg = svc_cfg.with_health(h);
+    }
     let mut handles = Vec::with_capacity(cfg.shards);
-    let service =
-        SecureMemoryService::with_policies(&ServiceConfig::new(cfg.shards, cfg.data_bytes), |_| {
-            let (policy, handle) = memo_policy(&memo_cfg);
-            handle.seed_groups([4]);
-            handles.push(handle);
-            policy
-        });
+    let service = SecureMemoryService::with_policies(&svc_cfg, |_| {
+        let (policy, handle) = memo_policy(&memo_cfg);
+        handle.seed_groups([4]);
+        handles.push(handle);
+        policy
+    });
     (service, handles)
+}
+
+/// Health thresholds that never trip and never roll a window: shards keep
+/// whatever state the bench forces on them for an entire timed pass.
+fn frozen_health() -> HealthConfig {
+    HealthConfig {
+        epoch_accesses: u64::MAX,
+        degrade_faults: u64::MAX,
+        quarantine_faults: u64::MAX,
+        recover_epochs: u64::MAX,
+        quarantine_epochs: u64::MAX,
+    }
 }
 
 /// One pass: a fresh service, then the workload twice — an *untimed* warm
@@ -255,7 +333,7 @@ fn run_pass(
     batches: &[Vec<Access>],
     jobs: usize,
 ) -> (ComponentResult, ShardMemoStats) {
-    let (service, handles) = build_service(cfg);
+    let (service, handles) = build_service(cfg, None);
     let mut checksum = 0u64;
     for batch in batches {
         let results = service.submit_with_jobs(batch, cfg.shards);
@@ -278,14 +356,68 @@ fn run_pass(
     )
 }
 
-/// Runs the sustained-load benchmark: serial reference then pooled pass
-/// over the identical workload.
+/// One degraded-mode pass: a fresh health-enabled service, an untimed warm
+/// traversal, then every shard forced `Degraded` (frozen there — see
+/// [`frozen_health`]) and the workload timed. Writes take the counted
+/// full-AES fail-safe path and the memo table is bypassed, so this is the
+/// floor a faulted tenant pays while the circuit breaker decides.
+fn run_degraded_pass(
+    cfg: &ServiceBenchConfig,
+    batches: &[Vec<Access>],
+    jobs: usize,
+) -> ComponentResult {
+    let (service, _handles) = build_service(cfg, Some(frozen_health()));
+    let mut checksum = 0u64;
+    for batch in batches {
+        let results = service.submit_with_jobs(batch, cfg.shards);
+        checksum = checksum.rotate_left(9) ^ digest_results(&results);
+    }
+    for shard in 0..cfg.shards {
+        service.force_degraded(shard);
+    }
+    let start = Instant::now();
+    let mut ops = 0u64;
+    for batch in batches {
+        let results = service.submit_with_jobs(batch, jobs);
+        checksum = checksum.rotate_left(9) ^ digest_results(&results);
+        ops += results.len() as u64;
+    }
+    ComponentResult {
+        ops,
+        seconds: start.elapsed().as_secs_f64(),
+        checksum,
+    }
+}
+
+/// Times one shard's quarantine → rebuild pass after the full workload has
+/// materialized its state: integrity-tree images re-derived from trusted
+/// counters, every stored data block's MAC re-verified.
+fn run_recovery_pass(cfg: &ServiceBenchConfig, batches: &[Vec<Access>]) -> RecoveryCost {
+    let (service, _handles) = build_service(cfg, Some(frozen_health()));
+    for batch in batches {
+        service.submit_with_jobs(batch, cfg.shards);
+    }
+    service.force_quarantine(0);
+    let start = Instant::now();
+    let report = service.try_rebuild(0).unwrap_or_default();
+    RecoveryCost {
+        seconds: start.elapsed().as_secs_f64(),
+        nodes_rebuilt: report.nodes_rebuilt,
+        data_verified: report.data_verified,
+    }
+}
+
+/// Runs the sustained-load benchmark: serial reference, pooled pass,
+/// degraded-mode pass, and recovery-cost probe over the identical
+/// workload.
 pub fn run(scale: Scale, jobs: usize) -> ServiceBenchReport {
     let cfg = ServiceBenchConfig::from_scale(scale);
     let coverage = rmcc_secmem::counters::CounterOrg::Morphable128.coverage() as u64;
     let batches = generate_batches(&cfg, coverage);
     let (serial, _) = run_pass(&cfg, &batches, 1);
     let (pooled, memo) = run_pass(&cfg, &batches, jobs.max(1));
+    let degraded = run_degraded_pass(&cfg, &batches, jobs.max(1));
+    let recovery = run_recovery_pass(&cfg, &batches);
     ServiceBenchReport {
         scale: scale.to_string(),
         jobs: jobs.max(1),
@@ -294,6 +426,8 @@ pub fn run(scale: Scale, jobs: usize) -> ServiceBenchReport {
         tenants: cfg.tenants,
         serial,
         pooled,
+        degraded,
+        recovery,
         memo,
     }
 }
@@ -333,6 +467,32 @@ mod tests {
         let det = rmcc_telemetry::export::parse_json_line(&r.deterministic_json())
             .expect("valid deterministic line");
         assert!(det.get("pooled_matches_serial").is_some());
+    }
+
+    #[test]
+    fn lifecycle_rows_are_populated() {
+        let r = run(Scale::Tiny, 2);
+        assert_eq!(
+            r.degraded.ops,
+            ServiceBenchConfig::from_scale(Scale::Tiny).total_accesses(),
+            "degraded pass serves the whole workload"
+        );
+        assert!(r.recovery.nodes_rebuilt > 0, "{:?}", r.recovery);
+        assert!(r.recovery.data_verified > 0, "{:?}", r.recovery);
+        let json = r.to_json();
+        for key in [
+            "degraded_accesses_per_s",
+            "rebuild_seconds",
+            "rebuild_nodes",
+            "rebuild_blocks_verified",
+            "rebuild_blocks_per_s",
+        ] {
+            assert!(json.contains(key), "timing row {key} missing");
+        }
+        assert!(
+            !r.deterministic_json().contains("degraded"),
+            "lifecycle rows are timing-only"
+        );
     }
 
     #[test]

@@ -66,6 +66,13 @@ impl ShardMemoConfig {
 
 /// One shard's mutable memoization state.
 struct MemoCore {
+    /// The build-time configuration, kept so a reset can reconstruct the
+    /// just-built state deterministically.
+    cfg: ShardMemoConfig,
+    /// Every group start seeded through [`MemoHandle::seed_groups`], in
+    /// seeding order — replayed on reset so a rebuilt shard's ladder is
+    /// identical to a never-faulted twin's.
+    seeds: Vec<u64>,
     table: MemoizationTable,
     budget: TrafficBudget,
     conformed_writes: u64,
@@ -84,6 +91,8 @@ fn lock(core: &Arc<Mutex<MemoCore>>) -> MutexGuard<'_, MemoCore> {
 /// corrupt — a live shard's table without touching the engine's API.
 pub fn memo_policy(cfg: &ShardMemoConfig) -> (Box<dyn CounterUpdatePolicy>, MemoHandle) {
     let core = Arc::new(Mutex::new(MemoCore {
+        cfg: *cfg,
+        seeds: Vec::new(),
         table: MemoizationTable::new(cfg.table),
         budget: TrafficBudget::with_epoch(cfg.budget_fraction, cfg.epoch_accesses),
         conformed_writes: 0,
@@ -142,6 +151,25 @@ impl CounterUpdatePolicy for MemoPolicy {
             _ => min_target,
         }
     }
+
+    /// Rebuild-time reset: discards every table entry (including poison
+    /// marks), replays the recorded seed ladder, and restarts the budget
+    /// ledger from its just-built configuration. Cumulative table tallies
+    /// survive (they are history, not state); the budget ledger's counters
+    /// restart with it, since spend/epoch position *is* its state.
+    fn reset(&mut self) {
+        let mut core = lock(&self.core);
+        core.table.reset_entries();
+        let seeds: Vec<u64> = core.seeds.clone();
+        core.table.seed_groups(seeds);
+        core.budget = TrafficBudget::with_epoch(core.cfg.budget_fraction, core.cfg.epoch_accesses);
+    }
+
+    /// Detected-but-unserved corrupted entries — the health monitor's
+    /// quarantine signal.
+    fn scrub(&mut self) -> u64 {
+        lock(&self.core).table.poisoned_entries()
+    }
 }
 
 /// The host-side handle to one shard's memoization state.
@@ -152,15 +180,32 @@ pub struct MemoHandle {
 
 impl MemoHandle {
     /// Seeds consecutive-value groups, one per `starts` entry (warm start,
-    /// mirroring the high-value monitor's insertions).
+    /// mirroring the high-value monitor's insertions). Seeds are recorded
+    /// so a rebuild-time [`CounterUpdatePolicy::reset`] can replay them.
     pub fn seed_groups(&self, starts: impl IntoIterator<Item = u64>) {
-        lock(&self.core).table.seed_groups(starts);
+        let mut core = lock(&self.core);
+        for s in starts {
+            core.seeds.push(s);
+            core.table.insert_group(s);
+        }
     }
 
     /// Poisons the cached entry for `value` if memoized (the fault
     /// harness's seam). Returns whether anything was corrupted.
     pub fn corrupt_entry(&self, value: u64) -> bool {
         lock(&self.core).table.corrupt_entry(value)
+    }
+
+    /// Poisons *every* memoized value at once — the massive-upset injection
+    /// that should trip a quarantine rather than entry-at-a-time healing.
+    /// Returns how many values were poisoned.
+    pub fn corrupt_all(&self) -> u64 {
+        lock(&self.core).table.corrupt_all_entries()
+    }
+
+    /// How many values are currently marked corrupted and unhealed.
+    pub fn poisoned_entries(&self) -> u64 {
+        lock(&self.core).table.poisoned_entries()
     }
 
     /// Whether `value` is currently memoized and trusted (no state change).
@@ -315,6 +360,33 @@ mod tests {
         }
         assert_eq!(handle.stats().budget_epochs, 3);
         assert_eq!(handle.stats().budget_accesses, 192);
+    }
+
+    #[test]
+    fn corrupt_all_then_scrub_then_reset_restores_seeded_ladder() {
+        let (mut policy, handle) = memo_policy(&short_cfg());
+        handle.seed_groups([1_000]);
+        policy.bump(0); // conform once so the budget has state
+        assert!(handle.corrupt_all() >= 8, "the whole group is poisoned");
+        assert_eq!(policy.scrub(), handle.poisoned_entries());
+        assert!(policy.scrub() > 0);
+
+        policy.reset();
+        assert_eq!(policy.scrub(), 0, "reset clears the poison");
+        assert!(handle.probe(1_000), "the seeded ladder is back");
+        let s = handle.stats();
+        assert_eq!(s.budget_spent, 0, "the ledger restarts");
+        assert_eq!(s.budget_accesses, 0);
+        assert_eq!(
+            s.conformed_writes, 1,
+            "cumulative write history survives the reset"
+        );
+        // The reset state behaves exactly like a fresh seeded policy.
+        let (mut fresh, fh) = memo_policy(&short_cfg());
+        fh.seed_groups([1_000]);
+        for current in [0u64, 1_000, 1_001, 5_000] {
+            assert_eq!(policy.bump(current), fresh.bump(current));
+        }
     }
 
     #[test]

@@ -249,6 +249,44 @@ impl MemoizationTable {
         }
     }
 
+    /// Marks *every* currently memoized value — live groups and MRU singles
+    /// alike — as corrupted: the massive-SRAM-upset injection a chaos
+    /// campaign uses to force a quarantine instead of entry-at-a-time
+    /// healing. Returns how many values were poisoned.
+    pub fn corrupt_all_entries(&mut self) -> u64 {
+        let size = self.cfg.group_size;
+        let mut values: Vec<u64> = self
+            .groups
+            .iter()
+            .flat_map(|g| g.start..g.start.saturating_add(size))
+            .collect();
+        values.extend(self.mru_values.iter().copied());
+        let mut poisoned = 0u64;
+        for v in values {
+            if self.poisoned.insert(v) {
+                poisoned = poisoned.saturating_add(1);
+            }
+        }
+        poisoned
+    }
+
+    /// The number of values currently marked corrupted and not yet healed —
+    /// a health monitor's scrub probe.
+    pub fn poisoned_entries(&self) -> u64 {
+        self.poisoned.len() as u64
+    }
+
+    /// Discards every entry — live groups, shadow ring, MRU singles, and
+    /// poison marks — returning the table to its just-constructed (empty)
+    /// state. Cumulative statistics are deliberately preserved: a rebuild
+    /// resets *state*, not *telemetry history*.
+    pub fn reset_entries(&mut self) {
+        self.groups.clear();
+        self.evicted.clear();
+        self.mru_values.clear();
+        self.poisoned.clear();
+    }
+
     /// Looks up the counter-only result for `value`, updating use counters,
     /// MRU recency, and statistics.
     ///
@@ -673,6 +711,51 @@ mod tests {
         assert!(t.in_live_group(5));
         assert_eq!(t.stats().shadow_promotions, 1);
         assert_eq!(t.stats().evictions, evictions_before + 1);
+    }
+
+    #[test]
+    fn corrupt_all_entries_poisons_every_memoized_value() {
+        let mut t = table();
+        t.insert_group(100);
+        for i in 0..17 {
+            t.insert_group(1000 + i * 100); // evicts the LFU along the way
+        }
+        t.lookup(103); // keep 100's group warm (it may have been evicted)
+        let n = t.corrupt_all_entries();
+        assert_eq!(t.poisoned_entries(), n);
+        assert!(n >= 16 * 8, "every live-group value is poisoned");
+        // No memoized value survives a probe.
+        for g in t.groups().to_vec() {
+            for v in g.start..g.start + t.config().group_size {
+                assert!(!t.probe(v), "value {v} must read corrupted");
+            }
+        }
+        // Healing one entry shrinks the poison set by one.
+        let victim = t.groups()[0].start;
+        assert_eq!(t.lookup(victim), LookupResult::Miss);
+        assert_eq!(t.poisoned_entries(), n - 1);
+        assert_eq!(t.stats().fallbacks, 1);
+    }
+
+    #[test]
+    fn reset_entries_empties_state_but_keeps_stats() {
+        let mut t = table();
+        for i in 0..17 {
+            t.insert_group(i * 100);
+        }
+        t.lookup(3); // MRU harvest from the evicted group
+        t.corrupt_all_entries();
+        let stats = t.stats();
+        assert!(stats.insertions > 0 && stats.misses > 0);
+        t.reset_entries();
+        assert!(t.groups().is_empty());
+        assert_eq!(t.poisoned_entries(), 0);
+        assert_eq!(t.max_counter_in_table(), None);
+        assert_eq!(t.stats(), stats, "history survives the reset");
+        // The table works again from scratch.
+        t.insert_group(500);
+        assert_eq!(t.lookup(503), LookupResult::GroupHit);
+        assert_eq!(t.lookup(3), LookupResult::Miss, "old MRU copies are gone");
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //!   one shard's memoization table must stay invisible to every other
 //!   shard while the victim degrades to counted full-AES fallbacks and
 //!   heals.
+//! * [`chaos`] — the shard-lifecycle chaos campaign: policy panics,
+//!   counter saturation, whole-table memo upsets, and node-image attacks
+//!   injected under mixed zipfian load against a health-enabled service,
+//!   asserting quarantine, containment, epoch-counted recovery, and
+//!   byte-identical state versus a never-faulted control twin.
 //!
 //! The invariant that matters, asserted by the campaign tests: **every
 //! integrity-affecting fault is detected as a `ReadError`, and no fault
@@ -42,9 +47,14 @@
 #![deny(missing_docs)]
 
 pub mod campaign;
+pub mod chaos;
 pub mod inject;
 pub mod service;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, KindTally};
+pub use chaos::{
+    run_chaos_campaign, ChaosConfig, ChaosFaultClass, ChaosFuse, ChaosPolicy, ChaosReport,
+    ChaosServiceHarness, ClassOutcome, FuseMode,
+};
 pub use inject::{FaultHarness, FaultKind, FaultOutcome, FaultRng};
 pub use service::{RoundReport, ServiceFaultHarness, LADDER_SEED};

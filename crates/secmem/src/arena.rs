@@ -158,6 +158,20 @@ impl<T> PagedArena<T> {
             .flatten()
             .flat_map(|page| page.iter().flatten())
     }
+
+    /// Iterates over `(index, value)` pairs of the occupied slots in index
+    /// order — the walk a rebuild pass uses to visit every stored entry at
+    /// its addressable location.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.pages.iter().enumerate().flat_map(|(p, page)| {
+            page.iter().flat_map(move |slots| {
+                slots.iter().enumerate().filter_map(move |(s, slot)| {
+                    slot.as_ref()
+                        .map(|v| (((p as u64) << PAGE_BITS) | s as u64, v))
+                })
+            })
+        })
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +210,18 @@ mod tests {
         assert_eq!(arena.get((1 << 20) - 1), None);
         let all: Vec<u32> = arena.values().copied().collect();
         assert_eq!(all, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn entries_yield_index_value_pairs_in_order() {
+        let mut arena = PagedArena::new();
+        arena.insert(3, 30u32);
+        arena.insert((1 << 20) + 5, 50);
+        arena.insert(1 << 20, 40);
+        let all: Vec<(u64, u32)> = arena.entries().map(|(i, v)| (i, *v)).collect();
+        assert_eq!(all, vec![(3, 30), (1 << 20, 40), ((1 << 20) + 5, 50)]);
+        let empty: PagedArena<u32> = PagedArena::new();
+        assert_eq!(empty.entries().count(), 0);
     }
 
     #[test]

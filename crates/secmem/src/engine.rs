@@ -28,6 +28,20 @@ pub trait CounterUpdatePolicy: Send {
     /// The relevel target when an update overflows; must be ≥ `min_target`
     /// (baseline: exactly `min_target`; RMCC: nearest memoized ≥ it).
     fn relevel_target(&mut self, min_target: u64) -> u64;
+
+    /// Discards all transient policy state (memo table contents, budget
+    /// ledger position) and returns to the just-constructed configuration.
+    /// Called by a shard rebuild so the policy cannot carry corrupted
+    /// entries across readmission. Stateless policies need do nothing.
+    fn reset(&mut self) {}
+
+    /// The number of entries the policy currently knows to be corrupted
+    /// (detected but not yet served/cleared). A health monitor treats a
+    /// nonzero answer as a reason to quarantine. Stateless policies report
+    /// zero.
+    fn scrub(&mut self) -> u64 {
+        0
+    }
 }
 
 /// The baseline policy: increment by one, relevel to the minimum legal
@@ -221,6 +235,37 @@ pub struct DataSnapshot {
     data: StoredData,
 }
 
+/// The outcome of a rebuild pass ([`SecureMemory::rebuild`]): how much of
+/// the untrusted image was re-derived from trusted state and how much of
+/// the ciphertext backing store survived re-verification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RebuildReport {
+    /// Metadata node images recomputed (and re-MACed) from trusted state.
+    pub nodes_rebuilt: u64,
+    /// Stored data blocks whose MAC re-verified under the trusted counter.
+    pub data_verified: u64,
+    /// Stored data blocks whose MAC failed even under the trusted counter —
+    /// the ciphertext or MAC image itself is damaged, so the block cannot
+    /// be recovered from the backing store.
+    pub data_unrecoverable: u64,
+}
+
+impl RebuildReport {
+    /// Whether every stored data block survived re-verification.
+    pub fn is_clean(&self) -> bool {
+        self.data_unrecoverable == 0
+    }
+}
+
+/// splitmix64 — the digest mixer used by [`SecureMemory::state_digest`].
+#[inline]
+fn digest_mix(z: u64) -> u64 {
+    let mut z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// Serializes a counter block into the 64 B image the MAC covers. This is a
 /// digest of the architectural state rather than the exact wire format —
 /// collision-free for all practical purposes, and any change to any counter
@@ -393,15 +438,46 @@ impl SecureMemory {
     /// Both refusals happen *before* any state is mutated: previously
     /// written blocks remain readable and byte-identical.
     pub fn write(&mut self, block: u64, plaintext: DataBlock) -> Result<(), WriteError> {
+        self.write_impl(block, plaintext, true)
+    }
+
+    /// Encrypts and stores `plaintext` like [`Self::write`], but bypasses
+    /// the counter-update policy entirely: the counter advances by exactly
+    /// one and relevels go to the minimum legal target, so no memoization
+    /// state is consulted or mutated. This is the degraded-mode path a
+    /// health monitor routes writes through while a shard's memo table is
+    /// suspect — every pad is paid at full AES cost.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::write`].
+    pub fn write_baseline(&mut self, block: u64, plaintext: DataBlock) -> Result<(), WriteError> {
+        self.write_impl(block, plaintext, false)
+    }
+
+    fn write_impl(
+        &mut self,
+        block: u64,
+        plaintext: DataBlock,
+        use_policy: bool,
+    ) -> Result<(), WriteError> {
         self.meta.layout().check_data_block(block)?;
         let current = self.meta.data_counter(block);
-        let target = self.policy.bump(current);
+        let target = if use_policy {
+            self.policy.bump(current)
+        } else {
+            current.saturating_add(1)
+        };
         assert!(target > current, "policy must increase the counter");
         if target > COUNTER_MAX {
             return Err(WriteError::CounterSaturated { counter: current });
         }
         if let Err(overflow) = self.meta.write_data_counter(block, target) {
-            let relevel_to = self.policy.relevel_target(overflow.min_relevel_target);
+            let relevel_to = if use_policy {
+                self.policy.relevel_target(overflow.min_relevel_target)
+            } else {
+                overflow.min_relevel_target
+            };
             assert!(relevel_to >= overflow.min_relevel_target);
             if relevel_to > COUNTER_MAX {
                 return Err(WriteError::CounterSaturated { counter: current });
@@ -564,6 +640,88 @@ impl SecureMemory {
         let image = node_image(self.meta.block(level, idx));
         let mac = compute_mac(&self.mac_keys, &image, mac_pad);
         self.store_node(level, idx, StoredNode { image, mac });
+    }
+
+    // --- recovery interface ------------------------------------------------
+
+    /// Resets the counter-update policy's transient state (memo table
+    /// contents, budget ledger) to its just-built configuration. Trusted
+    /// counters, stored ciphertext, and node images are untouched — this is
+    /// the memo half of a shard rebuild.
+    pub fn reset_policy(&mut self) {
+        self.policy.reset();
+    }
+
+    /// Asks the policy how many entries it currently knows to be corrupted
+    /// (see [`CounterUpdatePolicy::scrub`]). Zero means the policy has no
+    /// detected-but-unserved damage.
+    pub fn scrub_policy(&mut self) -> u64 {
+        self.policy.scrub()
+    }
+
+    /// Reconstructs the untrusted integrity-tree image from trusted state
+    /// and re-verifies every stored data block's MAC — the deterministic
+    /// rebuild pass a quarantined shard runs before readmission.
+    ///
+    /// Every stored node image is recomputed (and re-MACed) from the
+    /// trusted counter tree, wiping any replayed or forged image an
+    /// attacker planted. Every stored ciphertext is then re-verified under
+    /// its trusted counter; blocks whose MAC fails even there are counted
+    /// as unrecoverable (their backing-store image itself is damaged).
+    /// Cumulative telemetry (crypto tallies, overflow counts) still grows —
+    /// the rebuild pays real pad and verify work.
+    pub fn rebuild(&mut self) -> RebuildReport {
+        let mut report = RebuildReport::default();
+        // Phase 1: re-derive every stored node image from trusted state.
+        let mut locations: Vec<(usize, u64)> = Vec::new();
+        for (level, arena) in self.nodes.iter().enumerate() {
+            locations.extend(arena.entries().map(|(idx, _)| (level, idx)));
+        }
+        for (level, idx) in locations {
+            self.refresh_node_mac(level, idx);
+            report.nodes_rebuilt = report.nodes_rebuilt.saturating_add(1);
+        }
+        // Phase 2: re-verify every stored ciphertext under its trusted
+        // counter. (Collected first: pad derivation needs `&mut self`.)
+        let blocks: Vec<(u64, StoredData)> = self.data.entries().map(|(b, s)| (b, *s)).collect();
+        for (block, stored) in blocks {
+            let counter = self.meta.data_counter(block);
+            let pads = self.pads_for(block, counter);
+            self.crypto.verify_mac();
+            if verify_mac(&self.mac_keys, &stored.cipher, pads.mac, stored.mac) {
+                report.data_verified = report.data_verified.saturating_add(1);
+            } else {
+                report.data_unrecoverable = report.data_unrecoverable.saturating_add(1);
+            }
+        }
+        report
+    }
+
+    /// Order-sensitive fingerprint of the engine's *architectural* state:
+    /// the trusted counter tree plus every stored data and node image.
+    /// Cumulative telemetry (crypto tallies, overflow-re-encryption counts)
+    /// is deliberately excluded, so a rebuilt shard can be compared
+    /// byte-for-byte against a never-faulted control twin whose history
+    /// differs only in fallback accounting.
+    pub fn state_digest(&self) -> u64 {
+        let mut acc = self.meta.state_digest();
+        for (block, stored) in self.data.entries() {
+            acc = digest_mix(acc ^ block);
+            for &byte in &stored.cipher {
+                acc = acc.rotate_left(8) ^ u64::from(byte);
+            }
+            acc = digest_mix(acc ^ stored.mac);
+        }
+        for (level, arena) in self.nodes.iter().enumerate() {
+            for (idx, node) in arena.entries() {
+                acc = digest_mix(acc ^ ((level as u64) << 48) ^ idx);
+                for &byte in &node.image {
+                    acc = acc.rotate_left(8) ^ u64::from(byte);
+                }
+                acc = digest_mix(acc ^ node.mac);
+            }
+        }
+        digest_mix(acc)
     }
 
     // --- attacker interface ------------------------------------------------
@@ -996,5 +1154,101 @@ mod tests {
         assert!(matches!(err, WriteError::CounterSaturated { .. }));
         // …and refusal is fail-safe: nothing was stored, nothing corrupted.
         assert_eq!(sat.read(5), Err(ReadError::Unwritten { block: 5 }));
+    }
+
+    #[test]
+    fn write_baseline_matches_increment_policy_writes() {
+        // A baseline write on any engine behaves exactly like a policy
+        // write on an IncrementPolicy engine: same counters, same stored
+        // images, same digest.
+        let mut a = mem(PipelineKind::Rmcc);
+        let mut b = mem(PipelineKind::Rmcc);
+        for round in 0..3u8 {
+            for block in [0u64, 1, 7, 130] {
+                let pt = [round ^ block as u8; 64];
+                a.write(block, pt).unwrap();
+                b.write_baseline(block, pt).unwrap();
+            }
+        }
+        assert_eq!(a.state_digest(), b.state_digest());
+        assert_eq!(a.counter_of(7), b.counter_of(7));
+        assert_eq!(b.read(130).unwrap(), [2 ^ 130u8; 64]);
+    }
+
+    #[test]
+    fn state_digest_tracks_architectural_state_not_telemetry() {
+        let mut a = mem(PipelineKind::Rmcc);
+        let mut b = mem(PipelineKind::Rmcc);
+        assert_eq!(a.state_digest(), b.state_digest(), "fresh twins agree");
+        a.write(3, [1u8; 64]).unwrap();
+        assert_ne!(a.state_digest(), b.state_digest(), "a write is visible");
+        b.write(3, [1u8; 64]).unwrap();
+        let agreed = a.state_digest();
+        assert_eq!(agreed, b.state_digest(), "same history, same digest");
+        // Reads pay crypto cost but change no architectural state.
+        a.read(3).unwrap();
+        a.read(3).unwrap();
+        assert_eq!(a.state_digest(), agreed, "telemetry is excluded");
+        // Tampering with the untrusted image is visible.
+        a.tamper_mac(3, 1).unwrap();
+        assert_ne!(a.state_digest(), agreed);
+    }
+
+    #[test]
+    fn rebuild_heals_replayed_and_forged_node_images() {
+        let mut m = mem(PipelineKind::Rmcc);
+        let mut twin = mem(PipelineKind::Rmcc);
+        for blk in [0u64, 5, 9, 200] {
+            m.write(blk, [blk as u8; 64]).unwrap();
+            twin.write(blk, [blk as u8; 64]).unwrap();
+        }
+        let l0 = m.layout().l0_index(5);
+        let stale = m.snapshot_node(0, l0).unwrap();
+        m.write(5, [0x44u8; 64]).unwrap();
+        twin.write(5, [0x44u8; 64]).unwrap();
+        m.replay_node(&stale);
+        m.forge_node_counters(0, m.layout().l0_index(200), COUNTER_MAX)
+            .unwrap();
+        assert_eq!(m.read(5), Err(ReadError::MetadataTampered { level: 0 }));
+        assert_ne!(m.state_digest(), twin.state_digest());
+
+        let report = m.rebuild();
+        assert!(report.is_clean(), "backing store was never touched");
+        assert_eq!(report.data_verified, 4);
+        assert!(report.nodes_rebuilt > 0);
+        assert_eq!(
+            m.state_digest(),
+            twin.state_digest(),
+            "rebuilt state is byte-identical to the never-faulted twin"
+        );
+        for blk in [0u64, 9, 200] {
+            assert_eq!(m.read(blk).unwrap(), [blk as u8; 64]);
+        }
+        assert_eq!(m.read(5).unwrap(), [0x44u8; 64]);
+    }
+
+    #[test]
+    fn rebuild_counts_damaged_ciphertext_as_unrecoverable() {
+        let mut m = mem(PipelineKind::Rmcc);
+        m.write(1, [1u8; 64]).unwrap();
+        m.write(2, [2u8; 64]).unwrap();
+        m.tamper_data(2, 0, 0xff).unwrap();
+        let report = m.rebuild();
+        assert!(!report.is_clean());
+        assert_eq!(report.data_verified, 1);
+        assert_eq!(report.data_unrecoverable, 1);
+        // The undamaged block still reads; the damaged one still fails.
+        assert_eq!(m.read(1).unwrap(), [1u8; 64]);
+        assert_eq!(m.read(2), Err(ReadError::DataTampered { block: 2 }));
+    }
+
+    #[test]
+    fn default_policy_reset_and_scrub_are_noops() {
+        let mut m = mem(PipelineKind::Rmcc);
+        m.write(3, [7u8; 64]).unwrap();
+        let before = m.state_digest();
+        m.reset_policy();
+        assert_eq!(m.scrub_policy(), 0);
+        assert_eq!(m.state_digest(), before);
     }
 }

@@ -41,11 +41,12 @@ pub mod tree;
 pub use counters::{CounterBlock, CounterOrg, WouldOverflow};
 pub use engine::{
     CounterUpdatePolicy, DataSnapshot, IncrementPolicy, NodeSnapshot, PipelineKind, ReadError,
-    SecureMemory, TamperError, WriteError,
+    RebuildReport, SecureMemory, TamperError, WriteError,
 };
 pub use layout::{LayoutError, MetadataLayout, BLOCK_BYTES};
 pub use service::{
-    digest_results, jobs_from_env, serial_reference, Access, AccessResult, SecureMemoryService,
-    ServiceConfig, ServiceSnapshot,
+    digest_results, jobs_from_env, serial_reference, Access, AccessResult, HealthConfig,
+    SecureMemoryService, ServiceConfig, ServiceSnapshot, ShardFaultCause, ShardHealth,
+    ShardHealthStats,
 };
 pub use tree::{InitPolicy, MetadataState, RANDOM_INIT_MEAN};

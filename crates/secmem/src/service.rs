@@ -35,6 +35,16 @@
 //!   surfaced per entry as typed [`AccessResult`] variants; one bad access
 //!   (or even a panicking shard, isolated via `catch_unwind`) never fails
 //!   the whole batch.
+//! * **Per-shard health lifecycle (opt-in).** A service built with a
+//!   [`HealthConfig`] runs a deterministic circuit breaker per shard:
+//!   `Healthy → Degraded → Quarantined → Rebuilding → Healthy`, every
+//!   threshold counted in the shard's own accesses (never wall-clock).
+//!   Degraded shards bypass the memo table via the full-AES baseline write
+//!   path; Quarantined/Rebuilding shards reject writes with a typed
+//!   [`ShardFaultCause`]; the rebuild pass reconstructs the integrity tree
+//!   from trusted state, re-verifies every stored MAC, and resets the
+//!   shard's policy before readmission. Without a `HealthConfig` the
+//!   service behaves exactly as before — no monitoring, no rejection.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -46,7 +56,8 @@ use rmcc_crypto::stats::CryptoStats;
 
 use crate::counters::CounterOrg;
 use crate::engine::{
-    CounterUpdatePolicy, IncrementPolicy, PipelineKind, ReadError, SecureMemory, WriteError,
+    CounterUpdatePolicy, IncrementPolicy, PipelineKind, ReadError, RebuildReport, SecureMemory,
+    WriteError,
 };
 
 /// One request in a batch submitted to the service.
@@ -93,10 +104,46 @@ pub enum AccessResult {
     ReadFailed(ReadError),
     /// Write refused with the engine's typed error; no state was mutated.
     WriteFailed(WriteError),
-    /// The owning shard panicked while servicing this entry. The panic is
+    /// The owning shard could not service this entry. The fault is
     /// contained to the shard (other shards and other batches are
-    /// unaffected) and tallied in [`SecureMemoryService::fault_count`].
-    ShardFault,
+    /// unaffected); panics are additionally tallied in
+    /// [`SecureMemoryService::fault_count`]. The shard index and typed
+    /// cause let a caller retry exactly the affected entries — e.g. resubmit
+    /// `Quarantined`-rejected writes after the shard reports `Healthy` —
+    /// instead of replaying the whole batch.
+    ShardFault {
+        /// The shard that owned (and failed) this entry.
+        shard: usize,
+        /// Why the shard could not serve it.
+        cause: ShardFaultCause,
+    },
+}
+
+/// Why a shard produced an [`AccessResult::ShardFault`] for an entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShardFaultCause {
+    /// The engine panicked servicing the entry; the panic was contained.
+    Panicked,
+    /// The shard is quarantined and rejects writes until it is rebuilt and
+    /// readmitted (reads are still served — they cannot corrupt state).
+    Quarantined,
+    /// The shard is mid-rebuild and rejects writes until readmission.
+    Rebuilding,
+    /// Internal bookkeeping failure (unreachable index bounds); reported
+    /// rather than panicking.
+    Internal,
+}
+
+impl ShardFaultCause {
+    /// Stable small code for digests and telemetry.
+    fn code(self) -> u64 {
+        match self {
+            ShardFaultCause::Panicked => 1,
+            ShardFaultCause::Quarantined => 2,
+            ShardFaultCause::Rebuilding => 3,
+            ShardFaultCause::Internal => 4,
+        }
+    }
 }
 
 impl AccessResult {
@@ -133,7 +180,9 @@ impl AccessResult {
                 };
                 splitmix64(acc ^ 0xF4 ^ (code << 8) ^ splitmix64(detail))
             }
-            AccessResult::ShardFault => splitmix64(acc ^ 0x0F),
+            AccessResult::ShardFault { shard, cause } => {
+                splitmix64(acc ^ 0x0F ^ (cause.code() << 8) ^ splitmix64(shard as u64))
+            }
         }
     }
 }
@@ -149,6 +198,113 @@ pub fn digest_results(results: &[AccessResult]) -> u64 {
         .fold(0xCBF2_9CE4_8422_2325, |acc, (i, r)| {
             r.fold_into(splitmix64(acc ^ i as u64))
         })
+}
+
+/// One shard's position in the health lifecycle (DESIGN.md §12):
+/// `Healthy → Degraded → Quarantined → Rebuilding → Healthy`, driven by a
+/// per-epoch fault-rate circuit breaker — every threshold is counted in
+/// accesses, never wall-clock, so the lifecycle is as deterministic as the
+/// data path it protects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShardHealth {
+    /// Serving normally through the counter-update policy.
+    Healthy,
+    /// Serving, but writes bypass the memo table via the counted full-AES
+    /// baseline path ([`SecureMemory::write_baseline`]); recovers after
+    /// enough consecutive clean epochs.
+    Degraded,
+    /// Rejecting writes ([`ShardFaultCause::Quarantined`]) while the fault
+    /// source drains; reads are still served. After a counted number of
+    /// epochs the shard moves to `Rebuilding`.
+    Quarantined,
+    /// Still rejecting writes; the next epoch boundary runs the rebuild
+    /// pass ([`SecureMemory::rebuild`]) and readmits the shard if every
+    /// stored MAC re-verifies.
+    Rebuilding,
+}
+
+impl ShardHealth {
+    /// Stable small code for telemetry gauges (0 = Healthy … 3 =
+    /// Rebuilding).
+    pub fn code(self) -> u64 {
+        match self {
+            ShardHealth::Healthy => 0,
+            ShardHealth::Degraded => 1,
+            ShardHealth::Quarantined => 2,
+            ShardHealth::Rebuilding => 3,
+        }
+    }
+}
+
+/// Circuit-breaker thresholds for the per-shard health lifecycle. All
+/// quantities are counted per shard in *accesses* (the shard's own traffic),
+/// preserving the §9 determinism contract: a given per-shard access sequence
+/// always produces the same lifecycle trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Accesses per health epoch (the fault-rate window; clamped to ≥ 1).
+    pub epoch_accesses: u64,
+    /// Integrity faults within one window that demote a Healthy shard to
+    /// Degraded.
+    pub degrade_faults: u64,
+    /// Integrity faults within one window that quarantine the shard
+    /// outright. Counter saturation and detected memo corruption quarantine
+    /// immediately regardless of this threshold.
+    pub quarantine_faults: u64,
+    /// Consecutive fault-free windows a Degraded shard must serve before
+    /// readmission to Healthy.
+    pub recover_epochs: u64,
+    /// Windows a shard stays Quarantined (attempt-counted backoff, letting
+    /// in-flight fault pressure drain) before the rebuild pass runs.
+    pub quarantine_epochs: u64,
+}
+
+impl HealthConfig {
+    /// Conservative defaults: 256-access windows, degrade at 2 faults,
+    /// quarantine at 8, two clean windows to recover, one window of
+    /// quarantine backoff.
+    pub fn new() -> Self {
+        HealthConfig {
+            epoch_accesses: 256,
+            degrade_faults: 2,
+            quarantine_faults: 8,
+            recover_epochs: 2,
+            quarantine_epochs: 1,
+        }
+    }
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Cumulative health-lifecycle tallies for one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardHealthStats {
+    /// Current lifecycle state.
+    pub health: ShardHealth,
+    /// Completed health epochs (windows).
+    pub health_epochs: u64,
+    /// Integrity faults the monitor has counted (tamper-detected reads,
+    /// saturated writes, panics, detected memo corruption).
+    pub faults: u64,
+    /// Accesses served on the degraded full-AES path.
+    pub degraded_accesses: u64,
+    /// Writes rejected while Quarantined or Rebuilding.
+    pub rejected_writes: u64,
+    /// Healthy → Degraded transitions.
+    pub degrades: u64,
+    /// Transitions into Quarantined (from any state).
+    pub quarantines: u64,
+    /// Successful rebuilds (readmissions to Healthy).
+    pub rebuilds: u64,
+    /// Rebuild passes that found unrecoverable blocks and re-quarantined.
+    pub failed_rebuilds: u64,
+    /// Stored blocks whose MAC failed even under trusted counters, summed
+    /// over failed rebuild passes.
+    pub unrecoverable_blocks: u64,
 }
 
 /// How to build a [`SecureMemoryService`]. Two equal configs (plus equal
@@ -171,6 +327,10 @@ pub struct ServiceConfig {
     /// Default worker-pool width for [`SecureMemoryService::submit`]
     /// (clamped to ≥ 1; tunable later via copy-on-write reconfiguration).
     pub jobs: usize,
+    /// Per-shard health lifecycle thresholds. `None` (the default) disables
+    /// health monitoring entirely: no state machine, no degraded routing,
+    /// no write rejection — byte-identical to the pre-lifecycle service.
+    pub health: Option<HealthConfig>,
 }
 
 impl ServiceConfig {
@@ -184,12 +344,19 @@ impl ServiceConfig {
             pipeline: PipelineKind::Rmcc,
             key_seed: 0x0005_EED0_0F5E_C3E7,
             jobs: 1,
+            health: None,
         }
     }
 
     /// The same config with a different default pool width.
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The same config with the health lifecycle enabled.
+    pub fn with_health(mut self, health: HealthConfig) -> Self {
+        self.health = Some(health);
         self
     }
 }
@@ -261,10 +428,185 @@ impl ServiceSnapshot {
     }
 }
 
-/// One shard: a full engine plus its fault tally.
+/// One shard's health monitor: the deterministic circuit breaker plus its
+/// cumulative tallies. Lives under the shard's mutex next to the engine, so
+/// every lifecycle decision is ordered with the accesses that caused it.
+struct HealthMonitor {
+    cfg: HealthConfig,
+    health: ShardHealth,
+    /// Accesses (served or rejected) in the current window.
+    window_accesses: u64,
+    /// Integrity faults in the current window.
+    window_faults: u64,
+    /// Consecutive clean windows while Degraded.
+    clean_epochs: u64,
+    /// Windows spent in the current Quarantined stint.
+    quarantine_age: u64,
+    health_epochs: u64,
+    faults: u64,
+    degraded_accesses: u64,
+    rejected_writes: u64,
+    degrades: u64,
+    quarantines: u64,
+    rebuilds: u64,
+    failed_rebuilds: u64,
+    unrecoverable_blocks: u64,
+}
+
+impl HealthMonitor {
+    fn new(cfg: HealthConfig) -> Self {
+        HealthMonitor {
+            cfg,
+            health: ShardHealth::Healthy,
+            window_accesses: 0,
+            window_faults: 0,
+            clean_epochs: 0,
+            quarantine_age: 0,
+            health_epochs: 0,
+            faults: 0,
+            degraded_accesses: 0,
+            rejected_writes: 0,
+            degrades: 0,
+            quarantines: 0,
+            rebuilds: 0,
+            failed_rebuilds: 0,
+            unrecoverable_blocks: 0,
+        }
+    }
+
+    fn stats(&self) -> ShardHealthStats {
+        ShardHealthStats {
+            health: self.health,
+            health_epochs: self.health_epochs,
+            faults: self.faults,
+            degraded_accesses: self.degraded_accesses,
+            rejected_writes: self.rejected_writes,
+            degrades: self.degrades,
+            quarantines: self.quarantines,
+            rebuilds: self.rebuilds,
+            failed_rebuilds: self.failed_rebuilds,
+            unrecoverable_blocks: self.unrecoverable_blocks,
+        }
+    }
+
+    /// Ticks the window for one served access.
+    fn note_access(&mut self, degraded: bool) {
+        self.window_accesses = self.window_accesses.saturating_add(1);
+        if degraded {
+            self.degraded_accesses = self.degraded_accesses.saturating_add(1);
+        }
+    }
+
+    /// Ticks the window for one rejected write. Rejected accesses still
+    /// advance the window so a quarantined shard under read-only pressure
+    /// keeps progressing toward its rebuild.
+    fn note_rejected_write(&mut self) {
+        self.window_accesses = self.window_accesses.saturating_add(1);
+        self.rejected_writes = self.rejected_writes.saturating_add(1);
+    }
+
+    /// Counts one integrity fault and applies the threshold transitions.
+    fn note_fault(&mut self) {
+        self.faults = self.faults.saturating_add(1);
+        self.window_faults = self.window_faults.saturating_add(1);
+        if self.window_faults >= self.cfg.quarantine_faults.max(1) {
+            self.quarantine();
+        } else if self.health == ShardHealth::Healthy
+            && self.window_faults >= self.cfg.degrade_faults.max(1)
+        {
+            self.degrade();
+        }
+    }
+
+    /// Moves to Quarantined unless already quarantined or rebuilding.
+    fn quarantine(&mut self) {
+        if !matches!(
+            self.health,
+            ShardHealth::Quarantined | ShardHealth::Rebuilding
+        ) {
+            self.health = ShardHealth::Quarantined;
+            self.quarantines = self.quarantines.saturating_add(1);
+            self.quarantine_age = 0;
+            self.clean_epochs = 0;
+        }
+    }
+
+    /// Moves a Healthy shard to Degraded.
+    fn degrade(&mut self) {
+        if self.health == ShardHealth::Healthy {
+            self.health = ShardHealth::Degraded;
+            self.degrades = self.degrades.saturating_add(1);
+            self.clean_epochs = 0;
+        }
+    }
+
+    /// Records a finished rebuild pass: readmit on a clean report,
+    /// re-quarantine otherwise.
+    fn finish_rebuild(&mut self, report: &RebuildReport) {
+        self.quarantine_age = 0;
+        self.clean_epochs = 0;
+        if report.is_clean() {
+            self.health = ShardHealth::Healthy;
+            self.rebuilds = self.rebuilds.saturating_add(1);
+        } else {
+            self.health = ShardHealth::Quarantined;
+            self.failed_rebuilds = self.failed_rebuilds.saturating_add(1);
+            self.unrecoverable_blocks = self
+                .unrecoverable_blocks
+                .saturating_add(report.data_unrecoverable);
+        }
+    }
+}
+
+/// One shard: a full engine, its fault tally, and (when the service was
+/// configured with [`HealthConfig`]) its lifecycle monitor.
 struct ShardState {
     mem: SecureMemory,
     faults: u64,
+    monitor: Option<HealthMonitor>,
+}
+
+impl ShardState {
+    /// Window-boundary processing: once the monitor's window fills, advance
+    /// the lifecycle — recover a clean Degraded shard, age a Quarantined
+    /// one toward its rebuild, and run the rebuild pass itself for a
+    /// Rebuilding shard — then reset the window counters.
+    fn roll_window(&mut self) {
+        let Some(mon) = self.monitor.as_mut() else {
+            return;
+        };
+        if mon.window_accesses < mon.cfg.epoch_accesses.max(1) {
+            return;
+        }
+        mon.health_epochs = mon.health_epochs.saturating_add(1);
+        match mon.health {
+            ShardHealth::Healthy => {}
+            ShardHealth::Degraded => {
+                if mon.window_faults == 0 {
+                    mon.clean_epochs = mon.clean_epochs.saturating_add(1);
+                    if mon.clean_epochs >= mon.cfg.recover_epochs.max(1) {
+                        mon.health = ShardHealth::Healthy;
+                        mon.clean_epochs = 0;
+                    }
+                } else {
+                    mon.clean_epochs = 0;
+                }
+            }
+            ShardHealth::Quarantined => {
+                mon.quarantine_age = mon.quarantine_age.saturating_add(1);
+                if mon.quarantine_age >= mon.cfg.quarantine_epochs.max(1) {
+                    mon.health = ShardHealth::Rebuilding;
+                }
+            }
+            ShardHealth::Rebuilding => {
+                let report = self.mem.rebuild();
+                self.mem.reset_policy();
+                mon.finish_rebuild(&report);
+            }
+        }
+        mon.window_accesses = 0;
+        mon.window_faults = 0;
+    }
 }
 
 /// A concurrent, sharded front end over N independent [`SecureMemory`]
@@ -311,6 +653,7 @@ impl SecureMemoryService {
                         policy_for(i),
                     ),
                     faults: 0,
+                    monitor: cfg.health.map(HealthMonitor::new),
                 })
             })
             .collect();
@@ -376,7 +719,14 @@ impl SecureMemoryService {
         }
         let busy = parts.iter().filter(|p| !p.is_empty()).count();
         let workers = jobs.max(1).min(busy.max(1));
-        let mut merged = vec![AccessResult::ShardFault; batch.len()];
+        // Placeholder overwritten by scatter (routing covers every index).
+        let mut merged = vec![
+            AccessResult::ShardFault {
+                shard: 0,
+                cause: ShardFaultCause::Internal,
+            };
+            batch.len()
+        ];
         if workers <= 1 {
             for (shard, indices) in parts.iter().enumerate() {
                 if indices.is_empty() {
@@ -426,26 +776,98 @@ impl SecureMemoryService {
     /// Runs one shard's sub-batch under its lock, isolating panics per
     /// entry. A poisoned lock is recovered (`into_inner`): the shard keeps
     /// serving, degraded, and the fault tally records the event.
+    ///
+    /// When the service was built with a [`HealthConfig`], this is also
+    /// where the lifecycle runs: detected memo corruption is checked
+    /// *before* any entry is served (a poisoned table must never influence
+    /// a write), Quarantined/Rebuilding shards reject writes with a typed
+    /// fault, Degraded shards route writes through the full-AES baseline
+    /// path, and every access ticks the circuit breaker's window.
     fn run_shard(&self, shard: usize, indices: &[usize], batch: &[Access]) -> Vec<AccessResult> {
+        let internal = AccessResult::ShardFault {
+            shard,
+            cause: ShardFaultCause::Internal,
+        };
         let mut out = Vec::with_capacity(indices.len());
         let Some(slot) = self.shards.get(shard) else {
-            out.resize(indices.len(), AccessResult::ShardFault);
+            out.resize(indices.len(), internal);
             return out;
         };
         let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+        // Sub-batch-start scrub: if the policy knows entries are corrupted
+        // (e.g. a detected SRAM upset), quarantine before serving anything —
+        // no access is ever steered by a known-bad table.
+        {
+            let state = &mut *guard;
+            if let Some(mon) = state.monitor.as_mut() {
+                if matches!(mon.health, ShardHealth::Healthy | ShardHealth::Degraded)
+                    && state.mem.scrub_policy() > 0
+                {
+                    mon.faults = mon.faults.saturating_add(1);
+                    mon.quarantine();
+                }
+            }
+        }
         for &i in indices {
             let Some(access) = batch.get(i) else {
-                out.push(AccessResult::ShardFault);
+                out.push(internal);
                 continue;
             };
             let state = &mut *guard;
-            match catch_unwind(AssertUnwindSafe(|| apply(&mut state.mem, access))) {
-                Ok(result) => out.push(result),
+            let health = state
+                .monitor
+                .as_ref()
+                .map_or(ShardHealth::Healthy, |m| m.health);
+            if matches!(health, ShardHealth::Quarantined | ShardHealth::Rebuilding)
+                && matches!(access, Access::Write { .. })
+            {
+                let cause = if health == ShardHealth::Quarantined {
+                    ShardFaultCause::Quarantined
+                } else {
+                    ShardFaultCause::Rebuilding
+                };
+                if let Some(mon) = state.monitor.as_mut() {
+                    mon.note_rejected_write();
+                }
+                out.push(AccessResult::ShardFault { shard, cause });
+                state.roll_window();
+                continue;
+            }
+            let degraded = health == ShardHealth::Degraded;
+            match catch_unwind(AssertUnwindSafe(|| apply(&mut state.mem, access, degraded))) {
+                Ok(result) => {
+                    if let Some(mon) = state.monitor.as_mut() {
+                        mon.note_access(degraded);
+                        match result {
+                            AccessResult::WriteFailed(WriteError::CounterSaturated { .. }) => {
+                                // Saturation means the shard needs key-renewal
+                                // scale recovery: quarantine immediately.
+                                mon.note_fault();
+                                mon.quarantine();
+                            }
+                            AccessResult::ReadFailed(
+                                ReadError::DataTampered { .. } | ReadError::MetadataTampered { .. },
+                            ) => mon.note_fault(),
+                            // Unwritten reads and layout errors are client
+                            // mistakes, not integrity faults.
+                            _ => {}
+                        }
+                    }
+                    out.push(result);
+                }
                 Err(_) => {
                     state.faults = state.faults.saturating_add(1);
-                    out.push(AccessResult::ShardFault);
+                    if let Some(mon) = state.monitor.as_mut() {
+                        mon.note_access(false);
+                        mon.note_fault();
+                    }
+                    out.push(AccessResult::ShardFault {
+                        shard,
+                        cause: ShardFaultCause::Panicked,
+                    });
                 }
             }
+            state.roll_window();
         }
         out
     }
@@ -467,6 +889,82 @@ impl SecureMemoryService {
         Some(guard.faults)
     }
 
+    // --- health lifecycle --------------------------------------------------
+
+    /// The shard's current lifecycle state. `None` for an out-of-range
+    /// shard or a service built without a [`HealthConfig`].
+    pub fn health(&self, shard: usize) -> Option<ShardHealth> {
+        let slot = self.shards.get(shard)?;
+        let guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.monitor.as_ref().map(|m| m.health)
+    }
+
+    /// The shard's cumulative health tallies. `None` for an out-of-range
+    /// shard or a service built without a [`HealthConfig`].
+    pub fn health_stats(&self, shard: usize) -> Option<ShardHealthStats> {
+        let slot = self.shards.get(shard)?;
+        let guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.monitor.as_ref().map(HealthMonitor::stats)
+    }
+
+    /// Host-forced quarantine (operator action / external detector).
+    /// Returns whether the shard exists and has a monitor to transition.
+    pub fn force_quarantine(&self, shard: usize) -> bool {
+        let Some(slot) = self.shards.get(shard) else {
+            return false;
+        };
+        let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+        match guard.monitor.as_mut() {
+            Some(mon) => {
+                mon.quarantine();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Host-forced degradation: subsequent writes take the full-AES
+    /// baseline path until the shard recovers. Returns whether the shard
+    /// exists and has a monitor to transition.
+    pub fn force_degraded(&self, shard: usize) -> bool {
+        let Some(slot) = self.shards.get(shard) else {
+            return false;
+        };
+        let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+        match guard.monitor.as_mut() {
+            Some(mon) => {
+                mon.degrade();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Host-driven immediate rebuild, bypassing the epoch-counted backoff:
+    /// runs the rebuild pass and the policy reset under the shard lock and
+    /// readmits the shard if the report is clean. `None` for an
+    /// out-of-range shard or a service without health monitoring.
+    pub fn try_rebuild(&self, shard: usize) -> Option<RebuildReport> {
+        let slot = self.shards.get(shard)?;
+        let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+        let state = &mut *guard;
+        let mon = state.monitor.as_mut()?;
+        let report = state.mem.rebuild();
+        state.mem.reset_policy();
+        mon.finish_rebuild(&report);
+        mon.window_accesses = 0;
+        mon.window_faults = 0;
+        Some(report)
+    }
+
+    /// The shard engine's architectural-state fingerprint
+    /// ([`SecureMemory::state_digest`]) — what the chaos campaign compares
+    /// against a never-faulted control twin. `None` for an out-of-range
+    /// shard. Available with or without health monitoring.
+    pub fn shard_state_digest(&self, shard: usize) -> Option<u64> {
+        self.with_shard(shard, |mem| mem.state_digest())
+    }
+
     /// Static-model crypto tallies, one per shard in shard order — the
     /// shard-labeled telemetry source.
     pub fn crypto_stats(&self) -> Vec<CryptoStats> {
@@ -482,19 +980,27 @@ impl SecureMemoryService {
 
 /// Applies one access to an engine, mapping engine errors to per-entry
 /// results. Shared by the service shards and [`serial_reference`] so both
-/// paths are the same code.
-fn apply(mem: &mut SecureMemory, access: &Access) -> AccessResult {
+/// paths are the same code. With `degraded` set, writes bypass the
+/// counter-update policy via the full-AES baseline path.
+fn apply(mem: &mut SecureMemory, access: &Access, degraded: bool) -> AccessResult {
     match *access {
         Access::Read { block } => match mem.read(block) {
             Ok(data) => AccessResult::Data(data),
             Err(e) => AccessResult::ReadFailed(e),
         },
-        Access::Write { block, data } => match mem.write(block, data) {
-            Ok(()) => AccessResult::Written {
-                counter: mem.counter_of(block),
-            },
-            Err(e) => AccessResult::WriteFailed(e),
-        },
+        Access::Write { block, data } => {
+            let written = if degraded {
+                mem.write_baseline(block, data)
+            } else {
+                mem.write(block, data)
+            };
+            match written {
+                Ok(()) => AccessResult::Written {
+                    counter: mem.counter_of(block),
+                },
+                Err(e) => AccessResult::WriteFailed(e),
+            }
+        }
     }
 }
 
@@ -512,7 +1018,7 @@ fn scatter(merged: &mut [AccessResult], indices: &[usize], results: &[AccessResu
 /// (for increment-policy services).
 pub fn serial_reference(cfg: &ServiceConfig, batch: &[Access]) -> Vec<AccessResult> {
     let mut mem = SecureMemory::new(cfg.org, cfg.data_bytes, cfg.pipeline, cfg.key_seed);
-    batch.iter().map(|a| apply(&mut mem, a)).collect()
+    batch.iter().map(|a| apply(&mut mem, a, false)).collect()
 }
 
 /// SplitMix64 — the routing/digest mixer (also the bench suite's PRNG).
@@ -680,6 +1186,206 @@ mod tests {
             Some(0),
             "tamper is an error, not a panic"
         );
+    }
+
+    /// A small-window health config for lifecycle tests.
+    fn tight_health() -> HealthConfig {
+        HealthConfig {
+            epoch_accesses: 4,
+            degrade_faults: 2,
+            quarantine_faults: 10,
+            recover_epochs: 2,
+            quarantine_epochs: 1,
+        }
+    }
+
+    #[test]
+    fn health_is_absent_unless_configured() {
+        let svc = SecureMemoryService::new(&ServiceConfig::new(2, 1 << 20));
+        assert_eq!(svc.health(0), None);
+        assert_eq!(svc.health_stats(0), None);
+        assert!(!svc.force_quarantine(0));
+        assert!(!svc.force_degraded(0));
+        assert!(svc.try_rebuild(0).is_none());
+        assert!(
+            svc.shard_state_digest(0).is_some(),
+            "digest needs no monitor"
+        );
+        let with = SecureMemoryService::new(
+            &ServiceConfig::new(2, 1 << 20).with_health(HealthConfig::new()),
+        );
+        assert_eq!(with.health(0), Some(ShardHealth::Healthy));
+        assert_eq!(with.health(99), None, "out of range");
+        assert!(!with.force_quarantine(99));
+    }
+
+    #[test]
+    fn tamper_faults_degrade_then_clean_windows_recover() {
+        let cfg = ServiceConfig::new(1, 1 << 20).with_health(tight_health());
+        let svc = SecureMemoryService::new(&cfg);
+        svc.submit_serial(&[Access::Write {
+            block: 0,
+            data: block_of(1),
+        }]);
+        svc.with_shard(0, |mem| mem.tamper_data(0, 3, 0x80).unwrap());
+        // Two tamper-detected reads in one window: Healthy → Degraded.
+        let r = svc.submit_serial(&[Access::Read { block: 0 }, Access::Read { block: 0 }]);
+        assert!(matches!(
+            r[0],
+            AccessResult::ReadFailed(ReadError::DataTampered { .. })
+        ));
+        assert_eq!(svc.health(0), Some(ShardHealth::Degraded));
+        // A degraded write still serves (full-AES baseline) and heals the
+        // tampered block.
+        let r = svc.submit_serial(&[
+            Access::Write {
+                block: 0,
+                data: block_of(2),
+            },
+            Access::Read { block: 0 },
+        ]);
+        assert!(matches!(r[0], AccessResult::Written { .. }));
+        assert_eq!(r[1], AccessResult::Data(block_of(2)));
+        let stats = svc.health_stats(0).unwrap();
+        assert_eq!(stats.degrades, 1);
+        assert!(stats.degraded_accesses >= 2);
+        assert_eq!(stats.faults, 2);
+        // Two consecutive clean windows readmit the shard.
+        let reads: Vec<Access> = (0..8).map(|_| Access::Read { block: 0 }).collect();
+        svc.submit_serial(&reads);
+        assert_eq!(svc.health(0), Some(ShardHealth::Healthy));
+        assert_eq!(svc.health_stats(0).unwrap().degrades, 1, "no flapping");
+    }
+
+    /// A policy that behaves like the baseline increment until its fuse is
+    /// armed, then returns an unsatisfiable target exactly once — the
+    /// counter-saturation injection.
+    struct FusedPolicy {
+        fuse: Arc<std::sync::atomic::AtomicBool>,
+    }
+    impl CounterUpdatePolicy for FusedPolicy {
+        fn bump(&mut self, current: u64) -> u64 {
+            if self.fuse.swap(false, Ordering::Relaxed) {
+                rmcc_crypto::otp::COUNTER_MAX + 1
+            } else {
+                current + 1
+            }
+        }
+        fn relevel_target(&mut self, min_target: u64) -> u64 {
+            min_target
+        }
+    }
+
+    #[test]
+    fn counter_saturation_quarantines_then_rebuild_readmits() {
+        let cfg = ServiceConfig::new(1, 1 << 20).with_health(tight_health());
+        let fuse = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let f = Arc::clone(&fuse);
+        let svc = SecureMemoryService::with_policies(&cfg, move |_| {
+            Box::new(FusedPolicy {
+                fuse: Arc::clone(&f),
+            })
+        });
+        let twin = SecureMemoryService::with_policies(&cfg, |_| {
+            Box::new(FusedPolicy {
+                fuse: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+            })
+        });
+        let w0 = Access::Write {
+            block: 0,
+            data: block_of(7),
+        };
+        svc.submit_serial(&[w0]);
+        twin.submit_serial(&[w0]);
+
+        // Saturated write: typed error, immediate quarantine, no mutation.
+        fuse.store(true, Ordering::Relaxed);
+        let r = svc.submit_serial(&[w0]);
+        assert!(matches!(
+            r[0],
+            AccessResult::WriteFailed(WriteError::CounterSaturated { .. })
+        ));
+        assert_eq!(svc.health(0), Some(ShardHealth::Quarantined));
+
+        // Quarantined: writes rejected with the typed cause, reads served.
+        let r = svc.submit_serial(&[w0, Access::Read { block: 0 }]);
+        assert_eq!(
+            r[0],
+            AccessResult::ShardFault {
+                shard: 0,
+                cause: ShardFaultCause::Quarantined
+            }
+        );
+        assert_eq!(r[1], AccessResult::Data(block_of(7)));
+        // That read was access 4: the window rolled, and one quarantine
+        // epoch elapsed → Rebuilding.
+        assert_eq!(svc.health(0), Some(ShardHealth::Rebuilding));
+        let r = svc.submit_serial(&[w0]);
+        assert_eq!(
+            r[0],
+            AccessResult::ShardFault {
+                shard: 0,
+                cause: ShardFaultCause::Rebuilding
+            }
+        );
+        // Fill the window with reads; the boundary runs the rebuild pass.
+        let reads: Vec<Access> = (0..3).map(|_| Access::Read { block: 0 }).collect();
+        svc.submit_serial(&reads);
+        assert_eq!(svc.health(0), Some(ShardHealth::Healthy));
+        let stats = svc.health_stats(0).unwrap();
+        assert_eq!(stats.quarantines, 1);
+        assert_eq!(stats.rebuilds, 1);
+        assert_eq!(stats.rejected_writes, 2);
+        assert_eq!(stats.unrecoverable_blocks, 0);
+
+        // Replay the refused write; the shard converges to the twin that
+        // never saw the fault.
+        let w2 = Access::Write {
+            block: 0,
+            data: block_of(8),
+        };
+        assert!(matches!(
+            svc.submit_serial(&[w2])[0],
+            AccessResult::Written { .. }
+        ));
+        twin.submit_serial(&[w2]);
+        assert_eq!(
+            svc.shard_state_digest(0),
+            twin.shard_state_digest(0),
+            "recovered shard is byte-identical to the never-faulted twin"
+        );
+    }
+
+    #[test]
+    fn forced_quarantine_and_host_driven_rebuild() {
+        let cfg = ServiceConfig::new(1, 1 << 20).with_health(tight_health());
+        let svc = SecureMemoryService::new(&cfg);
+        let w = Access::Write {
+            block: 5,
+            data: block_of(3),
+        };
+        svc.submit_serial(&[w]);
+        assert!(svc.force_quarantine(0));
+        let r = svc.submit_serial(&[w]);
+        assert_eq!(
+            r[0],
+            AccessResult::ShardFault {
+                shard: 0,
+                cause: ShardFaultCause::Quarantined
+            }
+        );
+        let report = svc.try_rebuild(0).unwrap();
+        assert!(report.is_clean());
+        assert!(report.data_verified >= 1);
+        assert_eq!(svc.health(0), Some(ShardHealth::Healthy));
+        assert!(matches!(
+            svc.submit_serial(&[w])[0],
+            AccessResult::Written { .. }
+        ));
+        let stats = svc.health_stats(0).unwrap();
+        assert_eq!(stats.quarantines, 1);
+        assert_eq!(stats.rebuilds, 1);
+        assert_eq!(stats.rejected_writes, 1);
     }
 
     #[test]

@@ -299,6 +299,24 @@ impl MetadataState {
         self.levels.get(level).map_or(0, PagedArena::len)
     }
 
+    /// Order-sensitive digest of every materialized counter block (all
+    /// levels, index order) plus the Observed-System-Max register — the
+    /// trusted half of an engine's state fingerprint. Two states with equal
+    /// digests hold byte-identical counters everywhere they have been
+    /// touched (up to hash collisions).
+    pub fn state_digest(&self) -> u64 {
+        let mut acc = 0x7472_7573_7465_6421u64; // "trusted!"
+        for (level, arena) in self.levels.iter().enumerate() {
+            for (index, cb) in arena.entries() {
+                acc = splitmix(acc ^ ((level as u64) << 48) ^ index);
+                for v in cb.values() {
+                    acc = splitmix(acc ^ v);
+                }
+            }
+        }
+        splitmix(acc ^ self.max_observed)
+    }
+
     /// Iterates over every *touched* data-block counter value along with the
     /// number of data blocks currently holding it — the source for the
     /// paper's Figure 15 coverage metric.

@@ -17,7 +17,7 @@
 
 use rmcc_core::shard::{aggregate_stats, memo_policy, MemoHandle, ShardMemoConfig, ShardMemoStats};
 use rmcc_secmem::service::{
-    digest_results, Access, AccessResult, SecureMemoryService, ServiceConfig,
+    digest_results, Access, AccessResult, HealthConfig, SecureMemoryService, ServiceConfig,
 };
 use rmcc_telemetry::{CounterId, MetricsRegistry, Telemetry};
 
@@ -55,6 +55,10 @@ pub struct ServiceRunConfig {
     /// Ladder seed: each shard's table starts with one group at this value
     /// (0 = cold start, no seeding).
     pub ladder_seed: u64,
+    /// Per-shard health lifecycle thresholds. `None` (the default) leaves
+    /// the lifecycle off and the telemetry schema exactly as before; `Some`
+    /// adds `shard{i}_health` gauges plus global lifecycle counters.
+    pub health: Option<HealthConfig>,
 }
 
 impl ServiceRunConfig {
@@ -75,6 +79,7 @@ impl ServiceRunConfig {
             memo_epoch_accesses: 512,
             budget_fraction: 0.25,
             ladder_seed: 4,
+            health: None,
         }
     }
 }
@@ -122,6 +127,15 @@ struct ShardIds {
     fallbacks: Vec<CounterId>,
 }
 
+/// Lifecycle telemetry handles, registered only for health-enabled runs.
+struct HealthIds {
+    degraded_accesses: CounterId,
+    rejected_writes: CounterId,
+    quarantines: CounterId,
+    rebuilds: CounterId,
+    per_shard: Vec<CounterId>,
+}
+
 /// Runs the sustained-load stream and returns telemetry plus tallies.
 pub fn run_service(cfg: &ServiceRunConfig) -> ServiceRunResult {
     let memo_cfg = {
@@ -130,17 +144,18 @@ pub fn run_service(cfg: &ServiceRunConfig) -> ServiceRunResult {
         m
     };
     let mut handles: Vec<MemoHandle> = Vec::with_capacity(cfg.shards.max(1));
-    let service = SecureMemoryService::with_policies(
-        &ServiceConfig::new(cfg.shards, cfg.data_bytes).with_jobs(cfg.jobs.max(1)),
-        |_| {
-            let (policy, handle) = memo_policy(&memo_cfg);
-            if cfg.ladder_seed > 0 {
-                handle.seed_groups([cfg.ladder_seed]);
-            }
-            handles.push(handle);
-            policy
-        },
-    );
+    let mut svc_cfg = ServiceConfig::new(cfg.shards, cfg.data_bytes).with_jobs(cfg.jobs.max(1));
+    if let Some(h) = cfg.health {
+        svc_cfg = svc_cfg.with_health(h);
+    }
+    let service = SecureMemoryService::with_policies(&svc_cfg, |_| {
+        let (policy, handle) = memo_policy(&memo_cfg);
+        if cfg.ladder_seed > 0 {
+            handle.seed_groups([cfg.ladder_seed]);
+        }
+        handles.push(handle);
+        policy
+    });
     let snap = service.snapshot();
     let shards = snap.shards();
     let coverage = snap.coverage();
@@ -164,6 +179,15 @@ pub fn run_service(cfg: &ServiceRunConfig) -> ServiceRunResult {
         table_hits: registry.shard_counters("table_hits", shards),
         fallbacks: registry.shard_counters("fallbacks", shards),
     };
+    // Lifecycle columns exist only when the lifecycle itself does, so a
+    // health-disabled run exports the exact pre-lifecycle schema.
+    let health_ids = cfg.health.map(|_| HealthIds {
+        degraded_accesses: registry.counter("degraded_accesses"),
+        rejected_writes: registry.counter("rejected_writes"),
+        quarantines: registry.counter("quarantines"),
+        rebuilds: registry.counter("rebuilds"),
+        per_shard: registry.shard_counters("health", shards),
+    });
     let mut tele = Telemetry::on(registry);
 
     let mut rng = cfg.seed | 1;
@@ -217,7 +241,7 @@ pub fn run_service(cfg: &ServiceRunConfig) -> ServiceRunResult {
                         reg.incr(writes_id, 1);
                         reg.incr(write_errors_id, 1);
                     }
-                    AccessResult::ShardFault => reg.incr(shard_faults_id, 1),
+                    AccessResult::ShardFault { .. } => reg.incr(shard_faults_id, 1),
                 }
             }
             // Mirror per-shard policy tallies absolutely (cumulative
@@ -241,6 +265,28 @@ pub fn run_service(cfg: &ServiceRunConfig) -> ServiceRunResult {
             reg.set_counter(conformed_id, agg.conformed_writes);
             reg.set_counter(baseline_id, agg.baseline_writes);
             reg.set_counter(budget_id, agg.budget_spent);
+            if let Some(hids) = &health_ids {
+                let mut degraded = 0u64;
+                let mut rejected = 0u64;
+                let mut quarantines = 0u64;
+                let mut rebuilds = 0u64;
+                for shard in 0..shards {
+                    let Some(hs) = service.health_stats(shard) else {
+                        continue;
+                    };
+                    degraded = degraded.saturating_add(hs.degraded_accesses);
+                    rejected = rejected.saturating_add(hs.rejected_writes);
+                    quarantines = quarantines.saturating_add(hs.quarantines);
+                    rebuilds = rebuilds.saturating_add(hs.rebuilds);
+                    if let Some(&id) = hids.per_shard.get(shard) {
+                        reg.set_counter(id, hs.health.code());
+                    }
+                }
+                reg.set_counter(hids.degraded_accesses, degraded);
+                reg.set_counter(hids.rejected_writes, rejected);
+                reg.set_counter(hids.quarantines, quarantines);
+                reg.set_counter(hids.rebuilds, rebuilds);
+            }
             if (b + 1) % cfg.epoch_batches.max(1) == 0 {
                 active.snapshot(epoch, accesses);
                 epoch += 1;
@@ -302,6 +348,42 @@ mod tests {
         let shard_sum: f64 = (0..4).map(|i| col(&format!("shard{i}_accesses"))).sum();
         assert!((shard_sum - col("accesses")).abs() < 0.5);
         assert!(col("shard_faults") == 0.0);
+    }
+
+    #[test]
+    fn health_columns_export_only_when_enabled() {
+        let base = run_service(&ServiceRunConfig::small());
+        assert!(
+            !base.jsonl.contains("shard0_health") && !base.jsonl.contains("\"quarantines\""),
+            "health-disabled schema must stay pre-lifecycle"
+        );
+
+        let mut cfg = ServiceRunConfig::small();
+        cfg.health = Some(HealthConfig::new());
+        let r = run_service(&cfg);
+        assert_eq!(r, run_service(&cfg), "health telemetry is deterministic");
+        let rows = rmcc_telemetry::parse_jsonl(&r.jsonl).expect("valid JSONL");
+        let last = rows.last().expect("nonempty");
+        let col = |k: &str| {
+            last.get(k)
+                .and_then(rmcc_telemetry::JsonValue::as_f64)
+                .unwrap_or(-1.0)
+        };
+        for i in 0..4 {
+            assert_eq!(
+                col(&format!("shard{i}_health")),
+                0.0,
+                "clean load keeps shard {i} Healthy"
+            );
+        }
+        assert_eq!(col("quarantines"), 0.0);
+        assert_eq!(col("rebuilds"), 0.0);
+        assert_eq!(col("degraded_accesses"), 0.0);
+        assert_eq!(col("rejected_writes"), 0.0);
+        assert_eq!(
+            r.checksum, base.checksum,
+            "enabling the lifecycle never changes clean-load results"
+        );
     }
 
     #[test]

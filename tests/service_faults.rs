@@ -1,12 +1,21 @@
-//! Per-shard fault isolation, end to end through the public facade.
+//! Per-shard fault isolation and lifecycle recovery, end to end through
+//! the public facade.
 //!
-//! The sharded service's blast-radius contract: poisoning one shard's
-//! memoization table (the `MemoCorruption` threat, applied through the
-//! shard's policy handle) must be invisible to every other shard — same
-//! results, same tallies — while the victim degrades to counted full-AES
-//! fallbacks, keeps returning correct plaintext, and self-heals.
+//! Two layers of contract:
+//!
+//! 1. **Blast radius** (health lifecycle off, the historical default):
+//!    poisoning one shard's memoization table must be invisible to every
+//!    other shard — same results, same tallies — while the victim degrades
+//!    to counted full-AES fallbacks, keeps returning correct plaintext,
+//!    and self-heals.
+//! 2. **Deterministic recovery** (health lifecycle on): for *any* single
+//!    injected fault class at *any* seed, the victim shard is quarantined,
+//!    rebuilt from the intact ciphertext backing store, and readmitted
+//!    with state — and all subsequent `submit` results — byte-identical to
+//!    a never-faulted control twin.
 
-use rmcc::faults::{ServiceFaultHarness, LADDER_SEED};
+use proptest::prelude::*;
+use rmcc::faults::{run_chaos_campaign, ChaosConfig, ServiceFaultHarness, LADDER_SEED};
 
 #[test]
 fn poisoned_shard_is_contained_while_it_heals() {
@@ -74,5 +83,37 @@ fn corrupting_every_shard_still_fails_safe() {
     );
     for shard in 0..4 {
         assert_eq!(r.per_shard_stats[shard].table.fallbacks, 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For any campaign seed and shard count, every injected fault class —
+    /// policy panic, counter saturation, whole-table memo poison, node
+    /// replay, forged counters — ends with the victim quarantined,
+    /// recovered to `Healthy`, contained (non-victim results untouched),
+    /// and byte-identical to the never-faulted control twin: the
+    /// architectural state digests match and the post-recovery `submit`
+    /// results agree entry for entry.
+    #[test]
+    fn any_single_fault_class_rebuilds_byte_identical_to_the_twin(
+        seed in 1u64..=u64::MAX,
+        shards in 2usize..=4,
+    ) {
+        let report = run_chaos_campaign(&ChaosConfig::new(shards, seed));
+        for o in &report.outcomes {
+            prop_assert!(o.quarantined, "{}: breaker never fired", o.class.name());
+            prop_assert!(o.recovered, "{}: never readmitted", o.class.name());
+            prop_assert!(o.containment_ok, "{}: fault leaked across shards", o.class.name());
+            prop_assert!(
+                o.twin_identical,
+                "{}: post-rebuild state diverged from the control twin",
+                o.class.name()
+            );
+        }
+        prop_assert!(report.final_all_healthy, "a shard ended unhealthy");
+        prop_assert!(report.final_digests_equal, "final state digests diverged");
+        prop_assert!(report.recovery_ok());
     }
 }
