@@ -190,7 +190,7 @@ fn parse_one(rest: &str) -> Result<(Vec<Rule>, Scope, String), String> {
         }
     }
     if rules.is_empty() {
-        return Err("no rules named (expected R1..R4)".to_string());
+        return Err("no rules named (expected R1..R7)".to_string());
     }
     let Some(reason) = reason else {
         return Err("missing required reason".to_string());

@@ -1,0 +1,268 @@
+//! Minimal JSON support for `--format json` and the baseline gate.
+//!
+//! The audit crate is deliberately dependency-free, so this module carries
+//! just enough JSON: an escaping writer for report output and a small
+//! recursive-descent parser for reading committed baseline files back. The
+//! parser accepts standard JSON (objects, arrays, strings with escapes,
+//! numbers, booleans, null) and rejects anything else with a positioned
+//! error — a corrupt baseline must fail the gate loudly, not silently pass.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order is irrelevant to the gate, so a sorted
+    /// map keeps lookups deterministic.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Appends `s` as a JSON string literal (with quotes) to `out`.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a complete JSON document.
+pub fn parse(src: &str) -> Result<Value, String> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut p = Parser { chars, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(format!("trailing content at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.bump() == Some(c) {
+            Ok(())
+        } else {
+            Err(format!("expected `{c}` at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some('t') => self.literal("true", Value::Bool(true)),
+            Some('f') => self.literal("false", Value::Bool(false)),
+            Some('n') => self.literal("null", Value::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at offset {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        for c in word.chars() {
+            self.expect(c)?;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+        {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("bad number `{text}` at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".to_string()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{0008}'),
+                    Some('f') => out.push('\u{000c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => return Ok(Value::Arr(items)),
+                other => return Err(format!("expected `,` or `]`, got {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect('{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(Value::Obj(map)),
+                other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_escaped_strings() {
+        let mut s = String::new();
+        write_str(&mut s, "a\"b\\c\nd\te");
+        let v = parse(&s).expect("parses");
+        assert_eq!(v.as_str(), Some("a\"b\\c\nd\te"));
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let v = parse(r#"{"findings": [{"line": 3, "ok": true}], "n": -1.5}"#).expect("parses");
+        let f = v.get("findings").and_then(Value::as_arr).expect("array");
+        assert_eq!(f[0].get("line").and_then(Value::as_num), Some(3.0));
+        assert_eq!(v.get("n").and_then(Value::as_num), Some(-1.5));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("{\"a\": }").is_err());
+    }
+}

@@ -128,7 +128,10 @@ pub fn scan(src: &str) -> Scan {
             });
             continue;
         }
-        // Block comment, possibly nested.
+        // Block comment, possibly nested. Each source line of the comment
+        // becomes its own `CommentLine` so a directive on an interior line
+        // resolves its scope from the line it is actually written on — a
+        // single aggregated entry used to desync the attribution.
         if c == '/' && char_at(i + 1) == '*' {
             let start_line = line;
             let mut depth = 1usize;
@@ -149,10 +152,12 @@ pub fn scan(src: &str) -> Scan {
                     i += 1;
                 }
             }
-            out.comments.push(CommentLine {
-                line: start_line,
-                text,
-            });
+            for (off, line_text) in text.split('\n').enumerate() {
+                out.comments.push(CommentLine {
+                    line: start_line.saturating_add(off as u32),
+                    text: line_text.to_string(),
+                });
+            }
             continue;
         }
         // Raw strings: r"…", r#"…"#, br#"…"#, …
@@ -413,5 +418,46 @@ mod tests {
         let b = s.tokens.iter().find(|t| t.is_ident("b")).map(|t| t.line);
         assert_eq!(b, Some(3));
         assert_eq!(s.comments[0].line, 2);
+    }
+
+    #[test]
+    fn block_comment_lines_are_attributed_individually() {
+        // Regression: a multi-line (nested) block comment used to collapse
+        // into one CommentLine at its start line, so a directive on an
+        // interior line resolved its scope from the wrong place.
+        let s = scan("/* one\n two /* nested\n three */ four\n five */\nfn f() {}\n");
+        let lines: Vec<u32> = s.comments.iter().map(|c| c.line).collect();
+        assert_eq!(lines, vec![1, 2, 3, 4]);
+        assert!(s.comments[1].text.contains("two"));
+        assert!(s.comments[3].text.contains("five"));
+        let f = s.tokens.iter().find(|t| t.is_ident("f")).map(|t| t.line);
+        assert_eq!(f, Some(5), "code after the comment stays in sync");
+    }
+
+    #[test]
+    fn directive_inside_block_comment_resolves_from_its_own_line() {
+        let src = "/* prelude\n audit:allow(R1, reason = \"interior directive\")\n*/\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let s = scan(src);
+        let (ds, bad) = crate::directives::parse("f.rs", &s.comments, &s.tokens);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].line, 2, "attributed to the interior line");
+    }
+
+    #[test]
+    fn raw_string_hash_guards_keep_line_attribution() {
+        // Regression fixture: `#`-guarded raw strings spanning lines, with
+        // embedded quote-hash sequences shorter than the guard.
+        let src = "let a = r##\"x \"# y\nz\"##;\nlet b = br#\"p\nq\"#;\nfn tail() {}\n";
+        let s = scan(src);
+        let strs: Vec<(&str, u32)> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| (t.text.as_str(), t.line))
+            .collect();
+        assert_eq!(strs, vec![("x \"# y\nz", 1), ("p\nq", 3)]);
+        let tail = s.tokens.iter().find(|t| t.is_ident("tail")).map(|t| t.line);
+        assert_eq!(tail, Some(5), "tokens after the raw strings stay in sync");
     }
 }

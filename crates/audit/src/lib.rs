@@ -31,8 +31,12 @@
 #![deny(missing_docs)]
 
 pub mod directives;
+pub mod flow;
+pub mod json;
 pub mod lexer;
+pub mod model;
 pub mod rules;
+pub mod taint;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -53,29 +57,53 @@ pub enum Rule {
     R3,
     /// Workspace lint hygiene on crate roots.
     R4,
+    /// Secret-taint leakage: dataflow from secret sources into indices,
+    /// lookups, branches, or leaky callees (crypto + secmem).
+    R5,
+    /// Concurrency discipline: guards across thread boundaries, nested
+    /// acquisition, CoW-seam violations (service layer).
+    R6,
+    /// Determinism contract: no wall clock, sleeps, or hasher-randomized
+    /// containers in the deterministic crates.
+    R7,
     /// Audit meta-findings: malformed or unused `audit:allow` directives.
     W0,
 }
 
+/// Every reportable rule, in order (used by the per-rule summary).
+pub const ALL_RULES: &[Rule] = &[
+    Rule::R1,
+    Rule::R2,
+    Rule::R3,
+    Rule::R4,
+    Rule::R5,
+    Rule::R6,
+    Rule::R7,
+    Rule::W0,
+];
+
 impl Rule {
-    /// Parses `R1`..`R4` (the only rules a directive may name).
+    /// Parses `R1`..`R7` (the rules a directive may name).
     pub fn parse(s: &str) -> Option<Rule> {
         match s {
             "R1" => Some(Rule::R1),
             "R2" => Some(Rule::R2),
             "R3" => Some(Rule::R3),
             "R4" => Some(Rule::R4),
+            "R5" => Some(Rule::R5),
+            "R6" => Some(Rule::R6),
+            "R7" => Some(Rule::R7),
             _ => None,
         }
     }
 
     /// Whether a finding for this rule fails the build outright (error) or
     /// only under `--deny-warnings` (warning). R2 is a warning because
-    /// counter-like naming is heuristic; R1/R3/R4 violations are
-    /// unambiguous once waivers are applied.
+    /// counter-like naming is heuristic; the others are unambiguous once
+    /// waivers are applied.
     pub fn severity(self) -> Severity {
         match self {
-            Rule::R1 | Rule::R3 | Rule::R4 => Severity::Error,
+            Rule::R1 | Rule::R3 | Rule::R4 | Rule::R5 | Rule::R6 | Rule::R7 => Severity::Error,
             Rule::R2 | Rule::W0 => Severity::Warning,
         }
     }
@@ -88,6 +116,9 @@ impl fmt::Display for Rule {
             Rule::R2 => "R2",
             Rule::R3 => "R3",
             Rule::R4 => "R4",
+            Rule::R5 => "R5",
+            Rule::R6 => "R6",
+            Rule::R7 => "R7",
             Rule::W0 => "W0",
         };
         f.write_str(s)
@@ -161,6 +192,12 @@ pub struct RuleSet {
     pub secret_flow: bool,
     /// R4 applies (crate root).
     pub hygiene: bool,
+    /// R5 applies (crypto + secmem: dataflow leakage).
+    pub leakage: bool,
+    /// R6 applies (service-layer crates: lock discipline).
+    pub concurrency: bool,
+    /// R7 applies (deterministic crates: no wall clock / hash iteration).
+    pub determinism: bool,
 }
 
 /// Audits a single file's source text.
@@ -196,6 +233,15 @@ pub fn audit_source(
     if rules.hygiene {
         rules::check_r4(&ctx, &mut findings);
     }
+    if rules.leakage {
+        taint::check_r5(&ctx, &mut findings);
+    }
+    if rules.concurrency {
+        flow::check_r6(&ctx, &mut findings);
+    }
+    if rules.determinism {
+        flow::check_r7(&ctx, &mut findings);
+    }
 
     let (mut dirs, malformed) = directives::parse(rel, &scan.comments, &scan.tokens);
     let mut kept = directives::apply(&mut dirs, findings);
@@ -223,6 +269,9 @@ fn classify(rel: &str, crate_name: &str, is_crate_root: bool) -> RuleSet {
         trusted: !compat && TRUSTED_CRATES.contains(&crate_name),
         secret_flow: !compat && crate_name == "crypto",
         hygiene: is_crate_root,
+        leakage: !compat && (crate_name == "crypto" || crate_name == "secmem"),
+        concurrency: !compat && flow::R6_CRATES.contains(&crate_name),
+        determinism: !compat && flow::R7_CRATES.contains(&crate_name),
     }
 }
 
@@ -291,7 +340,25 @@ impl Report {
         }
     }
 
-    /// Renders findings plus the waiver summary, as printed by the CLI.
+    /// Per-rule `(findings, waived)` counts, in [`ALL_RULES`] order.
+    pub fn per_rule(&self) -> Vec<(Rule, usize, usize)> {
+        ALL_RULES
+            .iter()
+            .map(|&r| {
+                let found = self.findings.iter().filter(|f| f.rule == r).count();
+                let waived = self
+                    .waivers
+                    .iter()
+                    .filter(|w| w.rules.contains(&r))
+                    .map(|w| w.suppressed)
+                    .sum();
+                (r, found, waived)
+            })
+            .collect()
+    }
+
+    /// Renders findings plus the per-rule table and waiver summary, as
+    /// printed by the CLI.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for f in &self.findings {
@@ -306,6 +373,17 @@ impl Report {
             self.suppressed(),
             self.waivers.len(),
         ));
+        let active: Vec<(Rule, usize, usize)> = self
+            .per_rule()
+            .into_iter()
+            .filter(|(_, found, waived)| found + waived > 0)
+            .collect();
+        if !active.is_empty() {
+            out.push_str("audit: per-rule summary:\n");
+            for (rule, found, waived) in active {
+                out.push_str(&format!("  {rule}  findings={found}  waived={waived}\n"));
+            }
+        }
         if !self.waivers.is_empty() {
             out.push_str("audit: waivers:\n");
             for w in &self.waivers {
@@ -321,6 +399,123 @@ impl Report {
             }
         }
         out
+    }
+
+    /// Renders the report as deterministic, machine-readable JSON — the
+    /// same structure the committed baseline file stores.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"version\": 2,\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str("    {\"file\": ");
+            json::write_str(&mut s, &f.file);
+            s.push_str(&format!(
+                ", \"line\": {}, \"rule\": \"{}\", \"severity\": \"{}\", \"message\": ",
+                f.line,
+                f.rule,
+                match f.rule.severity() {
+                    Severity::Error => "error",
+                    Severity::Warning => "warning",
+                }
+            ));
+            json::write_str(&mut s, &f.message);
+            s.push('}');
+        }
+        s.push_str(if self.findings.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        s.push_str("  \"waivers\": [");
+        for (i, w) in self.waivers.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str("    {\"file\": ");
+            json::write_str(&mut s, &w.file);
+            s.push_str(&format!(", \"line\": {}, \"rules\": [", w.line));
+            for (j, r) in w.rules.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("\"{r}\""));
+            }
+            s.push_str(&format!(
+                "], \"scope\": \"{}\", \"suppressed\": {}, \"reason\": ",
+                w.scope.as_str(),
+                w.suppressed
+            ));
+            json::write_str(&mut s, &w.reason);
+            s.push('}');
+        }
+        s.push_str(if self.waivers.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        s.push_str("  \"summary\": {");
+        s.push_str(&format!(
+            "\"errors\": {}, \"warnings\": {}, \"waived\": {}, \"by_rule\": {{",
+            self.errors(),
+            self.warnings(),
+            self.suppressed()
+        ));
+        for (i, (rule, found, waived)) in self.per_rule().into_iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "\"{rule}\": {{\"findings\": {found}, \"waived\": {waived}}}"
+            ));
+        }
+        s.push_str("}}\n}\n");
+        s
+    }
+
+    /// Diffs this report against a committed baseline (a JSON document
+    /// produced by [`Report::to_json`]). Returns the findings present now
+    /// but absent from the baseline — the regressions a CI gate fails on.
+    ///
+    /// Matching is by `(file, rule, message)` and deliberately ignores line
+    /// numbers, so unrelated edits shifting a known finding do not trip the
+    /// gate; a new instance of the same message in the same file *does*
+    /// count when the baseline's count is exceeded.
+    pub fn baseline_regressions(&self, baseline_json: &str) -> Result<Vec<Finding>, String> {
+        let doc =
+            json::parse(baseline_json).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+        let base = doc
+            .get("findings")
+            .and_then(json::Value::as_arr)
+            .ok_or("baseline has no `findings` array")?;
+        let mut budget: std::collections::BTreeMap<(String, String, String), usize> =
+            std::collections::BTreeMap::new();
+        for f in base {
+            let key = (
+                f.get("file")
+                    .and_then(json::Value::as_str)
+                    .ok_or("baseline finding missing `file`")?
+                    .to_string(),
+                f.get("rule")
+                    .and_then(json::Value::as_str)
+                    .ok_or("baseline finding missing `rule`")?
+                    .to_string(),
+                f.get("message")
+                    .and_then(json::Value::as_str)
+                    .ok_or("baseline finding missing `message`")?
+                    .to_string(),
+            );
+            *budget.entry(key).or_insert(0) += 1;
+        }
+        let mut new = Vec::new();
+        for f in &self.findings {
+            let key = (f.file.clone(), f.rule.to_string(), f.message.clone());
+            match budget.get_mut(&key) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => new.push(f.clone()),
+            }
+        }
+        Ok(new)
     }
 }
 

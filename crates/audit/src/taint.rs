@@ -1,0 +1,710 @@
+//! R5 — secret-taint leakage analysis (crypto + secmem).
+//!
+//! An intra-function taint lattice over the [`crate::model`] view of each
+//! file. The lattice element is a bitset: bit 0 (`SECRET`) marks values
+//! derived from a secret source, bits 1..=62 mark values derived from the
+//! enclosing function's parameters (one bit per parameter). Join is
+//! bitwise-or and nothing ever *removes* taint, so propagation is monotone
+//! by construction — the property the proptest in `tests/` pins down.
+//!
+//! Sources:
+//! * identifiers mentioning the R3 secret fragments (`key`, `pad`, `otp`,
+//!   `plaintext`, `secret`), plus counter fragments inside `crates/crypto`
+//!   where counters are OTP inputs;
+//! * function parameters whose name or declared type mentions those
+//!   fragments (minus the [`NONSECRET_TYPES`] selector enums);
+//! * every parameter also carries its own param bit, which powers the
+//!   per-function *leakiness summaries*.
+//!
+//! Sinks (inside `crypto`/`secmem` only): array/slice index expressions,
+//! `.get()`/`.get_mut()` lookups, `if`/`while` conditions and `match`
+//! scrutinees, and call sites whose argument reaches a leaky parameter of a
+//! same-file function. A function that feeds a parameter into a sink is
+//! *leaky in that parameter*; summaries are iterated to a fixed point so
+//! leaks through helper layers (`encrypt_block` → `column` → `lut`) are
+//! still attributed to the caller passing the secret.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::lexer::{Tok, TokKind};
+use crate::model::{self, FnModel, KEYWORDS};
+use crate::rules::{mentions, COUNTERISH, NON_INDEX_KEYWORDS, SECRETISH};
+use crate::{FileCtx, Finding, Rule};
+
+/// Taint bit for "derived from a secret source".
+pub const SECRET: u64 = 1;
+
+/// Parameter types that mention a secret fragment but are public selectors,
+/// not key material. Parameters of these types are not seeded as secret.
+pub const NONSECRET_TYPES: &[&str] = &["PadPurpose"];
+
+/// Taint bit for parameter `k` (capped: parameters past 62 share no bit).
+fn param_bit(k: usize) -> u64 {
+    if k < 63 {
+        2u64 << k
+    } else {
+        0
+    }
+}
+
+/// Whether `text` names a secret source by fragment, in `crate_name`.
+fn fragment_source(text: &str, crate_name: &str) -> bool {
+    if text.chars().next().is_some_and(|c| c.is_uppercase()) {
+        return false;
+    }
+    if KEYWORDS.contains(&text) {
+        return false;
+    }
+    mentions(text, SECRETISH) || (crate_name == "crypto" && mentions(text, COUNTERISH))
+}
+
+/// The per-function symbol table: binding name → taint bits.
+pub type Env = BTreeMap<String, u64>;
+
+/// Seeds an environment from a function's parameters.
+pub fn seed_env(f: &FnModel, crate_name: &str) -> Env {
+    let mut env = Env::new();
+    for (k, p) in f.params.iter().enumerate() {
+        let mut t = param_bit(k);
+        let ty_is_selector = NONSECRET_TYPES.iter().any(|n| p.ty.contains(n));
+        if !ty_is_selector && (fragment_source(&p.name, crate_name) || ty_mentions_secret(&p.ty)) {
+            t |= SECRET;
+        }
+        env.insert(p.name.clone(), t);
+    }
+    env
+}
+
+/// Whether a parameter's type text names key/pad/secret material.
+fn ty_mentions_secret(ty: &str) -> bool {
+    let lower = ty.to_ascii_lowercase();
+    SECRETISH.iter().any(|f| lower.contains(f))
+}
+
+/// Joint taint of every identifier in `[a, b)`, and the name of the first
+/// secret-tainted identifier for diagnostics.
+fn range_taint(
+    toks: &[Tok],
+    a: usize,
+    b: usize,
+    env: &Env,
+    crate_name: &str,
+) -> (u64, Option<String>) {
+    let mut t = 0u64;
+    let mut witness = None;
+    for tok in toks.iter().take(b.min(toks.len())).skip(a) {
+        if tok.kind != TokKind::Ident || KEYWORDS.contains(&tok.text.as_str()) {
+            continue;
+        }
+        let mut it = env.get(&tok.text).copied().unwrap_or(0);
+        if fragment_source(&tok.text, crate_name) {
+            it |= SECRET;
+        }
+        if it & SECRET != 0 && witness.is_none() {
+            witness = Some(tok.text.clone());
+        }
+        t |= it;
+    }
+    (t, witness)
+}
+
+/// First `;` at bracket depth 0 in `[from, hi)`, or `hi`. `stop_else` also
+/// terminates at a depth-0 `else` (for `let … else { …
+/// }` initializers, whose diverging block is not part of the value).
+fn stmt_end(toks: &[Tok], from: usize, hi: usize, stop_else: bool) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().take(hi.min(toks.len())).skip(from) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth <= 0 => return j,
+                _ => {}
+            }
+        } else if stop_else && depth <= 0 && t.is_ident("else") {
+            return j;
+        }
+    }
+    hi.min(toks.len())
+}
+
+/// First `{` at paren/bracket depth 0 in `[from, hi)`, or `hi` (condition
+/// and scrutinee ranges, as R3 scans them).
+fn block_open(toks: &[Tok], from: usize, hi: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().take(hi.min(toks.len())).skip(from) {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth <= 0 => return j,
+            ";" if depth <= 0 => return j,
+            _ => {}
+        }
+    }
+    hi.min(toks.len())
+}
+
+/// Assignment operators that move taint from their right side to the
+/// left-hand binding.
+const ASSIGN_OPS: &[&str] = &[
+    "=", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<=", ">>=",
+];
+
+/// One propagation pass over a function body. Returns whether any binding's
+/// taint grew.
+fn propagate_once(toks: &[Tok], body: (usize, usize), env: &mut Env, crate_name: &str) -> bool {
+    let (b0, b1) = body;
+    let mut changed = false;
+    let add = |env: &mut Env, name: &str, t: u64, changed: &mut bool| {
+        if t == 0 {
+            return;
+        }
+        let slot = env.entry(name.to_string()).or_insert(0);
+        if *slot | t != *slot {
+            *slot |= t;
+            *changed = true;
+        }
+    };
+
+    let mut i = b0 + 1;
+    while i < b1 {
+        let t = &toks[i];
+        // `let PAT = INIT ;` / `if let PAT = SCRUT {` / `while let …`.
+        if t.is_ident("let") {
+            let in_branch = i > 0 && (toks[i - 1].is_ident("if") || toks[i - 1].is_ident("while"));
+            // Pattern runs to the `=` at depth 0.
+            let mut depth = 0i32;
+            let mut eq = None;
+            for (j, tj) in toks.iter().enumerate().take(b1).skip(i + 1) {
+                if tj.kind == TokKind::Punct {
+                    match tj.text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "=" if depth <= 0 => {
+                            eq = Some(j);
+                            break;
+                        }
+                        ";" if depth <= 0 => break,
+                        _ => {}
+                    }
+                }
+            }
+            if let Some(eq) = eq {
+                let init_end = if in_branch {
+                    block_open(toks, eq + 1, b1)
+                } else {
+                    stmt_end(toks, eq + 1, b1, true)
+                };
+                let (ti, _) = range_taint(toks, eq + 1, init_end, env, crate_name);
+                for b in model::pattern_binders(toks, (i + 1, eq)) {
+                    add(env, &b, ti, &mut changed);
+                }
+                i = eq + 1;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        // `for PAT in EXPR {`.
+        if t.is_ident("for") {
+            let open = block_open(toks, i + 1, b1);
+            if let Some(in_pos) = (i + 1..open).find(|&j| toks[j].is_ident("in")) {
+                let (ti, _) = range_taint(toks, in_pos + 1, open, env, crate_name);
+                for b in model::pattern_binders(toks, (i + 1, in_pos)) {
+                    add(env, &b, ti, &mut changed);
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // `match EXPR { PAT => …, … }`: arm binders take the scrutinee's
+        // taint.
+        if t.is_ident("match") {
+            let open = block_open(toks, i + 1, b1);
+            if open < b1 && toks[open].is_punct("{") {
+                let (ti, _) = range_taint(toks, i + 1, open, env, crate_name);
+                if ti != 0 {
+                    if let Some(close) = model::matching_fwd(toks, open, "{", "}") {
+                        let mut depth = 0i32;
+                        let mut seg = open + 1;
+                        for j in open..=close.min(b1) {
+                            let tj = &toks[j];
+                            if tj.kind != TokKind::Punct {
+                                continue;
+                            }
+                            match tj.text.as_str() {
+                                "(" | "[" | "{" => depth += 1,
+                                ")" | "]" | "}" => depth -= 1,
+                                "=>" if depth == 1 => {
+                                    for b in model::pattern_binders(toks, (seg, j)) {
+                                        add(env, &b, ti, &mut changed);
+                                    }
+                                }
+                                "," if depth == 1 => seg = j + 1,
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // Assignments and compound assignments at any nesting depth.
+        if t.kind == TokKind::Punct && ASSIGN_OPS.contains(&t.text.as_str()) && !is_let_eq(toks, i)
+        {
+            if let Some(root) = lhs_root(toks, i) {
+                let end = stmt_end(toks, i + 1, b1, false);
+                let (ti, _) = range_taint(toks, i + 1, end, env, crate_name);
+                let name = toks[root].text.clone();
+                if name != "self" {
+                    add(env, &name, ti, &mut changed);
+                }
+            }
+        }
+        i += 1;
+    }
+    changed
+}
+
+/// Whether the `=` at `eq` belongs to a `let` statement (whose binders are
+/// handled by the pattern path, not the assignment path).
+fn is_let_eq(toks: &[Tok], eq: usize) -> bool {
+    if !toks[eq].is_punct("=") {
+        return false;
+    }
+    let mut j = eq;
+    loop {
+        let Some(p) = j.checked_sub(1) else {
+            return false;
+        };
+        j = p;
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                ")" => match model::matching_back(toks, j, "(", ")") {
+                    Some(o) => j = o,
+                    None => return false,
+                },
+                "]" => match model::matching_back(toks, j, "[", "]") {
+                    Some(o) => j = o,
+                    None => return false,
+                },
+                "}" => match model::matching_back(toks, j, "{", "}") {
+                    Some(o) => j = o,
+                    None => return false,
+                },
+                ";" | "{" | "(" | "," | "=>" => return false,
+                _ => {}
+            }
+        } else if t.is_ident("let") {
+            return true;
+        }
+    }
+}
+
+/// The root identifier of the assignment target ending just before the
+/// operator at `op` (`a`, `a.b.c`, `a[i]`, `*guard`).
+fn lhs_root(toks: &[Tok], op: usize) -> Option<usize> {
+    let mut j = op.checked_sub(1)?;
+    loop {
+        let t = &toks[j];
+        if t.is_punct("]") {
+            j = model::matching_back(toks, j, "[", "]")?.checked_sub(1)?;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            if j > 0 && toks[j - 1].is_punct(".") {
+                j = j.checked_sub(2)?;
+                continue;
+            }
+            if KEYWORDS.contains(&t.text.as_str()) && t.text != "self" {
+                return None;
+            }
+            return Some(j);
+        }
+        return None;
+    }
+}
+
+/// Propagates a function's environment to a fixed point (bounded).
+pub fn solve_env(toks: &[Tok], f: &FnModel, crate_name: &str) -> Env {
+    let mut env = seed_env(f, crate_name);
+    if let Some(body) = f.body {
+        for _ in 0..8 {
+            if !propagate_once(toks, body, &mut env, crate_name) {
+                break;
+            }
+        }
+    }
+    env
+}
+
+/// A sink hit: line plus rendered message (deduplicated per function).
+type Hits = BTreeSet<(u32, String)>;
+
+/// Scans one function body for sinks. `report` collects secret-bit findings
+/// into `hits`; param-bit flows always fold into the function's leakiness
+/// summary (returned).
+#[allow(clippy::too_many_arguments)]
+fn scan_sinks(
+    toks: &[Tok],
+    f: &FnModel,
+    env: &Env,
+    crate_name: &str,
+    fn_names: &BTreeMap<String, usize>,
+    summaries: &[u64],
+    report: Option<&mut Hits>,
+) -> u64 {
+    let Some((b0, b1)) = f.body else {
+        return 0;
+    };
+    let mut leaky = 0u64;
+    let mut hits_local = Hits::new();
+    let mut sink = |line: u32, t: u64, msg: String, leaky: &mut u64| {
+        if t & SECRET != 0 {
+            hits_local.insert((line, msg));
+        }
+        *leaky |= t & !SECRET;
+    };
+
+    let mut i = b0 + 1;
+    while i < b1 {
+        let t = &toks[i];
+        // Branch conditions and match scrutinees.
+        if t.kind == TokKind::Ident && matches!(t.text.as_str(), "if" | "while" | "match") {
+            let is_let = matches!(toks.get(i + 1), Some(n) if n.is_ident("let"));
+            let from = if is_let {
+                // Only the scrutinee (after `=`) is evaluated; the pattern
+                // introduces fresh binders.
+                let mut eq = i + 2;
+                let mut depth = 0i32;
+                while eq < b1 {
+                    let tj = &toks[eq];
+                    if tj.kind == TokKind::Punct {
+                        match tj.text.as_str() {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => depth -= 1,
+                            "=" if depth <= 0 => break,
+                            _ => {}
+                        }
+                    }
+                    eq += 1;
+                }
+                eq + 1
+            } else {
+                i + 1
+            };
+            let open = block_open(toks, from, b1);
+            let (ti, w) = range_taint(toks, from, open, env, crate_name);
+            if ti != 0 {
+                sink(
+                    t.line,
+                    ti,
+                    format!(
+                        "`{}` depends on secret-tainted value `{}` (secret-dependent branch)",
+                        t.text,
+                        w.unwrap_or_default()
+                    ),
+                    &mut leaky,
+                );
+            }
+            i += 1;
+            continue;
+        }
+        // Index expressions `base[…]`.
+        if t.is_punct("[") && i > 0 {
+            let prev = &toks[i - 1];
+            let indexes_expr = match prev.kind {
+                TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                TokKind::Punct => prev.text == "]" || prev.text == ")",
+                _ => false,
+            };
+            if indexes_expr {
+                if let Some(close) = model::matching_fwd(toks, i, "[", "]") {
+                    let (ti, w) = range_taint(toks, i + 1, close, env, crate_name);
+                    if ti != 0 {
+                        sink(
+                            t.line,
+                            ti,
+                            format!(
+                                "secret-tainted value `{}` used as slice/array index (secret-dependent address)",
+                                w.unwrap_or_default()
+                            ),
+                            &mut leaky,
+                        );
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // `.get(…)` / `.get_mut(…)` lookups: bounds-checked, but the access
+        // address still depends on the argument.
+        if t.kind == TokKind::Ident
+            && (t.text == "get" || t.text == "get_mut")
+            && i > 0
+            && toks[i - 1].is_punct(".")
+            && matches!(toks.get(i + 1), Some(n) if n.is_punct("("))
+        {
+            if let Some(close) = model::matching_fwd(toks, i + 1, "(", ")") {
+                let (ti, w) = range_taint(toks, i + 2, close, env, crate_name);
+                if ti != 0 {
+                    sink(
+                        t.line,
+                        ti,
+                        format!(
+                            "secret-tainted value `{}` passed to `.{}()` (secret-dependent lookup address)",
+                            w.unwrap_or_default(),
+                            t.text
+                        ),
+                        &mut leaky,
+                    );
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // Same-file call sites: a tainted argument reaching a leaky
+        // parameter is a leak one frame down.
+        if t.kind == TokKind::Ident
+            && !KEYWORDS.contains(&t.text.as_str())
+            && matches!(toks.get(i + 1), Some(n) if n.is_punct("("))
+            && !(i > 0 && toks[i - 1].is_ident("fn"))
+        {
+            if let Some(&callee) = fn_names.get(&t.text) {
+                let callee_leaky = summaries[callee];
+                if callee_leaky != 0 {
+                    if let Some(close) = model::matching_fwd(toks, i + 1, "(", ")") {
+                        for (k, (a, b)) in model::split_args(toks, i + 1, close).iter().enumerate()
+                        {
+                            if callee_leaky & param_bit(k) == 0 {
+                                continue;
+                            }
+                            let (ti, w) = range_taint(toks, *a, *b, env, crate_name);
+                            if ti != 0 {
+                                sink(
+                                    t.line,
+                                    ti,
+                                    format!(
+                                        "secret-tainted argument `{}` flows into leaky parameter {} of `{}`",
+                                        w.unwrap_or_default(),
+                                        k + 1,
+                                        t.text
+                                    ),
+                                    &mut leaky,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    if let Some(out) = report {
+        out.extend(hits_local);
+    }
+    leaky
+}
+
+/// R5 — secret-taint leakage (crypto and secmem crates).
+pub fn check_r5(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = ctx.tokens;
+    let fns: Vec<FnModel> = model::functions(toks)
+        .into_iter()
+        .filter(|f| match f.body {
+            Some((b0, _)) => ctx.included.get(b0).copied().unwrap_or(false),
+            None => false,
+        })
+        .collect();
+    if fns.is_empty() {
+        return;
+    }
+    // Same-file call resolution: last definition wins on (rare) name
+    // collisions, which only ever under-reports cross-impl leaks.
+    let mut fn_names = BTreeMap::new();
+    for (idx, f) in fns.iter().enumerate() {
+        fn_names.insert(f.name.clone(), idx);
+    }
+    let envs: Vec<Env> = fns
+        .iter()
+        .map(|f| solve_env(toks, f, ctx.crate_name))
+        .collect();
+
+    // Leakiness summaries to a fixed point, then a reporting pass.
+    let mut summaries = vec![0u64; fns.len()];
+    for _ in 0..6 {
+        let mut changed = false;
+        for (idx, f) in fns.iter().enumerate() {
+            let grown = scan_sinks(
+                toks,
+                f,
+                &envs[idx],
+                ctx.crate_name,
+                &fn_names,
+                &summaries,
+                None,
+            );
+            if summaries[idx] | grown != summaries[idx] {
+                summaries[idx] |= grown;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut hits = Hits::new();
+    for (idx, f) in fns.iter().enumerate() {
+        scan_sinks(
+            toks,
+            f,
+            &envs[idx],
+            ctx.crate_name,
+            &fn_names,
+            &summaries,
+            Some(&mut hits),
+        );
+    }
+    for (line, msg) in hits {
+        out.push(ctx.finding(Rule::R5, line, msg));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit_source;
+
+    fn r5(rel: &str, crate_name: &str, src: &str) -> Vec<Finding> {
+        let (findings, _) = audit_source(rel, crate_name, false, src);
+        findings
+            .into_iter()
+            .filter(|f| f.rule == Rule::R5)
+            .collect()
+    }
+
+    #[test]
+    fn taint_propagates_through_bindings_into_indices() {
+        let src = "fn f(key: u64, t: &[u8; 256]) -> u8 {\n    let mixed = key ^ 7;\n    let idx = (mixed >> 2) as usize;\n    *t.get(idx).unwrap_or(&0)\n}\n";
+        let f = r5("crates/crypto/src/x.rs", "crypto", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains(".get()"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn leaky_param_summaries_attribute_call_sites() {
+        let src = "fn lut(t: &[u8; 256], b: u8) -> u8 { *t.get(usize::from(b)).unwrap_or(&0) }\nfn f(key: u8, t: &[u8; 256]) -> u8 { lut(t, key) }\n";
+        let f = r5("crates/crypto/src/x.rs", "crypto", src);
+        assert!(
+            f.iter()
+                .any(|x| x.message.contains("leaky parameter 2 of `lut`")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn selector_enum_params_are_not_secret() {
+        let src = "fn pick(purpose: PadPurpose) -> u8 { match purpose { _ => 0 } }\n";
+        assert!(r5("crates/crypto/src/x.rs", "crypto", src).is_empty());
+    }
+
+    #[test]
+    fn untainted_indices_are_clean() {
+        let src = "fn f(t: &[u8; 16], i: usize) -> u8 { *t.get(i & 15).unwrap_or(&0) }\n";
+        assert!(r5("crates/crypto/src/x.rs", "crypto", src).is_empty());
+    }
+
+    #[test]
+    fn secmem_branches_on_pads_are_flagged() {
+        let src = "fn f(x: u64) -> bool {\n    let pads = x;\n    if pads > 0 { return true; }\n    false\n}\n";
+        let f = r5("crates/secmem/src/x.rs", "secmem", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("secret-dependent branch"));
+    }
+
+    use proptest::prelude::*;
+
+    /// Renders a random straight-line-plus-control-flow body over four
+    /// locals and two parameters. Every statement form the propagator
+    /// understands is reachable: shadowing `let`, compound assignment,
+    /// `if`-guarded assignment, `for` binders, and `match` arm binders.
+    fn render_program(stmts: &[(u8, u8, u8, u8)]) -> String {
+        let var = |k: u8| format!("v{}", k % 4);
+        let mut body = String::from(
+            "    let mut v0 = 0u64;\n    let mut v1 = 0u64;\n    let mut v2 = 0u64;\n    let mut v3 = 0u64;\n",
+        );
+        for &(op, x, y, z) in stmts {
+            let (x, y, z) = (var(x), var(y), var(z));
+            let line = match op % 6 {
+                0 => format!("    let {x} = {y} ^ {z};\n"),
+                1 => format!("    {x} = {y}.wrapping_add({z});\n"),
+                2 => format!("    if {y} > {z} {{ {x} = {y}; }}\n"),
+                3 => format!("    for q in 0..{y} {{ {x} = q ^ {z}; }}\n"),
+                4 => format!("    match {y} {{ m => {{ {x} = m ^ {z}; }} }}\n"),
+                _ => format!("    {x} = p0 ^ {y};\n"),
+            };
+            body.push_str(&line);
+        }
+        format!("fn f(p0: u64, p1: u64) -> u64 {{\n{body}    v0 ^ v1 ^ v2 ^ v3\n}}\n")
+    }
+
+    /// `solve_env` from an explicit seed (the generous fixpoint bound keeps
+    /// truncation from masking a real monotonicity break).
+    fn solve_from(toks: &[crate::lexer::Tok], f: &FnModel, mut env: Env) -> Env {
+        if let Some(body) = f.body {
+            for _ in 0..64 {
+                if !propagate_once(toks, body, &mut env, "crypto") {
+                    break;
+                }
+            }
+        }
+        env
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Monotonicity: seeding *more* taint can never make any binding
+        /// end up with *less* — join is bitwise-or and nothing kills bits,
+        /// so a larger seed must solve to a pointwise-larger environment.
+        #[test]
+        fn taint_propagation_is_monotone(
+            stmts in prop::collection::vec(
+                (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()),
+                1..12,
+            ),
+            extra in prop::collection::vec((0u8..6, 1u64..16), 0..4),
+        ) {
+            let src = render_program(&stmts);
+            let scanned = crate::lexer::scan(&src);
+            let fns = model::functions(&scanned.tokens);
+            prop_assert!(!fns.is_empty(), "generated program must parse:\n{}", src);
+            let f = &fns[0];
+            let lo = seed_env(f, "crypto");
+            let mut hi = lo.clone();
+            for (vk, bits) in &extra {
+                let name = match vk {
+                    0..=3 => format!("v{vk}"),
+                    4 => "p0".to_string(),
+                    _ => "p1".to_string(),
+                };
+                *hi.entry(name).or_insert(0) |= bits;
+            }
+            let solved_lo = solve_from(&scanned.tokens, f, lo);
+            let solved_hi = solve_from(&scanned.tokens, f, hi);
+            for (name, t) in &solved_lo {
+                let h = solved_hi.get(name).copied().unwrap_or(0);
+                prop_assert!(
+                    t & h == *t,
+                    "taint lost for `{}`: lo={:#x} hi={:#x}\n{}",
+                    name, t, h, src
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! R5 fixture: taint reaches a sink through a binding R3's lexical pass
+//! cannot see, one waived T-table-style lookup, and a clean selector fn.
+
+/// Positive: `derived` carries the key's taint into the index even though
+/// its own name is innocent.
+pub fn leaks_via_binding(table: &[u8; 256], key: u8) -> u8 {
+    let derived = key ^ 0x5a;
+    let v = table.get(derived as usize);
+    v.copied().unwrap_or(0)
+}
+
+/// Positive: the helper's leak is attributed to the caller's argument.
+fn lut(table: &[u8; 256], b: u8) -> u8 {
+    let v = table.get(b as usize);
+    v.copied().unwrap_or(0)
+}
+
+/// The call site below is flagged because `lut` indexes by its parameter.
+pub fn leaks_via_helper(table: &[u8; 256], key: u8) -> u8 {
+    lut(table, key)
+}
+
+/// Waived: models the sanctioned T-table lookup.
+pub fn waived_lookup(table: &[u8; 256], key: u8) -> u8 {
+    // audit:allow(R5, reason = "fixture: T-table lookup sanctioned until the hardened backend lands")
+    let v = table.get(key as usize);
+    v.copied().unwrap_or(0)
+}
+
+/// Clean: the index derives from a public length, never from the key.
+pub fn clean_public_index(table: &[u8; 256], len: usize) -> u8 {
+    let v = table.get(len % 256);
+    v.copied().unwrap_or(0)
+}

@@ -1,0 +1,38 @@
+//! R6 fixture: a guard held across a spawn boundary, a nested acquisition,
+//! a waived variant of each, and a clean early-drop pattern.
+
+use std::sync::Mutex;
+use std::thread;
+
+/// Positive: `guard` is still live when the closure is spawned.
+pub fn guard_across_spawn(m: &'static Mutex<u64>) {
+    let guard = m.lock().unwrap();
+    thread::spawn(move || {
+        let _ = *guard;
+    });
+}
+
+/// Positive: acquiring `b` while `ga` is live risks lock-order inversion.
+pub fn nested_acquisition(a: &Mutex<u64>, b: &Mutex<u64>) -> u64 {
+    let ga = a.lock().unwrap();
+    let gb = b.lock().unwrap();
+    *ga + *gb
+}
+
+/// Waived: ordered acquisition documented at the call site.
+pub fn waived_nested(a: &Mutex<u64>, b: &Mutex<u64>) -> u64 {
+    let ga = a.lock().unwrap();
+    // audit:allow(R6, reason = "fixture: a before b is the documented global lock order")
+    let gb = b.lock().unwrap();
+    *ga + *gb
+}
+
+/// Clean: the guard is dropped before the boundary.
+pub fn clean_drop_before_spawn(m: &'static Mutex<u64>) {
+    let guard = m.lock().unwrap();
+    let snapshot = *guard;
+    drop(guard);
+    thread::spawn(move || {
+        let _ = snapshot;
+    });
+}

@@ -1,0 +1,11 @@
+//! Policy-exempt crate: `bench` measures wall-clock by definition, so R7
+//! does not apply here (see the crate-scoped policy table in flow.rs).
+
+use std::time::Instant;
+
+/// Clean by policy: timing the thing under test is the bench's job.
+pub fn timed(f: impl FnOnce()) -> std::time::Duration {
+    let start = Instant::now();
+    f();
+    start.elapsed()
+}

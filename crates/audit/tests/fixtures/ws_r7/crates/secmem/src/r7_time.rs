@@ -1,0 +1,35 @@
+//! R7 fixture: wall-clock and hasher-randomized containers in a
+//! deterministic crate, one waived use, and a clean BTreeMap variant.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Positive: wall-clock reads make replays diverge.
+pub fn reads_wall_clock() -> Instant {
+    Instant::now()
+}
+
+/// Positive: iteration order is randomized per process.
+pub fn randomized_histogram(xs: &[u64]) -> HashMap<u64, u64> {
+    let mut h = HashMap::new();
+    for &x in xs {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    h
+}
+
+/// Waived: a coarse stall model that never feeds simulated state.
+pub fn waived_sleep() {
+    // audit:allow(R7, reason = "fixture: stall model only, duration never observed by simulated state")
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+/// Clean: deterministic container, deterministic iteration.
+pub fn ordered_histogram(xs: &[u64]) -> BTreeMap<u64, u64> {
+    let mut h = BTreeMap::new();
+    for &x in xs {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    h
+}

@@ -1,0 +1,13 @@
+//! Seeded-regression fixture for the baseline gate: one long-standing
+//! finding the committed baseline accounts for, and one new finding it
+//! does not.
+
+/// Accounted for in `baseline_stale.json` and `baseline_full.json`.
+pub fn known_debt(x: Option<u64>) -> u64 {
+    x.unwrap()
+}
+
+/// The regression: only `baseline_full.json` accounts for this one.
+pub fn fresh_regression(x: Option<u64>) -> u64 {
+    x.expect("seeded")
+}

@@ -37,10 +37,14 @@ fn violating_workspace_reports_every_rule_and_exits_nonzero() {
         "crates/badroot/src/lib.rs:1: R4: crate root missing `#![deny(missing_docs)]`",
         "crates/crypto/src/r3_secret.rs:5: R3: `if` condition mentions secret-named binding \
          `key_byte` (secret-dependent branch)",
+        "crates/crypto/src/r3_secret.rs:5: R5: `if` depends on secret-tainted value `key_byte` \
+         (secret-dependent branch)",
         "crates/crypto/src/r3_secret.rs:12: R1: bare slice indexing on trusted path (use \
          `get`/`get_mut`, iterators, or slice patterns)",
         "crates/crypto/src/r3_secret.rs:12: R3: index expression mentions secret-named binding \
          `pad` (secret-dependent address)",
+        "crates/crypto/src/r3_secret.rs:12: R5: secret-tainted value `pad` used as slice/array \
+         index (secret-dependent address)",
         "crates/crypto/src/r3_secret.rs:16: R3: derive(Debug) on type with secret-named field \
          `key` (write a redacting impl)",
         "crates/crypto/src/r3_secret.rs:22: R3: `format!` formats secret-named binding `key` \
@@ -75,7 +79,7 @@ fn violating_workspace_reports_every_rule_and_exits_nonzero() {
     );
     assert!(
         lines.iter().any(|l| l
-            == "audit: scanned 5 files: 11 error(s), 2 warning(s), 1 finding(s) waived by 2 directive(s)"),
+            == "audit: scanned 5 files: 13 error(s), 2 warning(s), 1 finding(s) waived by 2 directive(s)"),
         "summary line changed: {lines:?}"
     );
 }
@@ -133,6 +137,137 @@ fn unknown_flag_is_a_usage_error() {
     let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_rmcc-audit"));
     let out = cmd.arg("--no-such-flag").output().expect("runs");
     assert_eq!(out.status.code(), Some(2));
+}
+
+fn run_audit_args(root: &Path, extra: &[&str]) -> Output {
+    let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_rmcc-audit"));
+    cmd.arg("--root").arg(root).args(extra);
+    cmd.output().expect("auditor binary runs")
+}
+
+#[test]
+fn r5_fixture_flags_dataflow_leaks_and_counts_the_waiver() {
+    let out = run_audit(&fixture("ws_r5"), false);
+    assert_eq!(out.status.code(), Some(1));
+    let lines = stdout_lines(&out);
+    let expected = [
+        "crates/crypto/src/r5_flow.rs:8: R5: secret-tainted value `derived` passed to `.get()` \
+         (secret-dependent lookup address)",
+        "crates/crypto/src/r5_flow.rs:20: R5: secret-tainted argument `key` flows into leaky \
+         parameter 2 of `lut`",
+    ];
+    for e in expected {
+        assert!(lines.iter().any(|l| l == e), "missing: {e}\n{lines:?}");
+    }
+    // The clean selector fn and the waived lookup produce no findings; the
+    // waiver is counted.
+    assert_eq!(
+        lines.iter().filter(|l| l.contains(": R5: ")).count(),
+        2,
+        "{lines:?}"
+    );
+    assert!(lines.iter().any(|l| l.trim_start()
+        == "crates/crypto/src/r5_flow.rs:25: allow(R5) scope=line suppressed 1 finding(s) — \
+            \"fixture: T-table lookup sanctioned until the hardened backend lands\""));
+}
+
+#[test]
+fn r6_fixture_flags_guard_discipline_and_counts_the_waiver() {
+    let out = run_audit(&fixture("ws_r6"), false);
+    assert_eq!(out.status.code(), Some(1));
+    let lines = stdout_lines(&out);
+    let expected = [
+        "crates/secmem/src/r6_locks.rs:10: R6: lock guard `guard` (line 9) captured by `move` \
+         closure (clone the data out instead)",
+        "crates/secmem/src/r6_locks.rs:10: R6: lock guard `guard` (line 9) held across `spawn` \
+         boundary (drop or narrow the guard first)",
+        "crates/secmem/src/r6_locks.rs:18: R6: nested lock acquisition while guard `ga` (line \
+         17) is live (lock-order hazard — narrow the first guard)",
+    ];
+    for e in expected {
+        assert!(lines.iter().any(|l| l == e), "missing: {e}\n{lines:?}");
+    }
+    // The waived nested pair and the drop-before-spawn fn stay silent.
+    assert_eq!(
+        lines.iter().filter(|l| l.contains(": R6: ")).count(),
+        3,
+        "{lines:?}"
+    );
+    assert!(lines.iter().any(|l| l.trim_start()
+        == "crates/secmem/src/r6_locks.rs:25: allow(R6) scope=line suppressed 1 finding(s) — \
+            \"fixture: a before b is the documented global lock order\""));
+}
+
+#[test]
+fn r7_fixture_flags_determinism_breaks_and_exempts_bench() {
+    let out = run_audit(&fixture("ws_r7"), false);
+    assert_eq!(out.status.code(), Some(1));
+    let lines = stdout_lines(&out);
+    let expected = [
+        "crates/secmem/src/r7_time.rs:10: R7: `Instant` on a deterministic path (wall-clock \
+         read breaks replayable simulation)",
+        "crates/secmem/src/r7_time.rs:15: R7: `HashMap` on a deterministic path (iteration \
+         order is randomized per process — use BTreeMap or an order-insensitive fold)",
+    ];
+    for e in expected {
+        assert!(lines.iter().any(|l| l == e), "missing: {e}\n{lines:?}");
+    }
+    // The bench crate is exempt by the policy table, the waived sleep is
+    // counted, and the BTreeMap fn is clean.
+    assert!(
+        !lines.iter().any(|l| l.contains("bench/src/exempt.rs")),
+        "bench crate must be policy-exempt: {lines:?}"
+    );
+    assert!(lines.iter().any(|l| l.trim_start()
+        == "crates/secmem/src/r7_time.rs:24: allow(R7) scope=line suppressed 1 finding(s) — \
+            \"fixture: stall model only, duration never observed by simulated state\""));
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let out = run_audit_args(&fixture("ws_regress"), &["--format", "json"]);
+    assert_eq!(out.status.code(), Some(1), "findings still gate json runs");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"version\": 2"), "{text}");
+    assert!(
+        text.contains("\"rule\": \"R1\"") && text.contains("seeded.rs"),
+        "{text}"
+    );
+    // Invalid format values are usage errors.
+    let bad = run_audit_args(&fixture("ws_regress"), &["--format", "yaml"]);
+    assert_eq!(bad.status.code(), Some(2));
+}
+
+/// The CI gate contract: a baseline that accounts for every finding passes
+/// (accepted debt), a stale baseline fails on exactly the seeded
+/// regression, and a broken baseline is an internal error — never a pass.
+#[test]
+fn baseline_gate_fails_on_seeded_regression_only() {
+    let root = fixture("ws_regress");
+    let full = root.join("baseline_full.json");
+    let stale = root.join("baseline_stale.json");
+
+    let ok = run_audit_args(&root, &["--baseline", full.to_str().unwrap()]);
+    assert_eq!(ok.status.code(), Some(0), "accounted-for debt must pass");
+
+    let gated = run_audit_args(&root, &["--baseline", stale.to_str().unwrap()]);
+    assert_eq!(gated.status.code(), Some(1), "regression must gate");
+    let stderr = String::from_utf8_lossy(&gated.stderr);
+    assert!(
+        stderr.contains("baseline gate: 1 new unwaived finding(s)"),
+        "{stderr}"
+    );
+    assert!(
+        stderr.contains("seeded.rs:12: R1: `expect()`"),
+        "the regression, not the known debt, is reported: {stderr}"
+    );
+
+    let missing = run_audit_args(&root, &["--baseline", "/nonexistent/baseline.json"]);
+    assert_eq!(
+        missing.status.code(),
+        Some(2),
+        "unreadable baseline is an error"
+    );
 }
 
 /// The acceptance gate: the real workspace must audit clean, warnings

@@ -91,6 +91,7 @@ impl MacKeys {
         for (k, word_tables) in keys.iter().zip(tables.iter_mut()) {
             for (j, nibble_table) in word_tables.iter_mut().enumerate() {
                 for (n, slot) in nibble_table.iter_mut().enumerate() {
+                    // audit:allow(R5, reason = "one-time key-table build at seed time; gf64_mul is a fixed 64-round shift/xor ladder regardless of operand values")
                     *slot = gf64_mul((n as u64) << (4 * j), *k);
                 }
             }

@@ -6,7 +6,7 @@
 //! a value that is actually memoized. That way the classification is sharp:
 //! an undetected fault is a real security bug, never a dud injection.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rmcc_core::rmcc::{Rmcc, RmccConfig};
 use rmcc_core::table::LookupResult;
@@ -138,7 +138,7 @@ pub struct FaultHarness {
     rmcc: Rmcc,
     /// The last plaintext written per block — ground truth for silent
     /// corruption checks.
-    shadow: HashMap<u64, [u8; 64]>,
+    shadow: BTreeMap<u64, [u8; 64]>,
     /// Victim pool, sorted for deterministic choice.
     blocks: Vec<u64>,
     rng: FaultRng,
@@ -170,7 +170,7 @@ impl FaultHarness {
         let mut harness = FaultHarness {
             mem,
             rmcc,
-            shadow: HashMap::new(),
+            shadow: BTreeMap::new(),
             blocks: Vec::new(),
             rng: FaultRng::new(seed ^ (0xfa_u64 << 56)),
             write_round: 0,

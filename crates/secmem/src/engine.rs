@@ -548,6 +548,7 @@ impl SecureMemory {
                 let addr = self.meta.layout().node_addr(level, idx) >> 6;
                 let mac_pad = self.mac_pad_for(addr, counter);
                 self.crypto.verify_mac();
+                // audit:allow(R5, reason = "the MAC verdict is the public accept/reject outcome; branching on it is the tamper-detection contract")
                 if !verify_mac(&self.mac_keys, &node.image, mac_pad, node.mac) {
                     outcome = Err(ReadError::MetadataTampered { level });
                     break;
@@ -581,6 +582,7 @@ impl SecureMemory {
         let counter = self.meta.data_counter(block);
         let pads = self.pads_for(block, counter);
         self.crypto.verify_mac();
+        // audit:allow(R5, reason = "the MAC verdict is the public accept/reject outcome; branching on it is the tamper-detection contract")
         if !verify_mac(&self.mac_keys, &stored.cipher, pads.mac, stored.mac) {
             return Err(ReadError::DataTampered { block });
         }
@@ -688,6 +690,7 @@ impl SecureMemory {
             let counter = self.meta.data_counter(block);
             let pads = self.pads_for(block, counter);
             self.crypto.verify_mac();
+            // audit:allow(R5, reason = "the MAC verdict is the public accept/reject outcome; branching on it is the tamper-detection contract")
             if verify_mac(&self.mac_keys, &stored.cipher, pads.mac, stored.mac) {
                 report.data_verified = report.data_verified.saturating_add(1);
             } else {

@@ -8,7 +8,7 @@
 //! values, the tree structure, and the Observed-System-Max register
 //! (§IV-D2) consistent.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::arena::PagedArena;
 use crate::counters::{CounterBlock, CounterOrg, WouldOverflow};
@@ -320,8 +320,8 @@ impl MetadataState {
     /// Iterates over every *touched* data-block counter value along with the
     /// number of data blocks currently holding it — the source for the
     /// paper's Figure 15 coverage metric.
-    pub fn value_histogram(&self) -> HashMap<u64, u64> {
-        let mut hist = HashMap::new();
+    pub fn value_histogram(&self) -> BTreeMap<u64, u64> {
+        let mut hist = BTreeMap::new();
         if let Some(l0) = self.levels.first() {
             for cb in l0.values() {
                 for v in cb.values() {

@@ -503,8 +503,8 @@ impl MetaEngine {
             None => (TableStats::default(), 0, None),
         };
         // Conformance: fraction of live (touched) data counters whose value
-        // the table can currently serve. Both sums are commutative, so the
-        // histogram's HashMap iteration order cannot affect the result.
+        // the table can currently serve. The histogram is a BTreeMap, so
+        // iteration order is the sorted counter values.
         let conformance = match (self.meta.as_ref(), self.rmcc.as_ref()) {
             (Some(m), Some(r)) => {
                 let hist = m.value_histogram();
