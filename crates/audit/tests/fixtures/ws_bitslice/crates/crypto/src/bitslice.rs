@@ -1,0 +1,42 @@
+//! ws_bitslice fixture: a distilled constant-time bitsliced kernel.
+//!
+//! Secret key material flows only through fixed-shape boolean algebra —
+//! XOR, AND, shifts, rotates — never into a branch condition, a lookup
+//! index, or a leaky helper. The dataflow pass (R5) and the lexical pass
+//! (R3) must both find nothing here, with zero waivers: this is the shape
+//! the real `crates/crypto/src/bitslice.rs` is held to.
+
+/// Eight bit-planes; plane `k` holds bit `k` of every packed byte.
+pub type Planes = [u128; 8];
+
+/// Branch-free lane packing: each bit of the secret byte is extracted by
+/// shift-and-mask and replicated across its plane by multiplication,
+/// never by branching on the secret.
+pub fn pack_secret_byte(secret: u8) -> Planes {
+    let mut planes = [0u128; 8];
+    for (bit, plane) in planes.iter_mut().enumerate() {
+        let replicated = (u128::from(secret) >> bit) & 1;
+        *plane = replicated.wrapping_mul(u128::MAX);
+    }
+    planes
+}
+
+/// Constant-time round-key mix: the key planes reach the state through
+/// XOR/AND/rotate only, so timing is independent of every key bit.
+pub fn mix_with_key(state: Planes, key: Planes) -> Planes {
+    let mut out = [0u128; 8];
+    for (o, (s, k)) in out.iter_mut().zip(state.iter().zip(key.iter())) {
+        *o = *s ^ (*k & s.rotate_left(32));
+    }
+    out
+}
+
+/// Constant-time GF(2) plane square-and-fold, the shape of the S-box
+/// inversion chain: pure boolean circuit, no data-dependent control flow.
+pub fn fold_planes(pad: Planes) -> u128 {
+    let mut acc = 0u128;
+    for plane in pad {
+        acc ^= plane.rotate_right(8) & plane;
+    }
+    acc
+}

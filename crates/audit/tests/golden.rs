@@ -223,6 +223,48 @@ fn r7_fixture_flags_determinism_breaks_and_exempts_bench() {
             \"fixture: stall model only, duration never observed by simulated state\""));
 }
 
+/// The constant-time proof obligation for the hardened backend: a
+/// distilled bitsliced kernel — secret bits moving only through
+/// XOR/AND/shift/rotate — audits completely clean under `--deny-warnings`,
+/// with zero findings and zero waivers. This pins the shape the real
+/// `crates/crypto/src/bitslice.rs` is held to.
+#[test]
+fn bitsliced_fixture_audits_clean_with_zero_waivers() {
+    let out = run_audit(&fixture("ws_bitslice"), true);
+    assert_eq!(out.status.code(), Some(0), "bitsliced kernel must be clean");
+    let lines = stdout_lines(&out);
+    assert_eq!(
+        lines,
+        vec!["audit: scanned 1 files: 0 error(s), 0 warning(s), 0 finding(s) waived by 0 directive(s)"]
+    );
+}
+
+/// Regression guard: the real bitsliced module carries no waivers and no
+/// baseline debt. If an edit to `crates/crypto/src/bitslice.rs` ever needs
+/// an `audit:allow` or a baseline entry, this test fails and forces the
+/// constant-time argument to be re-made explicitly.
+#[test]
+fn real_bitslice_module_needs_no_waivers_or_baseline_debt() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let baseline = std::fs::read_to_string(root.join("AUDIT_BASELINE.json"))
+        .expect("workspace baseline exists");
+    assert!(
+        !baseline.contains("bitslice.rs"),
+        "AUDIT_BASELINE.json acquired debt for the bitsliced module"
+    );
+    // The live waiver report agrees: nothing in bitslice.rs is waived.
+    let out = run_audit(&root, true);
+    let lines = stdout_lines(&out);
+    assert!(
+        !lines.iter().any(|l| l.contains("bitslice.rs")),
+        "bitslice.rs appeared in the audit report:\n{}",
+        lines.join("\n")
+    );
+}
+
 #[test]
 fn json_output_is_machine_readable() {
     let out = run_audit_args(&fixture("ws_regress"), &["--format", "json"]);

@@ -47,7 +47,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    if parsed.get("schema").and_then(|v| v.as_str()) != Some("rmcc-bench-hotpath-v1") {
+    if parsed.get("schema").and_then(|v| v.as_str()) != Some("rmcc-bench-hotpath-v2") {
         eprintln!("throughput: emitted JSON is missing the schema marker");
         std::process::exit(1);
     }
@@ -60,14 +60,24 @@ fn main() {
 
     println!("deterministic: {}", report.deterministic_json());
     eprintln!(
-        "throughput: aes {:.0}/s  table {:.0}/s  e2e serial {:.0}/s  e2e pooled {:.0}/s  → {path}",
+        "throughput: aes {:.0}/s (fast batched {:.0}/s, hardened batched {:.0}/s)  \
+         table {:.0}/s  e2e serial {:.0}/s  e2e pooled {:.0}/s  \
+         e2e batched fast {:.0}/s / hardened {:.0}/s  → {path}",
         report.aes.ops_per_s(),
+        report.aes_fast.ops_per_s(),
+        report.aes_hardened.ops_per_s(),
         report.table.ops_per_s(),
         report.e2e_serial.ops_per_s(),
         report.e2e_pooled.ops_per_s(),
+        report.e2e_batched_fast.ops_per_s(),
+        report.e2e_batched_hardened.ops_per_s(),
     );
     if report.e2e_serial.checksum != report.e2e_pooled.checksum {
         eprintln!("throughput: pooled end-to-end checksum diverged from serial");
+        std::process::exit(1);
+    }
+    if !report.backends_match() {
+        eprintln!("throughput: fast and hardened backends diverged on a batched workload");
         std::process::exit(1);
     }
 }

@@ -18,9 +18,10 @@
 use std::time::Instant;
 
 use rmcc_core::table::{MemoizationTable, TableConfig};
-use rmcc_crypto::aes::Aes;
+use rmcc_crypto::aes::{Aes, Backend, BATCH_BLOCKS};
 use rmcc_secmem::counters::CounterOrg;
 use rmcc_secmem::engine::{PipelineKind, SecureMemory};
+use rmcc_secmem::service::{digest_results, Access, SecureMemoryService, ServiceConfig};
 use rmcc_workloads::workload::Scale;
 
 /// SplitMix64 step — the deterministic stream driving every component.
@@ -113,14 +114,25 @@ pub struct ThroughputReport {
     pub scale: String,
     /// Worker-pool width used for the pooled end-to-end pass.
     pub jobs: usize,
-    /// Raw AES-128 block encryption.
+    /// Raw AES-128 block encryption (scalar chain, env-selected backend).
     pub aes: ComponentResult,
+    /// 8-lane batched AES-128 on the T-table `fast` backend.
+    pub aes_fast: ComponentResult,
+    /// 8-lane batched AES-128 on the bitsliced `hardened` backend. Must
+    /// carry the same checksum as [`ThroughputReport::aes_fast`]: the
+    /// backends are ciphertext-identical, only timing may differ.
+    pub aes_hardened: ComponentResult,
     /// Memoization-table lookups over a seeded table.
     pub table: ComponentResult,
     /// End-to-end secure-memory reads+writes, all shards on one thread.
     pub e2e_serial: ComponentResult,
     /// The same shards fanned across the worker pool.
     pub e2e_pooled: ComponentResult,
+    /// Batched end-to-end service submits on the `fast` backend.
+    pub e2e_batched_fast: ComponentResult,
+    /// The same batched submits on the `hardened` backend; checksum must
+    /// match [`ThroughputReport::e2e_batched_fast`].
+    pub e2e_batched_hardened: ComponentResult,
 }
 
 impl ThroughputReport {
@@ -130,21 +142,40 @@ impl ThroughputReport {
     pub fn deterministic_json(&self) -> String {
         format!(
             concat!(
-                "{{\"schema\":\"rmcc-bench-hotpath-v1\",",
+                "{{\"schema\":\"rmcc-bench-hotpath-v2\",",
                 "\"aes_blocks\":{},\"aes_checksum\":\"{:#018x}\",",
+                "\"aes_batched_blocks\":{},\"aes_batched_checksum\":\"{:#018x}\",",
                 "\"table_lookups\":{},\"table_checksum\":\"{:#018x}\",",
                 "\"e2e_accesses\":{},\"e2e_checksum\":\"{:#018x}\",",
-                "\"pooled_matches_serial\":{}}}"
+                "\"e2e_batched_accesses\":{},\"e2e_batched_checksum\":\"{:#018x}\",",
+                "\"pooled_matches_serial\":{},",
+                "\"backends_match\":{}}}"
             ),
             self.aes.ops,
             self.aes.checksum,
+            self.aes_fast.ops,
+            self.aes_fast.checksum,
             self.table.ops,
             self.table.checksum,
             self.e2e_serial.ops,
             self.e2e_serial.checksum,
+            self.e2e_batched_fast.ops,
+            self.e2e_batched_fast.checksum,
             self.e2e_serial.checksum == self.e2e_pooled.checksum
                 && self.e2e_serial.ops == self.e2e_pooled.ops,
+            self.backends_match(),
         )
+    }
+
+    /// Whether the fast and hardened backends computed bit-identical
+    /// results on both the batched-AES and batched-e2e workloads. `false`
+    /// is always a bug — the backends are ciphertext-identical by
+    /// contract — and the bench binary gates on it.
+    pub fn backends_match(&self) -> bool {
+        self.aes_fast.checksum == self.aes_hardened.checksum
+            && self.aes_fast.ops == self.aes_hardened.ops
+            && self.e2e_batched_fast.checksum == self.e2e_batched_hardened.checksum
+            && self.e2e_batched_fast.ops == self.e2e_batched_hardened.ops
     }
 
     /// The full report (deterministic results + timing) as pretty JSON, the
@@ -152,7 +183,7 @@ impl ThroughputReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"rmcc-bench-hotpath-v1\",\n");
+        out.push_str("  \"schema\": \"rmcc-bench-hotpath-v2\",\n");
         out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
         out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
         out.push_str("  \"deterministic\": ");
@@ -163,6 +194,14 @@ impl ThroughputReport {
             self.aes.ops_per_s()
         ));
         out.push_str(&format!(
+            "    \"aes_fast_blocks_per_s\": {:.1},\n",
+            self.aes_fast.ops_per_s()
+        ));
+        out.push_str(&format!(
+            "    \"aes_hardened_blocks_per_s\": {:.1},\n",
+            self.aes_hardened.ops_per_s()
+        ));
+        out.push_str(&format!(
             "    \"table_lookups_per_s\": {:.1},\n",
             self.table.ops_per_s()
         ));
@@ -171,8 +210,16 @@ impl ThroughputReport {
             self.e2e_serial.ops_per_s()
         ));
         out.push_str(&format!(
-            "    \"e2e_pooled_accesses_per_s\": {:.1}\n",
+            "    \"e2e_pooled_accesses_per_s\": {:.1},\n",
             self.e2e_pooled.ops_per_s()
+        ));
+        out.push_str(&format!(
+            "    \"e2e_batched_fast_accesses_per_s\": {:.1},\n",
+            self.e2e_batched_fast.ops_per_s()
+        ));
+        out.push_str(&format!(
+            "    \"e2e_batched_hardened_accesses_per_s\": {:.1}\n",
+            self.e2e_batched_hardened.ops_per_s()
         ));
         out.push_str("  }\n}\n");
         out
@@ -195,6 +242,38 @@ fn bench_aes(blocks: u64) -> ComponentResult {
     }
     ComponentResult {
         ops: blocks,
+        seconds: start.elapsed().as_secs_f64(),
+        checksum,
+    }
+}
+
+/// 8-lane batched AES throughput on an explicit backend: eight
+/// independent data-dependent chains advance in lockstep through
+/// `encrypt_u128_batch8`, so the workload (and therefore the checksum) is
+/// identical for every backend while the per-block rate reflects each
+/// backend's batch economics.
+fn bench_aes_batched_on(blocks: u64, backend: Backend) -> ComponentResult {
+    let aes = Aes::new_128_on(&[0x42u8; 16], backend);
+    let rounds = blocks / BATCH_BLOCKS as u64;
+    let mut lanes = [0u128; BATCH_BLOCKS];
+    for (lane, slot) in lanes.iter_mut().enumerate() {
+        *slot = 0x0123_4567_89ab_cdef ^ ((lane as u128) << 96);
+    }
+    let start = Instant::now();
+    let mut checksum = 0u64;
+    for i in 0..rounds {
+        for slot in lanes.iter_mut() {
+            *slot ^= u128::from(i);
+        }
+        lanes = aes.encrypt_u128_batch8(lanes);
+        for state in lanes {
+            checksum = checksum
+                .rotate_left(1)
+                .wrapping_add((state >> 64) as u64 ^ state as u64);
+        }
+    }
+    ComponentResult {
+        ops: rounds * BATCH_BLOCKS as u64,
         seconds: start.elapsed().as_secs_f64(),
         checksum,
     }
@@ -329,16 +408,74 @@ fn bench_e2e_pooled(cfg: &ThroughputConfig, jobs: usize) -> ComponentResult {
     }
 }
 
-/// Runs the full harness: AES, table, end-to-end serial, end-to-end pooled.
+/// Batched end-to-end throughput through the sharded service on an
+/// explicit backend: warm writes, then a deterministic mixed stream
+/// submitted in wide batches so the per-shard pad-prefetch seam (8-block
+/// OTP groups) is on the measured path. The access stream is
+/// backend-independent, so the checksum must match across backends.
+fn bench_e2e_batched_on(cfg: &ThroughputConfig, backend: Backend) -> ComponentResult {
+    let svc_cfg = ServiceConfig::new(cfg.shards, cfg.shard_bytes).with_backend(backend);
+    let svc = SecureMemoryService::new(&svc_cfg);
+    let blocks = (cfg.working_blocks * cfg.shards as u64).min(cfg.shard_bytes / 64);
+    let warm: Vec<Access> = (0..blocks)
+        .map(|b| {
+            let mut pt = [0u8; 64];
+            pt[0] = b as u8;
+            pt[7] = (b >> 8) as u8;
+            Access::Write { block: b, data: pt }
+        })
+        .collect();
+    let total = cfg.accesses_per_shard * cfg.shards as u64;
+    let start = Instant::now();
+    let mut checksum = digest_results(&svc.submit(&warm));
+    let mut rng = 0xbead_cafe_5eed_u64;
+    let mut batch = Vec::with_capacity(512);
+    let mut submitted = 0u64;
+    while submitted < total {
+        batch.clear();
+        let width = 512.min(total - submitted) as usize;
+        for i in 0..width {
+            let r = splitmix(&mut rng);
+            let block = r % blocks;
+            if r & 0x100 == 0 {
+                let mut pt = [0u8; 64];
+                pt[..8].copy_from_slice(&r.to_be_bytes());
+                pt[56..].copy_from_slice(&(submitted + i as u64).to_be_bytes());
+                batch.push(Access::Write { block, data: pt });
+            } else {
+                batch.push(Access::Read { block });
+            }
+        }
+        checksum = checksum
+            .rotate_left(3)
+            .wrapping_add(digest_results(&svc.submit(&batch)));
+        submitted += width as u64;
+    }
+    let shard_digest = (0..cfg.shards).fold(0u64, |acc, s| {
+        acc ^ svc.shard_state_digest(s).unwrap_or(0).rotate_left(s as u32)
+    });
+    ComponentResult {
+        ops: total,
+        seconds: start.elapsed().as_secs_f64(),
+        checksum: checksum.wrapping_add(shard_digest),
+    }
+}
+
+/// Runs the full harness: AES (scalar + per-backend batched), table,
+/// end-to-end serial/pooled, and per-backend batched service submits.
 pub fn run(scale: Scale, jobs: usize) -> ThroughputReport {
     let cfg = ThroughputConfig::from_scale(scale);
     ThroughputReport {
         scale: scale.to_string(),
         jobs,
         aes: bench_aes(cfg.aes_blocks),
+        aes_fast: bench_aes_batched_on(cfg.aes_blocks, Backend::Fast),
+        aes_hardened: bench_aes_batched_on(cfg.aes_blocks, Backend::Hardened),
         table: bench_table(cfg.table_lookups),
         e2e_serial: bench_e2e_serial(&cfg),
         e2e_pooled: bench_e2e_pooled(&cfg, jobs),
+        e2e_batched_fast: bench_e2e_batched_on(&cfg, Backend::Fast),
+        e2e_batched_hardened: bench_e2e_batched_on(&cfg, Backend::Hardened),
     }
 }
 
@@ -380,37 +517,76 @@ mod tests {
         }
     }
 
-    #[test]
-    fn report_json_has_the_schema_markers() {
-        let report = ThroughputReport {
+    fn sample_report() -> ThroughputReport {
+        let c = |ops: u64, seconds: f64, checksum: u64| ComponentResult {
+            ops,
+            seconds,
+            checksum,
+        };
+        ThroughputReport {
             scale: "tiny".to_string(),
             jobs: 1,
-            aes: ComponentResult {
-                ops: 1,
-                seconds: 0.5,
-                checksum: 2,
-            },
-            table: ComponentResult {
-                ops: 3,
-                seconds: 0.5,
-                checksum: 4,
-            },
-            e2e_serial: ComponentResult {
-                ops: 5,
-                seconds: 0.5,
-                checksum: 6,
-            },
-            e2e_pooled: ComponentResult {
-                ops: 5,
-                seconds: 0.25,
-                checksum: 6,
-            },
-        };
+            aes: c(1, 0.5, 2),
+            aes_fast: c(8, 0.5, 9),
+            aes_hardened: c(8, 0.25, 9),
+            table: c(3, 0.5, 4),
+            e2e_serial: c(5, 0.5, 6),
+            e2e_pooled: c(5, 0.25, 6),
+            e2e_batched_fast: c(7, 0.5, 11),
+            e2e_batched_hardened: c(7, 0.25, 11),
+        }
+    }
+
+    #[test]
+    fn report_json_has_the_schema_markers() {
+        let report = sample_report();
         let det = report.deterministic_json();
-        assert!(det.contains("\"schema\":\"rmcc-bench-hotpath-v1\""));
+        assert!(det.contains("\"schema\":\"rmcc-bench-hotpath-v2\""));
         assert!(det.contains("\"pooled_matches_serial\":true"));
+        assert!(det.contains("\"backends_match\":true"));
         let full = report.to_json();
         assert!(full.contains("\"aes_blocks_per_s\": 2.0"));
+        assert!(full.contains("\"aes_fast_blocks_per_s\": 16.0"));
+        assert!(full.contains("\"aes_hardened_blocks_per_s\": 32.0"));
         assert!(full.contains("\"e2e_pooled_accesses_per_s\": 20.0"));
+        assert!(full.contains("\"e2e_batched_hardened_accesses_per_s\": 28.0"));
+    }
+
+    #[test]
+    fn backend_divergence_is_visible_in_the_deterministic_line() {
+        let mut report = sample_report();
+        assert!(report.backends_match());
+        report.aes_hardened.checksum ^= 1;
+        assert!(!report.backends_match());
+        assert!(report
+            .deterministic_json()
+            .contains("\"backends_match\":false"));
+    }
+
+    #[test]
+    fn batched_aes_checksums_agree_across_backends() {
+        let fast = bench_aes_batched_on(64, Backend::Fast);
+        let hardened = bench_aes_batched_on(64, Backend::Hardened);
+        let reference = bench_aes_batched_on(64, Backend::Reference);
+        assert_eq!(fast.checksum, hardened.checksum);
+        assert_eq!(fast.checksum, reference.checksum);
+        assert_eq!(fast.ops, 64);
+    }
+
+    #[test]
+    fn batched_e2e_checksums_agree_across_backends() {
+        let cfg = ThroughputConfig {
+            aes_blocks: 10,
+            table_lookups: 10,
+            accesses_per_shard: 40,
+            shards: 2,
+            shard_bytes: 1 << 20,
+            working_blocks: 16,
+        };
+        let fast = bench_e2e_batched_on(&cfg, Backend::Fast);
+        let hardened = bench_e2e_batched_on(&cfg, Backend::Hardened);
+        assert_eq!(fast.checksum, hardened.checksum);
+        assert_eq!(fast.ops, hardened.ops);
+        assert_ne!(fast.checksum, 0, "zero digest signals a service error");
     }
 }

@@ -17,7 +17,7 @@ fn report_json_matches_schema() {
 
     assert_eq!(
         parsed.get("schema").and_then(JsonValue::as_str),
-        Some("rmcc-bench-hotpath-v1")
+        Some("rmcc-bench-hotpath-v2")
     );
     assert_eq!(
         parsed.get("scale").and_then(JsonValue::as_str),
@@ -43,7 +43,18 @@ fn report_json_matches_schema() {
         det.get("pooled_matches_serial"),
         Some(&JsonValue::Bool(true))
     );
-    for checksum in ["aes_checksum", "table_checksum", "e2e_checksum"] {
+    assert_eq!(
+        det.get("backends_match"),
+        Some(&JsonValue::Bool(true)),
+        "fast and hardened backends diverged"
+    );
+    for checksum in [
+        "aes_checksum",
+        "aes_batched_checksum",
+        "table_checksum",
+        "e2e_checksum",
+        "e2e_batched_checksum",
+    ] {
         let value = det
             .get(checksum)
             .and_then(JsonValue::as_str)
@@ -57,9 +68,13 @@ fn report_json_matches_schema() {
     let timing = parsed.get("timing").expect("timing section");
     for rate in [
         "aes_blocks_per_s",
+        "aes_fast_blocks_per_s",
+        "aes_hardened_blocks_per_s",
         "table_lookups_per_s",
         "e2e_serial_accesses_per_s",
         "e2e_pooled_accesses_per_s",
+        "e2e_batched_fast_accesses_per_s",
+        "e2e_batched_hardened_accesses_per_s",
     ] {
         let value = timing
             .get(rate)

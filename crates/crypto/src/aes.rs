@@ -6,16 +6,29 @@
 //! The simulator models AES *latency* architecturally (15 ns / 22 ns
 //! knobs) and only needs functional AES for end-to-end correctness tests,
 //! examples, and the NIST randomness checks — but that functional AES sits
-//! on the simulation's hottest path (every pad of every access), so it is
-//! implemented with encryption T-tables: four 256-entry `u32` tables that
-//! fuse `SubBytes`, `ShiftRows`, and `MixColumns` into one lookup + XOR
-//! per state byte per round (see DESIGN.md §10 for the equivalence
-//! argument). The tables are derived from the S-box once, at first key
-//! expansion, and shared by every schedule.
+//! on the simulation's hottest path (every pad of every access), so the
+//! implementation is selectable per [`Backend`]:
 //!
-//! The data-dependent table access is the documented tradeoff of any
-//! table-based software AES (DESIGN.md §8 under R3): the simulator needs
-//! functional AES, not a bitsliced constant-time implementation.
+//! * [`Backend::Fast`] (the default) uses encryption T-tables: four
+//!   256-entry `u32` tables that fuse `SubBytes`, `ShiftRows`, and
+//!   `MixColumns` into one lookup + XOR per state byte per round (see
+//!   DESIGN.md §10 for the equivalence argument). The tables are derived
+//!   from the S-box once, at first key expansion, and shared by every
+//!   schedule. Its data-dependent table access is the documented
+//!   cache-timing tradeoff of any table-based software AES (DESIGN.md §8).
+//! * [`Backend::Hardened`] runs the bitsliced constant-time circuit in
+//!   [`crate::bitslice`]: 8 blocks per invocation through pure plane
+//!   logic, no secret-indexed loads and no secret-dependent branches
+//!   anywhere (key schedule included). Slower per block, immune to the
+//!   cache-timing channel, and ~8× wider per call (see DESIGN.md §13).
+//! * [`Backend::Reference`] is the textbook byte-wise FIPS-197 round
+//!   sequence, kept as the independent oracle the other two are
+//!   differentially tested against.
+//!
+//! All three produce bit-identical ciphertext — pinned by
+//! `crates/crypto/tests/backend_differential.rs` against the NIST vectors
+//! and property-generated inputs — so switching backends never changes
+//! any golden fixture or checksum, only the timing profile.
 
 /// The AES block size in bytes. AES has a fixed 128-bit block regardless of
 /// key size (see §II-A of the paper: "AES has a fixed input and output size
@@ -24,6 +37,10 @@ pub const BLOCK_BYTES: usize = 16;
 
 /// A 128-bit AES input/output block.
 pub type Block = [u8; BLOCK_BYTES];
+
+/// How many blocks the batched entry points process per call — the lane
+/// width of the bitsliced backend.
+pub const BATCH_BLOCKS: usize = 8;
 
 /// AES S-box (FIPS-197 Figure 7).
 const SBOX: [u8; 256] = [
@@ -45,8 +62,9 @@ const SBOX: [u8; 256] = [
     0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
 ];
 
-/// Round constants for the key schedule.
-const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+/// Round constants for the key schedule (shared with the bitsliced
+/// backend, whose schedule must produce the same expansion).
+pub(crate) const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
 
 /// Multiply a byte by `x` (i.e. 2) in GF(2^8) modulo the AES polynomial.
 #[inline]
@@ -57,12 +75,12 @@ fn xtime(b: u8) -> u8 {
 /// S-box lookup.
 ///
 /// A `u8` index into a 256-entry table cannot be out of range. The
-/// data-dependent table access itself is the documented tradeoff of a
-/// table-based AES (see DESIGN.md §8 under R3): the simulator needs
-/// functional AES, not a bitsliced constant-time implementation.
+/// data-dependent table access itself is the documented tradeoff of the
+/// table-based backends (see DESIGN.md §8 under R3); the `hardened`
+/// backend substitutes through a boolean circuit instead.
 #[inline]
 #[allow(clippy::indexing_slicing)]
-fn sbox(b: u8) -> u8 {
+pub(crate) fn sbox(b: u8) -> u8 {
     // audit:allow(R1, reason = "u8 index into a 256-entry table is total")
     SBOX[usize::from(b)]
 }
@@ -174,6 +192,102 @@ impl std::fmt::Display for AesVariant {
     }
 }
 
+/// Which software implementation executes the AES rounds.
+///
+/// All backends are ciphertext-identical; they differ only in timing
+/// profile and batch width. Selected per schedule at expansion time —
+/// explicitly via the `*_on` constructors, or from the `RMCC_BACKEND`
+/// environment variable via [`Backend::from_env`] (the path the engine
+/// and service configuration plumb through).
+///
+/// # Examples
+///
+/// ```
+/// use rmcc_crypto::aes::{Aes, Backend};
+///
+/// let fast = Aes::new_128_on(&[0u8; 16], Backend::Fast);
+/// let hard = Aes::new_128_on(&[0u8; 16], Backend::Hardened);
+/// assert_eq!(fast.encrypt_block([7u8; 16]), hard.encrypt_block([7u8; 16]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Byte-wise FIPS-197 reference rounds: the slow, obviously-correct
+    /// oracle used for differential testing. S-box table lookups, not
+    /// constant-time.
+    Reference,
+    /// Fused T-table rounds (the default): fastest scalar path, with the
+    /// textbook data-dependent table access (DESIGN.md §8).
+    #[default]
+    Fast,
+    /// Bitsliced constant-time circuit ([`crate::bitslice`]): 8 blocks
+    /// per call, no secret-indexed loads or secret-dependent branches
+    /// anywhere — the module carries zero `audit:allow(R5)` waivers.
+    Hardened,
+}
+
+impl Backend {
+    /// Parses a backend name as accepted in `RMCC_BACKEND`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "reference" | "ref" | "bytewise" => Some(Backend::Reference),
+            "fast" | "ttable" => Some(Backend::Fast),
+            "hardened" | "bitsliced" | "bitslice" | "ct" => Some(Backend::Hardened),
+            _ => None,
+        }
+    }
+
+    /// Reads `RMCC_BACKEND` (`fast` | `hardened` | `reference`), falling
+    /// back to [`Backend::Fast`] when unset or unrecognized — backend
+    /// choice never changes outputs, so a typo degrades timing, not
+    /// correctness.
+    pub fn from_env() -> Self {
+        std::env::var("RMCC_BACKEND")
+            .ok()
+            .and_then(|v| Self::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// The canonical lowercase name (`reference` / `fast` / `hardened`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Reference => "reference",
+            Backend::Fast => "fast",
+            Backend::Hardened => "hardened",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A key slice's length did not match the requested [`AesVariant`].
+///
+/// Returned by [`Aes::expand`]/[`Aes::expand_on`]; the array-taking
+/// constructors ([`Aes::new_128`], [`Aes::new_256`]) make this state
+/// unrepresentable and stay infallible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyLengthError {
+    /// The length in bytes the requested variant requires.
+    pub expected: usize,
+    /// The length actually supplied.
+    pub got: usize,
+}
+
+impl std::fmt::Display for KeyLengthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "key length must match the AES variant: expected {} bytes, got {}",
+            self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for KeyLengthError {}
+
 /// An expanded AES key, ready to encrypt blocks.
 ///
 /// # Examples
@@ -188,11 +302,17 @@ impl std::fmt::Display for AesVariant {
 #[derive(Clone)]
 pub struct Aes {
     /// Expanded round keys, packed as big-endian `u32` columns:
-    /// `rounds + 1` keys of 4 words each.
+    /// `rounds + 1` keys of 4 words each. Empty for the hardened backend,
+    /// which keeps its schedule pre-bitsliced in `sliced` instead (the
+    /// table schedule's S-box lookups on key bytes would themselves be a
+    /// timing leak).
     round_keys: Vec<[u32; 4]>,
     variant: AesVariant,
+    backend: Backend,
     /// The shared encryption T-tables (built on first expansion).
     tables: &'static TTables,
+    /// Bitsliced schedule; `Some` exactly when `backend` is `Hardened`.
+    sliced: Option<crate::bitslice::Sliced>,
 }
 
 impl std::fmt::Debug for Aes {
@@ -200,36 +320,88 @@ impl std::fmt::Debug for Aes {
         // Never leak key material through Debug output.
         f.debug_struct("Aes")
             .field("variant", &self.variant)
+            .field("backend", &self.backend)
             .finish_non_exhaustive()
     }
 }
 
 impl Aes {
-    /// Expands a 128-bit key.
+    /// Expands a 128-bit key on the environment-selected backend.
     pub fn new_128(key: &[u8; 16]) -> Self {
-        // audit:allow(R5, reason = "key schedule runs on the table-based backend; constant-time expansion is ROADMAP item 3")
-        Self::expand(key, AesVariant::Aes128)
+        // audit:allow(R5, reason = "array length is checked by the type; schedule leakage is accounted per backend in expand_checked")
+        Self::new_128_on(key, Backend::from_env())
     }
 
-    /// Expands a 256-bit key.
+    /// Expands a 128-bit key on an explicit backend.
+    pub fn new_128_on(key: &[u8; 16], backend: Backend) -> Self {
+        // audit:allow(R5, reason = "array length is checked by the type; schedule leakage is accounted per backend in expand_checked")
+        Self::expand_checked(key, AesVariant::Aes128, backend)
+    }
+
+    /// Expands a 256-bit key on the environment-selected backend.
     pub fn new_256(key: &[u8; 32]) -> Self {
-        // audit:allow(R5, reason = "key schedule runs on the table-based backend; constant-time expansion is ROADMAP item 3")
-        Self::expand(key, AesVariant::Aes256)
+        // audit:allow(R5, reason = "array length is checked by the type; schedule leakage is accounted per backend in expand_checked")
+        Self::new_256_on(key, Backend::from_env())
     }
 
-    /// Expands a key for `variant`.
+    /// Expands a 256-bit key on an explicit backend.
+    pub fn new_256_on(key: &[u8; 32], backend: Backend) -> Self {
+        // audit:allow(R5, reason = "array length is checked by the type; schedule leakage is accounted per backend in expand_checked")
+        Self::expand_checked(key, AesVariant::Aes256, backend)
+    }
+
+    /// Expands a key slice for `variant` on the environment-selected
+    /// backend, returning [`KeyLengthError`] on a length mismatch.
+    pub fn expand(key: &[u8], variant: AesVariant) -> Result<Self, KeyLengthError> {
+        // audit:allow(R5, reason = "length-checked dispatch into the per-backend schedule")
+        Self::expand_on(key, variant, Backend::from_env())
+    }
+
+    /// Expands a key slice for `variant` on an explicit backend, returning
+    /// [`KeyLengthError`] on a length mismatch.
+    pub fn expand_on(
+        key: &[u8],
+        variant: AesVariant,
+        backend: Backend,
+    ) -> Result<Self, KeyLengthError> {
+        let got = key.len();
+        let expected = variant.key_bytes();
+        // audit:allow(R5, reason = "branches on the key slice's length only — public metadata, not key bytes")
+        if got != expected {
+            return Err(KeyLengthError { expected, got });
+        }
+        // audit:allow(R5, reason = "length verified above; schedule leakage is accounted per backend in expand_checked")
+        Ok(Self::expand_checked(key, variant, backend))
+    }
+
+    /// Expands a key of already-verified length on `backend`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `key.len()` does not match [`AesVariant::key_bytes`].
-    // audit:allow(R5, scope = fn, reason = "S-box key schedule is the table backend's accepted leak until ROADMAP item 3; nk/i derive from key length, a public variant parameter")
-    pub fn expand(key: &[u8], variant: AesVariant) -> Self {
-        assert_eq!(
-            key.len(),
-            variant.key_bytes(),
-            "key length must match the AES variant"
-        );
-        let nk = key.len() / 4; // key length in 32-bit words
+    /// The hardened backend expands entirely through the bitsliced
+    /// circuit (constant-time `SubWord`); the table backends run the
+    /// classic S-box schedule.
+    // audit:allow(R5, scope = fn, reason = "the S-box key schedule feeds only the table backends, whose data-dependent lookups are the documented tradeoff; the hardened arm expands through the waiver-free bitsliced circuit")
+    fn expand_checked(key: &[u8], variant: AesVariant, backend: Backend) -> Self {
+        let tables = TTABLES.get_or_init(build_ttables);
+        let (round_keys, sliced) = match backend {
+            Backend::Hardened => (
+                Vec::new(),
+                Some(crate::bitslice::Sliced::expand(key, variant)),
+            ),
+            _ => (Self::schedule_words(key, variant), None),
+        };
+        Aes {
+            round_keys,
+            variant,
+            backend,
+            tables,
+            sliced,
+        }
+    }
+
+    /// The classic FIPS-197 key schedule via S-box lookups, producing
+    /// big-endian `u32` round-key columns.
+    fn schedule_words(key: &[u8], variant: AesVariant) -> Vec<[u32; 4]> {
+        let nk = variant.key_bytes() / 4; // key length in 32-bit words
         let nr = variant.rounds();
         let total_words = 4 * (nr + 1);
         let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
@@ -261,8 +433,7 @@ impl Aes {
             }
             w.push(word);
         }
-        let round_keys = w
-            .chunks_exact(4)
+        w.chunks_exact(4)
             .map(|c| {
                 let mut rk = [0u32; 4];
                 for (dst, src) in rk.iter_mut().zip(c.iter()) {
@@ -270,12 +441,7 @@ impl Aes {
                 }
                 rk
             })
-            .collect();
-        Aes {
-            round_keys,
-            variant,
-            tables: TTABLES.get_or_init(build_ttables),
-        }
+            .collect()
     }
 
     /// The variant this key schedule was expanded for.
@@ -283,13 +449,66 @@ impl Aes {
         self.variant
     }
 
-    /// Encrypts one 128-bit block.
+    /// The backend this key schedule was expanded on.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Encrypts one 128-bit block on the schedule's backend.
     ///
-    /// The state lives in four big-endian `u32` columns; each middle round
-    /// is 16 T-table lookups and 16 XORs, the final round substitutes
-    /// through the S-box only (see the module docs and DESIGN.md §10).
-    // audit:allow(R5, scope = fn, reason = "T-table rounds index tables by state bytes by design; the constant-time hardened backend is ROADMAP item 3")
+    /// The hardened backend runs one live lane of its 8-wide circuit
+    /// (full-batch cost — constant-time code does not get cheaper for
+    /// smaller inputs); use [`Aes::encrypt_batch8`] to amortize.
     pub fn encrypt_block(&self, input: Block) -> Block {
+        if let Some(ct) = self.sliced.as_ref() {
+            return ct.encrypt_one(input);
+        }
+        match self.backend {
+            Backend::Reference => self.encrypt_block_reference(input),
+            _ => self.encrypt_block_ttable(input),
+        }
+    }
+
+    /// Encrypts 8 blocks in one call.
+    ///
+    /// On the hardened backend all 8 ride the bitsliced circuit together
+    /// (one circuit evaluation total); the table backends encrypt them
+    /// sequentially. Outputs are identical across backends either way.
+    pub fn encrypt_batch8(&self, inputs: [Block; BATCH_BLOCKS]) -> [Block; BATCH_BLOCKS] {
+        if let Some(ct) = self.sliced.as_ref() {
+            return ct.encrypt8(&inputs);
+        }
+        inputs.map(|b| self.encrypt_block(b))
+    }
+
+    /// [`Aes::encrypt_batch8`] over `u128` values (big-endian byte order),
+    /// the form the OTP pipeline consumes.
+    pub fn encrypt_u128_batch8(&self, inputs: [u128; BATCH_BLOCKS]) -> [u128; BATCH_BLOCKS] {
+        self.encrypt_batch8(inputs.map(u128::to_be_bytes))
+            .map(u128::from_be_bytes)
+    }
+
+    /// Encrypts a slice of blocks in place, batching through the 8-wide
+    /// path in groups (a trailing partial group still costs one full
+    /// circuit evaluation on the hardened backend).
+    pub fn encrypt_blocks(&self, io: &mut [Block]) {
+        if let Some(ct) = self.sliced.as_ref() {
+            for chunk in io.chunks_mut(BATCH_BLOCKS) {
+                ct.encrypt_upto8(chunk);
+            }
+            return;
+        }
+        for block in io.iter_mut() {
+            *block = self.encrypt_block(*block);
+        }
+    }
+
+    /// T-table rounds: the state lives in four big-endian `u32` columns;
+    /// each middle round is 16 T-table lookups and 16 XORs, the final
+    /// round substitutes through the S-box only (see the module docs and
+    /// DESIGN.md §10).
+    // audit:allow(R5, scope = fn, reason = "T-table rounds index tables by state bytes by design; the constant-time alternative is the hardened backend (DESIGN.md §13)")
+    fn encrypt_block_ttable(&self, input: Block) -> Block {
         let [p0, p1, p2, p3, p4, p5, p6, p7, p8, p9, p10, p11, p12, p13, p14, p15] = input;
         let mut s0 = u32::from_be_bytes([p0, p1, p2, p3]);
         let mut s1 = u32::from_be_bytes([p4, p5, p6, p7]);
@@ -335,6 +554,32 @@ impl Aes {
         ]
     }
 
+    /// Byte-wise FIPS-197 reference rounds: the textbook
+    /// `SubBytes`/`ShiftRows`/`MixColumns` sequence, kept as the
+    /// independent oracle the T-table and bitsliced paths are
+    /// differentially tested against.
+    // audit:allow(R5, scope = fn, reason = "reference oracle substitutes through the table S-box by design; the constant-time path is the hardened backend")
+    fn encrypt_block_reference(&self, input: Block) -> Block {
+        let mut state = input;
+        let last_round = self.round_keys.len().saturating_sub(1);
+        for (i, rk) in self.round_keys.iter().enumerate() {
+            let mut bytes = [0u8; 16];
+            let [k0, k1, k2, k3] = *rk;
+            for (dst, word) in bytes.chunks_exact_mut(4).zip([k0, k1, k2, k3]) {
+                dst.copy_from_slice(&word.to_be_bytes());
+            }
+            if i > 0 {
+                ref_sub_bytes(&mut state);
+                ref_shift_rows(&mut state);
+                if i < last_round {
+                    ref_mix_columns(&mut state);
+                }
+            }
+            ref_add_round_key(&mut state, &bytes);
+        }
+        state
+    }
+
     /// Encrypts a 128-bit value given as a `u128` (big-endian byte order).
     ///
     /// Convenience for the OTP pipeline, which manipulates pads as `u128`.
@@ -343,84 +588,64 @@ impl Aes {
     }
 }
 
+/// Reference-path `AddRoundKey`.
+fn ref_add_round_key(state: &mut Block, rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk.iter()) {
+        *s ^= k;
+    }
+}
+
+/// Reference-path `SubBytes` (table S-box; see [`Aes::encrypt_block_reference`]).
+fn ref_sub_bytes(state: &mut Block) {
+    for b in state.iter_mut() {
+        *b = sbox(*b);
+    }
+}
+
+/// Reference-path `ShiftRows`. FIPS-197 state is column-major: byte
+/// `state[r + 4c]` sits at row `r`, column `c`; `ShiftRows` rotates row
+/// `r` left by `r`, and each rotation is a swap chain.
+fn ref_shift_rows(state: &mut Block) {
+    // Row 1: left rotate by 1.
+    state.swap(1, 5);
+    state.swap(5, 9);
+    state.swap(9, 13);
+    // Row 2: left rotate by 2 (two swaps).
+    state.swap(2, 10);
+    state.swap(6, 14);
+    // Row 3: left rotate by 3 (= right rotate by 1).
+    state.swap(3, 7);
+    state.swap(3, 11);
+    state.swap(3, 15);
+}
+
+/// Reference-path `MixColumns`.
+fn ref_mix_columns(state: &mut Block) {
+    for col in state.chunks_exact_mut(4) {
+        if let [a, b, c, d] = *col {
+            let t = a ^ b ^ c ^ d;
+            col.copy_from_slice(&[
+                a ^ t ^ xtime(a ^ b),
+                b ^ t ^ xtime(b ^ c),
+                c ^ t ^ xtime(c ^ d),
+                d ^ t ^ xtime(d ^ a),
+            ]);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// Byte-wise FIPS-197 reference round primitives, kept only as the
-    /// independent oracle for [`ttable_rounds_match_bytewise_reference`]:
-    /// the production path is the T-table form, and this is the textbook
-    /// `SubBytes`/`ShiftRows`/`MixColumns` it must equal.
-    mod reference {
-        use super::{sbox, xtime, Block};
+    const BACKENDS: [Backend; 3] = [Backend::Reference, Backend::Fast, Backend::Hardened];
 
-        pub fn add_round_key(state: &mut Block, rk: &[u8; 16]) {
-            for (s, k) in state.iter_mut().zip(rk.iter()) {
-                *s ^= k;
-            }
-        }
-
-        pub fn sub_bytes(state: &mut Block) {
-            for b in state.iter_mut() {
-                *b = sbox(*b);
-            }
-        }
-
-        /// FIPS-197 state is column-major: byte `state[r + 4c]` sits at
-        /// row `r`, column `c`. `ShiftRows` rotates row `r` left by `r`;
-        /// each rotation is a swap chain.
-        pub fn shift_rows(state: &mut Block) {
-            // Row 1: left rotate by 1.
-            state.swap(1, 5);
-            state.swap(5, 9);
-            state.swap(9, 13);
-            // Row 2: left rotate by 2 (two swaps).
-            state.swap(2, 10);
-            state.swap(6, 14);
-            // Row 3: left rotate by 3 (= right rotate by 1).
-            state.swap(3, 7);
-            state.swap(3, 11);
-            state.swap(3, 15);
-        }
-
-        pub fn mix_columns(state: &mut Block) {
-            for col in state.chunks_exact_mut(4) {
-                if let [a, b, c, d] = *col {
-                    let t = a ^ b ^ c ^ d;
-                    col.copy_from_slice(&[
-                        a ^ t ^ xtime(a ^ b),
-                        b ^ t ^ xtime(b ^ c),
-                        c ^ t ^ xtime(c ^ d),
-                        d ^ t ^ xtime(d ^ a),
-                    ]);
-                }
-            }
-        }
-
-        /// Full byte-wise encryption with round keys given as bytes.
-        pub fn encrypt(round_keys: &[[u8; 16]], input: Block) -> Block {
-            let mut state = input;
-            if let [first, middle @ .., last] = round_keys {
-                add_round_key(&mut state, first);
-                for rk in middle {
-                    sub_bytes(&mut state);
-                    shift_rows(&mut state);
-                    mix_columns(&mut state);
-                    add_round_key(&mut state, rk);
-                }
-                sub_bytes(&mut state);
-                shift_rows(&mut state);
-                add_round_key(&mut state, last);
-            }
-            state
-        }
-    }
-
-    /// The T-table path must agree with the byte-wise reference on every
-    /// round structure, for both variants, across many pseudo-random
-    /// keys and blocks.
+    /// All three backends must agree with each other across many
+    /// pseudo-random keys and blocks, for both variants (the
+    /// cross-backend harness in `tests/backend_differential.rs` extends
+    /// this with NIST vectors and property-generated batches).
     #[test]
-    fn ttable_rounds_match_bytewise_reference() {
+    fn backends_agree_on_random_inputs() {
         let mut z = 0x1234_5678_9abc_def0u64;
         let mut next = move || {
             z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -433,28 +658,16 @@ mod tests {
             let key128: [u8; 16] = core::array::from_fn(|_| next() as u8);
             let key256: [u8; 32] = core::array::from_fn(|_| next() as u8);
             let block: Block = core::array::from_fn(|_| next() as u8);
-            for aes in [Aes::new_128(&key128), Aes::new_256(&key256)] {
-                let byte_keys: Vec<[u8; 16]> = aes
-                    .round_keys
-                    .iter()
-                    .map(|rk| {
-                        let [k0, k1, k2, k3] = *rk;
-                        let mut out = [0u8; 16];
-                        for (dst, word) in out.chunks_exact_mut(4).zip([k0, k1, k2, k3]) {
-                            dst.copy_from_slice(&word.to_be_bytes());
-                        }
-                        out
-                    })
-                    .collect();
-                assert_eq!(
-                    aes.encrypt_block(block),
-                    reference::encrypt(&byte_keys, block),
-                );
-            }
+            let [r, f, h] = BACKENDS.map(|b| Aes::new_128_on(&key128, b).encrypt_block(block));
+            assert_eq!(r, f, "AES-128 reference vs fast");
+            assert_eq!(f, h, "AES-128 fast vs hardened");
+            let [r, f, h] = BACKENDS.map(|b| Aes::new_256_on(&key256, b).encrypt_block(block));
+            assert_eq!(r, f, "AES-256 reference vs fast");
+            assert_eq!(f, h, "AES-256 fast vs hardened");
         }
     }
 
-    /// FIPS-197 Appendix B / C.1: AES-128.
+    /// FIPS-197 Appendix B / C.1: AES-128, on every backend.
     #[test]
     fn fips197_aes128_appendix_b() {
         let key = [
@@ -469,7 +682,13 @@ mod tests {
             0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
             0x0b, 0x32,
         ];
-        assert_eq!(Aes::new_128(&key).encrypt_block(pt), expect);
+        for backend in BACKENDS {
+            assert_eq!(
+                Aes::new_128_on(&key, backend).encrypt_block(pt),
+                expect,
+                "backend {backend}"
+            );
+        }
     }
 
     /// FIPS-197 Appendix C.1: sequential-byte key and plaintext.
@@ -484,7 +703,7 @@ mod tests {
         assert_eq!(Aes::new_128(&key).encrypt_block(pt), expect);
     }
 
-    /// FIPS-197 Appendix C.3: AES-256.
+    /// FIPS-197 Appendix C.3: AES-256, on every backend.
     #[test]
     fn fips197_aes256_appendix_c3() {
         let key: [u8; 32] = core::array::from_fn(|i| i as u8);
@@ -493,7 +712,13 @@ mod tests {
             0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b, 0x49,
             0x60, 0x89,
         ];
-        assert_eq!(Aes::new_256(&key).encrypt_block(pt), expect);
+        for backend in BACKENDS {
+            assert_eq!(
+                Aes::new_256_on(&key, backend).encrypt_block(pt),
+                expect,
+                "backend {backend}"
+            );
+        }
     }
 
     /// NIST SP 800-38A F.1.1 ECB-AES128 vector (first block).
@@ -533,24 +758,106 @@ mod tests {
     }
 
     #[test]
+    fn batch8_matches_scalar_on_every_backend() {
+        for backend in BACKENDS {
+            let aes = Aes::new_128_on(&[0x42u8; 16], backend);
+            let inputs: [Block; 8] = core::array::from_fn(|lane| [lane as u8; 16]);
+            let batch = aes.encrypt_batch8(inputs);
+            for (lane, (got, input)) in batch.iter().zip(inputs.iter()).enumerate() {
+                assert_eq!(
+                    *got,
+                    aes.encrypt_block(*input),
+                    "backend {backend} lane {lane}"
+                );
+            }
+            let u128s: [u128; 8] = core::array::from_fn(|lane| (lane as u128) << 96 | 0xdead);
+            let ubatch = aes.encrypt_u128_batch8(u128s);
+            for (got, input) in ubatch.iter().zip(u128s.iter()) {
+                assert_eq!(*got, aes.encrypt_u128(*input), "backend {backend} (u128)");
+            }
+        }
+    }
+
+    #[test]
+    fn encrypt_blocks_matches_scalar_for_ragged_lengths() {
+        for backend in BACKENDS {
+            let aes = Aes::new_256_on(&[0x17u8; 32], backend);
+            for n in [0usize, 1, 7, 8, 9, 16, 23] {
+                let mut io: Vec<Block> = (0..n)
+                    .map(|i| core::array::from_fn(|j| (i * 31 + j) as u8))
+                    .collect();
+                let expect: Vec<Block> = io.iter().map(|b| aes.encrypt_block(*b)).collect();
+                aes.encrypt_blocks(&mut io);
+                assert_eq!(io, expect, "backend {backend} length {n}");
+            }
+        }
+    }
+
+    #[test]
     fn different_keys_give_different_ciphertexts() {
         let a = Aes::new_128(&[0u8; 16]);
         let b = Aes::new_128(&[1u8; 16]);
         assert_ne!(a.encrypt_block([0u8; 16]), b.encrypt_block([0u8; 16]));
     }
 
+    /// A wrong-length key slice is a typed error, not a panic, for both
+    /// variants and in both directions (too short and too long).
     #[test]
-    #[should_panic(expected = "key length")]
-    fn wrong_key_length_panics() {
-        let _ = Aes::expand(&[0u8; 17], AesVariant::Aes128);
+    fn wrong_key_length_is_a_typed_error() {
+        for (len, variant, expected) in [
+            (17usize, AesVariant::Aes128, 16usize),
+            (15, AesVariant::Aes128, 16),
+            (0, AesVariant::Aes128, 16),
+            (16, AesVariant::Aes256, 32),
+            (33, AesVariant::Aes256, 32),
+        ] {
+            let key = vec![0u8; len];
+            let err = Aes::expand(&key, variant).unwrap_err();
+            assert_eq!(err, KeyLengthError { expected, got: len });
+            let msg = err.to_string();
+            assert!(msg.contains("key length"), "message: {msg}");
+            assert!(msg.contains(&expected.to_string()), "message: {msg}");
+            for backend in BACKENDS {
+                assert_eq!(
+                    Aes::expand_on(&key, variant, backend).unwrap_err(),
+                    KeyLengthError { expected, got: len },
+                    "backend {backend}"
+                );
+            }
+        }
+    }
+
+    /// A correct-length slice expands fine through the fallible path.
+    #[test]
+    fn correct_key_length_expands_via_the_fallible_path() {
+        let aes = Aes::expand(&[0u8; 16], AesVariant::Aes128).unwrap();
+        assert_eq!(
+            aes.encrypt_block([0u8; 16]),
+            Aes::new_128(&[0u8; 16]).encrypt_block([0u8; 16])
+        );
+    }
+
+    #[test]
+    fn backend_parse_and_env_default() {
+        assert_eq!(Backend::parse("fast"), Some(Backend::Fast));
+        assert_eq!(Backend::parse("TTable"), Some(Backend::Fast));
+        assert_eq!(Backend::parse("hardened"), Some(Backend::Hardened));
+        assert_eq!(Backend::parse("bitsliced"), Some(Backend::Hardened));
+        assert_eq!(Backend::parse(" reference "), Some(Backend::Reference));
+        assert_eq!(Backend::parse("mystery"), None);
+        assert_eq!(Backend::default(), Backend::Fast);
+        assert_eq!(Backend::Hardened.name(), "hardened");
+        assert_eq!(format!("{}", Backend::Fast), "fast");
     }
 
     #[test]
     fn debug_does_not_print_key_material() {
-        let aes = Aes::new_128(&[0x42u8; 16]);
-        let s = format!("{aes:?}");
-        assert!(s.contains("Aes128"));
-        assert!(!s.contains("66")); // 0x42 = 66; round keys absent
-        assert!(!s.contains("round_keys"));
+        for backend in BACKENDS {
+            let aes = Aes::new_128_on(&[0x42u8; 16], backend);
+            let s = format!("{aes:?}");
+            assert!(s.contains("Aes128"));
+            assert!(!s.contains("66")); // 0x42 = 66; round keys absent
+            assert!(!s.contains("round_keys"));
+        }
     }
 }

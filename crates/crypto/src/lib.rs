@@ -5,7 +5,9 @@
 //! Secure Memory Systems"* (MICRO 2022) relies on:
 //!
 //! * [`aes`] — FIPS-197 AES-128/AES-256 block encryption (encrypt-only, as
-//!   counter mode needs).
+//!   counter mode needs), selectable per [`Backend`]: byte-wise reference,
+//!   T-tables (`fast`, the default), or the bitsliced constant-time
+//!   `hardened` circuit that processes 8 blocks per call.
 //! * [`clmul`] — carry-less multiplication, including RMCC's truncated
 //!   128×128→128 middle-bits combiner (Figure 11).
 //! * [`otp`] — one-time-pad pipelines: the SGX-style baseline (address and
@@ -46,13 +48,14 @@
 #![deny(missing_docs)]
 
 pub mod aes;
+mod bitslice;
 pub mod clmul;
 pub mod mac;
 pub mod nist;
 pub mod otp;
 pub mod stats;
 
-pub use aes::{Aes, AesVariant};
+pub use aes::{Aes, AesVariant, Backend, KeyLengthError};
 pub use clmul::{clmul128, clmul64, clmul_truncate_mid, Product256};
 pub use mac::{compute_mac, verify_mac, xor_with_pads, DataBlock, MacKeys};
 pub use otp::{BlockPads, KeySet, OtpPipeline, PadPurpose, RmccOtp, SgxOtp};

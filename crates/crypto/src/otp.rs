@@ -17,7 +17,7 @@
 
 use std::cell::RefCell;
 
-use crate::aes::Aes;
+use crate::aes::{Aes, Backend, BATCH_BLOCKS};
 use crate::clmul::clmul_truncate_mid;
 
 /// Number of 128-bit words in a 64-byte memory block.
@@ -77,23 +77,34 @@ impl KeySet {
     /// Derives the key set for a chosen AES variant. The paper's §VI
     /// sensitivity study models the "quantum safe" AES-256 (14 rounds,
     /// 22 ns); this constructor makes the functional engine match.
+    ///
+    /// The AES backend comes from `RMCC_BACKEND` ([`Backend::from_env`]);
+    /// use [`KeySet::from_master_on`] to pin one explicitly.
     pub fn from_master_with(master: u64, variant: crate::aes::AesVariant) -> Self {
+        Self::from_master_on(master, variant, Backend::from_env())
+    }
+
+    /// Derives the key set for a chosen AES variant on an explicit
+    /// backend. Backends are ciphertext-identical, so the derived keys —
+    /// and every pad ever produced from them — are bit-identical across
+    /// backends; only the timing profile changes.
+    pub fn from_master_on(master: u64, variant: crate::aes::AesVariant, backend: Backend) -> Self {
         let mut mk = [0u8; 16];
         let (mk_lo, mk_hi) = mk.split_at_mut(8);
         mk_lo.copy_from_slice(&master.to_be_bytes());
         mk_hi.copy_from_slice(&(!master).to_be_bytes());
-        let root = Aes::new_128(&mk);
+        let root = Aes::new_128_on(&mk, backend);
         let derive = |label: u128| {
             let lo = root.encrypt_u128(label);
             match variant {
-                crate::aes::AesVariant::Aes128 => Aes::new_128(&lo.to_be_bytes()),
+                crate::aes::AesVariant::Aes128 => Aes::new_128_on(&lo.to_be_bytes(), backend),
                 crate::aes::AesVariant::Aes256 => {
                     let hi = root.encrypt_u128(label | 1 << 64);
                     let mut key = [0u8; 32];
                     let (key_lo, key_hi) = key.split_at_mut(16);
                     key_lo.copy_from_slice(&lo.to_be_bytes());
                     key_hi.copy_from_slice(&hi.to_be_bytes());
-                    Aes::new_256(&key)
+                    Aes::new_256_on(&key, backend)
                 }
             }
         };
@@ -108,6 +119,11 @@ impl KeySet {
     /// The AES variant the keys were expanded for.
     pub fn variant(&self) -> crate::aes::AesVariant {
         self.enc.variant()
+    }
+
+    /// The AES backend the keys were expanded on.
+    pub fn backend(&self) -> Backend {
+        self.enc.backend()
     }
 
     /// The encryption-pad key (counter-only key under RMCC).
@@ -176,6 +192,18 @@ pub trait OtpPipeline: Send {
         self.block_pads(block_addr, ctr).mac
     }
 
+    /// Hints that the pads for these `(block_addr, ctr)` requests are
+    /// about to be asked for, letting the pipeline derive them through a
+    /// batched AES path ahead of time. Purely a wall-clock accelerator:
+    /// subsequent [`OtpPipeline::block_pads`]/[`OtpPipeline::mac_pad`]
+    /// calls return bit-identical values whether or not this ran, and the
+    /// caller's modeled crypto accounting is charged at request time
+    /// either way. The default is a no-op (the baseline pipeline has no
+    /// batch path and no memo to warm).
+    fn warm_pads(&self, reqs: &[(u64, u64)]) {
+        let _ = reqs;
+    }
+
     /// A short human-readable name for diagnostics.
     fn name(&self) -> &'static str;
 }
@@ -242,6 +270,16 @@ impl OtpPipeline for SgxOtp {
     fn name(&self) -> &'static str {
         "sgx-baseline"
     }
+}
+
+/// Packs the address-only AES input for one 128-bit word of a block:
+/// µ1 ‖ µ2 ‖ addr_56(word-granular) ‖ 0^64 — the word index is folded into
+/// the low bits of the 56-bit address field, since each 128-bit word of a
+/// block has its own address (Figure 2 / §II-A).
+fn addr_input(block_addr: u64, word_index: u8) -> u128 {
+    let word_addr = ((block_addr << 2) | word_index as u64) & ((1 << 56) - 1);
+    let mu = 0xa5_00u128; // µ1 ‖ µ2 domain separation
+    (mu << 112) | ((word_addr as u128) << 64)
 }
 
 /// Number of slots in each way of the transparent pad memo (power of two).
@@ -373,13 +411,92 @@ impl RmccOtp {
     /// Address-only results are always fast to produce because the MC knows
     /// the address as soon as the request arrives (§IV).
     pub fn address_only(&self, block_addr: u64, word_index: u8, purpose: PadPurpose) -> u128 {
-        // µ1 ‖ µ2 ‖ addr_56(word-granular) ‖ 0^64 — the word index is folded
-        // into the low bits of the 56-bit address field, since each 128-bit
-        // word of a block has its own address (Figure 2 / §II-A).
-        let word_addr = ((block_addr << 2) | word_index as u64) & ((1 << 56) - 1);
-        let mu = 0xa5_00u128; // µ1 ‖ µ2 domain separation
-        let input = (mu << 112) | ((word_addr as u128) << 64);
-        self.keys.address_only(purpose).encrypt_u128(input)
+        self.keys
+            .address_only(purpose)
+            .encrypt_u128(addr_input(block_addr, word_index))
+    }
+
+    /// Derives full block pads for up to [`BATCH_BLOCKS`] `(block_addr,
+    /// ctr)` requests at once, driving each AES key's 8-wide batch entry
+    /// point so the hardened backend runs one circuit evaluation per key
+    /// per word instead of one per lane.
+    ///
+    /// Lane `i` of the result corresponds to `reqs[i]` and is
+    /// bit-identical to `block_pads(reqs[i].0, reqs[i].1)`; lanes past
+    /// `reqs.len()` are derived for the all-zero request and must be
+    /// discarded by the caller. The memo is neither consulted nor
+    /// updated — this is the raw derivation ([`RmccOtp::warm_pads`] layers
+    /// the memo on top).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter exceeds [`COUNTER_MAX`].
+    pub fn block_pads_batch8(&self, reqs: &[(u64, u64)]) -> [BlockPads; BATCH_BLOCKS] {
+        let mut lanes = [(0u64, 0u64); BATCH_BLOCKS];
+        for (slot, req) in lanes.iter_mut().zip(reqs.iter()) {
+            assert!(req.1 <= COUNTER_MAX, "counter overflows 56 bits");
+            *slot = *req;
+        }
+        // 0^72 ‖ ctr_56 per lane (Figure 11 left input), through both
+        // counter keys.
+        let ctr_in = lanes.map(|(_, ctr)| ctr as u128);
+        let ctr_enc = self.keys.enc.encrypt_u128_batch8(ctr_in);
+        let ctr_mac = self.keys.mac.encrypt_u128_batch8(ctr_in);
+        // Address-only halves: one 8-wide batch per word index, plus one
+        // for the MAC (which uses word 0 under the MAC address key).
+        let addr_in = |w: u8| lanes.map(|(addr, _)| addr_input(addr, w));
+        let ae0 = self.keys.addr_enc.encrypt_u128_batch8(addr_in(0));
+        let ae1 = self.keys.addr_enc.encrypt_u128_batch8(addr_in(1));
+        let ae2 = self.keys.addr_enc.encrypt_u128_batch8(addr_in(2));
+        let ae3 = self.keys.addr_enc.encrypt_u128_batch8(addr_in(3));
+        let am = self.keys.addr_mac.encrypt_u128_batch8(addr_in(0));
+        let mut out = [BlockPads::default(); BATCH_BLOCKS];
+        let halves = ctr_enc
+            .into_iter()
+            .zip(ctr_mac)
+            .zip(ae0)
+            .zip(ae1)
+            .zip(ae2)
+            .zip(ae3)
+            .zip(am);
+        for (pads, ((((((ce, cm), a0), a1), a2), a3), amac)) in out.iter_mut().zip(halves) {
+            pads.words = [
+                Self::combine(ce, a0),
+                Self::combine(ce, a1),
+                Self::combine(ce, a2),
+                Self::combine(ce, a3),
+            ];
+            pads.mac = Self::combine(cm, amac);
+        }
+        out
+    }
+
+    /// Narrow batched form of [`OtpPipeline::mac_pad`]: MAC pads only, for
+    /// up to [`BATCH_BLOCKS`] requests, bit-identical lane-for-lane to the
+    /// scalar call. Same lane convention as [`RmccOtp::block_pads_batch8`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter exceeds [`COUNTER_MAX`].
+    pub fn mac_pads_batch8(&self, reqs: &[(u64, u64)]) -> [u128; BATCH_BLOCKS] {
+        let mut lanes = [(0u64, 0u64); BATCH_BLOCKS];
+        for (slot, req) in lanes.iter_mut().zip(reqs.iter()) {
+            assert!(req.1 <= COUNTER_MAX, "counter overflows 56 bits");
+            *slot = *req;
+        }
+        let ctr_mac = self
+            .keys
+            .mac
+            .encrypt_u128_batch8(lanes.map(|(_, ctr)| ctr as u128));
+        let am = self
+            .keys
+            .addr_mac
+            .encrypt_u128_batch8(lanes.map(|(addr, _)| addr_input(addr, 0)));
+        let mut out = [0u128; BATCH_BLOCKS];
+        for (pad, (cm, amac)) in out.iter_mut().zip(ctr_mac.into_iter().zip(am)) {
+            *pad = Self::combine(cm, amac);
+        }
+        out
     }
 
     /// Combines a counter-only and an address-only AES result into the final
@@ -449,6 +566,61 @@ impl OtpPipeline for RmccOtp {
             };
         }
         mac
+    }
+
+    /// Warms the transparent memo through the 8-wide batch derivation:
+    /// requests already memoized are skipped, the rest are derived in
+    /// [`BATCH_BLOCKS`]-lane groups and inserted into both the block-pad
+    /// and MAC-pad ways. Correctness-neutral by construction — hits serve
+    /// bit-identical pads, and evictions only cost a re-derivation later.
+    // audit:allow(R5, scope = fn, reason = "memo slots are addressed by (block_addr, ctr), both public metadata; the hit/miss pattern is the paper's architecturally visible memoization")
+    fn warm_pads(&self, reqs: &[(u64, u64)]) {
+        let Ok(mut memo) = self.memo.try_borrow_mut() else {
+            return;
+        };
+        for group in reqs.chunks(BATCH_BLOCKS) {
+            // Collect the lanes not already memoized (duplicate requests
+            // within a group derive twice and overwrite — harmless).
+            let mut missing = [(0u64, 0u64); BATCH_BLOCKS];
+            let mut n = 0usize;
+            for (addr, ctr) in group {
+                let idx = memo_index(*addr, *ctr);
+                let hit = memo
+                    .blocks
+                    .get(idx)
+                    .is_some_and(|s| s.addr == *addr && s.ctr == *ctr);
+                if !hit {
+                    if let Some(slot) = missing.get_mut(n) {
+                        *slot = (*addr, *ctr);
+                        n += 1;
+                    }
+                }
+            }
+            let Some(live) = missing.get(..n) else {
+                continue;
+            };
+            if live.is_empty() {
+                continue;
+            }
+            let derived = self.block_pads_batch8(live);
+            for ((addr, ctr), pads) in live.iter().zip(derived.iter()) {
+                let idx = memo_index(*addr, *ctr);
+                if let Some(slot) = memo.blocks.get_mut(idx) {
+                    *slot = PadSlot {
+                        addr: *addr,
+                        ctr: *ctr,
+                        pads: *pads,
+                    };
+                }
+                if let Some(slot) = memo.macs.get_mut(idx) {
+                    *slot = MacSlot {
+                        addr: *addr,
+                        ctr: *ctr,
+                        mac: pads.mac,
+                    };
+                }
+            }
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -584,6 +756,97 @@ mod tests {
         // Deterministic per variant.
         let again = RmccOtp::new(KeySet::from_master_with(9, AesVariant::Aes256));
         assert_eq!(p256.block_pads(10, 1), again.block_pads(10, 1));
+    }
+
+    /// The batch derivation must be bit-identical, lane for lane, to the
+    /// scalar path — for full and partial batches, on both the fast and
+    /// hardened backends, and across backends.
+    #[test]
+    fn block_pads_batch8_matches_scalar_on_both_backends() {
+        use crate::aes::AesVariant;
+        let reqs: Vec<(u64, u64)> = vec![
+            (0, 0),
+            (77, 9),
+            (1 << 40, 12345),
+            (3, COUNTER_MAX),
+            (500, 1),
+            (500, 2),
+            (501, 1),
+            (0xdead_beef, 42),
+        ];
+        let fast = RmccOtp::new(KeySet::from_master_on(
+            0x1234_5678,
+            AesVariant::Aes128,
+            Backend::Fast,
+        ));
+        let hard = RmccOtp::new(KeySet::from_master_on(
+            0x1234_5678,
+            AesVariant::Aes128,
+            Backend::Hardened,
+        ));
+        for n in 1..=reqs.len() {
+            let group = &reqs[..n];
+            let batch_fast = fast.block_pads_batch8(group);
+            let batch_hard = hard.block_pads_batch8(group);
+            for (lane, (addr, ctr)) in group.iter().enumerate() {
+                let scalar = fast.block_pads(*addr, *ctr);
+                assert_eq!(batch_fast[lane], scalar, "fast lane {lane} of {n}");
+                assert_eq!(batch_hard[lane], scalar, "hardened lane {lane} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn mac_pads_batch8_matches_scalar() {
+        let p = RmccOtp::new(keys());
+        let reqs = [(0u64, 0u64), (77, 9), (1 << 40, 12345), (3, COUNTER_MAX)];
+        let batch = p.mac_pads_batch8(&reqs);
+        for (lane, (addr, ctr)) in reqs.iter().enumerate() {
+            assert_eq!(batch[lane], p.mac_pad(*addr, *ctr), "lane {lane}");
+        }
+    }
+
+    /// Warming the memo must not change anything observable: pads served
+    /// after a warm are bit-identical to a cold pipeline's.
+    #[test]
+    fn warm_pads_is_correctness_neutral() {
+        let warmed = RmccOtp::new(keys());
+        let cold = RmccOtp::new(keys());
+        let reqs: Vec<(u64, u64)> = (0..23).map(|i| (i * 37 % 11, i)).collect();
+        warmed.warm_pads(&reqs);
+        // Warming twice (all hits the second time) is also a no-op.
+        warmed.warm_pads(&reqs);
+        for (addr, ctr) in &reqs {
+            assert_eq!(
+                warmed.block_pads(*addr, *ctr),
+                cold.block_pads(*addr, *ctr),
+                "block pads diverged at addr={addr} ctr={ctr}"
+            );
+            assert_eq!(
+                warmed.mac_pad(*addr, *ctr),
+                cold.mac_pad(*addr, *ctr),
+                "mac pad diverged at addr={addr} ctr={ctr}"
+            );
+        }
+        // The default trait impl is a no-op and must also be harmless.
+        let sgx = SgxOtp::new(keys());
+        sgx.warm_pads(&reqs);
+        assert_eq!(sgx.block_pads(1, 1), SgxOtp::new(keys()).block_pads(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "counter overflows")]
+    fn batch_counter_overflow_panics() {
+        let p = RmccOtp::new(keys());
+        let _ = p.block_pads_batch8(&[(1, COUNTER_MAX + 1)]);
+    }
+
+    #[test]
+    fn keyset_reports_its_backend() {
+        use crate::aes::AesVariant;
+        let k = KeySet::from_master_on(5, AesVariant::Aes128, Backend::Hardened);
+        assert_eq!(k.backend(), Backend::Hardened);
+        assert_eq!(KeySet::from_master(5).backend(), Backend::from_env());
     }
 
     #[test]

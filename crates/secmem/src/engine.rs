@@ -8,6 +8,7 @@
 //! attacks (restoring stale ciphertext *and* stale counters consistently)
 //! are caught by the integrity tree rooted on-chip.
 
+use rmcc_crypto::aes::{AesVariant, Backend, BATCH_BLOCKS};
 use rmcc_crypto::mac::{compute_mac, verify_mac, xor_with_pads, DataBlock, MacKeys};
 use rmcc_crypto::otp::{KeySet, OtpPipeline, RmccOtp, SgxOtp, COUNTER_MAX};
 use rmcc_crypto::stats::{CryptoCost, CryptoStats};
@@ -310,6 +311,9 @@ pub struct SecureMemory {
     /// `level` (the on-chip root is never stored). Arena-per-level: lookup
     /// is layout arithmetic, and steady-state access allocates nothing.
     nodes: Vec<PagedArena<StoredNode>>,
+    /// The AES backend the pipeline's keys were expanded on (diagnostics;
+    /// outputs are backend-invariant).
+    backend: Backend,
     /// Cumulative count of data blocks re-encrypted due to relevels.
     overflow_reencryptions: u64,
     /// Primitive-invocation tally (AES, clmul, MAC verifies) for telemetry.
@@ -338,7 +342,10 @@ impl SecureMemory {
     }
 
     /// Creates a secure memory with a custom counter-update policy (e.g.
-    /// RMCC's memoization-aware update).
+    /// RMCC's memoization-aware update). The AES backend comes from
+    /// `RMCC_BACKEND` ([`Backend::from_env`]); backends are
+    /// ciphertext-identical, so everything this engine ever stores or
+    /// digests is byte-identical across them.
     pub fn with_policy(
         org: CounterOrg,
         data_bytes: u64,
@@ -346,7 +353,19 @@ impl SecureMemory {
         key_seed: u64,
         policy: Box<dyn CounterUpdatePolicy>,
     ) -> Self {
-        let keys = KeySet::from_master(key_seed);
+        Self::with_policy_on(org, data_bytes, kind, key_seed, policy, Backend::from_env())
+    }
+
+    /// [`SecureMemory::with_policy`] with an explicitly pinned AES backend.
+    pub fn with_policy_on(
+        org: CounterOrg,
+        data_bytes: u64,
+        kind: PipelineKind,
+        key_seed: u64,
+        policy: Box<dyn CounterUpdatePolicy>,
+        backend: Backend,
+    ) -> Self {
+        let keys = KeySet::from_master_on(key_seed, AesVariant::Aes128, backend);
         let (pipeline, pad_cost): (Box<dyn OtpPipeline>, CryptoCost) = match kind {
             PipelineKind::Sgx => (Box::new(SgxOtp::new(keys)), CryptoCost::sgx_block()),
             PipelineKind::Rmcc => (Box::new(RmccOtp::new(keys)), CryptoCost::rmcc_block()),
@@ -362,6 +381,7 @@ impl SecureMemory {
             policy,
             data: PagedArena::new(),
             nodes,
+            backend,
             overflow_reencryptions: 0,
             crypto: CryptoStats::new(),
             scratch_chain: Vec::new(),
@@ -386,6 +406,48 @@ impl SecureMemory {
     /// The OTP pipeline's diagnostic name.
     pub fn pipeline_name(&self) -> &'static str {
         self.pipeline.name()
+    }
+
+    /// The AES backend this engine's keys were expanded on.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Pre-derives pads for the given data blocks through the pipeline's
+    /// batched AES path ([`OtpPipeline::warm_pads`]), in
+    /// [`BATCH_BLOCKS`]-sized groups. Blocks never written are skipped (a
+    /// read of one fails before any pad is needed).
+    ///
+    /// This is a pure wall-clock accelerator and deliberately bypasses
+    /// the modeled crypto tally: architecturally the MC still issues one
+    /// pipeline invocation per access, and [`Self::pads_for`] charges it
+    /// at request time whether the memo was warmed or not. Results are
+    /// bit-identical with or without prefetching.
+    pub fn prefetch_pads<I>(&mut self, blocks: I)
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let mut reqs = [(0u64, 0u64); BATCH_BLOCKS];
+        let mut n = 0usize;
+        for block in blocks {
+            if self.data.get(block).is_none() {
+                continue;
+            }
+            let ctr = self.meta.data_counter(block);
+            if let Some(slot) = reqs.get_mut(n) {
+                *slot = (block, ctr);
+                n += 1;
+            }
+            if n == reqs.len() {
+                self.pipeline.warm_pads(&reqs);
+                n = 0;
+            }
+        }
+        if let Some(partial) = reqs.get(..n) {
+            if !partial.is_empty() {
+                self.pipeline.warm_pads(partial);
+            }
+        }
     }
 
     /// Data blocks re-encrypted by counter-overflow relevels so far.

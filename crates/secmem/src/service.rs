@@ -51,6 +51,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread;
 
+use rmcc_crypto::aes::Backend;
 use rmcc_crypto::mac::DataBlock;
 use rmcc_crypto::stats::CryptoStats;
 
@@ -331,6 +332,10 @@ pub struct ServiceConfig {
     /// health monitoring entirely: no state machine, no degraded routing,
     /// no write rejection — byte-identical to the pre-lifecycle service.
     pub health: Option<HealthConfig>,
+    /// AES backend for every shard's key schedules. Backends are
+    /// ciphertext-identical (see `rmcc_crypto::aes::Backend`), so this
+    /// only changes the timing profile, never stored bytes or digests.
+    pub backend: Backend,
 }
 
 impl ServiceConfig {
@@ -345,12 +350,20 @@ impl ServiceConfig {
             key_seed: 0x0005_EED0_0F5E_C3E7,
             jobs: 1,
             health: None,
+            backend: Backend::from_env(),
         }
     }
 
     /// The same config with a different default pool width.
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The same config with an explicitly pinned AES backend (instead of
+    /// the `RMCC_BACKEND` environment default).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -645,12 +658,13 @@ impl SecureMemoryService {
         let shard_states = (0..shards)
             .map(|i| {
                 Mutex::new(ShardState {
-                    mem: SecureMemory::with_policy(
+                    mem: SecureMemory::with_policy_on(
                         cfg.org,
                         cfg.data_bytes,
                         cfg.pipeline,
                         cfg.key_seed,
                         policy_for(i),
+                        cfg.backend,
                     ),
                     faults: 0,
                     monitor: cfg.health.map(HealthMonitor::new),
@@ -807,6 +821,23 @@ impl SecureMemoryService {
                     mon.quarantine();
                 }
             }
+        }
+        // Batched pad prefetch: collect this sub-batch's read targets and
+        // derive their pads through the pipeline's 8-wide AES path before
+        // serving any entry. Purely a wall-clock accelerator — pads are
+        // bit-identical with or without it, and the engine's modeled
+        // crypto tally is charged at access time either way — so the
+        // determinism contract below is untouched.
+        {
+            let state = &mut *guard;
+            let reads = indices
+                .iter()
+                .filter_map(|&i| batch.get(i))
+                .filter_map(|access| match access {
+                    Access::Read { block } => Some(*block),
+                    Access::Write { .. } => None,
+                });
+            state.mem.prefetch_pads(reads);
         }
         for &i in indices {
             let Some(access) = batch.get(i) else {
@@ -1080,6 +1111,28 @@ mod tests {
             let region_base = (block / snap.coverage()) * snap.coverage();
             assert_eq!(s, snap.shard_of(region_base));
         }
+    }
+
+    #[test]
+    fn hardened_backend_service_is_bit_identical_to_fast() {
+        // Same batch through fast- and hardened-pinned services: every
+        // access result, the result digest, and every shard's
+        // architectural digest must match bit for bit — the backend may
+        // only change the timing profile, never stored state.
+        let base = ServiceConfig::new(3, 1 << 24);
+        let batch = mixed_batch(&base);
+        let runs: Vec<(Vec<AccessResult>, u64, Vec<u64>)> = [Backend::Fast, Backend::Hardened]
+            .into_iter()
+            .map(|backend| {
+                let svc = SecureMemoryService::new(&base.with_backend(backend));
+                let got = svc.submit_with_jobs(&batch, 2);
+                let digests = (0..svc.snapshot().shards())
+                    .map(|s| svc.shard_state_digest(s).expect("shard is live"))
+                    .collect();
+                (got.clone(), digest_results(&got), digests)
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1], "hardened service diverged from fast");
     }
 
     #[test]

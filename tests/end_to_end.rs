@@ -2,8 +2,11 @@
 //! through every scheme, pipeline, and attack the threat model covers.
 
 use rmcc::core::rmcc::{Rmcc, RmccConfig};
+use rmcc::crypto::Backend;
 use rmcc::secmem::counters::CounterOrg;
-use rmcc::secmem::engine::{CounterUpdatePolicy, PipelineKind, ReadError, SecureMemory};
+use rmcc::secmem::engine::{
+    CounterUpdatePolicy, IncrementPolicy, PipelineKind, ReadError, SecureMemory,
+};
 
 const ORGS: [CounterOrg; 3] = [
     CounterOrg::Mono8,
@@ -154,6 +157,81 @@ fn functional_engine_with_real_rmcc_policy() {
         let c = mem.counter_of(b);
         assert!(c >= 1_000, "counter {c} did not jump to the memoized group");
     }
+}
+
+/// Drives one engine through writes, overwrites, reads, and a tamper
+/// round-trip, and returns its architectural digest. Used to compare
+/// backends: identical histories must leave identical digests.
+fn drive_history(mem: &mut SecureMemory) -> u64 {
+    for block in [0u64, 1, 63, 64, 127, 128, 1000] {
+        mem.write(block, pattern(block, 0)).unwrap();
+    }
+    for round in 0..20u8 {
+        mem.write(5, pattern(5, round)).unwrap();
+        assert_eq!(mem.read(5).unwrap(), pattern(5, round));
+    }
+    mem.tamper_data(64, 3, 0x80).unwrap();
+    assert_eq!(mem.read(64), Err(ReadError::DataTampered { block: 64 }));
+    mem.tamper_data(64, 3, 0x80).unwrap(); // undo
+    assert_eq!(mem.read(64).unwrap(), pattern(64, 0));
+    mem.state_digest()
+}
+
+#[test]
+fn hardened_backend_leaves_every_state_digest_unchanged() {
+    // The bitsliced constant-time backend must be bit-identical to the
+    // T-table path: the same history leaves the same architectural digest
+    // for every counter organization and pipeline.
+    for org in ORGS {
+        for pipe in PIPES {
+            let digest_on = |backend: Backend| {
+                let mut mem = SecureMemory::with_policy_on(
+                    org,
+                    1 << 22,
+                    pipe,
+                    11,
+                    Box::new(IncrementPolicy),
+                    backend,
+                );
+                assert_eq!(mem.backend(), backend);
+                drive_history(&mut mem)
+            };
+            assert_eq!(
+                digest_on(Backend::Fast),
+                digest_on(Backend::Hardened),
+                "{org} / {pipe:?}: hardened digest diverged from fast"
+            );
+        }
+    }
+}
+
+#[test]
+fn hardened_env_rerun_matches_the_reference_backend() {
+    // The env-driven constructor path under RMCC_BACKEND=hardened: the
+    // same workload as the explicit-backend reference must round-trip and
+    // land on the same digest. Backends never change outputs, so the
+    // process-global env flip is benign for any concurrently constructed
+    // engine.
+    let reference = {
+        let mut mem = SecureMemory::with_policy_on(
+            CounterOrg::Morphable128,
+            1 << 22,
+            PipelineKind::Rmcc,
+            12,
+            Box::new(IncrementPolicy),
+            Backend::Reference,
+        );
+        drive_history(&mut mem)
+    };
+    std::env::set_var("RMCC_BACKEND", "hardened");
+    let mut mem = SecureMemory::new(CounterOrg::Morphable128, 1 << 22, PipelineKind::Rmcc, 12);
+    assert_eq!(mem.backend(), Backend::Hardened, "env selection failed");
+    assert_eq!(
+        drive_history(&mut mem),
+        reference,
+        "hardened env run diverged from the byte-wise reference"
+    );
+    std::env::remove_var("RMCC_BACKEND");
 }
 
 #[test]
