@@ -25,7 +25,17 @@ use crate::model::{self, FnModel};
 use crate::{FileCtx, Finding, Rule};
 
 /// Crates whose `src/` trees are held to the determinism contract (R7).
-pub const R7_CRATES: &[&str] = &["core", "secmem", "crypto", "telemetry", "sim", "faults"];
+/// `workloads` joined with the trace codec: recorded streams must replay
+/// byte-identically, so its generators and codec are bound like the sim.
+pub const R7_CRATES: &[&str] = &[
+    "core",
+    "secmem",
+    "crypto",
+    "telemetry",
+    "sim",
+    "faults",
+    "workloads",
+];
 
 /// Crates whose `src/` trees are held to lock discipline (R6): everything
 /// that touches the service layer's locks.

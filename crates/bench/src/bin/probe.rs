@@ -29,7 +29,8 @@ fn main() {
         scale,
         None,
         &SystemConfig::detailed_scaled(Scheme::NonSecure),
-    );
+    )
+    .expect("no graph needed");
     println!(
         "{:<11} {:>10.2} µs  miss-lat {:>6.1} ns",
         "Non-secure",
@@ -43,7 +44,8 @@ fn main() {
             scale,
             None,
             &SystemConfig::detailed_scaled(scheme),
-        );
+        )
+        .expect("no graph needed");
         println!(
             "{:<11} {:>10.2} µs  miss-lat {:>6.1} ns  perf {:>6.2}%  ctr-miss {:>5.1}%  memo-hit(all) {:>5.1}%  accel {:>5.1}%  [{:.0}s]",
             scheme.to_string(),

@@ -4,10 +4,11 @@
 //! cargo run --release -p rmcc-bench --bin service [tiny|small|full]
 //! ```
 //!
-//! Drives a zipfian multi-tenant access mix through the sharded
-//! `SecureMemoryService` batched API — a serial-reference pass and a
-//! pooled pass over the identical workload — then writes the full report
-//! to `BENCH_service.json` in the current directory and prints one
+//! Drives the serving corpus's key-value mix through the sharded
+//! `SecureMemoryService` batched API — a serial-reference pass, a pooled
+//! pass, and a record-once/replay-many pass through the compact trace
+//! codec over the identical workload — then writes the full report to
+//! `BENCH_service.json` in the current directory and prints one
 //! `deterministic: {...}` line to stdout.
 //!
 //! The deterministic line carries only counts, checksums, and memoization
@@ -43,7 +44,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    if parsed.get("schema").and_then(|v| v.as_str()) != Some("rmcc-bench-service-v1") {
+    if parsed.get("schema").and_then(|v| v.as_str()) != Some("rmcc-bench-service-v2") {
         eprintln!("service: emitted JSON is missing the schema marker");
         std::process::exit(1);
     }
@@ -64,6 +65,10 @@ fn main() {
     );
     if !report.pooled_matches_serial() {
         eprintln!("service: pooled results diverged from the serial reference");
+        std::process::exit(1);
+    }
+    if !report.trace.matches_live {
+        eprintln!("service: trace replay diverged from the live stream");
         std::process::exit(1);
     }
 }

@@ -21,7 +21,7 @@
 pub mod service;
 pub mod throughput;
 
-use rmcc_sim::experiments::{table1, Experiments, Series};
+use rmcc_sim::experiments::{serving_scenarios, table1, Experiments, Series};
 use rmcc_workloads::workload::Scale;
 
 /// Parses a scale name, defaulting from the `RMCC_SCALE` environment
@@ -44,10 +44,11 @@ pub fn scale_from(arg: Option<&str>) -> Result<Scale, String> {
     }
 }
 
-/// Every figure id this harness knows, in paper order.
-pub const ALL_FIGURES: [&str; 17] = [
+/// Every figure id this harness knows, in paper order; `serving` is the
+/// repo's own serving-corpus extension, not a paper figure.
+pub const ALL_FIGURES: [&str; 18] = [
     "table1", "fig03", "fig04", "fig10", "fig12", "fig13+14", "fig15", "fig16", "fig17", "fig18",
-    "fig19+20", "fig21+22", "maxctr", "accel", "page4k", "ablation", "relwork",
+    "fig19+20", "fig21+22", "maxctr", "accel", "page4k", "ablation", "relwork", "serving",
 ];
 
 /// Runs one figure by id and returns its printable series (empty for
@@ -104,6 +105,7 @@ pub fn run_figure(ex: &Experiments, id: &str) -> Result<Vec<Series>, String> {
             }
         }
         "maxctr" => vec![ex.max_counter_growth()],
+        "serving" => vec![serving_scenarios()],
         "accel" => vec![ex.accelerated_misses()],
         "page4k" => vec![ex.page_size_sensitivity()],
         "relwork" => vec![ex.related_work_speculation()],
@@ -175,7 +177,7 @@ mod tests {
         let ex = Experiments::new(Scale::Tiny);
         // The cheap, single-config figures; sweeps are covered by their own
         // bench targets.
-        for id in ["table1", "fig03", "fig04", "fig15", "accel"] {
+        for id in ["table1", "fig03", "fig04", "fig15", "accel", "serving"] {
             assert!(run_figure(&ex, id).is_ok());
         }
     }

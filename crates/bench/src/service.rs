@@ -1,22 +1,24 @@
-//! Sustained-load service benchmark: a zipfian multi-tenant mix driven
-//! through the sharded [`SecureMemoryService`]'s batched `submit` API.
+//! Sustained-load service benchmark: the serving corpus's key-value mix
+//! driven through the sharded [`SecureMemoryService`]'s batched `submit`
+//! API.
 //!
 //! Where [`crate::throughput`] measures the single-engine hot path, this
 //! harness measures the serving-scale question: aggregate accesses/s when
 //! many tenants' traffic — skewed the way real tenant populations are —
-//! lands on one service as batches. The keyspace is sized in *keyed
-//! regions* (one counter-coverage group per region, ~1 M at small scale
-//! and up); tenant popularity and per-tenant region popularity are both
-//! zipfian, octave-sampled with pure integer arithmetic so the stream is
-//! bit-identical on every host.
+//! lands on one service as batches. The stream is
+//! [`rmcc_workloads::corpus`]'s key-value serving scenario (zipfian tenant
+//! and key popularity, pure integer arithmetic, bit-identical on every
+//! host), sized in *keyed regions* — one counter-coverage group per region,
+//! ~1 M at small scale and up.
 //!
 //! Two passes run over the identical pre-generated workload: `submit` at
 //! width 1 (the serial reference) and at the requested `RMCC_JOBS` width.
 //! The deterministic line carries access counts, the order-sensitive
-//! result checksum, and the memoization tallies — all byte-identical
-//! across runs, hosts, and pool widths — so CI diffs it between a serial
-//! and a pooled invocation exactly as it does for `BENCH_hotpath.json`.
-//! Timing lives only in the JSON (`BENCH_service.json`).
+//! result checksum, the AES backend name, the trace-codec footprint, and
+//! the memoization tallies — all byte-identical across runs, hosts, and
+//! pool widths — so CI diffs it between a serial and a pooled invocation
+//! exactly as it does for `BENCH_hotpath.json`. Timing lives only in the
+//! JSON (`BENCH_service.json`).
 //!
 //! Two lifecycle rows ride in the timing section: a **degraded-mode** pass
 //! (every shard forced `Degraded`, so writes take the counted full-AES
@@ -24,13 +26,24 @@
 //! pays while the breaker decides) and a **recovery-cost** row (one shard
 //! quarantined and rebuilt, timing the integrity-tree + MAC re-verification
 //! pass). Neither touches the deterministic line.
+//!
+//! A **record-once / replay-many** stage exercises the compact on-disk
+//! trace codec: the scenario is encoded to a temp file once (timed), then
+//! decoded back several times (timed), with the first replay checked
+//! event-for-event against the live stream. The encoded bytes/event lands
+//! in the deterministic line, so CI pins the codec's footprint too.
 
 use std::time::Instant;
 
 use rmcc_core::shard::{aggregate_stats, memo_policy, MemoHandle, ShardMemoConfig, ShardMemoStats};
+use rmcc_crypto::aes::Backend;
 use rmcc_secmem::service::{
     digest_results, Access, HealthConfig, SecureMemoryService, ServiceConfig,
 };
+use rmcc_sim::service_run::access_for_event;
+use rmcc_workloads::codec::{reader_from_path, record_to_path};
+use rmcc_workloads::corpus::{KvServingConfig, Scenario};
+use rmcc_workloads::trace::{TraceEvent, TraceSource, VecSink};
 use rmcc_workloads::workload::Scale;
 
 use crate::throughput::ComponentResult;
@@ -106,6 +119,21 @@ impl ServiceBenchConfig {
     pub fn total_accesses(&self) -> u64 {
         self.batches * self.batch_size as u64
     }
+
+    /// The corpus generator behind the bench stream: key-value serving over
+    /// this geometry, one counter-coverage group per keyed region.
+    pub fn corpus_scenario(&self, coverage: u64) -> Scenario {
+        Scenario::KvServing(KvServingConfig {
+            tenants: self.tenants,
+            regions_per_tenant: self.regions_per_tenant,
+            blocks_per_region: coverage.max(1),
+            hot_blocks_per_region: 8,
+            events: self.total_accesses(),
+            write_permille: self.write_permille,
+            churn_period: 0,
+            seed: self.seed,
+        })
+    }
 }
 
 /// The benchmark's output: serial-reference and pooled passes over the
@@ -133,6 +161,59 @@ pub struct ServiceBenchReport {
     pub recovery: RecoveryCost,
     /// Memoization tallies of the pooled pass, folded across shards.
     pub memo: ShardMemoStats,
+    /// AES backend name every shard's key schedules used (`RMCC_BACKEND`).
+    pub backend: &'static str,
+    /// Record-once / replay-many results for the compact trace codec.
+    pub trace: TraceRoundtrip,
+}
+
+/// Outcome of encoding the bench stream to the compact on-disk format once
+/// and decoding it back several times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRoundtrip {
+    /// Events in the recorded trace.
+    pub events: u64,
+    /// Total encoded file size, header included.
+    pub total_bytes: u64,
+    /// Seconds the single recording pass took.
+    pub record_seconds: f64,
+    /// Seconds all replay passes took together.
+    pub replay_seconds: f64,
+    /// Decode passes over the recorded file.
+    pub replay_passes: u64,
+    /// Whether the first replay reproduced the live stream event-for-event.
+    pub matches_live: bool,
+}
+
+impl TraceRoundtrip {
+    /// Average encoded bytes per event, header included (0 for an empty
+    /// trace). Deterministic: a pure function of the stream.
+    pub fn bytes_per_event(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.events as f64
+        }
+    }
+
+    /// Events encoded per second (0 when the pass was too fast to time).
+    pub fn record_events_per_s(&self) -> f64 {
+        if self.record_seconds > 0.0 {
+            self.events as f64 / self.record_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Events decoded per second across all replay passes (0 when too fast
+    /// to time).
+    pub fn replay_events_per_s(&self) -> f64 {
+        if self.replay_seconds > 0.0 {
+            (self.events * self.replay_passes) as f64 / self.replay_seconds
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Timing of one shard's full rebuild (integrity-tree node refresh plus a
@@ -166,12 +247,16 @@ impl ServiceBenchReport {
     pub fn deterministic_json(&self) -> String {
         format!(
             concat!(
-                "{{\"schema\":\"rmcc-bench-service-v1\",",
+                "{{\"schema\":\"rmcc-bench-service-v2\",",
+                "\"backend\":\"{}\",",
                 "\"shards\":{},\"regions\":{},\"tenants\":{},",
                 "\"accesses\":{},\"result_checksum\":\"{:#018x}\",",
                 "\"conformed_writes\":{},\"budget_ok\":{},",
-                "\"pooled_matches_serial\":{}}}"
+                "\"pooled_matches_serial\":{},",
+                "\"trace_events\":{},\"trace_bytes_per_event\":\"{:.2}\",",
+                "\"replay_matches_live\":{}}}"
             ),
+            self.backend,
             self.shards,
             self.regions,
             self.tenants,
@@ -180,6 +265,9 @@ impl ServiceBenchReport {
             self.memo.conformed_writes,
             self.memo.budget_ok,
             self.pooled_matches_serial(),
+            self.trace.events,
+            self.trace.bytes_per_event(),
+            self.trace.matches_live,
         )
     }
 
@@ -193,7 +281,7 @@ impl ServiceBenchReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"rmcc-bench-service-v1\",\n");
+        out.push_str("  \"schema\": \"rmcc-bench-service-v2\",\n");
         out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
         out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
         out.push_str("  \"deterministic\": ");
@@ -224,63 +312,98 @@ impl ServiceBenchReport {
             self.recovery.data_verified
         ));
         out.push_str(&format!(
-            "    \"rebuild_blocks_per_s\": {:.1}\n",
+            "    \"rebuild_blocks_per_s\": {:.1},\n",
             self.recovery.blocks_per_s()
+        ));
+        out.push_str(&format!(
+            "    \"trace_record_events_per_s\": {:.1},\n",
+            self.trace.record_events_per_s()
+        ));
+        out.push_str(&format!(
+            "    \"trace_replay_events_per_s\": {:.1}\n",
+            self.trace.replay_events_per_s()
         ));
         out.push_str("  }\n}\n");
         out
     }
 }
 
-fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// ~1/x-distributed rank in `[0, n)`: a uniformly chosen binary octave,
-/// then a uniform element inside it. Integer-only, so identical on every
-/// platform.
-fn zipf_rank(r1: u64, r2: u64, n: u64) -> u64 {
-    let n = n.max(1);
-    let octaves = u64::from(64 - n.leading_zeros());
-    let base = 1u64 << (r1 % octaves);
-    (base - 1 + (r2 % base)).min(n - 1)
-}
-
 /// Pre-generates the whole workload so the timed loop measures the service
-/// alone, not stream synthesis.
-fn generate_batches(cfg: &ServiceBenchConfig, coverage: u64) -> Vec<Vec<Access>> {
-    let mut rng = cfg.seed | 1;
-    let mut next = move || {
-        rng = splitmix64(rng);
-        rng
-    };
-    (0..cfg.batches)
-        .map(|_| {
-            (0..cfg.batch_size)
-                .map(|_| {
-                    let tenant = zipf_rank(next(), next(), cfg.tenants);
-                    let region = zipf_rank(next(), next(), cfg.regions_per_tenant);
-                    // Offsets are zipfian too: real tenants hammer a few hot
-                    // lines per region, which keeps the steady-state working
-                    // set cache-resident instead of smearing every access
-                    // across the full coverage span.
-                    let offset = zipf_rank(next(), next(), coverage.max(1));
-                    let block = (tenant * cfg.regions_per_tenant + region) * coverage + offset;
-                    if next() % 1_000 < u64::from(cfg.write_permille) {
-                        Access::Write {
-                            block,
-                            data: [(next() & 0xFF) as u8; 64],
-                        }
-                    } else {
-                        Access::Read { block }
-                    }
-                })
+/// alone, not stream synthesis. Returns both the raw events (for the trace
+/// roundtrip to compare against) and the batched accesses.
+fn generate_batches(
+    cfg: &ServiceBenchConfig,
+    coverage: u64,
+) -> (Vec<TraceEvent>, Vec<Vec<Access>>) {
+    let scenario = cfg.corpus_scenario(coverage);
+    let events: Vec<TraceEvent> = scenario.events().collect();
+    let batches = events
+        .chunks(cfg.batch_size.max(1))
+        .enumerate()
+        .map(|(b, chunk)| {
+            let base = (b * cfg.batch_size.max(1)) as u64;
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(i, ev)| access_for_event(ev, base + i as u64))
                 .collect()
         })
-        .collect()
+        .collect();
+    (events, batches)
+}
+
+/// Records the bench stream to a temp file once, replays it several times,
+/// and checks the first replay event-for-event against the live stream.
+fn run_trace_roundtrip(
+    cfg: &ServiceBenchConfig,
+    coverage: u64,
+    live: &[TraceEvent],
+    scale: Scale,
+) -> TraceRoundtrip {
+    const REPLAY_PASSES: u64 = 3;
+    let path = std::env::temp_dir().join(format!("rmcc_bench_service_{scale}.trc"));
+    let start = Instant::now();
+    let summary = match record_to_path(&path, &mut cfg.corpus_scenario(coverage)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("service bench: trace recording failed: {e}");
+            return TraceRoundtrip {
+                events: 0,
+                total_bytes: 0,
+                record_seconds: 0.0,
+                replay_seconds: 0.0,
+                replay_passes: 0,
+                matches_live: false,
+            };
+        }
+    };
+    let record_seconds = start.elapsed().as_secs_f64();
+    let mut matches_live = false;
+    let start = Instant::now();
+    for pass in 0..REPLAY_PASSES {
+        let Ok(mut reader) = reader_from_path(&path) else {
+            break;
+        };
+        if pass == 0 {
+            // First replay decodes into memory and is checked exactly.
+            let mut sink = VecSink::default();
+            reader.stream(&mut sink);
+            matches_live = reader.error().is_none() && sink.events == live;
+        } else {
+            let mut sink = rmcc_workloads::trace::CountingSink::default();
+            reader.stream(&mut sink);
+        }
+    }
+    let replay_seconds = start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&path);
+    TraceRoundtrip {
+        events: summary.events,
+        total_bytes: summary.total_bytes(),
+        record_seconds,
+        replay_seconds,
+        replay_passes: REPLAY_PASSES,
+        matches_live,
+    }
 }
 
 /// Builds a fresh memoizing service for one pass, optionally with the
@@ -413,11 +536,12 @@ fn run_recovery_pass(cfg: &ServiceBenchConfig, batches: &[Vec<Access>]) -> Recov
 pub fn run(scale: Scale, jobs: usize) -> ServiceBenchReport {
     let cfg = ServiceBenchConfig::from_scale(scale);
     let coverage = rmcc_secmem::counters::CounterOrg::Morphable128.coverage() as u64;
-    let batches = generate_batches(&cfg, coverage);
+    let (events, batches) = generate_batches(&cfg, coverage);
     let (serial, _) = run_pass(&cfg, &batches, 1);
     let (pooled, memo) = run_pass(&cfg, &batches, jobs.max(1));
     let degraded = run_degraded_pass(&cfg, &batches, jobs.max(1));
     let recovery = run_recovery_pass(&cfg, &batches);
+    let trace = run_trace_roundtrip(&cfg, coverage, &events, scale);
     ServiceBenchReport {
         scale: scale.to_string(),
         jobs: jobs.max(1),
@@ -429,6 +553,8 @@ pub fn run(scale: Scale, jobs: usize) -> ServiceBenchReport {
         degraded,
         recovery,
         memo,
+        backend: Backend::from_env().name(),
+        trace,
     }
 }
 
@@ -462,11 +588,38 @@ mod tests {
         let parsed = rmcc_telemetry::export::parse_json_line(&r.to_json()).expect("valid JSON");
         assert_eq!(
             parsed.get("schema").and_then(|v| v.as_str()),
-            Some("rmcc-bench-service-v1")
+            Some("rmcc-bench-service-v2")
         );
         let det = rmcc_telemetry::export::parse_json_line(&r.deterministic_json())
             .expect("valid deterministic line");
         assert!(det.get("pooled_matches_serial").is_some());
+        assert_eq!(
+            det.get("backend").and_then(|v| v.as_str()),
+            Some(Backend::from_env().name())
+        );
+        assert!(det.get("trace_bytes_per_event").is_some());
+    }
+
+    #[test]
+    fn trace_roundtrip_matches_live_and_stays_compact() {
+        let r = run(Scale::Tiny, 1);
+        assert!(
+            r.trace.matches_live,
+            "replayed stream diverged: {:?}",
+            r.trace
+        );
+        assert_eq!(
+            r.trace.events,
+            ServiceBenchConfig::from_scale(Scale::Tiny).total_accesses()
+        );
+        assert!(
+            r.trace.bytes_per_event() <= 4.0,
+            "encoding regressed past 4 bytes/event: {:.2}",
+            r.trace.bytes_per_event()
+        );
+        let json = r.to_json();
+        assert!(json.contains("trace_record_events_per_s"));
+        assert!(json.contains("trace_replay_events_per_s"));
     }
 
     #[test]
@@ -493,18 +646,5 @@ mod tests {
             !r.deterministic_json().contains("degraded"),
             "lifecycle rows are timing-only"
         );
-    }
-
-    #[test]
-    fn zipf_rank_stays_in_range() {
-        let mut s = 7u64;
-        for n in [1u64, 2, 3, 1_000, 1 << 20] {
-            for _ in 0..2_000 {
-                s = splitmix64(s);
-                let r1 = s;
-                s = splitmix64(s);
-                assert!(zipf_rank(r1, s, n) < n);
-            }
-        }
     }
 }

@@ -12,6 +12,9 @@
 //! * all-lanes and partial-batch (< 8 blocks) paths against the scalar
 //!   path, per backend and across backends.
 
+// Test harness: panicking on malformed fixtures is the failure mode we
+// want, and seed-derived bytes truncate by design.
+#![allow(clippy::expect_used, clippy::cast_possible_truncation)]
 use proptest::prelude::*;
 use rmcc_crypto::aes::{Aes, AesVariant, Backend, Block, BATCH_BLOCKS};
 

@@ -9,6 +9,12 @@
 //! This file deliberately holds a single `#[test]`: the counter is global,
 //! so a second concurrently-running test would pollute the measurement.
 
+// Test harness: unwrap-on-failure is the desired failure mode here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation
+)]
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 

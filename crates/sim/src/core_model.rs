@@ -73,11 +73,9 @@ impl TraceSink for CoreModel {
     }
 }
 
-impl Runner for CoreModel {
-    type Report = crate::detailed::DetailedReport;
-
-    fn run(&mut self, source: &mut dyn TraceSource) -> Self::Report {
-        source.stream(self);
+impl CoreModel {
+    /// The detailed report for everything streamed so far.
+    pub fn report(&mut self) -> crate::detailed::DetailedReport {
         let stats = self.stats();
         crate::detailed::DetailedReport {
             scheme: self.cfg.scheme,
@@ -88,6 +86,15 @@ impl Runner for CoreModel {
             dram: self.mc.dram_stats(),
             meta: *self.mc.meta_stats(),
         }
+    }
+}
+
+impl Runner for CoreModel {
+    type Report = crate::detailed::DetailedReport;
+
+    fn run(&mut self, source: &mut dyn TraceSource) -> Self::Report {
+        source.stream(self);
+        self.report()
     }
 }
 

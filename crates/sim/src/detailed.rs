@@ -45,18 +45,25 @@ impl DetailedReport {
 }
 
 /// Runs `workload` at `scale` under `cfg`, reusing `graph` when provided.
+///
+/// # Errors
+///
+/// Returns [`rmcc_workloads::workload::WorkloadError::MissingGraph`] if a
+/// graph workload is handed `graph: None` by a caller that built the
+/// source itself; the `None` path here builds the graph on demand and
+/// cannot fail.
 pub fn run_detailed(
     workload: rmcc_workloads::workload::Workload,
     scale: rmcc_workloads::workload::Scale,
     graph: Option<&rmcc_workloads::graph::Csr>,
     cfg: &SystemConfig,
-) -> DetailedReport {
-    use crate::runner::Runner;
+) -> Result<DetailedReport, rmcc_workloads::workload::WorkloadError> {
     let mut core = CoreModel::new(cfg, 0x9a9e);
     match graph {
-        Some(_) => core.run(&mut workload.source_on(graph, scale)),
-        None => core.run(&mut workload.source(scale)),
+        Some(_) => workload.source_on(graph, scale).try_stream(&mut core)?,
+        None => workload.source(scale).try_stream(&mut core)?,
     }
+    Ok(core.report())
 }
 
 #[cfg(test)]
@@ -77,13 +84,15 @@ mod tests {
             Scale::Tiny,
             None,
             &cfg(Scheme::NonSecure),
-        );
+        )
+        .expect("self-built graph");
         let sec = run_detailed(
             Workload::Canneal,
             Scale::Tiny,
             None,
             &cfg(Scheme::Morphable),
-        );
+        )
+        .expect("self-built graph");
         assert!(sec.elapsed_ps > non.elapsed_ps);
         assert!(sec.normalized_perf(&non) < 1.0);
         assert!(non.normalized_perf(&non) == 1.0);
@@ -96,7 +105,8 @@ mod tests {
             Scale::Tiny,
             None,
             &cfg(Scheme::Morphable),
-        );
+        )
+        .expect("self-built graph");
         assert!(
             r.mean_miss_latency_ns > 20.0,
             "latency {}",
@@ -113,7 +123,8 @@ mod tests {
             Scale::Tiny,
             None,
             &cfg(Scheme::Morphable),
-        );
+        )
+        .expect("self-built graph");
         let total: f64 = rmcc_dram::channel::TrafficClass::ALL
             .iter()
             .map(|&c| r.utilization(c))
@@ -123,8 +134,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = run_detailed(Workload::Mcf, Scale::Tiny, None, &cfg(Scheme::Rmcc));
-        let b = run_detailed(Workload::Mcf, Scale::Tiny, None, &cfg(Scheme::Rmcc));
+        let a = run_detailed(Workload::Mcf, Scale::Tiny, None, &cfg(Scheme::Rmcc))
+            .expect("self-built graph");
+        let b = run_detailed(Workload::Mcf, Scale::Tiny, None, &cfg(Scheme::Rmcc))
+            .expect("self-built graph");
         assert_eq!(a, b);
     }
 }

@@ -330,12 +330,15 @@ impl Experiments {
 
     fn lifetime(&self, w: Workload, cfg: &SystemConfig) -> LifetimeReport {
         let graph = w.uses_graph().then_some(&self.graph);
-        run_lifetime(w, self.scale, graph, cfg)
+        // The shared graph is always passed for graph kernels, so the typed
+        // error is unreachable; if it ever fires, the panic is caught by
+        // the cell isolation and reported as a FAILED row.
+        run_lifetime(w, self.scale, graph, cfg).unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn detailed(&self, w: Workload, cfg: &SystemConfig) -> DetailedReport {
         let graph = w.uses_graph().then_some(&self.graph);
-        run_detailed(w, self.scale, graph, cfg)
+        run_detailed(w, self.scale, graph, cfg).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Figure 3: counter-cache misses per LLC miss under Morphable
@@ -743,6 +746,45 @@ pub fn table1() -> String {
     SystemConfig::table1(Scheme::Rmcc).to_string()
 }
 
+/// The serving-corpus sweep: one small service run per corpus scenario,
+/// reporting how self-reinforcement fares under each traffic shape — write
+/// conformance, memoization hit rate on lookups, the fallback share, and
+/// the per-shard budget actually spent.
+pub fn serving_scenarios() -> Series {
+    use crate::service_run::{run_service, ServiceRunConfig};
+    let mut s = Series::new(
+        "Serving scenarios (small 4-shard service runs)",
+        &[
+            "conformance",
+            "memo hit rate",
+            "fallback share",
+            "budget spent",
+        ],
+    );
+    for cfg in [
+        ServiceRunConfig::small(),
+        ServiceRunConfig::phase_small(),
+        ServiceRunConfig::adversarial_small(),
+    ] {
+        let name = cfg.corpus_scenario().name();
+        let r = run_service(&cfg);
+        let a = &r.aggregate;
+        let writes = (a.conformed_writes + a.baseline_writes).max(1) as f64;
+        let hits = a.table.group_hits + a.table.mru_hits;
+        let lookups = (hits + a.table.fallbacks).max(1) as f64;
+        s.push(
+            name,
+            vec![
+                a.conformed_writes as f64 / writes,
+                hits as f64 / lookups,
+                a.table.fallbacks as f64 / lookups,
+                a.budget_spent as f64,
+            ],
+        );
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -771,6 +813,41 @@ mod tests {
         let t = table1();
         assert!(t.contains("RMCC"));
         assert!(t.contains("128 GB"));
+    }
+
+    #[test]
+    fn serving_scenarios_covers_every_corpus_stream() {
+        let s = serving_scenarios();
+        assert!(s.failures.is_empty(), "{:?}", s.failures);
+        let labels: Vec<&str> = s.rows.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(
+            labels,
+            ["kv_serving", "phase_change", "adversarial_locality"]
+        );
+        for (label, values) in &s.rows {
+            assert!(
+                values.iter().all(|v| v.is_finite() && *v >= 0.0),
+                "{label}: {values:?}"
+            );
+            // The first three columns are rates.
+            assert!(values[..3].iter().all(|v| *v <= 1.0), "{label}: {values:?}");
+        }
+        // Every scenario steers a real share of writes, spends budget doing
+        // it, and the phase-change stream — which keeps re-learning a moved
+        // hot set — conforms less than steady key-value serving.
+        for (label, values) in &s.rows {
+            assert!(
+                values[0] > 0.2,
+                "{label}: conformance collapsed: {values:?}"
+            );
+            assert!(values[3] > 0.0, "{label}: no budget spent: {values:?}");
+        }
+        let kv = s.row("kv_serving").expect("kv row")[0];
+        let phase = s.row("phase_change").expect("phase row")[0];
+        assert!(
+            phase < kv,
+            "phase-change conformance {phase} not below kv serving {kv}"
+        );
     }
 
     #[test]

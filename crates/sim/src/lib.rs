@@ -36,7 +36,8 @@
 //!     Scale::Tiny,
 //!     None,
 //!     &SystemConfig::lifetime(Scheme::Rmcc),
-//! );
+//! )
+//! .expect("canneal needs no graph");
 //! assert!(report.llc_misses > 0);
 //! ```
 
@@ -62,7 +63,9 @@ pub use core_model::{CoreModel, CoreStats};
 pub use detailed::{run_detailed, DetailedReport};
 pub use dynamics::{run_dynamics, DynamicsConfig, DynamicsResult};
 pub use engine::CoreEngine;
-pub use experiments::{table1, CellFailure, Experiments, Series, TelemetrySweep};
+pub use experiments::{
+    serving_scenarios, table1, CellFailure, Experiments, Series, TelemetrySweep,
+};
 pub use lifetime::{run_lifetime, LifetimeReport, LifetimeRunner};
 pub use mc::{LatencyStats, MemoryController};
 pub use meta_engine::{

@@ -230,17 +230,25 @@ impl Runner for LifetimeRunner {
 }
 
 /// Runs `workload` at `scale` under `cfg`, reusing `graph` when provided.
+///
+/// # Errors
+///
+/// Returns [`rmcc_workloads::workload::WorkloadError::MissingGraph`] if a
+/// graph workload is handed `graph: None` by a caller that built the
+/// source itself; the `None` path here builds the graph on demand and
+/// cannot fail.
 pub fn run_lifetime(
     workload: rmcc_workloads::workload::Workload,
     scale: rmcc_workloads::workload::Scale,
     graph: Option<&rmcc_workloads::graph::Csr>,
     cfg: &SystemConfig,
-) -> LifetimeReport {
+) -> Result<LifetimeReport, rmcc_workloads::workload::WorkloadError> {
     let mut runner = LifetimeRunner::new(cfg);
     match graph {
-        Some(_) => runner.run(&mut workload.source_on(graph, scale)),
-        None => runner.run(&mut workload.source(scale)),
+        Some(_) => workload.source_on(graph, scale).try_stream(&mut runner)?,
+        None => workload.source(scale).try_stream(&mut runner)?,
     }
+    Ok(runner.report())
 }
 
 #[cfg(test)]
@@ -261,7 +269,8 @@ mod tests {
             Scale::Tiny,
             None,
             &cfg(Scheme::Morphable),
-        );
+        )
+        .expect("self-built graph");
         assert!(r.accesses > 10_000);
         assert!(r.llc_misses > 0);
         assert!(r.meta.data_reads == r.llc_misses);
@@ -271,7 +280,8 @@ mod tests {
 
     #[test]
     fn rmcc_reports_memo_stats() {
-        let r = run_lifetime(Workload::Canneal, Scale::Tiny, None, &cfg(Scheme::Rmcc));
+        let r = run_lifetime(Workload::Canneal, Scale::Tiny, None, &cfg(Scheme::Rmcc))
+            .expect("self-built graph");
         let lookups =
             r.meta.memo_l0.all_group_hits + r.meta.memo_l0.all_mru_hits + r.meta.memo_l0.all_misses;
         assert!(lookups > 0, "RMCC must perform lookups");
@@ -280,7 +290,8 @@ mod tests {
 
     #[test]
     fn non_secure_has_no_counter_misses() {
-        let r = run_lifetime(Workload::Mcf, Scale::Tiny, None, &cfg(Scheme::NonSecure));
+        let r = run_lifetime(Workload::Mcf, Scale::Tiny, None, &cfg(Scheme::NonSecure))
+            .expect("self-built graph");
         assert_eq!(r.meta.counter_misses, 0);
         assert_eq!(r.counter_miss_rate(), 0.0);
     }
@@ -292,15 +303,18 @@ mod tests {
             Scale::Tiny,
             None,
             &cfg(Scheme::NonSecure),
-        );
+        )
+        .expect("self-built graph");
         assert!(r.tlb_misses_2m <= r.tlb_misses_4k);
         assert!(r.tlb_per_llc_miss(PageSize::Huge2M) <= r.tlb_per_llc_miss(PageSize::Small4K));
     }
 
     #[test]
     fn deterministic_across_runs() {
-        let a = run_lifetime(Workload::Omnetpp, Scale::Tiny, None, &cfg(Scheme::Rmcc));
-        let b = run_lifetime(Workload::Omnetpp, Scale::Tiny, None, &cfg(Scheme::Rmcc));
+        let a = run_lifetime(Workload::Omnetpp, Scale::Tiny, None, &cfg(Scheme::Rmcc))
+            .expect("self-built graph");
+        let b = run_lifetime(Workload::Omnetpp, Scale::Tiny, None, &cfg(Scheme::Rmcc))
+            .expect("self-built graph");
         assert_eq!(a, b);
     }
 }
@@ -316,11 +330,15 @@ mod warmup_tests {
         cfg.data_bytes = 1 << 32;
         // Run the same tiny workload with and without warm-up.
         let mut cold = LifetimeRunner::new(&cfg);
-        Workload::Canneal.run(Scale::Tiny, &mut cold);
+        Workload::Canneal
+            .run(Scale::Tiny, &mut cold)
+            .expect("no graph needed");
         let cold_report = cold.report();
 
         let mut warmed = LifetimeRunner::new(&cfg).with_warmup(10_000);
-        Workload::Canneal.run(Scale::Tiny, &mut warmed);
+        Workload::Canneal
+            .run(Scale::Tiny, &mut warmed)
+            .expect("no graph needed");
         let warm_report = warmed.report();
 
         // The observation window saw fewer accesses…

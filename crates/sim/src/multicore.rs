@@ -123,14 +123,20 @@ impl Runner for MultiCoreRunner {
 /// # Panics
 ///
 /// Panics if `n_cores` is zero.
+///
+/// # Errors
+///
+/// Typed like the other runners; the source builds its own graph, so this
+/// cannot fail in practice.
 pub fn run_multicore(
     workload: Workload,
     scale: Scale,
     n_cores: usize,
     cfg: &SystemConfig,
-) -> MultiCoreReport {
-    let mut source = workload.source(scale);
-    MultiCoreRunner::new(cfg, n_cores).run(&mut source)
+) -> Result<MultiCoreReport, rmcc_workloads::workload::WorkloadError> {
+    let mut buf = VecSink::default();
+    workload.source(scale).try_stream(&mut buf)?;
+    Ok(MultiCoreRunner::new(cfg, n_cores).run(&mut buf))
 }
 
 #[cfg(test)]
@@ -146,8 +152,8 @@ mod tests {
 
     #[test]
     fn more_cores_do_more_work_in_more_time() {
-        let one = run_multicore(Workload::Canneal, Scale::Tiny, 1, &cfg());
-        let four = run_multicore(Workload::Canneal, Scale::Tiny, 4, &cfg());
+        let one = run_multicore(Workload::Canneal, Scale::Tiny, 1, &cfg()).expect("runs");
+        let four = run_multicore(Workload::Canneal, Scale::Tiny, 4, &cfg()).expect("runs");
         assert_eq!(four.cores, 4);
         assert_eq!(four.instrs, 4 * one.instrs);
         // Contention on one channel: at least as slow as 1 core, but far
@@ -165,14 +171,14 @@ mod tests {
 
     #[test]
     fn single_core_multicore_is_deterministic() {
-        let a = run_multicore(Workload::Omnetpp, Scale::Tiny, 2, &cfg());
-        let b = run_multicore(Workload::Omnetpp, Scale::Tiny, 2, &cfg());
+        let a = run_multicore(Workload::Omnetpp, Scale::Tiny, 2, &cfg()).expect("runs");
+        let b = run_multicore(Workload::Omnetpp, Scale::Tiny, 2, &cfg()).expect("runs");
         assert_eq!(a, b);
     }
 
     #[test]
     fn shared_metadata_stats_are_reported() {
-        let r = run_multicore(Workload::Canneal, Scale::Tiny, 2, &cfg());
+        let r = run_multicore(Workload::Canneal, Scale::Tiny, 2, &cfg()).expect("runs");
         // Every LLC miss is a demand read at the shared metadata engine.
         assert_eq!(r.meta.data_reads, r.llc_misses);
     }

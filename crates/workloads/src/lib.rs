@@ -9,6 +9,11 @@
 //!   canneal/omnetpp/mcf-like loops.
 //! * [`workload`] — the registry mapping the paper's Figure 3 workload
 //!   names to runnable kernels at three size presets.
+//! * [`corpus`] — the serving-scale scenario generators (key-value
+//!   serving, phase change, adversarial locality) and the shared integer
+//!   zipfian sampler.
+//! * [`codec`] — the compact on-disk trace format (delta+varint, checksummed)
+//!   for recording a stream once and replaying it in O(1) memory.
 //!
 //! # Example
 //!
@@ -17,7 +22,7 @@
 //! use rmcc_workloads::workload::{Scale, Workload};
 //!
 //! let mut sink = CountingSink::default();
-//! Workload::Canneal.run(Scale::Tiny, &mut sink);
+//! Workload::Canneal.run(Scale::Tiny, &mut sink).expect("no graph needed");
 //! assert!(sink.reads > 0 && sink.writes > 0);
 //! ```
 
@@ -25,12 +30,19 @@
 #![deny(missing_docs)]
 
 pub mod arena;
+pub mod codec;
+pub mod corpus;
 pub mod graph;
 pub mod kernels;
 pub mod trace;
 pub mod workload;
 
 pub use arena::{Arena, TVec};
+pub use codec::{CodecError, TraceReader, TraceSummary, TraceWriter};
+pub use corpus::{
+    zipf_rank, zipf_rank_sharp, AdversarialLocalityConfig, KvServingConfig, PhaseChangeConfig,
+    Scenario,
+};
 pub use graph::{rmat, Csr, RmatParams};
 pub use trace::{CountingSink, FnSink, Recorder, TraceEvent, TraceSink, TraceSource, VecSink};
-pub use workload::{graph_for, Scale, Workload, WorkloadSource};
+pub use workload::{graph_for, Scale, Workload, WorkloadError, WorkloadSource};

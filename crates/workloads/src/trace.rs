@@ -82,7 +82,7 @@ impl TraceSource for &[TraceEvent] {
 /// use rmcc_workloads::workload::{Scale, Workload};
 ///
 /// let mut buf = VecSink::default();
-/// Workload::Canneal.run(Scale::Tiny, &mut buf);
+/// Workload::Canneal.run(Scale::Tiny, &mut buf).expect("no graph needed");
 /// let mut counts = CountingSink::default();
 /// buf.stream(&mut counts);
 /// assert_eq!(buf.events.len() as u64, counts.reads + counts.writes);

@@ -52,6 +52,28 @@ pub fn graph_for(scale: Scale) -> Csr {
     rmat(scale.graph_params())
 }
 
+/// Why a workload could not run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// A graph kernel was asked to run without an input graph.
+    MissingGraph {
+        /// The workload that needed the graph.
+        workload: Workload,
+    },
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::MissingGraph { workload } => {
+                write!(f, "graph workload {workload} needs an input graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
 /// One of the paper's eleven evaluated workloads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Workload {
@@ -120,12 +142,17 @@ impl Workload {
     /// Runs the workload at `scale`, streaming its trace into `sink`.
     /// Graph workloads build their own input; prefer [`Workload::run_on`]
     /// when running several against the same graph.
-    pub fn run(self, scale: Scale, sink: &mut dyn TraceSink) {
+    ///
+    /// # Errors
+    ///
+    /// Infallible in practice (the input graph is built on demand), but
+    /// typed like [`Workload::run_on`] so callers handle one shape.
+    pub fn run(self, scale: Scale, sink: &mut dyn TraceSink) -> Result<(), WorkloadError> {
         if self.uses_graph() {
             let g = graph_for(scale);
-            self.run_on(Some(&g), scale, sink);
+            self.run_on(Some(&g), scale, sink)
         } else {
-            self.run_on(None, scale, sink);
+            self.run_on(None, scale, sink)
         }
     }
 
@@ -147,8 +174,8 @@ impl Workload {
 
     /// Packages the workload as a streaming [`TraceSource`] that borrows a
     /// pre-built graph (the cheap path when several graph kernels share one
-    /// input). Streaming a graph workload built with `graph: None` panics,
-    /// exactly like [`Workload::run_on`].
+    /// input). Streaming a graph workload built with `graph: None` emits
+    /// nothing; [`WorkloadSource::try_stream`] reports the typed error.
     pub fn source_on(self, graph: Option<&Csr>, scale: Scale) -> WorkloadSource<'_> {
         let graph = match graph {
             Some(g) => GraphSlot::Borrowed(g),
@@ -163,13 +190,23 @@ impl Workload {
 
     /// Runs the workload, borrowing a pre-built graph for graph kernels.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the workload [`Workload::uses_graph`] but `graph` is
-    /// `None`.
-    pub fn run_on(self, graph: Option<&Csr>, scale: Scale, sink: &mut dyn TraceSink) {
+    /// Returns [`WorkloadError::MissingGraph`] — before emitting any event
+    /// — if the workload [`Workload::uses_graph`] but `graph` is `None`.
+    pub fn run_on(
+        self,
+        graph: Option<&Csr>,
+        scale: Scale,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(), WorkloadError> {
+        if self.uses_graph() && graph.is_none() {
+            return Err(WorkloadError::MissingGraph { workload: self });
+        }
         let mut rec = Recorder::new(sink);
-        let g = || graph.expect("graph workload needs a graph");
+        // Guarded above: every arm that calls `g()` is a graph kernel, and
+        // graph kernels with `None` already returned the typed error.
+        let g = || graph.expect("graph kernels validated above");
         match self {
             Workload::PageRank => {
                 let iters = match scale {
@@ -279,6 +316,7 @@ impl Workload {
                 let _ = mcf(p, &mut rec);
             }
         }
+        Ok(())
     }
 }
 
@@ -334,16 +372,31 @@ impl WorkloadSource<'_> {
     pub fn scale(&self) -> Scale {
         self.scale
     }
-}
 
-impl TraceSource for WorkloadSource<'_> {
-    fn stream(&mut self, sink: &mut dyn TraceSink) {
+    /// Streams one complete run, reporting the typed error a misconfigured
+    /// source would otherwise swallow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::MissingGraph`] — before emitting any event
+    /// — for a graph workload built over [`Workload::source_on`] with
+    /// `graph: None`.
+    pub fn try_stream(&mut self, sink: &mut dyn TraceSink) -> Result<(), WorkloadError> {
         let graph = match &self.graph {
             GraphSlot::Absent => None,
             GraphSlot::Borrowed(g) => Some(*g),
             GraphSlot::Owned(g) => Some(g),
         };
-        self.workload.run_on(graph, self.scale, sink);
+        self.workload.run_on(graph, self.scale, sink)
+    }
+}
+
+impl TraceSource for WorkloadSource<'_> {
+    /// Streams one complete run. The trait is infallible, so a graph
+    /// workload missing its graph streams zero events; use
+    /// [`WorkloadSource::try_stream`] to observe the typed error instead.
+    fn stream(&mut self, sink: &mut dyn TraceSink) {
+        let _ = self.try_stream(sink);
     }
 }
 
@@ -368,11 +421,8 @@ mod tests {
         let g = graph_for(Scale::Tiny);
         for w in Workload::ALL {
             let mut sink = CountingSink::default();
-            if w.uses_graph() {
-                w.run_on(Some(&g), Scale::Tiny, &mut sink);
-            } else {
-                w.run_on(None, Scale::Tiny, &mut sink);
-            }
+            w.run_on(w.uses_graph().then_some(&g), Scale::Tiny, &mut sink)
+                .expect("graph provided");
             assert!(sink.reads > 100, "{w} traced only {} reads", sink.reads);
             assert!(sink.writes > 0, "{w} traced no writes");
         }
@@ -381,15 +431,24 @@ mod tests {
     #[test]
     fn run_builds_graph_when_needed() {
         let mut sink = CountingSink::default();
-        Workload::Bfs.run(Scale::Tiny, &mut sink);
+        Workload::Bfs.run(Scale::Tiny, &mut sink).expect("run");
         assert!(sink.reads > 0);
     }
 
     #[test]
-    #[should_panic(expected = "needs a graph")]
-    fn graph_workload_without_graph_panics() {
+    fn graph_workload_without_graph_is_a_typed_error() {
         let mut sink = CountingSink::default();
-        Workload::PageRank.run_on(None, Scale::Tiny, &mut sink);
+        let err = Workload::PageRank
+            .run_on(None, Scale::Tiny, &mut sink)
+            .expect_err("graph kernel must refuse to run graphless");
+        assert_eq!(
+            err,
+            WorkloadError::MissingGraph {
+                workload: Workload::PageRank
+            }
+        );
+        assert!(err.to_string().contains("pageRank"));
+        assert_eq!(sink.reads + sink.writes, 0, "no events before the error");
     }
 
     #[test]
@@ -397,7 +456,8 @@ mod tests {
         let g = graph_for(Scale::Tiny);
         for w in [Workload::Bfs, Workload::Canneal] {
             let mut direct: Vec<crate::trace::TraceEvent> = Vec::new();
-            w.run_on(w.uses_graph().then_some(&g), Scale::Tiny, &mut direct);
+            w.run_on(w.uses_graph().then_some(&g), Scale::Tiny, &mut direct)
+                .expect("graph provided");
             let mut streamed: Vec<crate::trace::TraceEvent> = Vec::new();
             w.source_on(w.uses_graph().then_some(&g), Scale::Tiny)
                 .stream(&mut streamed);
@@ -419,10 +479,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "needs a graph")]
-    fn graph_source_without_graph_panics_on_stream() {
+    fn graph_source_without_graph_reports_typed_error() {
         let mut sink = CountingSink::default();
-        Workload::Bfs.source_on(None, Scale::Tiny).stream(&mut sink);
+        let mut src = Workload::Bfs.source_on(None, Scale::Tiny);
+        let err = src.try_stream(&mut sink).expect_err("missing graph");
+        assert_eq!(
+            err,
+            WorkloadError::MissingGraph {
+                workload: Workload::Bfs
+            }
+        );
+        // The infallible trait path streams nothing rather than panicking.
+        src.stream(&mut sink);
+        assert_eq!(sink.reads + sink.writes, 0);
     }
 
     #[test]

@@ -1,10 +1,12 @@
-//! Property-based tests for trace generation.
+//! Property-based tests for trace generation and the trace codec.
 
 use proptest::prelude::*;
 use rmcc_workloads::arena::Arena;
+use rmcc_workloads::codec::{TraceReader, TraceWriter};
 use rmcc_workloads::graph::{rmat, Csr, RmatParams};
-use rmcc_workloads::trace::{CountingSink, Recorder, TraceEvent};
+use rmcc_workloads::trace::{CountingSink, Recorder, TraceEvent, TraceSink, TraceSource, VecSink};
 use rmcc_workloads::workload::{graph_for, Scale, Workload};
+use std::io::Cursor;
 
 proptest! {
     /// CSR construction is total and self-consistent for arbitrary edge
@@ -65,10 +67,11 @@ fn all_workloads_deterministic_at_tiny() {
         let run = || {
             let mut events: Vec<TraceEvent> = Vec::new();
             if w.uses_graph() {
-                w.run_on(Some(&g), Scale::Tiny, &mut events);
+                w.run_on(Some(&g), Scale::Tiny, &mut events)
             } else {
-                w.run_on(None, Scale::Tiny, &mut events);
+                w.run_on(None, Scale::Tiny, &mut events)
             }
+            .expect("graph supplied when needed");
             events
         };
         let (a, b) = (run(), run());
@@ -90,14 +93,64 @@ fn irregular_workloads_mark_dependencies() {
     ] {
         let mut sink = CountingSink::default();
         if w.uses_graph() {
-            w.run_on(Some(&g), Scale::Tiny, &mut sink);
+            w.run_on(Some(&g), Scale::Tiny, &mut sink)
         } else {
-            w.run_on(None, Scale::Tiny, &mut sink);
+            w.run_on(None, Scale::Tiny, &mut sink)
         }
+        .expect("graph supplied when needed");
         assert!(
             sink.dependent * 20 > sink.reads,
             "{w}: too few dependent loads"
         );
+    }
+}
+
+proptest! {
+    /// The compact trace codec is lossless for arbitrary event streams —
+    /// any address pattern, any read/write/dependency mix, any `work`
+    /// value up to the saturation point `u16::MAX` — and every roundtrip
+    /// passes the checksum.
+    #[test]
+    fn codec_roundtrips_arbitrary_streams(
+        raw in prop::collection::vec(
+            (any::<u64>(), any::<bool>(), any::<u16>(), any::<bool>()),
+            0..192,
+        ),
+    ) {
+        let mut events: Vec<TraceEvent> = raw
+            .iter()
+            .map(|&(addr, is_write, work, dep)| TraceEvent {
+                addr,
+                is_write,
+                work,
+                dep_on_prev_load: dep,
+            })
+            .collect();
+        // Always include the work-saturation edge the Recorder can emit.
+        events.push(TraceEvent {
+            addr: u64::MAX,
+            is_write: true,
+            work: u16::MAX,
+            dep_on_prev_load: true,
+        });
+
+        let mut writer = TraceWriter::new(Cursor::new(Vec::new()))
+            .unwrap_or_else(|e| panic!("writer: {e}"));
+        for ev in &events {
+            writer.emit(*ev);
+        }
+        let (summary, cursor) = writer
+            .finish_into_inner()
+            .unwrap_or_else(|e| panic!("finish: {e}"));
+        prop_assert_eq!(summary.events, events.len() as u64);
+
+        let mut reader = TraceReader::new(Cursor::new(cursor.into_inner()))
+            .unwrap_or_else(|e| panic!("reader: {e}"));
+        prop_assert_eq!(reader.event_count(), events.len() as u64);
+        let mut sink = VecSink::default();
+        reader.stream(&mut sink);
+        prop_assert!(reader.error().is_none(), "decode error: {:?}", reader.error());
+        prop_assert_eq!(sink.events, events);
     }
 }
 

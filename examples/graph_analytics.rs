@@ -32,7 +32,8 @@ fn main() {
             scale,
             Some(&graph),
             &SystemConfig::table1(Scheme::NonSecure),
-        );
+        )
+        .expect("graph supplied");
         println!(
             "  {:<11} {:>9.2} µs   LLC-miss latency {:>6.1} ns   (baseline)",
             Scheme::NonSecure.to_string(),
@@ -40,7 +41,8 @@ fn main() {
             non.mean_miss_latency_ns
         );
         for scheme in [Scheme::Sc64, Scheme::Morphable, Scheme::Rmcc] {
-            let r = run_detailed(workload, scale, Some(&graph), &SystemConfig::table1(scheme));
+            let r = run_detailed(workload, scale, Some(&graph), &SystemConfig::table1(scheme))
+                .expect("graph supplied");
             println!(
                 "  {:<11} {:>9.2} µs   LLC-miss latency {:>6.1} ns   perf vs non-secure {:>5.1}%   ctr-miss rate {:>5.1}%",
                 scheme.to_string(),

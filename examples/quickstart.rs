@@ -60,7 +60,8 @@ fn main() {
             Scale::Tiny,
             None,
             &SystemConfig::lifetime(scheme),
-        );
+        )
+        .expect("canneal needs no graph");
         print!(
             "  {scheme:<10} LLC misses {:>7}  counter-miss rate {:>5.1}%",
             report.llc_misses,

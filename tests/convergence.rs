@@ -30,7 +30,7 @@ fn full_epochs(jsonl: &str, key: &str, epoch_accesses: u64) -> Vec<f64> {
     column(jsonl, key)
         .into_iter()
         .zip(accesses)
-        .filter(|&(_, a)| (a as u64) % epoch_accesses == 0)
+        .filter(|&(_, a)| (a as u64).is_multiple_of(epoch_accesses))
         .map(|(v, _)| v)
         .collect()
 }

@@ -27,13 +27,15 @@ fn counter_miss_ordering_canneal_vs_mcf() {
         Scale::Tiny,
         None,
         &lifetime_cfg(Scheme::Morphable),
-    );
+    )
+    .expect("no graph needed");
     let mcf = run_lifetime(
         Workload::Mcf,
         Scale::Tiny,
         None,
         &lifetime_cfg(Scheme::Morphable),
-    );
+    )
+    .expect("no graph needed");
     // Tiny footprints mute the absolute rates, but the ordering holds.
     assert!(
         canneal.counter_miss_rate() >= mcf.counter_miss_rate(),
@@ -52,7 +54,8 @@ fn memoization_hit_rate_is_high_from_converged_state() {
         Scale::Tiny,
         None,
         &lifetime_cfg(Scheme::Rmcc),
-    );
+    )
+    .expect("no graph needed");
     let rate = r.meta.memo_l0.all_hit_rate();
     assert!(rate > 0.7, "hit rate {rate} too low from converged state");
 }
@@ -66,13 +69,15 @@ fn traffic_overhead_is_bounded() {
         Scale::Tiny,
         None,
         &lifetime_cfg(Scheme::Morphable),
-    );
+    )
+    .expect("no graph needed");
     let rmcc = run_lifetime(
         Workload::Canneal,
         Scale::Tiny,
         None,
         &lifetime_cfg(Scheme::Rmcc),
-    );
+    )
+    .expect("no graph needed");
     let overhead = rmcc.total_requests() as f64 / base.total_requests().max(1) as f64 - 1.0;
     assert!(overhead < 0.15, "overhead {overhead} runs away");
 }
@@ -121,13 +126,15 @@ fn max_counter_growth_is_modest() {
         Scale::Tiny,
         None,
         &lifetime_cfg(Scheme::Morphable),
-    );
+    )
+    .expect("no graph needed");
     let rmcc = run_lifetime(
         Workload::Canneal,
         Scale::Tiny,
         None,
         &lifetime_cfg(Scheme::Rmcc),
-    );
+    )
+    .expect("no graph needed");
     let ratio = rmcc.max_counter as f64 / base.max_counter.max(1) as f64;
     assert!(ratio < 3.0, "RMCC max-counter ratio {ratio} exploded");
 }
@@ -140,6 +147,7 @@ fn huge_pages_reduce_tlb_misses() {
         Scale::Tiny,
         None,
         &lifetime_cfg(Scheme::NonSecure),
-    );
+    )
+    .expect("no graph needed");
     assert!(r.tlb_misses_2m <= r.tlb_misses_4k);
 }

@@ -105,40 +105,75 @@ proptest! {
     }
 }
 
-/// The pinned telemetry series of the seeded small service run. Regenerate
-/// only for intentional changes:
+/// The pinned telemetry series of each seeded small service run, one per
+/// corpus scenario. Regenerate only for intentional changes:
 ///
 /// ```text
 /// cargo test --test service_properties -- --ignored regenerate
 /// ```
-const GOLDEN: &str = include_str!("golden/service_run_small.jsonl");
+const GOLDEN_KV: &str = include_str!("golden/service_run_small.jsonl");
+const GOLDEN_PHASE: &str = include_str!("golden/service_run_phase_small.jsonl");
+const GOLDEN_ADVERSARIAL: &str = include_str!("golden/service_run_adversarial_small.jsonl");
 
-/// The pinned order-sensitive result checksum of the same run.
-const GOLDEN_CHECKSUM: u64 = 0xced9_2154_5733_ac72;
+/// The pinned order-sensitive result checksums of the same runs.
+const GOLDEN_KV_CHECKSUM: u64 = 0x9ba6_4580_9ecb_f7a5;
+const GOLDEN_PHASE_CHECKSUM: u64 = 0xff18_fe98_f8b2_08b4;
+const GOLDEN_ADVERSARIAL_CHECKSUM: u64 = 0xadd4_1aa2_1e9d_1f79;
 
-#[test]
-fn seeded_service_run_matches_golden_fixture() {
-    let r = run_service(&ServiceRunConfig::small());
-    assert_eq!(
-        r.checksum, GOLDEN_CHECKSUM,
-        "service run checksum drifted: got {:#018x}",
-        r.checksum
-    );
-    assert_eq!(
-        r.jsonl, GOLDEN,
-        "service telemetry drifted from tests/golden/service_run_small.jsonl \
-         (intentional changes must regenerate the fixture)"
-    );
+/// `(config, fixture path, pinned telemetry, pinned checksum)` per scenario.
+fn golden_cases() -> [(ServiceRunConfig, &'static str, &'static str, u64); 3] {
+    [
+        (
+            ServiceRunConfig::small(),
+            "tests/golden/service_run_small.jsonl",
+            GOLDEN_KV,
+            GOLDEN_KV_CHECKSUM,
+        ),
+        (
+            ServiceRunConfig::phase_small(),
+            "tests/golden/service_run_phase_small.jsonl",
+            GOLDEN_PHASE,
+            GOLDEN_PHASE_CHECKSUM,
+        ),
+        (
+            ServiceRunConfig::adversarial_small(),
+            "tests/golden/service_run_adversarial_small.jsonl",
+            GOLDEN_ADVERSARIAL,
+            GOLDEN_ADVERSARIAL_CHECKSUM,
+        ),
+    ]
 }
 
 #[test]
-#[ignore = "writes the golden fixture; run explicitly after intentional changes"]
+fn seeded_service_runs_match_golden_fixtures() {
+    for (cfg, path, golden, checksum) in golden_cases() {
+        let name = cfg.corpus_scenario().name();
+        let r = run_service(&cfg);
+        assert_eq!(
+            r.checksum, checksum,
+            "{name}: service run checksum drifted: got {:#018x}",
+            r.checksum
+        );
+        assert_eq!(
+            r.jsonl, golden,
+            "{name}: service telemetry drifted from {path} \
+             (intentional changes must regenerate the fixture)"
+        );
+    }
+}
+
+#[test]
+#[ignore = "writes the golden fixtures; run explicitly after intentional changes"]
 fn regenerate() {
-    let r = run_service(&ServiceRunConfig::small());
-    std::fs::write("tests/golden/service_run_small.jsonl", &r.jsonl)
-        .unwrap_or_else(|e| panic!("cannot write fixture: {e}"));
-    panic!(
-        "fixture regenerated; update GOLDEN_CHECKSUM to {:#018x} and rerun",
-        r.checksum
-    );
+    let mut checksums = String::new();
+    for (cfg, path, _, _) in golden_cases() {
+        let r = run_service(&cfg);
+        std::fs::write(path, &r.jsonl).unwrap_or_else(|e| panic!("cannot write fixture: {e}"));
+        checksums.push_str(&format!(
+            "\n  {}: {:#018x}",
+            cfg.corpus_scenario().name(),
+            r.checksum
+        ));
+    }
+    panic!("fixtures regenerated; update the pinned checksums to:{checksums}\nand rerun");
 }

@@ -18,8 +18,8 @@ fn cfg(scheme: Scheme) -> SystemConfig {
 #[test]
 fn functional_stats_agree_between_modes() {
     for scheme in [Scheme::Morphable, Scheme::Rmcc] {
-        let l = run_lifetime(Workload::Canneal, Scale::Tiny, None, &cfg(scheme));
-        let d = run_detailed(Workload::Canneal, Scale::Tiny, None, &cfg(scheme));
+        let l = run_lifetime(Workload::Canneal, Scale::Tiny, None, &cfg(scheme)).expect("runs");
+        let d = run_detailed(Workload::Canneal, Scale::Tiny, None, &cfg(scheme)).expect("runs");
         assert_eq!(l.meta.data_reads, d.meta.data_reads, "{scheme}: reads");
         assert_eq!(
             l.meta.counter_misses, d.meta.counter_misses,
@@ -40,9 +40,10 @@ fn single_core_multicore_matches_detailed() {
     // the same placement seed they must be indistinguishable, down to the
     // functional metadata statistics.
     for scheme in [Scheme::Morphable, Scheme::Rmcc] {
-        let d = run_detailed(Workload::Canneal, Scale::Tiny, None, &cfg(scheme));
+        let d = run_detailed(Workload::Canneal, Scale::Tiny, None, &cfg(scheme)).expect("runs");
         let m =
-            rmcc::sim::multicore::run_multicore(Workload::Canneal, Scale::Tiny, 1, &cfg(scheme));
+            rmcc::sim::multicore::run_multicore(Workload::Canneal, Scale::Tiny, 1, &cfg(scheme))
+                .expect("runs");
         assert_eq!(d.meta, m.meta, "{scheme}: metadata stats");
         assert_eq!(d.elapsed_ps, m.elapsed_ps, "{scheme}: elapsed");
         assert_eq!(d.instrs, m.instrs, "{scheme}: instrs");
@@ -62,8 +63,9 @@ fn rmcc_and_morphable_see_identical_demand_streams() {
         Scale::Tiny,
         None,
         &cfg(Scheme::Morphable),
-    );
-    let b = run_lifetime(Workload::Omnetpp, Scale::Tiny, None, &cfg(Scheme::Rmcc));
+    )
+    .expect("runs");
+    let b = run_lifetime(Workload::Omnetpp, Scale::Tiny, None, &cfg(Scheme::Rmcc)).expect("runs");
     assert_eq!(a.accesses, b.accesses);
     assert_eq!(a.llc_misses, b.llc_misses);
     assert_eq!(a.llc_writebacks, b.llc_writebacks);
@@ -78,8 +80,8 @@ fn schemes_are_deterministic_end_to_end() {
         Scheme::Morphable,
         Scheme::Rmcc,
     ] {
-        let a = run_detailed(Workload::Mcf, Scale::Tiny, None, &cfg(scheme));
-        let b = run_detailed(Workload::Mcf, Scale::Tiny, None, &cfg(scheme));
+        let a = run_detailed(Workload::Mcf, Scale::Tiny, None, &cfg(scheme)).expect("runs");
+        let b = run_detailed(Workload::Mcf, Scale::Tiny, None, &cfg(scheme)).expect("runs");
         assert_eq!(a, b, "{scheme} must be bit-reproducible");
     }
 }
@@ -91,13 +93,15 @@ fn non_secure_is_fastest_secure_lat_is_higher() {
         Scale::Tiny,
         None,
         &cfg(Scheme::NonSecure),
-    );
+    )
+    .expect("runs");
     let mo = run_detailed(
         Workload::Canneal,
         Scale::Tiny,
         None,
         &cfg(Scheme::Morphable),
-    );
+    )
+    .expect("runs");
     assert!(mo.elapsed_ps >= non.elapsed_ps);
     assert!(mo.mean_miss_latency_ns >= non.mean_miss_latency_ns);
     assert!(
@@ -108,7 +112,7 @@ fn non_secure_is_fastest_secure_lat_is_higher() {
 
 #[test]
 fn total_requests_reconcile_with_components() {
-    let r = run_lifetime(Workload::Canneal, Scale::Tiny, None, &cfg(Scheme::Rmcc));
+    let r = run_lifetime(Workload::Canneal, Scale::Tiny, None, &cfg(Scheme::Rmcc)).expect("runs");
     let m = &r.meta;
     let accounted = m.data_reads
         + m.data_writes
